@@ -1,0 +1,80 @@
+//! Criterion benches for the tagging algorithms (paper §5.3 claims
+//! Algorithm 2 runs in `O(L·T·(L + L·P))`; these measure the practical
+//! scaling over fabric size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tagger_core::{greedy_minimize, tag_by_hop_count, Elp, Tagging};
+use tagger_topo::{ClosConfig, JellyfishConfig};
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm1_brute_force");
+    for switches in [10usize, 20, 40] {
+        let topo = JellyfishConfig::half_servers(switches, 8, 3).build();
+        let elp = Elp::shortest(&topo, 1, false);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(switches),
+            &switches,
+            |b, _| b.iter(|| tag_by_hop_count(&topo, &elp)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_algorithm2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm2_greedy_minimize");
+    for switches in [10usize, 20, 40] {
+        let topo = JellyfishConfig::half_servers(switches, 8, 3).build();
+        let elp = Elp::shortest(&topo, 1, false);
+        let brute = tag_by_hop_count(&topo, &elp);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(switches),
+            &switches,
+            |b, _| b.iter(|| greedy_minimize(&topo, &brute)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_from_elp");
+    g.sample_size(10);
+    for (name, topo, elp) in [
+        {
+            let t = ClosConfig::small().build();
+            let e = Elp::updown(&t);
+            ("clos_small_updown", t, e)
+        },
+        {
+            let t = JellyfishConfig::half_servers(30, 8, 3).build();
+            let e = Elp::shortest(&t, 1, false);
+            ("jellyfish30_shortest", t, e)
+        },
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| Tagging::from_elp(&topo, &elp).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_clos_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clos_structural_tagging");
+    for (name, topo) in [
+        ("small", ClosConfig::small().build()),
+        ("medium", ClosConfig::medium().build()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| tagger_core::clos::clos_tagging(&topo, 1).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithm1,
+    bench_algorithm2,
+    bench_full_pipeline,
+    bench_clos_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benches for TCAM compilation and lookup (paper §7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tagger_core::clos::clos_tagging;
+use tagger_core::tcam::{Compression, Tcam, TcamProgram};
+use tagger_core::Tag;
+use tagger_topo::{ClosConfig, PortId};
+
+fn bench_compile(c: &mut Criterion) {
+    let topo = ClosConfig::medium().build();
+    let tagging = clos_tagging(&topo, 2).unwrap();
+    let mut g = c.benchmark_group("tcam_compile");
+    for (name, level) in [
+        ("none", Compression::None),
+        ("inport", Compression::InPort),
+        ("joint", Compression::Joint),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &level, |b, &level| {
+            b.iter(|| TcamProgram::compile(&topo, tagging.rules(), level))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let topo = ClosConfig::medium().build();
+    let tagging = clos_tagging(&topo, 2).unwrap();
+    let sw = topo.expect_node("L1");
+    let rules = tagging.rules().rules_for(sw);
+    let mut g = c.benchmark_group("tcam_lookup");
+    for (name, level) in [("none", Compression::None), ("joint", Compression::Joint)] {
+        let tcam = Tcam::compile(&rules, level);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &tcam, |b, tcam| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for t in 1..=3u16 {
+                    for i in 0..8u16 {
+                        for o in 0..8u16 {
+                            if let tagger_core::TagDecision::Lossless(Tag(x)) =
+                                tcam.decide(Tag(t), PortId(i), PortId(o))
+                            {
+                                acc = acc.wrapping_add(x as u32);
+                            }
+                        }
+                    }
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! **§5.3** — BCube tag counts.
+//!
+//! The paper: a k-level BCube with default routing needs only k tags
+//! under Algorithm 2. BCube(n, k) has k+1 levels; its default
+//! `BuildPathSet` routing uses all k+1 rotated digit-correction orders
+//! per server pair, and intermediate *servers* forward packets — their
+//! NIC ingress queues are part of the buffer-dependency graph. Reports
+//! the generic pipeline's tag count under single-permutation routing
+//! (layered, 1 tag) and full multi-path routing (levels tags).
+
+use tagger_bench::print_table;
+use tagger_core::{Elp, Tagging};
+use tagger_routing::bcube_paths;
+use tagger_topo::{bcube, BCubeConfig};
+
+fn main() {
+    let mut rows = Vec::new();
+    for (n, k) in [(2usize, 1usize), (4, 1), (3, 2), (2, 3)] {
+        let cfg = BCubeConfig { n, k };
+        let topo = bcube(n, k);
+        let single = Elp::from_paths(bcube_paths(&cfg, &topo, false));
+        let multi = Elp::from_paths(bcube_paths(&cfg, &topo, true));
+        let t_single = Tagging::from_elp(&topo, &single).expect("pipeline");
+        let t_multi = Tagging::from_elp(&topo, &multi).expect("pipeline");
+        rows.push(vec![
+            format!("BCube({n},{k})"),
+            cfg.num_servers().to_string(),
+            cfg.num_switches().to_string(),
+            (k + 1).to_string(),
+            multi.len().to_string(),
+            t_single.num_lossless_tags_on(&topo).to_string(),
+            t_multi.num_lossless_tags_on(&topo).to_string(),
+            t_multi.rules().max_rules_per_switch().to_string(),
+        ]);
+    }
+    print_table(
+        "BCube: tags needed by Algorithm 1+2 (paper 5.3: a BCube with L \
+         levels and default multi-path routing needs L tags)",
+        &[
+            "fabric",
+            "servers",
+            "switches",
+            "levels",
+            "multipath_elp",
+            "tags_single_perm",
+            "tags_multipath",
+            "max_rules_per_switch",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,27 @@
+//! **Figure 12** — PFC PAUSE propagation due to deadlock.
+//!
+//! A 4-to-1 shuffle into H1 and a 1-to-4 shuffle out of H5 run together;
+//! two flows ride 1-bounce paths that close a CBD. Without Tagger the
+//! deadlock's PAUSE frames propagate until all eight flows are frozen;
+//! with Tagger none are affected.
+
+use tagger_sim::experiments::fig12_pause_propagation;
+
+const END_NS: u64 = 10_000_000;
+
+fn main() {
+    for with_tagger in [false, true] {
+        let (report, labels) = fig12_pause_propagation(with_tagger, END_NS).run();
+        println!(
+            "# Fig 12({}) — {} Tagger: deadlock={:?}, frozen={}/8, pauses={}",
+            if with_tagger { "a/c" } else { "b/d" },
+            if with_tagger { "with" } else { "without" },
+            report.deadlock.as_ref().map(|d| d.detected_at),
+            report.frozen_flows(5),
+            report.pauses_sent,
+        );
+        let labels: Vec<&str> = labels.iter().map(String::as_str).collect();
+        print!("{}", report.rates_tsv(&labels));
+        println!();
+    }
+}

@@ -1,0 +1,74 @@
+//! **Queue dynamics** — what a deadlock looks like from inside a switch.
+//!
+//! Tracks the byte depth of the L1→S1 egress queue (a member of the
+//! Figure 10 CBD cycle) through the deadlock run, with and without
+//! Tagger. Without Tagger the queue fills and then flat-lines — frozen
+//! bytes that will never move. With Tagger the same queue breathes:
+//! PFC and the second priority keep it cycling between thresholds.
+
+use tagger_bench::print_table;
+use tagger_routing::Fib;
+use tagger_sim::experiments::{testbed_switch_config, TESTBED_PFC_DELAY_NS};
+use tagger_sim::{FlowSpec, SimConfig, Simulator};
+use tagger_topo::{ClosConfig, FailureSet, NodeId};
+
+const END_NS: u64 = 6_000_000;
+
+fn run(with_tagger: bool) -> (Vec<Vec<u64>>, bool) {
+    let topo = ClosConfig::small().build();
+    let fib = Fib::shortest_path(&topo, &FailureSet::none());
+    let (rules, queues) = if with_tagger {
+        let t = tagger_core::clos::clos_tagging(&topo, 1).unwrap();
+        (Some(t.rules().clone()), 2u8)
+    } else {
+        (None, 1)
+    };
+    let l1 = topo.expect_node("L1");
+    let s1 = topo.expect_node("S1");
+    let to_s1 = topo.port_towards(l1, s1).unwrap();
+    let mut track = vec![(l1, to_s1, 0u8)];
+    if with_tagger {
+        track.push((l1, to_s1, 1)); // the bounce priority's queue
+    }
+    let cfg = SimConfig {
+        switch: testbed_switch_config(queues),
+        pfc_extra_delay_ns: TESTBED_PFC_DELAY_NS,
+        track_queues: track,
+        end_time_ns: END_NS,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(topo.clone(), fib, rules, cfg);
+    let names = |p: &[&str]| -> Vec<NodeId> { p.iter().map(|n| topo.expect_node(n)).collect() };
+    let blue = names(&["H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13"]);
+    let green = names(&["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"]);
+    sim.add_flow(FlowSpec::new(blue[0], *blue.last().unwrap(), 0).pinned(blue.clone()));
+    sim.add_flow(FlowSpec::new(green[0], *green.last().unwrap(), END_NS / 5).pinned(green.clone()));
+    let report = sim.run();
+    (report.queue_series, report.deadlock.is_some())
+}
+
+fn main() {
+    for with_tagger in [false, true] {
+        let (series, deadlocked) = run(with_tagger);
+        let mut rows = Vec::new();
+        for (i, row) in series.iter().enumerate().step_by(2) {
+            let mut cells = vec![((i as u64 + 1) * 100).to_string()];
+            cells.extend(row.iter().map(|b| (b / 1000).to_string()));
+            rows.push(cells);
+        }
+        let header: Vec<&str> = if with_tagger {
+            vec!["time_us", "L1->S1 prio0 (KB)", "L1->S1 prio1 (KB)"]
+        } else {
+            vec!["time_us", "L1->S1 prio0 (KB)"]
+        };
+        print_table(
+            &format!(
+                "Queue dynamics at L1->S1 — {} Tagger (deadlock: {})",
+                if with_tagger { "with" } else { "without" },
+                deadlocked
+            ),
+            &header,
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! **§1 prior-work comparison** — detect-and-break recovery vs Tagger.
+//!
+//! The first category of deadlock solutions detects a formed deadlock
+//! and breaks it (by flushing a queue). The paper's critique: that
+//! treats the symptom, so the deadlock reappears whenever the triggering
+//! conditions recur — and every break drops lossless packets, violating
+//! the contract PFC exists to provide. This binary runs the Figure 10
+//! workload with green traffic arriving in waves: recovery fires again
+//! and again; Tagger never needs it.
+
+use tagger_bench::print_table;
+use tagger_sim::experiments::recovery_baseline;
+
+const END_NS: u64 = 20_000_000;
+
+fn main() {
+    let mut rows = Vec::new();
+    for with_tagger in [false, true] {
+        let (report, _) = recovery_baseline(with_tagger, END_NS).run();
+        rows.push(vec![
+            if with_tagger {
+                "tagger (prevention)"
+            } else {
+                "detect-and-break (recovery)"
+            }
+            .to_string(),
+            report.recoveries.to_string(),
+            report.recovery_drops.to_string(),
+            (report.total_delivered_bytes() / 1_000_000).to_string(),
+        ]);
+    }
+    print_table(
+        "Deadlock recovery vs prevention (Fig 10 workload, 4 green waves \
+         over 20 ms): recovery fires per recurrence and sacrifices \
+         lossless packets; Tagger prevents the CBD outright",
+        &[
+            "scheme",
+            "recoveries",
+            "lossless_packets_sacrificed",
+            "delivered_MB",
+        ],
+        &rows,
+    );
+}

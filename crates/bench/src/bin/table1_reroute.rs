@@ -1,0 +1,37 @@
+//! **Table 1** — packet reroute measurements.
+//!
+//! The paper instruments >20 production data centers for a week and
+//! reports reroute probabilities around 1e-5. We reproduce the
+//! methodology (IP-in-IP TTL probing, 100 probes per measurement) over a
+//! synthetic fleet of Clos fabrics with a link-failure process calibrated
+//! to the same order of magnitude. One row per simulated day.
+
+use tagger_bench::print_table;
+use tagger_sim::probe::{run_probe_day, ProbeConfig};
+use tagger_topo::ClosConfig;
+
+fn main() {
+    let topo = ClosConfig::medium().build();
+    let mut rows = Vec::new();
+    for day in 0..7u64 {
+        let cfg = ProbeConfig {
+            measurements: 2_000_000,
+            probes_per_measurement: 100,
+            link_failure_probability: 2e-6,
+            seed: 1000 + day,
+        };
+        let r = run_probe_day(&topo, &cfg);
+        rows.push(vec![
+            format!("2026-06-{:02}", 21 + day),
+            r.total.to_string(),
+            r.rerouted.to_string(),
+            format!("{:.2e}", r.reroute_probability()),
+        ]);
+    }
+    print_table(
+        "Table 1: packet reroute measurements (synthetic failure process, \
+         paper reports ~1e-5 over production fleets)",
+        &["day", "total_measurements", "rerouted", "reroute_probability"],
+        &rows,
+    );
+}

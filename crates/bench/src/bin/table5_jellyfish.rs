@@ -1,0 +1,62 @@
+//! **Table 5** — rules and priorities required for Jellyfish.
+//!
+//! Reproduces the paper's scalability study: Jellyfish fabrics with half
+//! the ports wired to servers, shortest-path ELP; the final row adds
+//! 1000 extra random paths, as in the paper. Row sizes are scaled to
+//! laptop runtimes (the paper's largest instance is 2000 switches; pass
+//! `--large` to run 1000/2000-switch rows).
+
+use tagger_bench::print_table;
+use tagger_bench::table5::{run_row, Table5Row};
+
+fn fmt(row: &Table5Row, extra: usize) -> Vec<String> {
+    vec![
+        row.switches.to_string(),
+        row.ports.to_string(),
+        row.elp_paths.to_string(),
+        extra.to_string(),
+        row.longest_lossless.to_string(),
+        row.priorities.to_string(),
+        row.max_rules.to_string(),
+        row.max_tcam.to_string(),
+        if row.fallback { "yes" } else { "no" }.to_string(),
+    ]
+}
+
+fn main() {
+    let large = std::env::args().any(|a| a == "--large");
+    // (switches, ports, extra random paths)
+    let mut rows_cfg = vec![(50usize, 12usize, 0usize), (100, 12, 0), (200, 16, 0), (500, 16, 0)];
+    if large {
+        rows_cfg.push((1000, 24, 0));
+        rows_cfg.push((2000, 24, 1000));
+    } else {
+        rows_cfg.push((500, 16, 1000));
+    }
+    let mut rows = Vec::new();
+    for (switches, ports, extra) in rows_cfg {
+        let row = run_row(switches, ports, 1, extra, 7);
+        eprintln!(
+            "jellyfish {switches}sw/{ports}p done: {} priorities, {} rules max",
+            row.priorities, row.max_rules
+        );
+        rows.push(fmt(&row, extra));
+    }
+    print_table(
+        "Table 5: rules and priorities required for Jellyfish \
+         (half the ports per switch connect servers; ELP = shortest paths, \
+         last row + random paths)",
+        &[
+            "switches",
+            "ports",
+            "elp_paths",
+            "extra_random",
+            "longest_lossless",
+            "priorities",
+            "max_rules_per_switch",
+            "max_tcam_per_switch",
+            "fallback",
+        ],
+        &rows,
+    );
+}

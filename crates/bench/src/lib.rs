@@ -1,0 +1,36 @@
+//! # tagger-bench — the experiment harness
+//!
+//! Shared fixtures and runners behind the binaries that regenerate every
+//! table and figure of the paper (see `DESIGN.md` for the experiment
+//! index and `EXPERIMENTS.md` for recorded results):
+//!
+//! | paper artifact | binary |
+//! |---|---|
+//! | Table 1 (reroute probability) | `table1_reroute` |
+//! | Tables 3/4 + Fig. 5 (walk-through rules) | `table34_rules` |
+//! | Table 5 (Jellyfish scalability) | `table5_jellyfish` |
+//! | Fig. 10 (1-bounce deadlock) | `fig10_bounce_deadlock` |
+//! | Fig. 11 (routing-loop deadlock) | `fig11_routing_loop` |
+//! | Fig. 12 (PAUSE propagation) | `fig12_pause_propagation` |
+//! | §4.4 optimality | `clos_optimality` |
+//! | §5.3 BCube tag count | `bcube_tags` |
+//! | §7 rule compression | `rule_compression` |
+//! | §8 performance penalty | `perf_penalty` |
+//! | §6 multi-class sharing | `multiclass_tags` |
+//! | Fig. 8 priority transition ablation | `fig8_transition` |
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig5;
+pub mod table5;
+
+/// Prints a TSV table with an echoed title comment, the common output
+/// format of the experiment binaries.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("# {title}");
+    println!("{}", header.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+    println!();
+}

@@ -1,0 +1,288 @@
+//! The Clos-specific optimal tagging construction (paper §4).
+//!
+//! For a Clos/FatTree fabric and an ELP of "all paths with up to `k`
+//! bounces", the optimal scheme needs exactly `k + 1` lossless priorities
+//! (paper §4.4, proved optimal by pigeonhole): the tag simply counts
+//! bounces. Every ToR and Leaf switch bumps the tag when a packet that
+//! came *down* to it turns back *up* — detectable purely locally as
+//! (ingress port faces an upper layer) ∧ (egress port faces an upper
+//! layer). Spines never bump. Packets whose tag would exceed `k + 1` match
+//! no rule and fall to the lossy class.
+//!
+//! The tagged graph built here is a *superset* of what the ELP reaches: it
+//! contains every `(port, tag)` combination the rules could ever produce,
+//! under any routing whatsoever. Verifying this superset certifies that
+//! the scheme is deadlock-free even under routing errors and loops — the
+//! paper's headline guarantee.
+
+use crate::{RuleError, RuleSet, SwitchRule, Tag, TaggedGraph, TaggedNode, Tagging};
+use tagger_topo::{GlobalPort, NodeId, NodeKind, Topology};
+
+/// Errors from the Clos construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClosError {
+    /// A switch has no layer rank (e.g. [`tagger_topo::Layer::Flat`]):
+    /// the up/down structure the construction relies on is missing.
+    UnrankedSwitch(NodeId),
+    /// Rule compilation or verification failed (bug if it ever fires).
+    Rule(RuleError),
+}
+
+impl std::fmt::Display for ClosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClosError::UnrankedSwitch(n) => {
+                write!(f, "switch {n} has no layer rank; not a Clos-like fabric")
+            }
+            ClosError::Rule(e) => write!(f, "rule error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClosError {}
+
+/// Builds the optimal Clos tagging for ELPs with up to `k` bounces:
+/// `k + 1` lossless tags, bump-on-bounce rules, lossy beyond.
+///
+/// Works on any layered fabric where every switch carries a layer rank
+/// (3-layer Clos, 2-layer leaf-spine, FatTree).
+pub fn clos_tagging(topo: &Topology, k: usize) -> Result<Tagging, ClosError> {
+    let max_tag = (k + 1) as u16;
+    // Sanity: every switch must be ranked.
+    for sw in topo.switch_ids() {
+        if topo.node(sw).layer.rank().is_none() {
+            return Err(ClosError::UnrankedSwitch(sw));
+        }
+    }
+
+    let mut rules = RuleSet::new();
+    let mut graph = TaggedGraph::new();
+
+    for sw in topo.switch_ids() {
+        let rank = topo.node(sw).layer.rank().expect("checked above");
+        let neighbors: Vec<(tagger_topo::PortId, NodeId)> = topo
+            .neighbors(sw)
+            .map(|(port, _, peer)| (port, peer))
+            .collect();
+        for &(in_port, in_peer) in &neighbors {
+            let in_upper = topo
+                .node(in_peer)
+                .layer
+                .rank()
+                .is_some_and(|r| r > rank);
+            for &(out_port, out_peer) in &neighbors {
+                if in_port == out_port {
+                    continue;
+                }
+                let out_upper = topo
+                    .node(out_peer)
+                    .layer
+                    .rank()
+                    .is_some_and(|r| r > rank);
+                let bounce = in_upper && out_upper;
+                for tag in 1..=max_tag {
+                    let new_tag = if bounce { tag + 1 } else { tag };
+                    if new_tag > max_tag {
+                        continue; // falls through to the lossy safeguard
+                    }
+                    // Packets from hosts only ever carry the initial tag;
+                    // rules and graph nodes for higher tags there would be
+                    // dead weight.
+                    if topo.node(in_peer).kind == NodeKind::Host && tag != Tag::INITIAL.0 {
+                        continue;
+                    }
+                    rules
+                        .add(
+                            sw,
+                            SwitchRule {
+                                tag: Tag(tag),
+                                in_port,
+                                out_port,
+                                new_tag: Tag(new_tag),
+                            },
+                        )
+                        .map_err(ClosError::Rule)?;
+                    // Graph edge: (sw ingress, tag) -> (peer ingress, new).
+                    let to_port = topo
+                        .peer_of(GlobalPort::new(sw, out_port))
+                        .expect("wired port");
+                    graph.add_edge(
+                        TaggedNode {
+                            port: GlobalPort::new(sw, in_port),
+                            tag: Tag(tag),
+                        },
+                        TaggedNode {
+                            port: to_port,
+                            tag: Tag(new_tag),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    Tagging::new(graph, rules).map_err(ClosError::Rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Elp, TagDecision};
+    use tagger_topo::{fat_tree, ClosConfig};
+
+    #[test]
+    fn k_plus_one_tags() {
+        let topo = ClosConfig::small().build();
+        for k in 0..4usize {
+            let t = clos_tagging(&topo, k).unwrap();
+            assert_eq!(t.num_lossless_tags_on(&topo), k + 1, "k={k}");
+        }
+    }
+
+    #[test]
+    fn graph_is_deadlock_free_by_construction() {
+        let topo = ClosConfig::small().build();
+        for k in 0..3usize {
+            clos_tagging(&topo, k).unwrap().graph().verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn updown_elp_lossless_with_k0() {
+        let topo = ClosConfig::small().build();
+        let t = clos_tagging(&topo, 0).unwrap();
+        t.check_elp_lossless(&topo, &Elp::updown(&topo)).unwrap();
+    }
+
+    #[test]
+    fn one_bounce_elp_lossless_with_k1_not_k0() {
+        let topo = ClosConfig::small().build();
+        let elp = Elp::updown_with_bounces_capped(&topo, 1, 16);
+        clos_tagging(&topo, 1)
+            .unwrap()
+            .check_elp_lossless(&topo, &elp)
+            .unwrap();
+        assert!(clos_tagging(&topo, 0)
+            .unwrap()
+            .check_elp_lossless(&topo, &elp)
+            .is_err());
+    }
+
+    #[test]
+    fn two_bounce_elp_needs_k2() {
+        let topo = ClosConfig::small().build();
+        let elp = Elp::updown_with_bounces_capped(&topo, 2, 8);
+        clos_tagging(&topo, 2)
+            .unwrap()
+            .check_elp_lossless(&topo, &elp)
+            .unwrap();
+        assert!(clos_tagging(&topo, 1)
+            .unwrap()
+            .check_elp_lossless(&topo, &elp)
+            .is_err());
+    }
+
+    #[test]
+    fn bounce_rule_bumps_tag() {
+        let topo = ClosConfig::small().build();
+        let t = clos_tagging(&topo, 1).unwrap();
+        let l1 = topo.expect_node("L1");
+        let s1 = topo.expect_node("S1");
+        let s2 = topo.expect_node("S2");
+        let in_port = topo.port_towards(l1, s1).unwrap();
+        let out_port = topo.port_towards(l1, s2).unwrap();
+        // Bounce at L1 (spine -> spine): tag 1 -> 2; tag 2 -> lossy.
+        assert_eq!(
+            t.rules().decide(l1, Tag(1), in_port, out_port),
+            TagDecision::Lossless(Tag(2))
+        );
+        assert_eq!(
+            t.rules().decide(l1, Tag(2), in_port, out_port),
+            TagDecision::Lossy
+        );
+    }
+
+    #[test]
+    fn non_bounce_keeps_tag() {
+        let topo = ClosConfig::small().build();
+        let t = clos_tagging(&topo, 1).unwrap();
+        let l1 = topo.expect_node("L1");
+        let in_port = topo.port_towards(l1, topo.expect_node("T1")).unwrap();
+        let out_port = topo.port_towards(l1, topo.expect_node("S1")).unwrap();
+        // Going up through L1 keeps whatever tag the packet has.
+        for tag in 1..=2u16 {
+            assert_eq!(
+                t.rules().decide(l1, Tag(tag), in_port, out_port),
+                TagDecision::Lossless(Tag(tag))
+            );
+        }
+    }
+
+    #[test]
+    fn works_on_two_layer_leaf_spine() {
+        let topo = tagger_topo::clos2(4, 2, 2);
+        let t = clos_tagging(&topo, 1).unwrap();
+        t.graph().verify().unwrap();
+        assert_eq!(t.num_lossless_tags_on(&topo), 2);
+        t.check_elp_lossless(&topo, &Elp::updown(&topo)).unwrap();
+    }
+
+    #[test]
+    fn works_on_fat_tree() {
+        let topo = fat_tree(4);
+        let t = clos_tagging(&topo, 1).unwrap();
+        assert_eq!(t.num_lossless_tags_on(&topo), 2);
+        t.graph().verify().unwrap();
+        let elp = Elp::updown(&topo);
+        t.check_elp_lossless(&topo, &elp).unwrap();
+    }
+
+    #[test]
+    fn flat_topology_is_rejected() {
+        let topo = tagger_topo::JellyfishConfig::half_servers(10, 6, 1).build();
+        assert!(matches!(
+            clos_tagging(&topo, 1),
+            Err(ClosError::UnrankedSwitch(_))
+        ));
+    }
+
+    #[test]
+    fn loop_traffic_eventually_goes_lossy() {
+        // A packet looping T1 <-> L1 bounces at T1 every round trip: after
+        // k bounces its tag exceeds k+1 and it matches no rule.
+        let topo = ClosConfig::small().build();
+        let k = 2;
+        let t = clos_tagging(&topo, k).unwrap();
+        let t1 = topo.expect_node("T1");
+        let l1 = topo.expect_node("L1");
+        let t1_from_l1 = topo.port_towards(t1, l1).unwrap();
+        let t1_to_l1 = t1_from_l1; // same port both ways is impossible...
+        // T1 has exactly one port to L1; a loop T1->L1->T1->L1 would
+        // re-use it, which real forwarding forbids. Use the two-leaf loop
+        // instead: L1 -> T1 -> L2 -> T1? Also forbidden. The realistic
+        // loop (Fig 11) is T1 -> L1 -> T1 via distinct FIB entries but the
+        // same physical link — model it as repeated bounces at T1 between
+        // its two uplinks: in from L1, out to L2 (bounce), in from L2,
+        // out to L1 (bounce), ...
+        let t1_from_l2 = topo.port_towards(t1, topo.expect_node("L2")).unwrap();
+        let mut tag = Tag::INITIAL;
+        let mut demoted_at = None;
+        for round in 0..10 {
+            let (in_p, out_p) = if round % 2 == 0 {
+                (t1_from_l1, t1_from_l2)
+            } else {
+                (t1_from_l2, t1_from_l1)
+            };
+            match t.rules().decide(t1, tag, in_p, out_p) {
+                TagDecision::Lossless(next) => tag = next,
+                TagDecision::Lossy => {
+                    demoted_at = Some(round);
+                    break;
+                }
+            }
+        }
+        let _ = t1_to_l1;
+        // k = 2: tags 1 -> 2 -> 3 on two bounces, third bounce demotes.
+        assert_eq!(demoted_at, Some(2));
+    }
+}

@@ -1,0 +1,107 @@
+//! DSCP encoding of tags (paper §7, Broadcom implementation).
+//!
+//! The hardware implementation carries the tag in the IP header's DSCP
+//! field: DSCP-based ingress priority queueing classifies the packet,
+//! an ingress ACL rewrites DSCP, and an ACL-based egress queueing step
+//! places it by the new value. (TTL was considered and rejected — the
+//! forwarding pipeline decrements it, §7.) This module provides the
+//! Tag ↔ DSCP codec those three steps share.
+
+use crate::Tag;
+
+/// Maps tags to 6-bit DSCP codepoints.
+///
+/// Lossless tags `1..=max_tag` occupy `base + 1 ..= base + max_tag`;
+/// everything else — including [`DscpCodec::LOSSY`] (best-effort 0) —
+/// classifies as lossy. A non-zero `base` keeps Tagger's codepoints
+/// clear of the operator's existing QoS plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DscpCodec {
+    /// First codepoint minus one: tag `t` rides as DSCP `base + t`.
+    pub base: u8,
+    /// Largest lossless tag.
+    pub max_tag: u16,
+}
+
+impl DscpCodec {
+    /// The best-effort codepoint demoted packets ride on.
+    pub const LOSSY: u8 = 0;
+
+    /// Creates a codec; panics if the range would overflow 6 bits.
+    pub fn new(base: u8, max_tag: u16) -> DscpCodec {
+        assert!(
+            (base as u16 + max_tag) < 64,
+            "DSCP range {}..={} exceeds 6 bits",
+            base + 1,
+            base as u16 + max_tag
+        );
+        assert!(max_tag >= 1, "need at least one lossless tag");
+        DscpCodec { base, max_tag }
+    }
+
+    /// Encodes a (possibly demoted) tag as a DSCP codepoint.
+    pub fn encode(&self, tag: Option<Tag>) -> u8 {
+        match tag {
+            Some(Tag(t)) if t >= 1 && t <= self.max_tag => self.base + t as u8,
+            _ => Self::LOSSY,
+        }
+    }
+
+    /// Classifies a received DSCP codepoint: a lossless tag, or `None`
+    /// for the lossy class (step 1 of the Fig. 7 pipeline).
+    pub fn decode(&self, dscp: u8) -> Option<Tag> {
+        if dscp > self.base && (dscp - self.base) as u16 <= self.max_tag {
+            Some(Tag((dscp - self.base) as u16))
+        } else {
+            None
+        }
+    }
+
+    /// The codepoints this codec reserves, in ascending order.
+    pub fn reserved_codepoints(&self) -> Vec<u8> {
+        (1..=self.max_tag).map(|t| self.base + t as u8).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_lossless_tags() {
+        let c = DscpCodec::new(40, 3);
+        for t in 1..=3u16 {
+            assert_eq!(c.decode(c.encode(Some(Tag(t)))), Some(Tag(t)));
+        }
+    }
+
+    #[test]
+    fn lossy_and_foreign_codepoints_classify_lossy() {
+        let c = DscpCodec::new(40, 3);
+        assert_eq!(c.encode(None), DscpCodec::LOSSY);
+        assert_eq!(c.decode(DscpCodec::LOSSY), None);
+        assert_eq!(c.decode(8), None); // operator's CS1, outside our range
+        assert_eq!(c.decode(40), None); // base itself is not a tag
+        assert_eq!(c.decode(44), None); // beyond max_tag
+    }
+
+    #[test]
+    fn out_of_range_tags_demote_on_encode() {
+        // A tag beyond the lossless range (bounced too often) encodes as
+        // the lossy codepoint — the safeguard rule in DSCP terms.
+        let c = DscpCodec::new(40, 2);
+        assert_eq!(c.encode(Some(Tag(3))), DscpCodec::LOSSY);
+    }
+
+    #[test]
+    fn reserved_codepoints_are_contiguous() {
+        let c = DscpCodec::new(40, 3);
+        assert_eq!(c.reserved_codepoints(), vec![41, 42, 43]);
+    }
+
+    #[test]
+    #[should_panic(expected = "6 bits")]
+    fn overflowing_range_panics() {
+        DscpCodec::new(60, 8);
+    }
+}

@@ -1,0 +1,141 @@
+//! Expected Lossless Paths (ELP): the operator's input to Tagger.
+
+use tagger_routing::{
+    all_paths_with_bounces, shortest_paths_all_pairs, updown_paths, Path,
+};
+use tagger_topo::{FailureSet, Topology};
+
+/// The set of paths the operator requires to stay lossless (paper §4.1).
+///
+/// Any loop-free route may be included — loop-freedom is the only
+/// requirement, and [`Path`] construction already enforces it. Common
+/// recipes are provided as constructors; arbitrary path sets can be
+/// assembled with [`Elp::from_paths`].
+///
+/// Packets that leave the ELP (failures, misconfigured routes, loops) are
+/// demoted to the lossy class by the rule set's fallback entry; they are
+/// *not* necessarily dropped — they merely stop triggering PFC.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Elp {
+    paths: Vec<Path>,
+}
+
+impl Elp {
+    /// Wraps an explicit path set.
+    pub fn from_paths(paths: Vec<Path>) -> Self {
+        Elp { paths }
+    }
+
+    /// All loop-free up-down paths between every host pair — the default
+    /// ELP for a healthy Clos fabric.
+    pub fn updown(topo: &Topology) -> Self {
+        Elp {
+            paths: updown_paths(topo, &FailureSet::none()),
+        }
+    }
+
+    /// Up-down paths plus every path with at most `k` bounces: the ELP
+    /// that keeps traffic lossless across up to `k` reroutes (paper §4.3).
+    pub fn updown_with_bounces(topo: &Topology, k: usize) -> Self {
+        Elp {
+            paths: all_paths_with_bounces(topo, &FailureSet::none(), k, usize::MAX),
+        }
+    }
+
+    /// Like [`Elp::updown_with_bounces`] with a per-pair enumeration cap,
+    /// for larger fabrics.
+    pub fn updown_with_bounces_capped(topo: &Topology, k: usize, cap_per_pair: usize) -> Self {
+        Elp {
+            paths: all_paths_with_bounces(topo, &FailureSet::none(), k, cap_per_pair),
+        }
+    }
+
+    /// Up to `cap_per_pair` shortest paths between every ordered pair of
+    /// hosts (`between_hosts`) or switches — the ELP used for Jellyfish
+    /// fabrics in the paper's Table 5.
+    pub fn shortest(topo: &Topology, cap_per_pair: usize, between_hosts: bool) -> Self {
+        Elp {
+            paths: shortest_paths_all_pairs(
+                topo,
+                &FailureSet::none(),
+                cap_per_pair,
+                between_hosts,
+            ),
+        }
+    }
+
+    /// The paths.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Adds more paths (e.g. operator-chosen redundant routes).
+    pub fn extend(&mut self, paths: impl IntoIterator<Item = Path>) {
+        self.paths.extend(paths);
+    }
+
+    /// Longest path length in hops (`T` bound of paper §5.3), 0 if empty.
+    pub fn max_hops(&self) -> usize {
+        self.paths.iter().map(Path::hops).max().unwrap_or(0)
+    }
+
+    /// True if `path` is in the set.
+    pub fn contains(&self, path: &Path) -> bool {
+        self.paths.contains(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagger_topo::ClosConfig;
+
+    #[test]
+    fn updown_elp_has_no_bounces() {
+        let topo = ClosConfig::small().build();
+        let elp = Elp::updown(&topo);
+        assert!(!elp.is_empty());
+        for p in elp.paths() {
+            assert!(p.is_updown(&topo));
+        }
+    }
+
+    #[test]
+    fn bounce_elp_strictly_larger() {
+        let topo = ClosConfig::small().build();
+        let zero = Elp::updown(&topo);
+        let one = Elp::updown_with_bounces(&topo, 1);
+        assert!(one.len() > zero.len());
+        for p in zero.paths() {
+            assert!(one.contains(p));
+        }
+    }
+
+    #[test]
+    fn max_hops_on_small_clos() {
+        let topo = ClosConfig::small().build();
+        let elp = Elp::updown(&topo);
+        // Longest loop-free up-down path: H-T-L-S-L-T-H has 6 hops and
+        // within-pod spine detours have the same length.
+        assert_eq!(elp.max_hops(), 6);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let topo = ClosConfig::small().build();
+        let mut elp = Elp::default();
+        assert!(elp.is_empty());
+        elp.extend(Elp::updown(&topo).paths().iter().cloned().take(3));
+        assert_eq!(elp.len(), 3);
+    }
+}

@@ -1,0 +1,44 @@
+//! # tagger-core — the Tagger algorithm
+//!
+//! Implements the contribution of *"Tagger: Practical PFC Deadlock
+//! Prevention in Data Center Networks"* (Hu et al., CoNEXT 2017):
+//!
+//! - [`Elp`] — the operator-supplied set of *expected lossless paths*.
+//! - [`TaggedGraph`] — the tagged graph `G(V, E)` of paper §5: nodes are
+//!   `(ingress port, tag)` pairs, edges are tag-rewrite transitions. Its
+//!   [`TaggedGraph::verify`] method checks the two requirements of
+//!   Theorem 5.1 (per-tag acyclicity and tag monotonicity), which together
+//!   certify deadlock freedom.
+//! - [`tag_by_hop_count`] — Algorithm 1: the brute-force monotone tagging
+//!   that increments the tag on every hop.
+//! - [`greedy_minimize`] — Algorithm 2: greedy merging of brute-force tags
+//!   into the fewest lossless priorities the heuristic can find.
+//! - [`clos::clos_tagging`] — the Clos-specific construction of §4: tag =
+//!   bounce count + 1, provably optimal at `k + 1` lossless priorities for
+//!   ELPs with up to `k` bounces.
+//! - [`RuleSet`] — per-switch `(tag, in-port, out-port) → new-tag`
+//!   match-action rules derived from a tagged graph, with the lossy
+//!   fallback of §4.2, and [`tcam`] — TCAM entries with the bit-mask
+//!   compression of §7.
+//! - [`multiclass`] — tag sharing across application classes (§6).
+//! - [`cbd`] — a generic cyclic-buffer-dependency detector used to show
+//!   that *without* Tagger the same path sets deadlock.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm1;
+pub(crate) mod algorithm2;
+pub mod cbd;
+pub mod clos;
+pub mod dscp;
+mod elp;
+mod graph;
+pub mod multiclass;
+mod rules;
+pub mod tcam;
+
+pub use algorithm1::{tag_by_hop_count, tag_by_hop_count_iter};
+pub use algorithm2::{apply_assignment, greedy_assignment, greedy_minimize, minimize_elp};
+pub use elp::Elp;
+pub use graph::{Tag, TaggedEdge, TaggedGraph, TaggedNode, VerifyError};
+pub use rules::{RuleError, RuleSet, SwitchRule, TagDecision, Tagging};

@@ -1,0 +1,174 @@
+//! Multi-class tag sharing (paper §6).
+//!
+//! Operators often run several lossless application classes (e.g. data
+//! and congestion-notification traffic). Naïvely, `N` classes each
+//! tolerating `M` bounces would need `N · (M + 1)` priorities; the paper
+//! shows `M + N` suffice by *offsetting*: class `c` (0-based) starts at
+//! tag `1 + c` and bumps at each bounce, so its tags are
+//! `1 + c ..= M + 1 + c` and the union spans `1 ..= M + N`. Isolation is
+//! traded away only for bounced packets, which may share a queue with the
+//! next class.
+
+use crate::clos::{clos_tagging, ClosError};
+use crate::{Tag, TaggedGraph, Tagging};
+use tagger_topo::Topology;
+
+/// The tag layout for `classes` application classes, each tolerating
+/// `bounces` bounces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultiClass {
+    /// Number of application classes `N`.
+    pub classes: u16,
+    /// Bounce budget `M` per class.
+    pub bounces: u16,
+}
+
+impl MultiClass {
+    /// Initial tag for class `c` (0-based): `1 + c`.
+    ///
+    /// # Panics
+    /// Panics if `c >= classes`.
+    pub fn initial_tag(&self, c: u16) -> Tag {
+        assert!(c < self.classes, "class {c} out of range");
+        Tag(1 + c)
+    }
+
+    /// The inclusive tag range class `c` uses: `1 + c ..= M + 1 + c`.
+    pub fn tag_range(&self, c: u16) -> (Tag, Tag) {
+        (Tag(1 + c), Tag(self.bounces + 1 + c))
+    }
+
+    /// Total lossless tags consumed: `M + N` (paper §6), versus
+    /// `N · (M + 1)` without sharing.
+    pub fn total_tags(&self) -> u16 {
+        self.bounces + self.classes
+    }
+
+    /// Tags saved versus the naïve per-class scheme.
+    pub fn tags_saved(&self) -> u16 {
+        self.classes * (self.bounces + 1) - self.total_tags()
+    }
+
+    /// Builds the shared Clos tagging: bump-on-bounce rules spanning tags
+    /// `1 ..= M + N`. Classes are distinguished only by their initial tag;
+    /// the rules are identical, so deadlock freedom follows from the
+    /// single-class argument (monotone bumps, per-tag up-down segments).
+    pub fn clos_tagging(&self, topo: &Topology) -> Result<Tagging, ClosError> {
+        assert!(self.classes >= 1, "need at least one class");
+        // Rules for max tag M + N = clos_tagging with k = M + N - 1.
+        clos_tagging(topo, (self.total_tags() - 1) as usize)
+    }
+
+    /// The classes overlapping tag `t` — diagnostic for the isolation
+    /// trade-off: more than one class means bounced traffic mixes there.
+    pub fn classes_using(&self, t: Tag) -> Vec<u16> {
+        (0..self.classes)
+            .filter(|&c| {
+                let (lo, hi) = self.tag_range(c);
+                lo <= t && t <= hi
+            })
+            .collect()
+    }
+}
+
+/// Generic multi-class composition for arbitrary topologies: the union of
+/// `n` copies of a base tagged graph shifted by `0, 1, …, n − 1`. If the
+/// base graph verifies, each shifted copy does; the union verifies
+/// whenever per-tag unions stay acyclic, which
+/// [`TaggedGraph::verify`] re-checks.
+pub fn shifted_union(base: &TaggedGraph, n: u16) -> TaggedGraph {
+    let mut out = TaggedGraph::new();
+    for c in 0..n {
+        out.union_with(&base.shifted(c));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Elp, TagDecision};
+    use tagger_topo::ClosConfig;
+
+    #[test]
+    fn tag_arithmetic_matches_paper() {
+        let mc = MultiClass {
+            classes: 3,
+            bounces: 2,
+        };
+        assert_eq!(mc.total_tags(), 5); // M + N = 2 + 3
+        assert_eq!(mc.tags_saved(), 9 - 5); // N(M+1) = 9 naive
+        assert_eq!(mc.initial_tag(0), Tag(1));
+        assert_eq!(mc.initial_tag(2), Tag(3));
+        assert_eq!(mc.tag_range(1), (Tag(2), Tag(4)));
+    }
+
+    #[test]
+    fn shared_tags_overlap_between_adjacent_classes() {
+        let mc = MultiClass {
+            classes: 2,
+            bounces: 1,
+        };
+        // Tags: class 0 -> {1, 2}, class 1 -> {2, 3}: tag 2 is shared.
+        assert_eq!(mc.classes_using(Tag(1)), vec![0]);
+        assert_eq!(mc.classes_using(Tag(2)), vec![0, 1]);
+        assert_eq!(mc.classes_using(Tag(3)), vec![1]);
+    }
+
+    #[test]
+    fn clos_multiclass_verifies_and_counts() {
+        let topo = ClosConfig::small().build();
+        let mc = MultiClass {
+            classes: 2,
+            bounces: 1,
+        };
+        let t = mc.clos_tagging(&topo).unwrap();
+        t.graph().verify().unwrap();
+        assert_eq!(t.num_lossless_tags_on(&topo), 3); // M + N
+    }
+
+    #[test]
+    fn class1_packets_ride_offset_tags() {
+        let topo = ClosConfig::small().build();
+        let mc = MultiClass {
+            classes: 2,
+            bounces: 1,
+        };
+        let t = mc.clos_tagging(&topo).unwrap();
+        // A class-1 packet (initial tag 2) bouncing at L1 moves to tag 3;
+        // a second bounce would exceed M + N = 3 and go lossy.
+        let l1 = topo.expect_node("L1");
+        let in_p = topo.port_towards(l1, topo.expect_node("S1")).unwrap();
+        let out_p = topo.port_towards(l1, topo.expect_node("S2")).unwrap();
+        assert_eq!(
+            t.rules().decide(l1, mc.initial_tag(1), in_p, out_p),
+            TagDecision::Lossless(Tag(3))
+        );
+        assert_eq!(
+            t.rules().decide(l1, Tag(3), in_p, out_p),
+            TagDecision::Lossy
+        );
+    }
+
+    #[test]
+    fn shifted_union_verifies_for_clos_base() {
+        let topo = ClosConfig::small().build();
+        let base = crate::algorithm2::minimize_elp(&topo, &Elp::updown(&topo));
+        let union = shifted_union(&base, 3);
+        union.verify().unwrap();
+        assert_eq!(
+            union.num_lossless_tags(&topo),
+            base.num_lossless_tags(&topo) + 2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn initial_tag_bounds_checked() {
+        MultiClass {
+            classes: 2,
+            bounces: 0,
+        }
+        .initial_tag(2);
+    }
+}

@@ -1,0 +1,660 @@
+//! Per-switch match-action rules and the [`Tagging`] bundle.
+//!
+//! A tagged graph is a specification; switches execute *rules*: match on
+//! `(tag, ingress port, egress port)`, rewrite the tag (paper §7, Fig. 7).
+//! A packet that matches no rule has left the ELP and falls through to the
+//! TCAM's final safeguard entry: it is demoted to the lossy class
+//! ([`TagDecision::Lossy`]) so it can never trigger PFC.
+
+use crate::{Elp, Tag, TaggedGraph, TaggedNode, VerifyError};
+use std::collections::BTreeMap;
+use std::fmt;
+use tagger_topo::{NodeId, NodeKind, PortId, Topology};
+
+/// One match-action rule on one switch: packets arriving on `in_port`
+/// carrying `tag`, about to leave via `out_port`, are rewritten to
+/// `new_tag`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SwitchRule {
+    /// Matched tag.
+    pub tag: Tag,
+    /// Matched ingress port.
+    pub in_port: PortId,
+    /// Matched egress port.
+    pub out_port: PortId,
+    /// Replacement tag.
+    pub new_tag: Tag,
+}
+
+/// The verdict for a packet at a switch: stay lossless with a (possibly
+/// rewritten) tag, or fall to the lossy class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TagDecision {
+    /// Forward losslessly, carrying this tag (enqueue at the egress queue
+    /// of this tag's priority — the Fig. 8 transition handling).
+    Lossless(Tag),
+    /// No rule matched: the packet left the ELP. Enqueue lossy; never
+    /// send PFC on its behalf.
+    Lossy,
+}
+
+/// Errors from rule derivation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuleError {
+    /// Two graph edges compile to the same `(switch, tag, in, out)` match
+    /// with different rewrites. The graph is ambiguous as a rule program.
+    Conflict {
+        /// Switch holding the conflicting rules.
+        switch: NodeId,
+        /// The two conflicting rules.
+        rules: (SwitchRule, SwitchRule),
+    },
+    /// An ELP path escaped the lossless rules at the given hop — the rule
+    /// set does not cover the ELP it was supposed to protect.
+    ElpNotLossless {
+        /// Index of the path in the ELP.
+        path_index: usize,
+        /// Hop at which the packet was demoted (0-based).
+        hop: usize,
+    },
+    /// The induced tagged graph failed deadlock-freedom verification.
+    NotDeadlockFree(VerifyError),
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::Conflict { switch, rules } => write!(
+                f,
+                "conflicting rules on switch {switch}: {:?} vs {:?}",
+                rules.0, rules.1
+            ),
+            RuleError::ElpNotLossless { path_index, hop } => write!(
+                f,
+                "ELP path #{path_index} demoted to lossy at hop {hop}"
+            ),
+            RuleError::NotDeadlockFree(e) => write!(f, "not deadlock-free: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// The complete rule program: per-switch exact-match tables plus the
+/// implicit lossy fallback.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    per_switch: BTreeMap<NodeId, BTreeMap<(Tag, PortId, PortId), Tag>>,
+}
+
+impl RuleSet {
+    /// Creates an empty rule set (everything lossy).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rule; returns an error if it conflicts with an existing rule
+    /// on the same switch.
+    pub fn add(&mut self, switch: NodeId, rule: SwitchRule) -> Result<(), RuleError> {
+        let key = (rule.tag, rule.in_port, rule.out_port);
+        let table = self.per_switch.entry(switch).or_default();
+        match table.get(&key) {
+            None => {
+                table.insert(key, rule.new_tag);
+                Ok(())
+            }
+            Some(&existing) if existing == rule.new_tag => Ok(()),
+            Some(&existing) => Err(RuleError::Conflict {
+                switch,
+                rules: (
+                    SwitchRule {
+                        new_tag: existing,
+                        ..rule
+                    },
+                    rule,
+                ),
+            }),
+        }
+    }
+
+    /// Compiles a tagged graph into rules: each edge
+    /// `(A_i, x) → (B_j, y)` becomes the rule `(x, i, out(A→B_j)) → y` on
+    /// switch `A`. Host-side sources contribute no rules (hosts inject
+    /// packets with [`Tag::INITIAL`]).
+    pub fn from_graph(topo: &Topology, g: &TaggedGraph) -> Result<RuleSet, RuleError> {
+        let mut rs = RuleSet::new();
+        for rule in Self::graph_rules(topo, g) {
+            rs.add(rule.0, rule.1)?;
+        }
+        Ok(rs)
+    }
+
+    /// Like [`RuleSet::from_graph`], but when a merged graph compiles two
+    /// edges to the same rule key with different rewrites, keeps the
+    /// *smaller* new tag instead of failing. The resulting rules may not
+    /// cover every ELP path; [`Tagging::from_elp`] repairs that.
+    pub fn from_graph_resolving(topo: &Topology, g: &TaggedGraph) -> RuleSet {
+        let mut rs = RuleSet::new();
+        for (sw, rule) in Self::graph_rules(topo, g) {
+            let key = (rule.tag, rule.in_port, rule.out_port);
+            let table = rs.per_switch.entry(sw).or_default();
+            match table.get(&key) {
+                Some(&existing) if existing <= rule.new_tag => {}
+                _ => {
+                    table.insert(key, rule.new_tag);
+                }
+            }
+        }
+        rs
+    }
+
+    fn graph_rules<'a>(
+        topo: &'a Topology,
+        g: &'a TaggedGraph,
+    ) -> impl Iterator<Item = (NodeId, SwitchRule)> + 'a {
+        // Every edge source is a forwarding action and compiles to a rule
+        // on that node — including *hosts* in server-centric fabrics like
+        // BCube, where intermediate servers forward and rewrite tags in
+        // software. Pure-sink host nodes have no out-edges, hence no
+        // rules; packet injection needs no rule either (hosts inject with
+        // `Tag::INITIAL`).
+        g.edges().map(move |&(a, b)| {
+            let egress = topo
+                .peer_of(b.port)
+                .expect("edge target port must be wired");
+            assert_eq!(
+                egress.node, a.port.node,
+                "edge endpoints must be adjacent: {a:?} -> {b:?}"
+            );
+            (
+                a.port.node,
+                SwitchRule {
+                    tag: a.tag,
+                    in_port: a.port.port,
+                    out_port: egress.port,
+                    new_tag: b.tag,
+                },
+            )
+        })
+    }
+
+    /// Inserts or overwrites a rule without conflict checking. Used by the
+    /// ELP repair loop, which only ever fills in *missing* keys.
+    pub fn set(&mut self, switch: NodeId, rule: SwitchRule) {
+        self.per_switch
+            .entry(switch)
+            .or_default()
+            .insert((rule.tag, rule.in_port, rule.out_port), rule.new_tag);
+    }
+
+    /// Computes the closure graph of everything these rules can express:
+    /// starting from packets injected with [`Tag::INITIAL`] at every
+    /// host-facing switch port (plus any extra seed nodes), repeatedly
+    /// applies every matching rule over every egress. A packet in the
+    /// network can only ever traverse edges of this graph — verifying it
+    /// therefore certifies deadlock freedom under *any* routing, including
+    /// loops and failures, not just the ELP.
+    pub fn closure_graph(
+        &self,
+        topo: &Topology,
+        extra_seeds: impl IntoIterator<Item = TaggedNode>,
+    ) -> TaggedGraph {
+        let mut g = TaggedGraph::new();
+        let mut work: Vec<TaggedNode> = Vec::new();
+        // Seeds: host-adjacent switch ingress ports at the initial tag.
+        for sw in topo.switch_ids() {
+            for (port, _, peer) in topo.neighbors(sw) {
+                if topo.node(peer).kind == NodeKind::Host {
+                    work.push(TaggedNode {
+                        port: tagger_topo::GlobalPort::new(sw, port),
+                        tag: Tag::INITIAL,
+                    });
+                }
+            }
+        }
+        work.extend(extra_seeds);
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(node) = work.pop() {
+            if !seen.insert(node) {
+                continue;
+            }
+            g.add_node(node);
+            // Follow rules at any node kind: forwarding hosts (BCube
+            // servers) carry rules too; pure sinks have none and the walk
+            // terminates there naturally.
+            let sw = node.port.node;
+            for (out_port, _, _) in topo.neighbors(sw) {
+                if let TagDecision::Lossless(new_tag) =
+                    self.decide(sw, node.tag, node.port.port, out_port)
+                {
+                    let to = topo
+                        .peer_of(tagger_topo::GlobalPort::new(sw, out_port))
+                        .expect("wired");
+                    let next = TaggedNode { port: to, tag: new_tag };
+                    g.add_edge(node, next);
+                    work.push(next);
+                }
+            }
+        }
+        g
+    }
+
+    /// The forwarding decision for a lossless packet at `switch`.
+    pub fn decide(
+        &self,
+        switch: NodeId,
+        tag: Tag,
+        in_port: PortId,
+        out_port: PortId,
+    ) -> TagDecision {
+        match self
+            .per_switch
+            .get(&switch)
+            .and_then(|t| t.get(&(tag, in_port, out_port)))
+        {
+            Some(&new_tag) => TagDecision::Lossless(new_tag),
+            None => TagDecision::Lossy,
+        }
+    }
+
+    /// All rules on one switch, sorted by `(tag, in, out)`.
+    pub fn rules_for(&self, switch: NodeId) -> Vec<SwitchRule> {
+        self.per_switch
+            .get(&switch)
+            .map(|t| {
+                t.iter()
+                    .map(|(&(tag, in_port, out_port), &new_tag)| SwitchRule {
+                        tag,
+                        in_port,
+                        out_port,
+                        new_tag,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Total rule count across all switches (before TCAM compression).
+    pub fn num_rules(&self) -> usize {
+        self.per_switch.values().map(BTreeMap::len).sum()
+    }
+
+    /// Largest rule count on any single switch — the TCAM-budget figure
+    /// reported in the paper's Table 5.
+    pub fn max_rules_per_switch(&self) -> usize {
+        self.per_switch.values().map(BTreeMap::len).max().unwrap_or(0)
+    }
+
+    /// Switches that carry at least one rule.
+    pub fn switches(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.per_switch.keys().copied()
+    }
+
+    /// Largest `new_tag` reachable through any rule, or `None` if empty.
+    pub fn max_tag(&self) -> Option<Tag> {
+        self.per_switch
+            .values()
+            .flat_map(|t| t.values().copied().chain(t.keys().map(|k| k.0)))
+            .max()
+    }
+}
+
+/// A complete tagging scheme: the verified graph plus the compiled rules.
+///
+/// This is what gets "deployed": the graph is the deadlock-freedom
+/// certificate, the rules are what switches execute.
+#[derive(Clone, Debug)]
+pub struct Tagging {
+    graph: TaggedGraph,
+    rules: RuleSet,
+    repairs: usize,
+    used_fallback: bool,
+}
+
+impl Tagging {
+    /// Bundles a graph and its rules. Verifies the graph.
+    pub fn new(graph: TaggedGraph, rules: RuleSet) -> Result<Self, RuleError> {
+        graph.verify().map_err(RuleError::NotDeadlockFree)?;
+        Ok(Tagging {
+            graph,
+            rules,
+            repairs: 0,
+            used_fallback: false,
+        })
+    }
+
+    /// The full pipeline over an ELP:
+    ///
+    /// 1. Algorithm 1 (brute-force tagging), Algorithm 2 (greedy merge);
+    /// 2. rule compilation with min-resolution of merge ambiguities;
+    /// 3. a *repair fixpoint*: simulate every ELP path through the rules,
+    ///    and wherever a path falls off the lossless rules (possible
+    ///    because the published Algorithm 2 does not guarantee rule
+    ///    determinism — see `DESIGN.md`), add the missing rule, steering
+    ///    the packet back onto its greedy-assigned trajectory;
+    /// 4. certification: the closure of everything the final rules can
+    ///    express is verified against Theorem 5.1. If that ever fails,
+    ///    fall back to the always-safe brute-force tagging
+    ///    ([`Tagging::used_fallback`] reports it).
+    pub fn from_elp(topo: &Topology, elp: &Elp) -> Result<Self, RuleError> {
+        let brute = crate::tag_by_hop_count(topo, elp);
+        let assignment = crate::algorithm2::greedy_assignment(topo, &brute);
+        let merged = crate::algorithm2::apply_assignment(&brute, &assignment);
+        let mut rules = RuleSet::from_graph_resolving(topo, &merged);
+
+        // Repair fixpoint: every iteration adds at least one rule at a
+        // previously-missing key; keys are finite, so this terminates.
+        let mut repairs = 0usize;
+        loop {
+            let mut added = false;
+            for path in elp.paths() {
+                let mut tag = Tag::INITIAL;
+                let ingresses: Vec<_> = path.ingress_ports(topo).collect();
+                for (hop, pair) in ingresses.windows(2).enumerate() {
+                    let here = pair[0];
+                    let next = pair[1];
+                    let egress = topo.peer_of(next).expect("wired");
+                    match rules.decide(here.node, tag, here.port, egress.port) {
+                        TagDecision::Lossless(t) => tag = t,
+                        TagDecision::Lossy => {
+                            // The greedy-assigned tag of the next hop's
+                            // original (port, hop-count) node; raising to
+                            // at least the current tag keeps rules
+                            // monotone.
+                            let expected = assignment[&TaggedNode {
+                                port: next,
+                                tag: Tag((hop + 2) as u16),
+                            }];
+                            let new_tag = expected.max(tag);
+                            rules.set(
+                                here.node,
+                                SwitchRule {
+                                    tag,
+                                    in_port: here.port,
+                                    out_port: egress.port,
+                                    new_tag,
+                                },
+                            );
+                            repairs += 1;
+                            added = true;
+                            tag = new_tag;
+                        }
+                    }
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+
+        // Certify the closure of the final rules.
+        let seeds = elp.paths().iter().filter_map(|p| {
+            p.ingress_ports(topo).next().map(|port| TaggedNode {
+                port,
+                tag: Tag::INITIAL,
+            })
+        });
+        let closure = rules.closure_graph(topo, seeds);
+        let t = match closure.verify() {
+            Ok(()) => Tagging {
+                graph: closure,
+                rules,
+                repairs,
+                used_fallback: false,
+            },
+            Err(_) => {
+                // Safe fallback: the brute-force tagging is deterministic
+                // (new tag = old tag + 1 everywhere), so strict rule
+                // compilation cannot conflict, and its closure is
+                // monotone-by-hop-count hence acyclic per tag.
+                let rules = RuleSet::from_graph(topo, &brute)?;
+                let seeds = elp.paths().iter().filter_map(|p| {
+                    p.ingress_ports(topo).next().map(|port| TaggedNode {
+                        port,
+                        tag: Tag::INITIAL,
+                    })
+                });
+                let closure = rules.closure_graph(topo, seeds);
+                closure.verify().map_err(RuleError::NotDeadlockFree)?;
+                Tagging {
+                    graph: closure,
+                    rules,
+                    repairs,
+                    used_fallback: true,
+                }
+            }
+        };
+        t.check_elp_lossless(topo, elp)?;
+        Ok(t)
+    }
+
+    /// How many repair rules the ELP fixpoint had to add (0 when the
+    /// greedy merge compiled cleanly).
+    pub fn repairs(&self) -> usize {
+        self.repairs
+    }
+
+    /// True if certification failed on the merged scheme and the
+    /// brute-force tagging was deployed instead.
+    pub fn used_fallback(&self) -> bool {
+        self.used_fallback
+    }
+
+    /// The deadlock-freedom certificate.
+    pub fn graph(&self) -> &TaggedGraph {
+        &self.graph
+    }
+
+    /// The compiled rules.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Number of lossless priorities consumed at switches.
+    pub fn num_lossless_tags_on(&self, topo: &Topology) -> usize {
+        self.graph.num_lossless_tags(topo)
+    }
+
+    /// Simulates every ELP path through the rules and checks that no hop
+    /// is demoted to lossy: the losslessness half of Tagger's guarantee.
+    pub fn check_elp_lossless(&self, topo: &Topology, elp: &Elp) -> Result<(), RuleError> {
+        for (path_index, path) in elp.paths().iter().enumerate() {
+            let mut tag = Tag::INITIAL;
+            let ingresses: Vec<_> = path.ingress_ports(topo).collect();
+            // Walk switch hops: at each intermediate switch the packet is
+            // matched against (tag, in, out).
+            for (hop, pair) in ingresses.windows(2).enumerate() {
+                let here = pair[0]; // ingress at current switch
+                let next = pair[1]; // ingress at next node
+                let egress = topo.peer_of(next).expect("wired");
+                debug_assert_eq!(egress.node, here.node);
+                match self
+                    .rules
+                    .decide(here.node, tag, here.port, egress.port)
+                {
+                    TagDecision::Lossless(t) => tag = t,
+                    TagDecision::Lossy => {
+                        return Err(RuleError::ElpNotLossless { path_index, hop });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Elp;
+    use tagger_routing::Path;
+    use tagger_topo::ClosConfig;
+
+    #[test]
+    fn from_elp_pipeline_on_updown_clos() {
+        let topo = ClosConfig::small().build();
+        let elp = Elp::updown(&topo);
+        let t = Tagging::from_elp(&topo, &elp).unwrap();
+        assert_eq!(t.num_lossless_tags_on(&topo), 1);
+        // Spot check: a packet on an up-down path keeps tag 1 at T1.
+        let t1 = topo.expect_node("T1");
+        let in_port = topo.port_towards(t1, topo.expect_node("H1")).unwrap();
+        let out_port = topo.port_towards(t1, topo.expect_node("L1")).unwrap();
+        assert_eq!(
+            t.rules().decide(t1, Tag(1), in_port, out_port),
+            TagDecision::Lossless(Tag(1))
+        );
+    }
+
+    #[test]
+    fn off_elp_hop_is_demoted() {
+        let topo = ClosConfig::small().build();
+        let elp = Elp::updown(&topo);
+        let t = Tagging::from_elp(&topo, &elp).unwrap();
+        // A bounce at L1 (in from S1, out to S2) is not in the up-down
+        // ELP: lossy.
+        let l1 = topo.expect_node("L1");
+        let in_port = topo.port_towards(l1, topo.expect_node("S1")).unwrap();
+        let out_port = topo.port_towards(l1, topo.expect_node("S2")).unwrap();
+        assert_eq!(
+            t.rules().decide(l1, Tag(1), in_port, out_port),
+            TagDecision::Lossy
+        );
+    }
+
+    #[test]
+    fn elp_lossless_check_catches_missing_paths() {
+        let topo = ClosConfig::small().build();
+        let elp = Elp::updown(&topo);
+        let t = Tagging::from_elp(&topo, &elp).unwrap();
+        // A 1-bounce path is not covered by the up-down tagging.
+        let bouncy = Path::from_names(
+            &topo,
+            &["H9", "T3", "L3", "S1", "L1", "S2", "L2", "T1", "H1"],
+        );
+        let err = t
+            .check_elp_lossless(&topo, &Elp::from_paths(vec![bouncy]))
+            .unwrap_err();
+        assert!(matches!(err, RuleError::ElpNotLossless { .. }));
+    }
+
+    #[test]
+    fn one_bounce_elp_stays_lossless_end_to_end() {
+        let topo = ClosConfig::small().build();
+        let elp = Elp::updown_with_bounces(&topo, 1);
+        let t = Tagging::from_elp(&topo, &elp).unwrap();
+        // from_elp already checks; checking again is free.
+        t.check_elp_lossless(&topo, &elp).unwrap();
+        assert!(t.num_lossless_tags_on(&topo) <= 3);
+    }
+
+    #[test]
+    fn conflicting_rules_are_rejected() {
+        let topo = ClosConfig::small().build();
+        let t1 = topo.expect_node("T1");
+        let mut rs = RuleSet::new();
+        let r = SwitchRule {
+            tag: Tag(1),
+            in_port: PortId(0),
+            out_port: PortId(1),
+            new_tag: Tag(1),
+        };
+        rs.add(t1, r).unwrap();
+        rs.add(t1, r).unwrap(); // identical: fine
+        let err = rs
+            .add(
+                t1,
+                SwitchRule {
+                    new_tag: Tag(2),
+                    ..r
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuleError::Conflict { .. }));
+    }
+
+    #[test]
+    fn rule_counts_are_reported() {
+        let topo = ClosConfig::small().build();
+        let elp = Elp::updown(&topo);
+        let t = Tagging::from_elp(&topo, &elp).unwrap();
+        assert!(t.rules().num_rules() > 0);
+        assert!(t.rules().max_rules_per_switch() <= t.rules().num_rules());
+        assert!(t.rules().max_tag().is_some());
+    }
+
+    #[test]
+    fn closure_rejects_unsafe_single_priority_rules() {
+        // Adversarial program: keep tag 1 across EVERY (in, out) pair of
+        // every switch — bounces included. Its closure contains the
+        // bounce CBD, and the Theorem 5.1 verifier must reject it.
+        let topo = ClosConfig::small().build();
+        let mut rs = RuleSet::new();
+        for sw in topo.switch_ids() {
+            let ports: Vec<_> = topo.neighbors(sw).map(|(p, _, _)| p).collect();
+            for &i in &ports {
+                for &o in &ports {
+                    if i != o {
+                        rs.add(
+                            sw,
+                            SwitchRule {
+                                tag: Tag(1),
+                                in_port: i,
+                                out_port: o,
+                                new_tag: Tag(1),
+                            },
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+        }
+        let closure = rs.closure_graph(&topo, []);
+        assert!(matches!(
+            closure.verify(),
+            Err(crate::VerifyError::CyclicTag(_, _))
+        ));
+        // The same machinery accepts the safe Clos program.
+        let safe = crate::clos::clos_tagging(&topo, 1).unwrap();
+        let safe_closure = safe.rules().closure_graph(&topo, []);
+        safe_closure.verify().unwrap();
+    }
+
+    #[test]
+    fn closure_contains_everything_the_elp_exercises() {
+        let topo = ClosConfig::small().build();
+        let elp = Elp::updown_with_bounces_capped(&topo, 1, 6);
+        let t = Tagging::from_elp(&topo, &elp).unwrap();
+        // Simulate each path and check every visited (port, tag) node is
+        // in the certificate graph.
+        for path in elp.paths() {
+            let mut tag = Tag::INITIAL;
+            let ingresses: Vec<_> = path.ingress_ports(&topo).collect();
+            for (i, &ingress) in ingresses.iter().enumerate() {
+                let node = crate::TaggedNode { port: ingress, tag };
+                assert!(
+                    t.graph().contains_node(&node),
+                    "{node:?} missing from certificate"
+                );
+                if i + 1 < ingresses.len() {
+                    let egress = topo.peer_of(ingresses[i + 1]).unwrap();
+                    match t.rules().decide(ingress.node, tag, ingress.port, egress.port) {
+                        TagDecision::Lossless(next) => tag = next,
+                        TagDecision::Lossy => panic!("ELP path demoted"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_ruleset_sends_everything_lossy() {
+        let rs = RuleSet::new();
+        assert_eq!(
+            rs.decide(NodeId(0), Tag(1), PortId(0), PortId(1)),
+            TagDecision::Lossy
+        );
+        assert_eq!(rs.num_rules(), 0);
+        assert_eq!(rs.max_tag(), None);
+    }
+}

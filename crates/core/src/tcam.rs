@@ -1,0 +1,364 @@
+//! TCAM compilation with bit-mask compression (paper §7, Fig. 9).
+//!
+//! Commodity ASICs match ports as *bitmaps*: a TCAM entry with pattern 0
+//! and mask `!S` matches exactly the one-hot port encodings in set `S`, so
+//! one entry can match many ports. Tagger exploits this twice:
+//!
+//! - **InPort aggregation**: rules identical except for the ingress port
+//!   merge into one entry — `n(n−1)·m(m−1)/2` exact-match rules per
+//!   switch become `n·m(m−1)/2` entries.
+//! - **Joint aggregation**: egress ports whose ingress-port sets coincide
+//!   merge too, often collapsing a switch's whole table to a handful of
+//!   entries.
+//!
+//! Compiled programs are *semantically equivalent* to the source
+//! [`RuleSet`]: entries produced here are pairwise disjoint, so match
+//! order is irrelevant, and anything unmatched falls to the lossy
+//! safeguard exactly as in the exact-match table.
+
+use crate::{RuleSet, SwitchRule, Tag, TagDecision};
+use std::collections::BTreeMap;
+use tagger_topo::{NodeId, PortId, Topology};
+
+/// A set of ports matched by one TCAM pattern/mask pair.
+///
+/// Realized in hardware as pattern `0…0`, mask `!bits` over the one-hot
+/// port bitmap; in this model simply a bitset. Supports switches with up
+/// to 128 ports, beyond any current ASIC radix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PortSet {
+    bits: u128,
+}
+
+impl PortSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        PortSet { bits: 0 }
+    }
+
+    /// A singleton set.
+    pub fn single(port: PortId) -> Self {
+        let mut s = PortSet::empty();
+        s.insert(port);
+        s
+    }
+
+    /// Inserts a port.
+    ///
+    /// # Panics
+    /// Panics for port numbers ≥ 128 (no such ASIC exists).
+    pub fn insert(&mut self, port: PortId) {
+        assert!(port.0 < 128, "port {port} out of TCAM bitmap range");
+        self.bits |= 1 << port.0;
+    }
+
+    /// Membership test — the TCAM match `(onehot(port) & mask) == 0`.
+    pub fn contains(&self, port: PortId) -> bool {
+        port.0 < 128 && self.bits & (1 << port.0) != 0
+    }
+
+    /// Number of ports in the set.
+    pub fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Iterates over member ports in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = PortId> + '_ {
+        (0..128u16).filter(|&p| self.contains(PortId(p))).map(PortId)
+    }
+}
+
+impl FromIterator<PortId> for PortSet {
+    fn from_iter<I: IntoIterator<Item = PortId>>(iter: I) -> Self {
+        let mut s = PortSet::empty();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+/// One compiled TCAM entry: exact tag match, bitmap port matches, rewrite
+/// action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TcamEntry {
+    /// Matched tag (exact).
+    pub tag: Tag,
+    /// Matched ingress ports (bitmap).
+    pub in_ports: PortSet,
+    /// Matched egress ports (bitmap).
+    pub out_ports: PortSet,
+    /// Rewrite action.
+    pub new_tag: Tag,
+}
+
+impl TcamEntry {
+    /// True if the entry matches the triple.
+    pub fn matches(&self, tag: Tag, in_port: PortId, out_port: PortId) -> bool {
+        self.tag == tag && self.in_ports.contains(in_port) && self.out_ports.contains(out_port)
+    }
+}
+
+/// How aggressively to compress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Compression {
+    /// One entry per exact-match rule (no compression) — the
+    /// `n(n−1)·m(m−1)/2` baseline.
+    None,
+    /// Aggregate ingress ports per `(tag, out, new_tag)` — the paper's
+    /// `n·m(m−1)/2` bound.
+    InPort,
+    /// Additionally merge egress ports with identical ingress sets per
+    /// `(tag, new_tag)`.
+    Joint,
+}
+
+/// The compiled TCAM of one switch.
+#[derive(Clone, Debug, Default)]
+pub struct Tcam {
+    entries: Vec<TcamEntry>,
+}
+
+impl Tcam {
+    /// Compiles one switch's rules at the given compression level.
+    pub fn compile(rules: &[SwitchRule], level: Compression) -> Tcam {
+        match level {
+            Compression::None => Tcam {
+                entries: rules
+                    .iter()
+                    .map(|r| TcamEntry {
+                        tag: r.tag,
+                        in_ports: PortSet::single(r.in_port),
+                        out_ports: PortSet::single(r.out_port),
+                        new_tag: r.new_tag,
+                    })
+                    .collect(),
+            },
+            Compression::InPort => {
+                let mut groups: BTreeMap<(Tag, PortId, Tag), PortSet> = BTreeMap::new();
+                for r in rules {
+                    groups
+                        .entry((r.tag, r.out_port, r.new_tag))
+                        .or_default()
+                        .insert(r.in_port);
+                }
+                Tcam {
+                    entries: groups
+                        .into_iter()
+                        .map(|((tag, out, new_tag), in_ports)| TcamEntry {
+                            tag,
+                            in_ports,
+                            out_ports: PortSet::single(out),
+                            new_tag,
+                        })
+                        .collect(),
+                }
+            }
+            Compression::Joint => {
+                // (tag, new_tag) -> out_port -> in_ports
+                let mut groups: BTreeMap<(Tag, Tag), BTreeMap<PortId, PortSet>> = BTreeMap::new();
+                for r in rules {
+                    groups
+                        .entry((r.tag, r.new_tag))
+                        .or_default()
+                        .entry(r.out_port)
+                        .or_default()
+                        .insert(r.in_port);
+                }
+                let mut entries = Vec::new();
+                for ((tag, new_tag), outs) in groups {
+                    // Merge egress ports sharing an identical ingress set.
+                    let mut by_inset: BTreeMap<PortSet, PortSet> = BTreeMap::new();
+                    for (out, ins) in outs {
+                        by_inset.entry(ins).or_default().insert(out);
+                    }
+                    for (in_ports, out_ports) in by_inset {
+                        entries.push(TcamEntry {
+                            tag,
+                            in_ports,
+                            out_ports,
+                            new_tag,
+                        });
+                    }
+                }
+                Tcam { entries }
+            }
+        }
+    }
+
+    /// The compiled entries.
+    pub fn entries(&self) -> &[TcamEntry] {
+        &self.entries
+    }
+
+    /// Entry count (the hardware-budget figure).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// First-match lookup; the implicit final entry demotes to lossy.
+    pub fn decide(&self, tag: Tag, in_port: PortId, out_port: PortId) -> TagDecision {
+        for e in &self.entries {
+            if e.matches(tag, in_port, out_port) {
+                return TagDecision::Lossless(e.new_tag);
+            }
+        }
+        TagDecision::Lossy
+    }
+}
+
+/// Compiled TCAMs for every switch in a rule set.
+#[derive(Clone, Debug, Default)]
+pub struct TcamProgram {
+    per_switch: BTreeMap<NodeId, Tcam>,
+}
+
+impl TcamProgram {
+    /// Compiles all switches of a rule set.
+    pub fn compile(topo: &Topology, rules: &RuleSet, level: Compression) -> TcamProgram {
+        let mut per_switch = BTreeMap::new();
+        for sw in topo.switch_ids() {
+            let rs = rules.rules_for(sw);
+            if !rs.is_empty() {
+                per_switch.insert(sw, Tcam::compile(&rs, level));
+            }
+        }
+        TcamProgram { per_switch }
+    }
+
+    /// Lookup on one switch.
+    pub fn decide(&self, sw: NodeId, tag: Tag, in_port: PortId, out_port: PortId) -> TagDecision {
+        self.per_switch
+            .get(&sw)
+            .map(|t| t.decide(tag, in_port, out_port))
+            .unwrap_or(TagDecision::Lossy)
+    }
+
+    /// Total entries across switches.
+    pub fn total_entries(&self) -> usize {
+        self.per_switch.values().map(Tcam::len).sum()
+    }
+
+    /// Largest per-switch table.
+    pub fn max_entries_per_switch(&self) -> usize {
+        self.per_switch.values().map(Tcam::len).max().unwrap_or(0)
+    }
+
+    /// The TCAM of one switch, if it has rules.
+    pub fn tcam_for(&self, sw: NodeId) -> Option<&Tcam> {
+        self.per_switch.get(&sw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clos::clos_tagging;
+    use crate::{Elp, Tagging};
+    use tagger_topo::ClosConfig;
+
+    fn all_triples(topo: &Topology, sw: NodeId, max_tag: u16) -> Vec<(Tag, PortId, PortId)> {
+        let nports = topo.node(sw).num_ports() as u16;
+        let mut v = Vec::new();
+        for tag in 1..=max_tag {
+            for i in 0..nports {
+                for o in 0..nports {
+                    v.push((Tag(tag), PortId(i), PortId(o)));
+                }
+            }
+        }
+        v
+    }
+
+    fn assert_equivalent(topo: &Topology, rules: &RuleSet, level: Compression) {
+        let prog = TcamProgram::compile(topo, rules, level);
+        let max_tag = rules.max_tag().map(|t| t.0 + 1).unwrap_or(1);
+        for sw in topo.switch_ids() {
+            for (tag, i, o) in all_triples(topo, sw, max_tag) {
+                assert_eq!(
+                    prog.decide(sw, tag, i, o),
+                    rules.decide(sw, tag, i, o),
+                    "mismatch at {sw} ({tag:?}, {i}, {o}) level {level:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn portset_basics() {
+        let mut s = PortSet::empty();
+        assert!(s.is_empty());
+        s.insert(PortId(3));
+        s.insert(PortId(7));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(PortId(3)));
+        assert!(!s.contains(PortId(4)));
+        let v: Vec<PortId> = s.iter().collect();
+        assert_eq!(v, vec![PortId(3), PortId(7)]);
+    }
+
+    #[test]
+    fn all_levels_equivalent_on_clos_rules() {
+        let topo = ClosConfig::small().build();
+        let t = clos_tagging(&topo, 1).unwrap();
+        for level in [Compression::None, Compression::InPort, Compression::Joint] {
+            assert_equivalent(&topo, t.rules(), level);
+        }
+    }
+
+    #[test]
+    fn all_levels_equivalent_on_greedy_rules() {
+        let topo = ClosConfig::small().build();
+        let t = Tagging::from_elp(&topo, &Elp::updown(&topo)).unwrap();
+        for level in [Compression::None, Compression::InPort, Compression::Joint] {
+            assert_equivalent(&topo, t.rules(), level);
+        }
+    }
+
+    #[test]
+    fn compression_strictly_shrinks_tables() {
+        let topo = ClosConfig::small().build();
+        let t = clos_tagging(&topo, 2).unwrap();
+        let none = TcamProgram::compile(&topo, t.rules(), Compression::None);
+        let inport = TcamProgram::compile(&topo, t.rules(), Compression::InPort);
+        let joint = TcamProgram::compile(&topo, t.rules(), Compression::Joint);
+        assert!(inport.total_entries() < none.total_entries());
+        assert!(joint.total_entries() <= inport.total_entries());
+        assert_eq!(none.total_entries(), t.rules().num_rules());
+    }
+
+    #[test]
+    fn clos_joint_compression_is_tiny() {
+        // A Clos switch's behaviour is fully described by "bounce or not"
+        // per tag: joint aggregation should need only a handful of entries
+        // per switch.
+        let topo = ClosConfig::small().build();
+        let t = clos_tagging(&topo, 1).unwrap();
+        let joint = TcamProgram::compile(&topo, t.rules(), Compression::Joint);
+        // Leaves: {keep tag1, keep tag2, bounce 1->2} x in-set splits <= 6.
+        assert!(
+            joint.max_entries_per_switch() <= 8,
+            "got {}",
+            joint.max_entries_per_switch()
+        );
+    }
+
+    #[test]
+    fn unknown_switch_is_lossy() {
+        let prog = TcamProgram::default();
+        assert_eq!(
+            prog.decide(NodeId(0), Tag(1), PortId(0), PortId(1)),
+            TagDecision::Lossy
+        );
+    }
+}

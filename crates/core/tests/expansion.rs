@@ -1,0 +1,73 @@
+//! Topology expansion (paper §6, "Topology changes"): growing a Clos by
+//! adding pods under the existing spines must not change any rule on the
+//! pre-existing switches — Tagger's rules are local, so expansion is an
+//! install-only operation.
+
+use tagger_core::clos::clos_tagging;
+use tagger_core::SwitchRule;
+use tagger_topo::ClosConfig;
+
+fn rules_by_name(
+    cfg: &ClosConfig,
+    k: usize,
+) -> std::collections::BTreeMap<String, Vec<SwitchRule>> {
+    let topo = cfg.build();
+    let tagging = clos_tagging(&topo, k).unwrap();
+    topo.switch_ids()
+        .map(|sw| (topo.node(sw).name.clone(), tagging.rules().rules_for(sw)))
+        .collect()
+}
+
+#[test]
+fn adding_a_pod_is_install_only() {
+    let before = ClosConfig {
+        pods: 2,
+        leaves_per_pod: 2,
+        tors_per_pod: 2,
+        spines: 2,
+        hosts_per_tor: 2,
+    };
+    let after = ClosConfig { pods: 3, ..before };
+    for k in 0..2usize {
+        let old = rules_by_name(&before, k);
+        let new = rules_by_name(&after, k);
+
+        for (name, old_rules) in &old {
+            let new_rules = &new[name];
+            if name.starts_with('S') {
+                // Spines gain rules for their new ports, but every
+                // pre-existing rule survives verbatim (old ports keep
+                // their numbers; new leaves wire onto fresh ports).
+                for r in old_rules {
+                    assert!(
+                        new_rules.contains(r),
+                        "k={k}: spine {name} lost rule {r:?}"
+                    );
+                }
+                assert!(new_rules.len() > old_rules.len());
+            } else {
+                // Leaves and ToRs of the old pods are untouched.
+                assert_eq!(old_rules, new_rules, "k={k}: {name} rules changed");
+            }
+        }
+    }
+}
+
+#[test]
+fn expansion_preserves_tag_count() {
+    // Growing the fabric never inflates the priority budget: k-bounce
+    // service still needs exactly k+1 lossless queues.
+    for pods in 2..=4usize {
+        let cfg = ClosConfig {
+            pods,
+            leaves_per_pod: 2,
+            tors_per_pod: 2,
+            spines: 2,
+            hosts_per_tor: 2,
+        };
+        let topo = cfg.build();
+        let tagging = clos_tagging(&topo, 1).unwrap();
+        assert_eq!(tagging.num_lossless_tags_on(&topo), 2);
+        tagging.graph().verify().unwrap();
+    }
+}

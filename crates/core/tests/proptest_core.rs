@@ -1,0 +1,153 @@
+//! Property tests for the tagging core: the verifier, the algorithms and
+//! the TCAM compiler over randomized inputs.
+
+use proptest::prelude::*;
+use tagger_core::tcam::{Compression, Tcam};
+use tagger_core::{
+    greedy_minimize, tag_by_hop_count, Elp, SwitchRule, Tag, TaggedGraph, TaggedNode,
+};
+use tagger_topo::{ClosConfig, GlobalPort, JellyfishConfig, NodeId, PortId};
+
+fn tn(node: u32, port: u16, tag: u16) -> TaggedNode {
+    TaggedNode {
+        port: GlobalPort::new(NodeId(node), PortId(port)),
+        tag: Tag(tag),
+    }
+}
+
+/// Random edges over a small node/port/tag space.
+fn arb_graph() -> impl Strategy<Value = TaggedGraph> {
+    proptest::collection::vec(
+        ((0u32..6, 0u16..3, 1u16..4), (0u32..6, 0u16..3, 1u16..4)),
+        0..40,
+    )
+    .prop_map(|edges| {
+        let mut g = TaggedGraph::new();
+        for ((an, ap, at), (bn, bp, bt)) in edges {
+            g.add_edge(tn(an, ap, at), tn(bn, bp, bt));
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The verifier's two checks are exactly Theorem 5.1: accept iff
+    /// monotone and per-tag acyclic. Cross-check the cycle finder against
+    /// a brute-force reachability argument.
+    #[test]
+    fn verifier_cycle_witness_is_sound(g in arb_graph()) {
+        for tag in g.tags() {
+            if let Some(cycle) = g.find_cycle_in_tag(tag) {
+                // Witness closes and every step is an edge within the tag.
+                prop_assert_eq!(cycle.first(), cycle.last());
+                prop_assert!(cycle.len() >= 2);
+                for w in cycle.windows(2) {
+                    prop_assert!(g.contains_edge(&(w[0], w[1])));
+                    prop_assert_eq!(w[0].tag, tag);
+                }
+            }
+        }
+    }
+
+    /// verify() rejects exactly when there is a decreasing edge or some
+    /// tag has a cycle.
+    #[test]
+    fn verify_matches_definitions(g in arb_graph()) {
+        let decreasing = g.edges().any(|(a, b)| b.tag < a.tag);
+        let cyclic = g.tags().iter().any(|&t| g.find_cycle_in_tag(t).is_some());
+        prop_assert_eq!(g.verify().is_ok(), !decreasing && !cyclic);
+    }
+
+    /// Tag shifting preserves verification results and structure.
+    #[test]
+    fn shifted_preserves_verdict(g in arb_graph(), off in 0u16..5) {
+        let s = g.shifted(off);
+        prop_assert_eq!(g.verify().is_ok(), s.verify().is_ok());
+        prop_assert_eq!(g.num_nodes(), s.num_nodes());
+        prop_assert_eq!(g.num_edges(), s.num_edges());
+    }
+
+    /// Algorithm 1 + Algorithm 2 over random Clos ELPs: outputs verify,
+    /// tags shrink, node/edge counts are preserved up to merging.
+    #[test]
+    fn algorithms_invariants(seed in 0u64..500) {
+        let topo = ClosConfig::small().build();
+        let hosts: Vec<_> = topo.host_ids().collect();
+        let a = hosts[(seed as usize) % hosts.len()];
+        let b = hosts[(seed as usize * 3 + 1) % hosts.len()];
+        prop_assume!(a != b);
+        let paths = tagger_routing::bounce_paths_between_capped(
+            &topo,
+            &tagger_topo::FailureSet::none(),
+            a,
+            b,
+            (seed % 2) as usize,
+            12,
+        );
+        prop_assume!(!paths.is_empty());
+        let elp = Elp::from_paths(paths);
+        let brute = tag_by_hop_count(&topo, &elp);
+        prop_assert_eq!(brute.verify(), Ok(()));
+        let merged = greedy_minimize(&topo, &brute);
+        prop_assert_eq!(merged.verify(), Ok(()));
+        prop_assert!(merged.num_nodes() <= brute.num_nodes());
+        prop_assert!(merged.num_edges() <= brute.num_edges());
+        prop_assert!(
+            merged.num_lossless_tags(&topo) <= brute.num_lossless_tags(&topo)
+        );
+    }
+
+    /// TCAM compilation is semantically equivalent to the rule list at
+    /// every compression level, over random rule tables.
+    #[test]
+    fn tcam_equivalence(rules in proptest::collection::vec(
+        (1u16..4, 0u16..6, 0u16..6, 1u16..4),
+        0..30,
+    )) {
+        // Deduplicate by key, as a RuleSet would.
+        let mut seen = std::collections::BTreeMap::new();
+        for (t, i, o, n) in rules {
+            seen.entry((t, i, o)).or_insert(n);
+        }
+        let rules: Vec<SwitchRule> = seen
+            .into_iter()
+            .map(|((t, i, o), n)| SwitchRule {
+                tag: Tag(t),
+                in_port: PortId(i),
+                out_port: PortId(o),
+                new_tag: Tag(n),
+            })
+            .collect();
+        let exact = Tcam::compile(&rules, Compression::None);
+        for level in [Compression::InPort, Compression::Joint] {
+            let compressed = Tcam::compile(&rules, level);
+            prop_assert!(compressed.len() <= exact.len());
+            for t in 1..4u16 {
+                for i in 0..6u16 {
+                    for o in 0..6u16 {
+                        prop_assert_eq!(
+                            compressed.decide(Tag(t), PortId(i), PortId(o)),
+                            exact.decide(Tag(t), PortId(i), PortId(o)),
+                            "mismatch at ({},{},{}) level {:?}", t, i, o, level
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The closure certificate of a pipeline run always verifies and the
+    /// pipeline never silently falls back on shortest-path Jellyfish
+    /// ELPs.
+    #[test]
+    fn pipeline_certificates(seed in 0u64..40) {
+        let topo = JellyfishConfig::half_servers(12, 6, seed).build();
+        let elp = Elp::shortest(&topo, 1, false);
+        prop_assume!(!elp.is_empty());
+        let t = tagger_core::Tagging::from_elp(&topo, &elp).unwrap();
+        prop_assert_eq!(t.graph().verify(), Ok(()));
+        prop_assert!(!t.used_fallback());
+    }
+}

@@ -1,0 +1,208 @@
+//! BCube default single-path routing (digit correction).
+//!
+//! BCube is server-centric: intermediate *servers* forward packets between
+//! levels. `BCubeRouting` corrects the destination address one digit at a
+//! time, highest level first, traversing one switch per corrected digit.
+//! The paper (§5.3) reports that Algorithm 2 needs only `k` tags for a
+//! k-level BCube under this routing; [`bcube_paths`] generates the ELP for
+//! that experiment.
+
+use crate::Path;
+use tagger_topo::{BCubeConfig, NodeId, Topology};
+
+/// Computes the default BCube route between two servers, as a node path
+/// `H_src → B… → H… → B… → H_dst`, correcting address digits from the
+/// highest differing level down to the lowest.
+///
+/// Returns `None` if `src == dst`.
+///
+/// # Panics
+/// Panics if the topology was not built by [`tagger_topo::bcube`] with the
+/// same `cfg` (node names must match).
+pub fn bcube_route(
+    cfg: &BCubeConfig,
+    topo: &Topology,
+    src: usize,
+    dst: usize,
+) -> Option<Path> {
+    if src == dst {
+        return None;
+    }
+    let per_level_digits = cfg.k; // switch index has k digits
+    let mut nodes: Vec<NodeId> = vec![topo.expect_node(&format!("H{src}"))];
+    let mut cur = cfg.digits(src);
+    let dst_digits = cfg.digits(dst);
+    for level in (0..=cfg.k).rev() {
+        if cur[level] == dst_digits[level] {
+            continue;
+        }
+        // The level-`level` switch shared by `cur` and the corrected
+        // address: index = cur with digit `level` removed.
+        let mut sw_digits = Vec::with_capacity(per_level_digits);
+        sw_digits.extend_from_slice(&cur[..level]);
+        sw_digits.extend_from_slice(&cur[level + 1..]);
+        let sw_index = sw_digits
+            .iter()
+            .rev()
+            .fold(0usize, |acc, &d| acc * cfg.n + d);
+        nodes.push(topo.expect_node(&format!("B{level}_{sw_index}")));
+        cur[level] = dst_digits[level];
+        let server = cfg.from_digits(&cur);
+        nodes.push(topo.expect_node(&format!("H{server}")));
+    }
+    Some(Path::new(topo, nodes).expect("digit-correction path is simple and adjacent"))
+}
+
+/// Computes the BCube route that corrects digits in the rotated order
+/// `start, start-1, …, 0, k, k-1, …, start+1` — the permutation BCube's
+/// `BuildPathSet` uses to derive its `k + 1` parallel paths. `start = k`
+/// gives the same route as [`bcube_route`].
+pub fn bcube_route_rotated(
+    cfg: &BCubeConfig,
+    topo: &Topology,
+    src: usize,
+    dst: usize,
+    start: usize,
+) -> Option<Path> {
+    if src == dst {
+        return None;
+    }
+    assert!(start <= cfg.k, "start level out of range");
+    let mut nodes: Vec<NodeId> = vec![topo.expect_node(&format!("H{src}"))];
+    let mut cur = cfg.digits(src);
+    let dst_digits = cfg.digits(dst);
+    let order = (0..=cfg.k).map(|i| (start + cfg.k + 1 - i) % (cfg.k + 1));
+    for level in order {
+        if cur[level] == dst_digits[level] {
+            continue;
+        }
+        let mut sw_digits = Vec::with_capacity(cfg.k);
+        sw_digits.extend_from_slice(&cur[..level]);
+        sw_digits.extend_from_slice(&cur[level + 1..]);
+        let sw_index = sw_digits
+            .iter()
+            .rev()
+            .fold(0usize, |acc, &d| acc * cfg.n + d);
+        nodes.push(topo.expect_node(&format!("B{level}_{sw_index}")));
+        cur[level] = dst_digits[level];
+        let server = cfg.from_digits(&cur);
+        nodes.push(topo.expect_node(&format!("H{server}")));
+    }
+    Some(Path::new(topo, nodes).expect("digit-correction path is simple and adjacent"))
+}
+
+/// Generates the default-routing ELP for a BCube fabric.
+///
+/// With `multipath = false`: one digit-correction route per ordered
+/// server pair (highest level first). With `multipath = true`: all
+/// `k + 1` rotated correction orders per pair, as BCube's `BuildPathSet`
+/// produces — the mixed orders are what force multiple lossless
+/// priorities (paper §5.3).
+pub fn bcube_paths(cfg: &BCubeConfig, topo: &Topology, multipath: bool) -> Vec<Path> {
+    let n = cfg.num_servers();
+    let mut out = Vec::with_capacity(n * (n - 1));
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            if multipath {
+                let mut seen = std::collections::BTreeSet::new();
+                for start in 0..=cfg.k {
+                    if let Some(p) = bcube_route_rotated(cfg, topo, s, d, start) {
+                        if seen.insert(p.clone()) {
+                            out.push(p);
+                        }
+                    }
+                }
+            } else if let Some(p) = bcube_route(cfg, topo, s, d) {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagger_topo::bcube;
+
+    #[test]
+    fn one_digit_difference_is_two_hops() {
+        let cfg = BCubeConfig { n: 4, k: 1 };
+        let t = bcube(4, 1);
+        // Servers 0 and 3 differ only in digit 0: H0 -> B0_0 -> H3.
+        let p = bcube_route(&cfg, &t, 0, 3).unwrap();
+        assert_eq!(p.hops(), 2);
+        let names: Vec<&str> = p.nodes().iter().map(|&n| t.node(n).name.as_str()).collect();
+        assert_eq!(names, ["H0", "B0_0", "H3"]);
+    }
+
+    #[test]
+    fn two_digit_difference_corrects_high_level_first() {
+        let cfg = BCubeConfig { n: 4, k: 1 };
+        let t = bcube(4, 1);
+        // 0 = (0,0); 5 = (1,1): correct digit 1 first (via B1_0 to H4),
+        // then digit 0 (via B0_1 to H5).
+        let p = bcube_route(&cfg, &t, 0, 5).unwrap();
+        let names: Vec<&str> = p.nodes().iter().map(|&n| t.node(n).name.as_str()).collect();
+        assert_eq!(names, ["H0", "B1_0", "H4", "B0_1", "H5"]);
+    }
+
+    #[test]
+    fn route_lengths_bounded_by_digit_distance() {
+        let cfg = BCubeConfig { n: 3, k: 2 };
+        let t = bcube(3, 2);
+        for s in 0..cfg.num_servers() {
+            for d in 0..cfg.num_servers() {
+                if s == d {
+                    continue;
+                }
+                let p = bcube_route(&cfg, &t, s, d).unwrap();
+                let differing = cfg
+                    .digits(s)
+                    .iter()
+                    .zip(cfg.digits(d))
+                    .filter(|(a, b)| **a != *b)
+                    .count();
+                assert_eq!(p.hops(), 2 * differing);
+            }
+        }
+    }
+
+    #[test]
+    fn elp_covers_all_ordered_pairs() {
+        let cfg = BCubeConfig { n: 2, k: 1 };
+        let t = bcube(2, 1);
+        let elp = bcube_paths(&cfg, &t, false);
+        assert_eq!(elp.len(), 4 * 3);
+    }
+
+    #[test]
+    fn rotated_order_start0_corrects_low_digit_first() {
+        let cfg = BCubeConfig { n: 4, k: 1 };
+        let t = bcube(4, 1);
+        // 0 = (0,0) -> 5 = (1,1) with start level 0: correct digit 0
+        // first (via B0_0 to H1), then digit 1 (via B1_1 to H5).
+        let p = bcube_route_rotated(&cfg, &t, 0, 5, 0).unwrap();
+        let names: Vec<&str> = p.nodes().iter().map(|&n| t.node(n).name.as_str()).collect();
+        assert_eq!(names, ["H0", "B0_0", "H1", "B1_1", "H5"]);
+        // start = k reproduces the default route.
+        let d = bcube_route(&cfg, &t, 0, 5).unwrap();
+        let r = bcube_route_rotated(&cfg, &t, 0, 5, 1).unwrap();
+        assert_eq!(d, r);
+    }
+
+    #[test]
+    fn multipath_elp_has_rotations() {
+        let cfg = BCubeConfig { n: 2, k: 1 };
+        let t = bcube(2, 1);
+        let single = bcube_paths(&cfg, &t, false);
+        let multi = bcube_paths(&cfg, &t, true);
+        assert!(multi.len() > single.len());
+        for p in &single {
+            assert!(multi.contains(p));
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! k-bounce path enumeration: the ELP expansion of paper §4.3.
+//!
+//! A *bounce* is a down→up turn in the layer hierarchy — the signature of
+//! a packet rerouted around a failed downlink. The operator who wants
+//! traffic to survive up to `k` such reroutes losslessly includes all
+//! `≤ k`-bounce paths in the ELP; Tagger then needs `k + 1` lossless
+//! priorities on Clos (paper §4.4).
+
+use crate::Path;
+use tagger_topo::{FailureSet, NodeId, NodeKind, Topology};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Up,
+    Down,
+}
+
+/// Enumerates all loop-free paths from `src` to `dst` with at most
+/// `max_bounces` down→up turns. `max_bounces = 0` yields exactly the
+/// up-down (valley-free) paths.
+///
+/// Lateral hops (between equal-rank or unranked nodes) are excluded:
+/// bounce semantics are only defined on layered fabrics. Intermediate
+/// nodes must be switches. Results come in deterministic DFS order.
+pub fn bounce_paths_between(
+    topo: &Topology,
+    failures: &FailureSet,
+    src: NodeId,
+    dst: NodeId,
+    max_bounces: usize,
+) -> Vec<Path> {
+    bounce_paths_between_capped(topo, failures, src, dst, max_bounces, usize::MAX)
+}
+
+/// Like [`bounce_paths_between`] but stops after `cap` paths — useful on
+/// larger fabrics where the k-bounce path count explodes combinatorially.
+pub fn bounce_paths_between_capped(
+    topo: &Topology,
+    failures: &FailureSet,
+    src: NodeId,
+    dst: NodeId,
+    max_bounces: usize,
+    cap: usize,
+) -> Vec<Path> {
+    let mut out = Vec::new();
+    if src == dst || cap == 0 {
+        return out;
+    }
+    let mut visited = vec![false; topo.num_nodes()];
+    visited[src.index()] = true;
+    let mut stack = vec![src];
+    dfs(
+        topo,
+        failures,
+        dst,
+        max_bounces,
+        cap,
+        Phase::Up,
+        0,
+        &mut stack,
+        &mut visited,
+        &mut out,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    topo: &Topology,
+    failures: &FailureSet,
+    dst: NodeId,
+    max_bounces: usize,
+    cap: usize,
+    phase: Phase,
+    bounces: usize,
+    stack: &mut Vec<NodeId>,
+    visited: &mut [bool],
+    out: &mut Vec<Path>,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    let here = *stack.last().unwrap();
+    for (_, _, next) in failures.live_neighbors(topo, here) {
+        if out.len() >= cap {
+            return;
+        }
+        if visited[next.index()] {
+            continue;
+        }
+        // Classify the hop; lateral hops are not part of up-down routing.
+        let (next_phase, next_bounces) = if topo.is_up_hop(here, next) {
+            match phase {
+                Phase::Up => (Phase::Up, bounces),
+                Phase::Down => {
+                    if bounces + 1 > max_bounces {
+                        continue;
+                    }
+                    (Phase::Up, bounces + 1)
+                }
+            }
+        } else if topo.is_down_hop(here, next) {
+            (Phase::Down, bounces)
+        } else {
+            continue;
+        };
+        if next == dst {
+            stack.push(next);
+            out.push(
+                Path::new(topo, stack.clone()).expect("DFS builds valid loop-free paths"),
+            );
+            stack.pop();
+            continue;
+        }
+        // Only switches forward traffic.
+        if topo.node(next).kind != NodeKind::Switch {
+            continue;
+        }
+        visited[next.index()] = true;
+        stack.push(next);
+        dfs(
+            topo, failures, dst, max_bounces, cap, next_phase, next_bounces, stack, visited, out,
+        );
+        stack.pop();
+        visited[next.index()] = false;
+    }
+}
+
+/// Enumerates `≤ max_bounces`-bounce paths between every ordered pair of
+/// distinct hosts, capping at `cap_per_pair` paths per pair
+/// (`usize::MAX` for no cap).
+pub fn all_paths_with_bounces(
+    topo: &Topology,
+    failures: &FailureSet,
+    max_bounces: usize,
+    cap_per_pair: usize,
+) -> Vec<Path> {
+    let hosts: Vec<NodeId> = topo.host_ids().collect();
+    let mut out = Vec::new();
+    for &s in &hosts {
+        for &d in &hosts {
+            if s != d {
+                out.extend(bounce_paths_between_capped(
+                    topo,
+                    failures,
+                    s,
+                    d,
+                    max_bounces,
+                    cap_per_pair,
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagger_topo::ClosConfig;
+
+    #[test]
+    fn zero_bounce_equals_updown() {
+        let t = ClosConfig::small().build();
+        let f = FailureSet::none();
+        let h1 = t.expect_node("H1");
+        let h9 = t.expect_node("H9");
+        for p in bounce_paths_between(&t, &f, h1, h9, 0) {
+            assert_eq!(p.bounces(&t), 0);
+        }
+    }
+
+    #[test]
+    fn one_bounce_superset_of_updown() {
+        let t = ClosConfig::small().build();
+        let f = FailureSet::none();
+        let h1 = t.expect_node("H1");
+        let h9 = t.expect_node("H9");
+        let zero = bounce_paths_between(&t, &f, h1, h9, 0);
+        let one = bounce_paths_between(&t, &f, h1, h9, 1);
+        assert!(one.len() > zero.len());
+        for p in &zero {
+            assert!(one.contains(p), "up-down path missing from 1-bounce set");
+        }
+        for p in &one {
+            assert!(p.bounces(&t) <= 1, "{}", p.display(&t));
+        }
+        assert!(one.iter().any(|p| p.bounces(&t) == 1));
+    }
+
+    #[test]
+    fn bounce_budget_is_respected() {
+        let t = ClosConfig::small().build();
+        let f = FailureSet::none();
+        let h1 = t.expect_node("H1");
+        let h13 = t.expect_node("H13");
+        for k in 0..3 {
+            for p in bounce_paths_between(&t, &f, h1, h13, k) {
+                assert!(p.bounces(&t) <= k);
+            }
+        }
+    }
+
+    #[test]
+    fn cap_truncates_deterministically() {
+        let t = ClosConfig::small().build();
+        let f = FailureSet::none();
+        let h1 = t.expect_node("H1");
+        let h9 = t.expect_node("H9");
+        let full = bounce_paths_between(&t, &f, h1, h9, 1);
+        let capped = bounce_paths_between_capped(&t, &f, h1, h9, 1, 3);
+        assert_eq!(capped.len(), 3);
+        assert_eq!(&full[..3], &capped[..]);
+    }
+
+    #[test]
+    fn reroute_after_failure_needs_a_bounce() {
+        // Fig 3: with L1-T1 down, traffic arriving at L1 for T1 must bounce.
+        let t = ClosConfig::small().build();
+        let mut f = FailureSet::none();
+        f.fail_between(&t, "L1", "T1");
+        let h9 = t.expect_node("H9");
+        let h1 = t.expect_node("H1");
+        // Up-down paths still exist (via L2), but any path through L1 then
+        // to T1 must bounce.
+        let one = bounce_paths_between(&t, &f, h9, h1, 1);
+        let l1 = t.expect_node("L1");
+        let via_l1: Vec<_> = one
+            .iter()
+            .filter(|p| p.nodes().contains(&l1))
+            .collect();
+        assert!(!via_l1.is_empty());
+        for p in via_l1 {
+            assert_eq!(p.bounces(&t), 1, "{}", p.display(&t));
+        }
+    }
+
+    #[test]
+    fn same_src_dst_yields_nothing() {
+        let t = ClosConfig::small().build();
+        let f = FailureSet::none();
+        let h1 = t.expect_node("H1");
+        assert!(bounce_paths_between(&t, &f, h1, h1, 3).is_empty());
+    }
+
+    #[test]
+    fn all_pairs_capped_counts() {
+        let t = ClosConfig::small().build();
+        let f = FailureSet::none();
+        let all = all_paths_with_bounces(&t, &f, 0, 2);
+        // 16 hosts, 240 ordered pairs, each capped at 2 paths.
+        assert!(all.len() <= 240 * 2);
+        assert!(!all.is_empty());
+    }
+}

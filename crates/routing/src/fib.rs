@@ -1,0 +1,370 @@
+//! Destination-based forwarding tables (FIBs) with ECMP and overrides.
+//!
+//! The simulator forwards hop-by-hop through a [`Fib`], exactly like a
+//! real fabric running BGP/OSPF: per-switch, per-destination next-hop port
+//! sets. Overrides let experiments inject the pathologies the paper
+//! studies — a stale route creating the T1↔L1 loop of Figure 11, or a
+//! pinned bounce reroute as in Figure 3.
+
+use crate::{shortest_path_dag, Path};
+use std::collections::BTreeMap;
+use tagger_topo::{FailureSet, NodeId, NodeKind, PortId, Topology};
+
+/// How a forwarding decision picks among equal-cost ports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EcmpMode {
+    /// Always the lowest-numbered port. Deterministic and easy to reason
+    /// about in tests.
+    First,
+    /// Per-flow hashing: port = `hash % n`. Deterministic per flow and
+    /// spreads flows like real ECMP.
+    FlowHash,
+}
+
+/// A forwarding table: for each `(switch, destination-host)` pair, the set
+/// of equal-cost egress ports.
+#[derive(Clone, Debug, Default)]
+pub struct Fib {
+    entries: BTreeMap<(NodeId, NodeId), Vec<PortId>>,
+}
+
+impl Fib {
+    /// Builds a shortest-path FIB toward every host over live links —
+    /// the steady state a converged routing protocol would reach. On Clos
+    /// fabrics this yields up-down routing in the failure-free case and
+    /// bounce reroutes when downlinks fail, matching the paper's §3.2
+    /// observation that reroutes violate up-down routing.
+    pub fn shortest_path(topo: &Topology, failures: &FailureSet) -> Fib {
+        let mut fib = Fib::default();
+        for dst in topo.host_ids() {
+            let sp = shortest_path_dag(topo, failures, dst);
+            for sw in topo.switch_ids() {
+                let Some(d_sw) = sp.distance(sw) else {
+                    continue;
+                };
+                let mut ports: Vec<PortId> = Vec::new();
+                for (port, _, v) in failures.live_neighbors(topo, sw) {
+                    // Forward only into switches, or into the destination
+                    // host itself.
+                    if v != dst && topo.node(v).kind == NodeKind::Host {
+                        continue;
+                    }
+                    if sp.distance(v) == Some(d_sw.wrapping_sub(1)) {
+                        ports.push(port);
+                    }
+                }
+                if !ports.is_empty() {
+                    fib.entries.insert((sw, dst), ports);
+                }
+            }
+        }
+        fib
+    }
+
+    /// Builds the FIB a fabric has *immediately after* `failures`, before
+    /// the routing protocol reconverges: every switch still uses its
+    /// healthy (pre-failure) shortest-path next hops, except that entries
+    /// whose own link died are replaced by a local detour — the live
+    /// neighbor(s) closest to the destination by *healthy* distance.
+    ///
+    /// On a Clos this produces exactly the paper's bounce behaviour
+    /// (§3.2/§4.2): a leaf whose downlink died sends the packet back up.
+    pub fn local_reroute(topo: &Topology, failures: &FailureSet) -> Fib {
+        let healthy = Fib::shortest_path(topo, &FailureSet::none());
+        let mut fib = Fib::default();
+        for dst in topo.host_ids() {
+            let sp = shortest_path_dag(topo, &FailureSet::none(), dst);
+            for sw in topo.switch_ids() {
+                let installed = healthy.next_ports(sw, dst);
+                if installed.is_empty() {
+                    continue;
+                }
+                let live: Vec<PortId> = installed
+                    .iter()
+                    .copied()
+                    .filter(|&p| {
+                        topo.node(sw)
+                            .link_at(p)
+                            .is_some_and(|l| !failures.is_failed(l))
+                    })
+                    .collect();
+                if !live.is_empty() {
+                    fib.entries.insert((sw, dst), live);
+                    continue;
+                }
+                // All installed next hops died: local detour to the live
+                // neighbor(s) with minimal healthy distance.
+                let mut best: Option<u32> = None;
+                let mut ports: Vec<PortId> = Vec::new();
+                for (port, _, v) in failures.live_neighbors(topo, sw) {
+                    if v != dst && topo.node(v).kind == NodeKind::Host {
+                        continue;
+                    }
+                    let Some(d) = sp.distance(v) else { continue };
+                    match best {
+                        Some(b) if d > b => {}
+                        Some(b) if d == b => ports.push(port),
+                        _ => {
+                            best = Some(d);
+                            ports = vec![port];
+                        }
+                    }
+                }
+                if !ports.is_empty() {
+                    fib.entries.insert((sw, dst), ports);
+                }
+            }
+        }
+        fib
+    }
+
+    /// Builds a FIB from an explicit path set: each path contributes its
+    /// hop-by-hop next-hop ports. Useful for pinning traffic to an ELP.
+    pub fn from_paths(topo: &Topology, paths: &[Path]) -> Fib {
+        let mut fib = Fib::default();
+        for p in paths {
+            let dst = p.dst();
+            for (a, b) in p.hop_pairs() {
+                if topo.node(a).kind != NodeKind::Switch {
+                    continue;
+                }
+                let port = topo
+                    .port_towards(a, b)
+                    .expect("validated path hop must be adjacent");
+                let e = fib.entries.entry((a, dst)).or_default();
+                if !e.contains(&port) {
+                    e.push(port);
+                }
+            }
+        }
+        for ports in fib.entries.values_mut() {
+            ports.sort_unstable();
+        }
+        fib
+    }
+
+    /// The equal-cost ports `sw` may use toward `dst` (empty if no route).
+    pub fn next_ports(&self, sw: NodeId, dst: NodeId) -> &[PortId] {
+        self.entries
+            .get(&(sw, dst))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Picks one port for a given flow hash, or `None` if no route.
+    pub fn select(&self, sw: NodeId, dst: NodeId, flow_hash: u64, mode: EcmpMode) -> Option<PortId> {
+        let ports = self.next_ports(sw, dst);
+        match (ports.len(), mode) {
+            (0, _) => None,
+            (_, EcmpMode::First) => Some(ports[0]),
+            (n, EcmpMode::FlowHash) => Some(ports[flow_hash as usize % n]),
+        }
+    }
+
+    /// Replaces the route of `(sw, dst)` with exactly `ports`. Empty
+    /// `ports` removes the route (blackhole).
+    pub fn set_override(&mut self, sw: NodeId, dst: NodeId, ports: Vec<PortId>) {
+        if ports.is_empty() {
+            self.entries.remove(&(sw, dst));
+        } else {
+            self.entries.insert((sw, dst), ports);
+        }
+    }
+
+    /// Points `sw`'s route for `dst` at the direct neighbor `via` — the
+    /// "bad route" primitive used to create the routing loop of Figure 11.
+    ///
+    /// # Panics
+    /// Panics if `sw` and `via` are not adjacent.
+    pub fn set_override_towards(&mut self, topo: &Topology, sw: NodeId, dst: NodeId, via: NodeId) {
+        let port = topo
+            .port_towards(sw, via)
+            .unwrap_or_else(|| panic!("{sw} and {via} are not adjacent"));
+        self.set_override(sw, dst, vec![port]);
+    }
+
+    /// Number of `(switch, destination)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Walks a packet from `src` to `dst` using [`EcmpMode::First`],
+    /// returning the node sequence — diagnostic helper to see what route
+    /// the FIB actually realizes. Stops after `max_hops` (loop guard).
+    pub fn trace(
+        &self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        max_hops: usize,
+    ) -> Vec<NodeId> {
+        let mut route = vec![src];
+        let mut here = src;
+        // Hosts hand the packet to their ToR first.
+        if topo.node(src).kind == NodeKind::Host {
+            match topo.attached_switch(src) {
+                Some(sw) => {
+                    route.push(sw);
+                    here = sw;
+                }
+                None => return route,
+            }
+        }
+        while here != dst && route.len() <= max_hops {
+            let Some(port) = self.select(here, dst, 0, EcmpMode::First) else {
+                break;
+            };
+            let Some(peer) = topo.peer_of(tagger_topo::GlobalPort::new(here, port)) else {
+                break;
+            };
+            route.push(peer.node);
+            here = peer.node;
+        }
+        route
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagger_topo::ClosConfig;
+
+    #[test]
+    fn shortest_path_fib_reaches_all_hosts() {
+        let t = ClosConfig::small().build();
+        let fib = Fib::shortest_path(&t, &FailureSet::none());
+        for src in t.host_ids() {
+            for dst in t.host_ids() {
+                if src == dst {
+                    continue;
+                }
+                let route = fib.trace(&t, src, dst, 16);
+                assert_eq!(*route.last().unwrap(), dst, "no route {src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_clos_fib_is_updown() {
+        let t = ClosConfig::small().build();
+        let fib = Fib::shortest_path(&t, &FailureSet::none());
+        let route = fib.trace(&t, t.expect_node("H1"), t.expect_node("H9"), 16);
+        let p = Path::new(&t, route).unwrap();
+        assert!(p.is_updown(&t));
+        assert_eq!(p.hops(), 6);
+    }
+
+    #[test]
+    fn ecmp_spreads_flows() {
+        let t = ClosConfig::small().build();
+        let fib = Fib::shortest_path(&t, &FailureSet::none());
+        let t1 = t.expect_node("T1");
+        let h9 = t.expect_node("H9");
+        let ports = fib.next_ports(t1, h9);
+        assert_eq!(ports.len(), 2); // two uplinks
+        let a = fib.select(t1, h9, 0, EcmpMode::FlowHash).unwrap();
+        let b = fib.select(t1, h9, 1, EcmpMode::FlowHash).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn failure_reroute_goes_around() {
+        let t = ClosConfig::small().build();
+        let mut f = FailureSet::none();
+        f.fail_between(&t, "T1", "L1");
+        let fib = Fib::shortest_path(&t, &f);
+        let route = fib.trace(&t, t.expect_node("H9"), t.expect_node("H1"), 16);
+        assert_eq!(*route.last().unwrap(), t.expect_node("H1"));
+        // Route must avoid the failed link: T1 is reached via L2 only.
+        let l1 = t.expect_node("L1");
+        let t1 = t.expect_node("T1");
+        for w in route.windows(2) {
+            assert!(
+                !(w[0] == l1 && w[1] == t1 || w[0] == t1 && w[1] == l1),
+                "route uses failed link"
+            );
+        }
+    }
+
+    #[test]
+    fn override_creates_loop() {
+        let t = ClosConfig::small().build();
+        let mut fib = Fib::shortest_path(&t, &FailureSet::none());
+        let t1 = t.expect_node("T1");
+        let l1 = t.expect_node("L1");
+        let h5 = t.expect_node("H5");
+        // Bad route: L1 sends H5-bound traffic back down to T1 (Fig 11).
+        fib.set_override_towards(&t, l1, h5, t1);
+        // And make T1 prefer L1 so that the loop closes.
+        fib.set_override_towards(&t, t1, h5, l1);
+        let route = fib.trace(&t, t.expect_node("H1"), h5, 10);
+        assert!(route.len() > 10, "expected loop, got {route:?}");
+        // The tail alternates T1, L1.
+        let tail = &route[route.len() - 4..];
+        assert!(tail.contains(&t1) && tail.contains(&l1));
+    }
+
+    #[test]
+    fn local_reroute_bounces_at_dead_downlink() {
+        let t = ClosConfig::small().build();
+        let mut f = FailureSet::none();
+        f.fail_between(&t, "L1", "T1");
+        let fib = Fib::local_reroute(&t, &f);
+        let l1 = t.expect_node("L1");
+        let h1 = t.expect_node("H1");
+        // L1's only healthy next hop toward H1 was T1; the detour goes to
+        // the live neighbors at healthy distance 3: S1, S2 and T2.
+        let ports = fib.next_ports(l1, h1);
+        assert!(!ports.is_empty());
+        for &p in ports {
+            let peer = t
+                .peer_of(tagger_topo::GlobalPort::new(l1, p))
+                .unwrap()
+                .node;
+            assert_ne!(peer, t.expect_node("T1"));
+        }
+        // Spines still send toward L1 (they haven't converged).
+        let s1 = t.expect_node("S1");
+        let spine_ports = fib.next_ports(s1, h1);
+        assert_eq!(spine_ports, Fib::shortest_path(&t, &FailureSet::none()).next_ports(s1, h1));
+    }
+
+    #[test]
+    fn local_reroute_equals_healthy_without_failures() {
+        let t = ClosConfig::small().build();
+        let healthy = Fib::shortest_path(&t, &FailureSet::none());
+        let local = Fib::local_reroute(&t, &FailureSet::none());
+        for sw in t.switch_ids() {
+            for dst in t.host_ids() {
+                assert_eq!(healthy.next_ports(sw, dst), local.next_ports(sw, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn from_paths_pins_routes() {
+        let t = ClosConfig::small().build();
+        let p = Path::from_names(&t, &["H1", "T1", "L1", "S1", "L3", "T3", "H9"]);
+        let fib = Fib::from_paths(&t, &[p]);
+        let route = fib.trace(&t, t.expect_node("H1"), t.expect_node("H9"), 16);
+        let names: Vec<&str> = route.iter().map(|&n| t.node(n).name.as_str()).collect();
+        assert_eq!(names, ["H1", "T1", "L1", "S1", "L3", "T3", "H9"]);
+    }
+
+    #[test]
+    fn blackhole_override_removes_route() {
+        let t = ClosConfig::small().build();
+        let mut fib = Fib::shortest_path(&t, &FailureSet::none());
+        let t1 = t.expect_node("T1");
+        let h9 = t.expect_node("H9");
+        fib.set_override(t1, h9, vec![]);
+        assert!(fib.next_ports(t1, h9).is_empty());
+        let route = fib.trace(&t, t.expect_node("H1"), h9, 16);
+        assert_eq!(*route.last().unwrap(), t1); // stops at the blackhole
+    }
+}

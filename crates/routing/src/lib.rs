@@ -1,0 +1,42 @@
+//! # tagger-routing — routing substrate for Tagger
+//!
+//! Everything Tagger needs to know about *where packets may travel*:
+//!
+//! - [`Path`] — a validated, loop-free node sequence with port resolution,
+//!   up/down classification and bounce counting.
+//! - [`updown_paths`] / [`updown_paths_between`] — valley-free (up-down)
+//!   path enumeration over layered fabrics (Clos, FatTree).
+//! - [`bounce_paths_between`] / [`all_paths_with_bounces`] — the k-bounce
+//!   expansion of an up-down ELP (paper §4.3): paths that violate the
+//!   up-down rule at most `k` times, the result of failures and reroutes.
+//! - [`shortest_paths_between`] / [`ShortestPaths`] — BFS shortest-path
+//!   enumeration for unstructured (Jellyfish) fabrics.
+//! - [`bcube_paths`] — BCube's default single-path routing.
+//! - [`Fib`] — per-switch destination-based forwarding tables with ECMP
+//!   and override entries (used to inject the routing loop of the paper's
+//!   Figure 11 and the reroutes of Figure 3).
+//!
+//! The split from `tagger-core` is deliberate: routing produces candidate
+//! lossless paths; Tagger consumes them as an opaque ELP set. Nothing in
+//! the tagging algorithms depends on *how* the paths were computed.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bcube;
+mod bounce;
+mod fib;
+mod path;
+mod shortest;
+mod updown;
+
+pub use bcube::bcube_paths;
+pub use bounce::{all_paths_with_bounces, bounce_paths_between};
+pub use fib::{EcmpMode, Fib};
+pub use path::{Path, PathError};
+pub use shortest::{
+    shortest_path_dag, shortest_paths_all_pairs, shortest_paths_between, ShortestPaths,
+};
+pub use bcube::{bcube_route, bcube_route_rotated};
+pub use bounce::bounce_paths_between_capped;
+pub use shortest::enumerate_from_dag;
+pub use updown::{updown_paths, updown_paths_between, updown_paths_between_switches};

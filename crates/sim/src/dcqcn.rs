@@ -1,0 +1,136 @@
+//! DCQCN-lite: ECN-driven end-to-end congestion control (paper §6).
+//!
+//! The paper positions DCQCN as a *complement* to Tagger: rate control
+//! minimizes how often PFC fires, but cannot make deadlocks impossible —
+//! transients still push queues past Xoff, and one unlucky transient is
+//! enough (deadlocks were observed in production fleets running DCQCN).
+//! This module implements the simplified loop the ablation needs:
+//!
+//! - switches ECN-mark lossless packets that queue behind more than a
+//!   threshold ([`tagger_switch::SwitchConfig::ecn_threshold_bytes`]);
+//! - the receiving NIC returns a CNP to the source after the reverse-path
+//!   delay (CNPs ride their own class in real deployments — the paper's
+//!   §6 multi-class example);
+//! - the source multiplicatively cuts its injection rate per CNP (with
+//!   coalescing) and additively recovers on a timer.
+//!
+//! Compared to full DCQCN this drops the alpha EWMA and the
+//! fast-recovery stages; the control character (MD on congestion, AI
+//! recovery, per-flow pacing) is what the experiments exercise.
+
+/// DCQCN-lite parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DcqcnConfig {
+    /// Reverse-path latency of a CNP, NIC to NIC.
+    pub cnp_delay_ns: u64,
+    /// Minimum spacing between rate cuts per flow (CNP coalescing).
+    pub cut_interval_ns: u64,
+    /// Multiplicative decrease factor applied per (coalesced) CNP.
+    pub decrease_factor: f64,
+    /// Additive-increase period.
+    pub increase_interval_ns: u64,
+    /// Additive-increase step in bits/s.
+    pub increase_step_bps: f64,
+    /// Rate floor in bits/s.
+    pub min_rate_bps: f64,
+}
+
+impl Default for DcqcnConfig {
+    fn default() -> Self {
+        DcqcnConfig {
+            cnp_delay_ns: 4_000,
+            cut_interval_ns: 50_000,
+            decrease_factor: 0.5,
+            increase_interval_ns: 55_000,
+            increase_step_bps: 2.0e9,
+            min_rate_bps: 100.0e6,
+        }
+    }
+}
+
+/// Per-flow congestion-control state.
+#[derive(Clone, Debug)]
+pub(crate) struct FlowCc {
+    /// Current injection rate, bits/s.
+    pub rate_bps: f64,
+    /// Line rate of the source link (the rate ceiling).
+    pub line_bps: f64,
+    /// Earliest time the next packet may start serializing.
+    pub next_allowed: u64,
+    /// Time of the last rate cut (for CNP coalescing).
+    pub last_cut: u64,
+}
+
+impl FlowCc {
+    pub fn new(line_bps: f64) -> FlowCc {
+        FlowCc {
+            rate_bps: line_bps,
+            line_bps,
+            next_allowed: 0,
+            last_cut: 0,
+        }
+    }
+
+    /// Handles a CNP at `now`: multiplicative decrease, coalesced.
+    pub fn on_cnp(&mut self, cfg: &DcqcnConfig, now: u64) {
+        if now >= self.last_cut + cfg.cut_interval_ns || self.last_cut == 0 {
+            self.rate_bps = (self.rate_bps * cfg.decrease_factor).max(cfg.min_rate_bps);
+            self.last_cut = now;
+        }
+    }
+
+    /// Periodic additive increase.
+    pub fn on_tick(&mut self, cfg: &DcqcnConfig) {
+        self.rate_bps = (self.rate_bps + cfg.increase_step_bps).min(self.line_bps);
+    }
+
+    /// Advances the pacing clock after sending `bits`.
+    pub fn after_send(&mut self, now: u64, bits: u64) {
+        let gap = (bits as f64 / self.rate_bps * 1e9) as u64;
+        self.next_allowed = now + gap;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cnp_halves_rate_with_floor() {
+        let cfg = DcqcnConfig::default();
+        let mut cc = FlowCc::new(40e9);
+        cc.on_cnp(&cfg, 1_000_000);
+        assert_eq!(cc.rate_bps, 20e9);
+        // Coalesced: a CNP right after does nothing.
+        cc.on_cnp(&cfg, 1_010_000);
+        assert_eq!(cc.rate_bps, 20e9);
+        // After the window, cuts apply again, down to the floor.
+        let mut t = 1_000_000;
+        for _ in 0..20 {
+            t += cfg.cut_interval_ns;
+            cc.on_cnp(&cfg, t);
+        }
+        assert_eq!(cc.rate_bps, cfg.min_rate_bps);
+    }
+
+    #[test]
+    fn ticks_recover_to_line_rate() {
+        let cfg = DcqcnConfig::default();
+        let mut cc = FlowCc::new(40e9);
+        cc.on_cnp(&cfg, 1);
+        for _ in 0..100 {
+            cc.on_tick(&cfg);
+        }
+        assert_eq!(cc.rate_bps, 40e9);
+    }
+
+    #[test]
+    fn pacing_gap_matches_rate() {
+        let cfg = DcqcnConfig::default();
+        let mut cc = FlowCc::new(40e9);
+        cc.on_cnp(&cfg, 0); // 20G
+        cc.on_cnp(&cfg, cfg.cut_interval_ns); // 10G
+        cc.after_send(1_000, 8_000); // 1 KB at 10 Gb/s = 800 ns
+        assert_eq!(cc.next_allowed, 1_800);
+    }
+}

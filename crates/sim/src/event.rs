@@ -1,0 +1,169 @@
+//! Simulation time and the deterministic event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tagger_switch::{Packet, PfcFrame};
+use tagger_topo::GlobalPort;
+
+/// Simulation time in nanoseconds since start.
+pub type SimTime = u64;
+
+/// One nanosecond-scale event.
+#[derive(Clone, Debug)]
+pub(crate) enum Ev {
+    /// A packet finished arriving at `port` (fully received).
+    Arrive {
+        /// Receiving port.
+        port: GlobalPort,
+        /// The packet, tag as sent by the upstream node.
+        packet: Packet,
+    },
+    /// The transmitter on `port` finished serializing its current packet.
+    TxEnd {
+        /// Sending port.
+        port: GlobalPort,
+    },
+    /// A PFC frame arrives at `port`.
+    Pfc {
+        /// Receiving port.
+        port: GlobalPort,
+        /// The frame.
+        frame: PfcFrame,
+    },
+    /// Poke the transmitter on `port` (flow start, unpause, etc.).
+    Kick {
+        /// Port to poke.
+        port: GlobalPort,
+    },
+    /// A received PAUSE's quanta ran out: ungate unless refreshed since.
+    PfcExpire {
+        /// Gated port.
+        port: GlobalPort,
+        /// Priority.
+        prio: u8,
+        /// The deadline this event was scheduled for (stale events are
+        /// ignored when a refresh moved the deadline).
+        deadline: SimTime,
+    },
+    /// The pausing side re-asserts an outstanding PAUSE (real PFC
+    /// refreshes before the quanta expires).
+    PfcRefresh {
+        /// The congested ingress port (pause destination = its peer).
+        port: GlobalPort,
+        /// Priority.
+        prio: u8,
+    },
+    /// A congestion-notification packet reaches a flow's source NIC.
+    Cnp {
+        /// The congested flow.
+        flow: u32,
+    },
+    /// Periodic DCQCN additive-increase tick for one flow.
+    RateTick {
+        /// The flow.
+        flow: u32,
+    },
+    /// Periodic statistics sample.
+    Sample,
+    /// Run the scripted action with this index.
+    RunAction {
+        /// Index into the simulator's action list.
+        index: usize,
+    },
+}
+
+/// Min-heap event queue ordered by `(time, sequence)` — the sequence
+/// number makes simultaneous events fire in insertion order, keeping runs
+/// fully deterministic.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, EvBox)>>,
+    seq: u64,
+}
+
+/// Wrapper giving `Ev` total order by sequence only (never compared).
+#[derive(Clone, Debug)]
+pub(crate) struct EvBox(pub Ev);
+
+impl PartialEq for EvBox {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl Eq for EvBox {}
+impl PartialOrd for EvBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EvBox {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl EventQueue {
+    pub fn push(&mut self, at: SimTime, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, EvBox(ev))));
+    }
+
+    pub fn pop(&mut self) -> Option<(SimTime, Ev)> {
+        self.heap.pop().map(|Reverse((t, _, e))| (t, e.0))
+    }
+
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagger_topo::{NodeId, PortId};
+
+    fn kick(n: u32) -> Ev {
+        Ev::Kick {
+            port: GlobalPort::new(NodeId(n), PortId(0)),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::default();
+        q.push(30, kick(3));
+        q.push(10, kick(1));
+        q.push(20, kick(2));
+        let order: Vec<SimTime> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::default();
+        q.push(5, kick(1));
+        q.push(5, kick(2));
+        q.push(5, kick(3));
+        let mut ids = Vec::new();
+        while let Some((_, Ev::Kick { port })) = q.pop() {
+            ids.push(port.node.0);
+        }
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::default();
+        assert!(q.is_empty());
+        q.push(1, Ev::Sample);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

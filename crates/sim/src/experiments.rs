@@ -1,0 +1,713 @@
+//! Prebuilt scenarios reproducing the paper's testbed experiments (§8.1).
+//!
+//! Each builder returns an [`Experiment`]: a configured simulator plus
+//! flow labels, ready to `run()`. The same scenarios are used by the
+//! examples, the integration tests and the figure-regenerating bench
+//! binaries, so the numbers in `EXPERIMENTS.md` come from exactly this
+//! code.
+
+use crate::{Action, FlowSpec, SimConfig, Simulator};
+use tagger_core::clos::clos_tagging;
+use tagger_routing::Fib;
+use tagger_switch::SwitchConfig;
+use tagger_topo::{ClosConfig, FailureSet, NodeId, Topology};
+
+/// A ready-to-run scenario.
+pub struct Experiment {
+    /// The configured simulator.
+    pub sim: Simulator,
+    /// Human labels for each flow, in handle order.
+    pub labels: Vec<String>,
+}
+
+impl Experiment {
+    /// Runs and returns the report (convenience).
+    pub fn run(mut self) -> (crate::SimReport, Vec<String>) {
+        (self.sim.run(), self.labels)
+    }
+}
+
+/// Switch configuration used by the testbed reproductions: small
+/// thresholds so PFC engages at the microsecond timescale of the
+/// simulations (the paper's switches behave identically at the second
+/// timescale of real traffic).
+pub fn testbed_switch_config(num_lossless: u8) -> SwitchConfig {
+    SwitchConfig {
+        num_lossless,
+        buffer_bytes: 12 * 1024 * 1024,
+        xoff_bytes: 40_000,
+        xon_bytes: 4_000,
+        lossy_queue_bytes: 200_000,
+        ecn_threshold_bytes: None,
+    }
+}
+
+/// PFC reaction delay used by the testbed reproductions (µs-scale, like
+/// real MAC + scheduling latency). Together with
+/// [`testbed_switch_config`]'s thresholds this sits in the regime where a
+/// cyclic buffer dependency actually *locks* rather than resolving into a
+/// paced steady state — the same property the paper's hardware exhibits.
+pub const TESTBED_PFC_DELAY_NS: u64 = 3_000;
+
+fn testbed_sim(topo: &Topology, with_tagger: bool, bounces: usize, end_ns: u64) -> Simulator {
+    let fib = Fib::shortest_path(topo, &FailureSet::none());
+    let (rules, queues) = if with_tagger {
+        let tagging = clos_tagging(topo, bounces).expect("clos fabric");
+        (Some(tagging.rules().clone()), (bounces + 1) as u8)
+    } else {
+        (None, 1)
+    };
+    let cfg = SimConfig {
+        switch: testbed_switch_config(queues),
+        pfc_extra_delay_ns: TESTBED_PFC_DELAY_NS,
+        end_time_ns: end_ns,
+        ..SimConfig::default()
+    };
+    Simulator::new(topo.clone(), fib, rules, cfg)
+}
+
+fn names(topo: &Topology, path: &[&str]) -> Vec<NodeId> {
+    path.iter().map(|n| topo.expect_node(n)).collect()
+}
+
+/// **Figure 10** — deadlock due to 1-bounce paths (the Figure 3
+/// scenario): the blue flow (H1→H13) bounces at L3, the green flow
+/// (H9→H1) bounces at L1; together they close the CBD
+/// `L1 → S1 → L3 → S2 → L1`. Blue starts at t=0, green at 1/5 of the
+/// horizon. Without Tagger both rates collapse to zero; with Tagger
+/// (1-bounce ELP, 2 lossless queues) neither is affected.
+pub fn fig10_bounce_deadlock(with_tagger: bool, end_ns: u64) -> Experiment {
+    let topo = ClosConfig::small().build();
+    let mut sim = testbed_sim(&topo, with_tagger, 1, end_ns);
+    let blue_path = names(&topo, &["H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13"]);
+    let green_path = names(&topo, &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"]);
+    let h1 = topo.expect_node("H1");
+    let h13 = topo.expect_node("H13");
+    let h9 = topo.expect_node("H9");
+    sim.add_flow(FlowSpec::new(h1, h13, 0).pinned(blue_path));
+    sim.add_flow(FlowSpec::new(h9, h1, end_ns / 5).pinned(green_path));
+    Experiment {
+        sim,
+        labels: vec!["blue(H1->H13)".into(), "green(H9->H1)".into()],
+    }
+}
+
+/// **Figure 11** — deadlock due to a routing loop: F1 (H1→H5) and F2
+/// (H2→H6) run normally; at 1/5 of the horizon a bad route is installed
+/// at L1 sending H5-bound traffic back to T1, closing a T1↔L1 forwarding
+/// loop on F1. Without Tagger the loop's lossless packets create a
+/// two-switch CBD that pauses F2 as well; with Tagger the looping
+/// packets hairpin into the lossy class at L1 and F2 is untouched (F1's
+/// goodput is zero either way — its packets die of TTL).
+pub fn fig11_routing_loop(with_tagger: bool, end_ns: u64) -> Experiment {
+    let topo = ClosConfig::small().build();
+    let mut sim = testbed_sim(&topo, with_tagger, 1, end_ns);
+    let h1 = topo.expect_node("H1");
+    let h2 = topo.expect_node("H2");
+    let h5 = topo.expect_node("H5");
+    let h6 = topo.expect_node("H6");
+    let t1 = topo.expect_node("T1");
+    let l1 = topo.expect_node("L1");
+    // F2 pinned through L1 so it shares the looping link.
+    let f2_path = names(&topo, &["H2", "T1", "L1", "T2", "H6"]);
+    sim.add_flow(FlowSpec::new(h1, h5, 0));
+    sim.add_flow(FlowSpec::new(h2, h6, 0).pinned(f2_path));
+    // The bad route: T1 sends H5 traffic up to L1; L1 sends it back down
+    // to T1.
+    let mut bad_fib = Fib::shortest_path(&topo, &FailureSet::none());
+    bad_fib.set_override_towards(&topo, t1, h5, l1);
+    bad_fib.set_override_towards(&topo, l1, h5, t1);
+    sim.at(end_ns / 5, Action::ReplaceFib(bad_fib));
+    Experiment {
+        sim,
+        labels: vec!["F1(H1->H5)".into(), "F2(H2->H6)".into()],
+    }
+}
+
+/// **Figure 12** — PAUSE propagation from a deadlock: a 4-to-1 shuffle
+/// (H9, H10, H13, H14 → H1) and a 1-to-4 shuffle (H5 → H2, H11, H15,
+/// H16) run together; the H9→H1 and H5→H15 flows are pinned onto
+/// 1-bounce paths that close a CBD. Without Tagger, PAUSE propagates
+/// until **all eight** flows are frozen; with Tagger none are affected.
+pub fn fig12_pause_propagation(with_tagger: bool, end_ns: u64) -> Experiment {
+    let topo = ClosConfig::small().build();
+    let mut sim = testbed_sim(&topo, with_tagger, 1, end_ns);
+    let h = |n: &str| topo.expect_node(n);
+    let mut labels = Vec::new();
+    // All eight flows are pinned, mirroring the manually-set routing
+    // tables of the paper's testbed. The two bouncing flows close the
+    // CBD; the other six cross links the resulting pauses gate, so PAUSE
+    // propagation freezes everything. The bouncing flows start first
+    // (staggered — simultaneous ramp-up shares the bottleneck smoothly
+    // and the race never trips) so the cycle locks before the shuffles
+    // pile in; the paper's testbed reaches the same state with its own
+    // timing.
+    let second = end_ns / 10;
+    let later = 2 * end_ns / 5;
+    let routes: [(&str, &str, u64, &[&str]); 8] = [
+        // 4-to-1 shuffle into H1; H9 takes the bouncing path at L1.
+        ("H9", "H1", 0, &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"]),
+        ("H10", "H1", later, &["H10", "T3", "L3", "S1", "L2", "T1", "H1"]),
+        ("H13", "H1", later, &["H13", "T4", "L4", "S2", "L1", "T1", "H1"]),
+        ("H14", "H1", later, &["H14", "T4", "L4", "S2", "L1", "T1", "H1"]),
+        // 1-to-4 shuffle out of H5; the H15 leg bounces at L3.
+        ("H5", "H15", second, &["H5", "T2", "L1", "S1", "L3", "S2", "L4", "T4", "H15"]),
+        ("H5", "H2", later, &["H5", "T2", "L1", "T1", "H2"]),
+        ("H5", "H11", later, &["H5", "T2", "L1", "S1", "L3", "T3", "H11"]),
+        ("H5", "H16", later, &["H5", "T2", "L1", "S1", "L4", "T4", "H16"]),
+    ];
+    for (src, dst, start, path) in routes {
+        sim.add_flow(FlowSpec::new(h(src), h(dst), start).pinned(names(&topo, path)));
+        labels.push(format!("{src}->{dst}"));
+    }
+    Experiment { sim, labels }
+}
+
+/// One trial of the **failure sweep**: a random permutation workload on
+/// the small Clos; at 1/4 of the horizon, `nfail` random switch-switch
+/// links (seeded) die and the FIB degrades to stale-routes-with-local-
+/// detours; at 3/4 routing reconverges. Returns the report.
+///
+/// The sweep over many seeds validates the headline guarantee
+/// statistically: *without* Tagger some failure patterns deadlock the
+/// fabric; *with* Tagger (1-bounce ELP) none ever do.
+pub fn failure_trial(with_tagger: bool, seed: u64, nfail: usize, end_ns: u64) -> crate::SimReport {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let topo = ClosConfig::small().build();
+    let mut sim = testbed_sim(&topo, with_tagger, 1, end_ns);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    // Random permutation traffic.
+    let hosts: Vec<NodeId> = topo.host_ids().collect();
+    let mut dsts = hosts.clone();
+    loop {
+        dsts.shuffle(&mut rng);
+        if hosts.iter().zip(&dsts).all(|(a, b)| a != b) {
+            break;
+        }
+    }
+    for (s, d) in hosts.iter().zip(&dsts) {
+        sim.add_flow(FlowSpec::new(*s, *d, 0));
+    }
+
+    // Random switch-switch link failures.
+    let mut candidates: Vec<_> = topo
+        .link_ids()
+        .filter(|&l| {
+            let link = topo.link(l);
+            topo.node(link.a.node).kind == tagger_topo::NodeKind::Switch
+                && topo.node(link.b.node).kind == tagger_topo::NodeKind::Switch
+        })
+        .collect();
+    candidates.shuffle(&mut rng);
+    let mut failures = FailureSet::none();
+    for &l in candidates.iter().take(nfail) {
+        failures.fail(l);
+        sim.at(end_ns / 4, Action::FailLink { link: l });
+    }
+    sim.at(
+        end_ns / 4,
+        Action::ReplaceFib(Fib::local_reroute(&topo, &failures)),
+    );
+    sim.at(
+        3 * end_ns / 4,
+        Action::ReplaceFib(Fib::shortest_path(&topo, &failures)),
+    );
+    sim.run()
+}
+
+/// **BCube deadlock** (paper §5.3's substrate, simulated end to end):
+/// four flows on BCube(2,1) whose mixed digit-correction orders close a
+/// cyclic buffer dependency *through the forwarding servers*:
+///
+/// ```text
+/// H1 → B0_0 → H0 → B1_0 → H2      H2 → B0_1 → H3 → B1_1 → H1
+/// H0 → B1_0 → H2 → B0_1 → H3      H3 → B1_1 → H1 → B0_0 → H0
+/// ```
+///
+/// Without Tagger (one lossless priority) the ring locks — server NIC
+/// buffers are part of the CBD, which is why BCube needs per-level tags.
+/// With the Tagger rules compiled from the multi-path ELP (2 lossless
+/// priorities, rules installed on servers too) the same workload runs
+/// deadlock-free and lossless.
+pub fn bcube_ring(with_tagger: bool, end_ns: u64) -> Experiment {
+    use tagger_core::{Elp, Tagging};
+    use tagger_routing::bcube_paths;
+    let cfg2 = tagger_topo::BCubeConfig { n: 2, k: 1 };
+    let topo = tagger_topo::bcube(2, 1);
+    let elp = Elp::from_paths(bcube_paths(&cfg2, &topo, true));
+    let (rules, queues) = if with_tagger {
+        let tagging = Tagging::from_elp(&topo, &elp).expect("pipeline");
+        let n = tagging.num_lossless_tags_on(&topo) as u8;
+        (Some(tagging.rules().clone()), n)
+    } else {
+        (None, 1)
+    };
+    let fib = Fib::shortest_path(&topo, &FailureSet::none());
+    let cfg = SimConfig {
+        switch: testbed_switch_config(queues),
+        pfc_extra_delay_ns: TESTBED_PFC_DELAY_NS,
+        end_time_ns: end_ns,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(topo.clone(), fib, rules, cfg);
+    let routes: [&[&str]; 4] = [
+        &["H1", "B0_0", "H0", "B1_0", "H2"],
+        &["H0", "B1_0", "H2", "B0_1", "H3"],
+        &["H2", "B0_1", "H3", "B1_1", "H1"],
+        &["H3", "B1_1", "H1", "B0_0", "H0"],
+    ];
+    let mut labels = Vec::new();
+    for (i, r) in routes.iter().enumerate() {
+        let path = names(&topo, r);
+        // Staggered starts trip the locking race, as in Fig 12.
+        sim.add_flow(
+            FlowSpec::new(path[0], *path.last().unwrap(), i as u64 * end_ns / 20)
+                .pinned(path),
+        );
+        labels.push(format!("{}->{}", r[0], r[r.len() - 1]));
+    }
+    Experiment { sim, labels }
+}
+
+/// **DCQCN ablation** (paper §6 "PFC alternatives"): an 8-to-1 incast
+/// into H1 with and without DCQCN-lite congestion control. DCQCN slashes
+/// the PFC PAUSE count (rate control keeps queues below Xoff) at
+/// comparable goodput — the "minimizing PFC generation" complement the
+/// paper mentions. It does not replace Tagger: rate control reacts in
+/// RTTs, transients are immediate, and production fleets running DCQCN
+/// still saw deadlocks.
+pub fn dcqcn_incast(with_dcqcn: bool, end_ns: u64) -> Experiment {
+    let topo = ClosConfig::small().build();
+    let fib = Fib::shortest_path(&topo, &FailureSet::none());
+    let cfg = SimConfig {
+        switch: SwitchConfig {
+            ecn_threshold_bytes: with_dcqcn.then_some(30_000),
+            ..testbed_switch_config(1)
+        },
+        pfc_extra_delay_ns: TESTBED_PFC_DELAY_NS,
+        dcqcn: with_dcqcn.then(crate::DcqcnConfig::default),
+        end_time_ns: end_ns,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(topo.clone(), fib, None, cfg);
+    let mut labels = Vec::new();
+    for src in ["H5", "H6", "H7", "H8", "H9", "H10", "H13", "H14"] {
+        sim.add_flow(FlowSpec::new(
+            topo.expect_node(src),
+            topo.expect_node("H1"),
+            0,
+        ));
+        labels.push(format!("{src}->H1"));
+    }
+    Experiment { sim, labels }
+}
+
+/// **Recovery baseline** — the prior-work category the paper's §1
+/// critiques: detect the deadlock, break it by flushing a queue. Runs
+/// the Figure 10 workload *without* Tagger but with detect-and-break
+/// recovery enabled, and with the green (bouncing) traffic arriving in
+/// waves, as flows do in production. Every wave re-races the cycle:
+/// the deadlock is broken, reforms on the next wave, is broken again …
+/// — "these solutions do not address the root cause of the problem, and
+/// hence cannot guarantee that the deadlock would not immediately
+/// reappear" — and every break sacrifices lossless packets, violating
+/// the very contract PFC exists to provide. With Tagger the same
+/// workload needs zero recoveries (set `with_tagger`).
+pub fn recovery_baseline(with_tagger: bool, end_ns: u64) -> Experiment {
+    let topo = ClosConfig::small().build();
+    let fib = Fib::shortest_path(&topo, &FailureSet::none());
+    let (rules, queues) = if with_tagger {
+        let tagging = clos_tagging(&topo, 1).expect("clos fabric");
+        (Some(tagging.rules().clone()), 2)
+    } else {
+        (None, 1)
+    };
+    let cfg = SimConfig {
+        switch: testbed_switch_config(queues),
+        pfc_extra_delay_ns: TESTBED_PFC_DELAY_NS,
+        end_time_ns: end_ns,
+        recovery: !with_tagger,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(topo.clone(), fib, rules, cfg);
+    let blue = names(&topo, &["H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13"]);
+    let green = names(&topo, &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"]);
+    let h1 = topo.expect_node("H1");
+    let h13 = topo.expect_node("H13");
+    let h9 = topo.expect_node("H9");
+    sim.add_flow(FlowSpec::new(h1, h13, 0).pinned(blue.clone()));
+    let mut labels = vec!["blue(H1->H13)".to_string()];
+    // Green waves: each transfers ~5 MB starting at 1/5, 2/5, 3/5, 4/5
+    // of the horizon, leaving gaps where blue returns to line rate — so
+    // every wave re-creates the race that locks the cycle.
+    for wave in 1..=4u64 {
+        sim.add_flow(
+            FlowSpec::new(h9, h1, wave * end_ns / 5)
+                .pinned(green.clone())
+                .with_limit(5_000_000),
+        );
+        labels.push(format!("green wave {wave}"));
+    }
+    Experiment { sim, labels }
+}
+
+/// **Transient failure** — the paper's §1/§3.2 narrative, end to end,
+/// with *real* failure mechanics instead of pinned paths:
+///
+/// 1. a green flow (H9→H1) and a victim flow (H13→H6, descending
+///    through the S1→L1 link) run normally;
+/// 2. at 1/5 of the horizon the L1–T1 link dies. Routing has not
+///    converged: switches run the pre-failure FIB patched only with
+///    *local* detours ([`Fib::local_reroute`]), so green's packets
+///    descend into L1 and ricochet back up — a transient forwarding
+///    loop, exactly the §3.2 hazard;
+/// 3. at 3/5 of the horizon routing reconverges (global shortest paths
+///    avoiding the dead link) and green has a clean route again.
+///
+/// Without Tagger the ricocheting lossless packets deadlock the T1/L1/S1
+/// neighborhood, the victim freezes, **and reconvergence does not help**
+/// — "once a deadlock forms, it does not go away even after the
+/// conditions that caused its formation have abated" (paper §1). With
+/// Tagger the ricochets go lossy at the first hairpin, the victim never
+/// notices, and green recovers the moment routing converges.
+pub fn transient_failure(with_tagger: bool, end_ns: u64) -> Experiment {
+    let topo = ClosConfig::small().build();
+    let mut sim = testbed_sim(&topo, with_tagger, 1, end_ns);
+    let h9 = topo.expect_node("H9");
+    let h1 = topo.expect_node("H1");
+    let h13 = topo.expect_node("H13");
+    let h6 = topo.expect_node("H6");
+    // Flow 0 (green): FIB-routed; its ECMP hash (= flow id 0) descends
+    // through S1 into L1. Flow 1 (victim): pinned through the S1->L1
+    // link the ricochets will choke; its own path never touches the
+    // dead L1-T1 link.
+    sim.add_flow(FlowSpec::new(h9, h1, 0));
+    let victim_path = names(&topo, &["H13", "T4", "L4", "S1", "L1", "T2", "H6"]);
+    sim.add_flow(FlowSpec::new(h13, h6, 0).pinned(victim_path));
+
+    let dead = topo
+        .link_between(topo.expect_node("L1"), topo.expect_node("T1"))
+        .expect("adjacent");
+    let mut failures = FailureSet::none();
+    failures.fail(dead);
+    let t_fail = end_ns / 5;
+    let t_converge = 3 * end_ns / 5;
+    sim.at(t_fail, Action::FailLink { link: dead });
+    sim.at(
+        t_fail,
+        Action::ReplaceFib(Fib::local_reroute(&topo, &failures)),
+    );
+    sim.at(
+        t_converge,
+        Action::ReplaceFib(Fib::shortest_path(&topo, &failures)),
+    );
+    Experiment {
+        sim,
+        labels: vec!["green(H9->H1)".into(), "victim(H13->H6)".into()],
+    }
+}
+
+/// **Figure 8** — priority-transition handling ablation.
+///
+/// Flow A rides a 1-bounce path (tag 1 → 2 at L1) into a bottleneck it
+/// shares with flow B at T1→H1; PFC back-pressure for priority 1
+/// eventually reaches L1. With the correct Fig. 8(b) behaviour (egress
+/// queue = new tag) the PAUSE gates exactly the queue holding A's
+/// rewritten packets and nothing is lost. With the default Fig. 8(a)
+/// behaviour (egress queue = old tag) the PAUSE gates an empty queue, L1
+/// keeps transmitting, and S1's lossless ingress overflows — lossless
+/// packet drops, the failure the paper's implementation section exists
+/// to prevent. The buffer is kept small so the overflow shows quickly.
+pub fn fig8_priority_transition(correct: bool, end_ns: u64) -> Experiment {
+    let topo = ClosConfig::small().build();
+    let fib = Fib::shortest_path(&topo, &FailureSet::none());
+    let tagging = clos_tagging(&topo, 1).expect("clos fabric");
+    let cfg = SimConfig {
+        switch: SwitchConfig {
+            buffer_bytes: 150_000,
+            ..testbed_switch_config(2)
+        },
+        pfc_extra_delay_ns: TESTBED_PFC_DELAY_NS,
+        transition: if correct {
+            tagger_switch::TransitionMode::EgressByNewTag
+        } else {
+            tagger_switch::TransitionMode::EgressByOldTag
+        },
+        end_time_ns: end_ns,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(topo.clone(), fib, Some(tagging.rules().clone()), cfg);
+    let a_path = names(&topo, &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"]);
+    let h9 = topo.expect_node("H9");
+    let h1 = topo.expect_node("H1");
+    let h2 = topo.expect_node("H2");
+    sim.add_flow(FlowSpec::new(h9, h1, 0).pinned(a_path));
+    sim.add_flow(FlowSpec::new(h2, h1, 0));
+    Experiment {
+        sim,
+        labels: vec!["A(H9->H1, bounce)".into(), "B(H2->H1)".into()],
+    }
+}
+
+/// **Performance penalty** (§8, "Tagger imposes negligible performance
+/// penalty"): a random permutation workload on the healthy fabric, with
+/// or without Tagger. No failures, no bounces — Tagger only rewrites
+/// DSCP, so goodput should be statistically identical.
+pub fn perf_penalty(with_tagger: bool, seed: u64, end_ns: u64) -> Experiment {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let topo = ClosConfig::small().build();
+    let mut sim = testbed_sim(&topo, with_tagger, 1, end_ns);
+    let hosts: Vec<NodeId> = topo.host_ids().collect();
+    let mut dsts = hosts.clone();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // Derangement-ish: shuffle until no host sends to itself.
+    loop {
+        dsts.shuffle(&mut rng);
+        if hosts.iter().zip(&dsts).all(|(a, b)| a != b) {
+            break;
+        }
+    }
+    let mut labels = Vec::new();
+    for (src, dst) in hosts.iter().zip(&dsts) {
+        sim.add_flow(FlowSpec::new(*src, *dst, 0));
+        labels.push(format!(
+            "{}->{}",
+            topo.node(*src).name,
+            topo.node(*dst).name
+        ));
+    }
+    Experiment { sim, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const END: u64 = 4_000_000; // 4 ms
+
+    #[test]
+    fn fig10_without_tagger_deadlocks() {
+        let (report, _) = fig10_bounce_deadlock(false, END).run();
+        assert!(report.deadlock.is_some(), "expected deadlock");
+        // Both flows frozen at the end.
+        assert_eq!(report.stalled_flows(5), 2);
+        assert_eq!(report.lossless_drops, 0); // PFC never drops, it freezes
+    }
+
+    #[test]
+    fn fig10_with_tagger_no_deadlock() {
+        let (report, _) = fig10_bounce_deadlock(true, END).run();
+        assert!(report.deadlock.is_none());
+        assert_eq!(report.stalled_flows(5), 0);
+        for f in &report.flows {
+            assert!(f.tail_rate(5) > 10e9, "flow {} too slow", f.flow);
+        }
+        assert_eq!(report.lossless_drops, 0);
+    }
+
+    #[test]
+    fn fig11_without_tagger_pauses_victim() {
+        let (report, _) = fig11_routing_loop(false, END).run();
+        // F2 (index 1) must be frozen by the loop-induced deadlock.
+        assert!(report.flows[1].stalled(5), "F2 should be stalled");
+        assert!(report.deadlock.is_some());
+    }
+
+    #[test]
+    fn fig11_with_tagger_victim_unaffected() {
+        let (report, _) = fig11_routing_loop(true, END).run();
+        assert!(report.deadlock.is_none());
+        let f2 = &report.flows[1];
+        assert!(f2.tail_rate(5) > 5e9, "F2 rate {}", f2.tail_rate(5));
+        // F1's packets loop and die of TTL (goodput ~0 after the loop).
+        let f1 = &report.flows[0];
+        assert_eq!(f1.tail_rate(3), 0.0);
+        assert!(f1.ttl_drops > 0 || report.lossy_drops > 0);
+    }
+
+    #[test]
+    fn fig12_without_tagger_freezes_all_eight() {
+        let (report, _) = fig12_pause_propagation(false, END).run();
+        assert!(report.deadlock.is_some());
+        // All eight flows deliver nothing at the end; the two bouncing
+        // flows additionally show the ran-then-stalled signature.
+        assert_eq!(report.frozen_flows(5), 8, "all flows must freeze");
+        assert!(report.stalled_flows(5) >= 2);
+    }
+
+    #[test]
+    fn fig12_with_tagger_all_run() {
+        let (report, _) = fig12_pause_propagation(true, END).run();
+        assert!(report.deadlock.is_none());
+        assert_eq!(report.frozen_flows(5), 0);
+    }
+
+    #[test]
+    fn failure_sweep_tagger_never_deadlocks() {
+        let mut vanilla_deadlocks = 0;
+        for seed in 0..6u64 {
+            let vanilla = failure_trial(false, seed, 2, 4_000_000);
+            if vanilla.deadlock.is_some() {
+                vanilla_deadlocks += 1;
+            }
+            let tagger = failure_trial(true, seed, 2, 4_000_000);
+            assert!(tagger.deadlock.is_none(), "seed {seed} deadlocked with Tagger");
+            assert_eq!(
+                tagger.frozen_flows(3),
+                0,
+                "seed {seed}: frozen flows with Tagger"
+            );
+            assert_eq!(tagger.lossless_drops, 0);
+        }
+        assert!(
+            vanilla_deadlocks > 0,
+            "the sweep should produce at least one vanilla deadlock"
+        );
+    }
+
+    #[test]
+    fn bcube_ring_deadlocks_without_tagger() {
+        let (report, _) = bcube_ring(false, 8_000_000).run();
+        assert!(report.deadlock.is_some(), "server-buffer CBD must lock");
+        assert_eq!(report.frozen_flows(5), 4);
+    }
+
+    #[test]
+    fn bcube_ring_with_tagger_runs_losslessly() {
+        let (report, _) = bcube_ring(true, 8_000_000).run();
+        assert!(report.deadlock.is_none());
+        assert_eq!(report.frozen_flows(5), 0);
+        assert_eq!(report.lossless_drops, 0);
+        assert_eq!(report.lossy_drops, 0); // ELP covers every route
+        for f in &report.flows {
+            assert!(f.tail_rate(5) > 15e9, "flow {} at {}", f.flow, f.tail_rate(5));
+        }
+    }
+
+    #[test]
+    fn dcqcn_slashes_pause_count_at_similar_goodput() {
+        let (without, _) = dcqcn_incast(false, 5_000_000).run();
+        let (with, _) = dcqcn_incast(true, 5_000_000).run();
+        assert!(
+            with.pauses_sent * 5 < without.pauses_sent,
+            "expected >5x PAUSE reduction: {} vs {}",
+            with.pauses_sent,
+            without.pauses_sent
+        );
+        let ratio = with.aggregate_goodput_bps() / without.aggregate_goodput_bps();
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "goodput ratio {ratio} out of range"
+        );
+        assert_eq!(with.lossless_drops, 0);
+    }
+
+    #[test]
+    fn deadlock_persists_under_pause_quanta() {
+        // Real PFC pauses expire unless refreshed; a CBD deadlock's
+        // ingress never drains, so the refresh never stops and the
+        // deadlock is just as permanent (paper §1: deadlocks are not
+        // transient).
+        let topo = ClosConfig::small().build();
+        let fib = Fib::shortest_path(&topo, &FailureSet::none());
+        let cfg = crate::SimConfig {
+            switch: testbed_switch_config(1),
+            pfc_extra_delay_ns: TESTBED_PFC_DELAY_NS,
+            pause_quanta_ns: Some(50_000),
+            end_time_ns: END,
+            ..crate::SimConfig::default()
+        };
+        let mut sim = Simulator::new(topo.clone(), fib, None, cfg);
+        let blue = names(&topo, &["H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13"]);
+        let green = names(&topo, &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"]);
+        sim.add_flow(FlowSpec::new(blue[0], *blue.last().unwrap(), 0).pinned(blue.clone()));
+        sim.add_flow(
+            FlowSpec::new(green[0], *green.last().unwrap(), END / 5).pinned(green.clone()),
+        );
+        let report = sim.run();
+        assert!(report.deadlock.is_some(), "deadlock must survive quanta expiry");
+        assert_eq!(report.frozen_flows(5), 2);
+    }
+
+    #[test]
+    fn recovery_fires_repeatedly_without_tagger() {
+        let (report, _) = recovery_baseline(false, 20_000_000).run();
+        assert!(
+            report.recoveries >= 2,
+            "expected recurring deadlocks, got {} recoveries",
+            report.recoveries
+        );
+        assert!(report.recovery_drops > 0, "recovery must sacrifice packets");
+    }
+
+    #[test]
+    fn recovery_never_needed_with_tagger() {
+        let (report, _) = recovery_baseline(true, 20_000_000).run();
+        assert_eq!(report.recoveries, 0);
+        assert_eq!(report.recovery_drops, 0);
+        assert!(report.deadlock.is_none());
+    }
+
+    #[test]
+    fn transient_failure_deadlock_survives_reconvergence_without_tagger() {
+        let (report, _) = transient_failure(false, 10_000_000).run();
+        assert!(report.deadlock.is_some());
+        // Routing reconverged at 6 ms, yet both flows stay frozen to the
+        // end — the paper's §1 persistence claim.
+        assert_eq!(report.frozen_flows(10), 2);
+    }
+
+    #[test]
+    fn transient_failure_with_tagger_recovers() {
+        let (report, _) = transient_failure(true, 10_000_000).run();
+        assert!(report.deadlock.is_none());
+        // The ricocheting packets were absorbed by the lossy class...
+        assert!(report.lossy_drops > 0);
+        assert_eq!(report.lossless_drops, 0);
+        // ...the victim was never frozen, and both flows are back at
+        // line rate after reconvergence.
+        for f in &report.flows {
+            assert!(
+                f.tail_rate(5) > 35e9,
+                "flow {} did not recover: {}",
+                f.flow,
+                f.tail_rate(5)
+            );
+        }
+    }
+
+    #[test]
+    fn fig8_correct_transition_never_drops() {
+        let (report, _) = fig8_priority_transition(true, END).run();
+        assert_eq!(report.lossless_drops, 0);
+        // Flow A still makes progress under PFC back-pressure.
+        assert!(report.flows[0].tail_rate(5) > 1e9);
+    }
+
+    #[test]
+    fn fig8_old_tag_transition_drops_lossless() {
+        let (report, _) = fig8_priority_transition(false, END).run();
+        assert!(
+            report.lossless_drops > 0,
+            "expected lossless drops from the Fig 8(a) bug"
+        );
+    }
+
+    #[test]
+    fn perf_penalty_parity() {
+        let (with, _) = perf_penalty(true, 42, END).run();
+        let (without, _) = perf_penalty(false, 42, END).run();
+        assert!(with.deadlock.is_none());
+        assert!(without.deadlock.is_none());
+        let a = with.aggregate_goodput_bps();
+        let b = without.aggregate_goodput_bps();
+        let penalty = (b - a) / b;
+        assert!(
+            penalty.abs() < 0.02,
+            "tagger penalty {penalty:.3} exceeds 2% (with={a:.3e}, without={b:.3e})"
+        );
+    }
+}

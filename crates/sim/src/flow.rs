@@ -1,0 +1,234 @@
+//! Flow specifications and per-flow accounting.
+
+use crate::event::SimTime;
+use std::collections::BTreeMap;
+use tagger_core::Tag;
+use tagger_topo::{NodeId, PortId, Topology};
+
+/// How a flow's packets are routed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Destination-based forwarding through the simulator's FIB, with
+    /// per-flow ECMP hashing.
+    Fib,
+    /// Pinned to an explicit node path (must be loop-free); used to
+    /// reproduce the paper's exact scenarios. Stored as a per-node
+    /// next-hop map, so any switch on the path knows where to send.
+    Pinned(Vec<NodeId>),
+}
+
+/// A flow to inject: an RDMA-style long-lived transfer from `src` to
+/// `dst`, sending fixed-size packets at line rate subject only to PFC.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Time the flow starts.
+    pub start: SimTime,
+    /// Routing mode.
+    pub route: Route,
+    /// Initial tag carried by the flow's packets (class initial tag;
+    /// [`Tag::INITIAL`] for the single-class case).
+    pub initial_tag: Tag,
+    /// Optional total byte limit; `None` = run forever.
+    pub limit_bytes: Option<u64>,
+}
+
+impl FlowSpec {
+    /// A forever flow routed by the FIB starting at `start`.
+    pub fn new(src: NodeId, dst: NodeId, start: SimTime) -> FlowSpec {
+        FlowSpec {
+            src,
+            dst,
+            start,
+            route: Route::Fib,
+            initial_tag: Tag::INITIAL,
+            limit_bytes: None,
+        }
+    }
+
+    /// Pins the flow to an explicit path.
+    pub fn pinned(mut self, path: Vec<NodeId>) -> FlowSpec {
+        self.route = Route::Pinned(path);
+        self
+    }
+
+    /// Sets the initial tag (multi-class experiments).
+    pub fn with_initial_tag(mut self, tag: Tag) -> FlowSpec {
+        self.initial_tag = tag;
+        self
+    }
+
+    /// Caps the flow at a total byte count.
+    pub fn with_limit(mut self, bytes: u64) -> FlowSpec {
+        self.limit_bytes = Some(bytes);
+        self
+    }
+}
+
+/// Mutable per-flow state inside the simulator.
+#[derive(Clone, Debug)]
+pub(crate) struct FlowState {
+    pub spec: FlowSpec,
+    /// Next-hop map for pinned routes: node -> egress port.
+    pub pinned_ports: Option<BTreeMap<NodeId, PortId>>,
+    pub started: bool,
+    pub injected_bytes: u64,
+    pub delivered_bytes: u64,
+    pub delivered_packets: u64,
+    pub ttl_drops: u64,
+    /// Delivered bytes at the last sample tick (for the rate series).
+    pub last_sample_bytes: u64,
+    /// Rate series in bits/s, one entry per sample interval.
+    pub rate_series: Vec<f64>,
+}
+
+impl FlowState {
+    pub fn new(spec: FlowSpec, topo: &Topology) -> FlowState {
+        let pinned_ports = match &spec.route {
+            Route::Fib => None,
+            Route::Pinned(path) => {
+                let mut map = BTreeMap::new();
+                for w in path.windows(2) {
+                    let port = topo.port_towards(w[0], w[1]).unwrap_or_else(|| {
+                        panic!("pinned path hop not adjacent: {} -> {}", w[0], w[1])
+                    });
+                    map.insert(w[0], port);
+                }
+                Some(map)
+            }
+        };
+        FlowState {
+            spec,
+            pinned_ports,
+            started: false,
+            injected_bytes: 0,
+            delivered_bytes: 0,
+            delivered_packets: 0,
+            ttl_drops: 0,
+            last_sample_bytes: 0,
+            rate_series: Vec::new(),
+        }
+    }
+
+    /// True if the flow has bytes left to inject at the given time.
+    pub fn wants_to_send(&self, now: SimTime) -> bool {
+        self.started
+            && now >= self.spec.start
+            && self
+                .spec
+                .limit_bytes
+                .is_none_or(|limit| self.injected_bytes < limit)
+    }
+}
+
+/// Per-flow results of a simulation run.
+#[derive(Clone, Debug)]
+pub struct FlowReport {
+    /// Flow id (index in insertion order).
+    pub flow: u32,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Bytes delivered to the destination.
+    pub delivered_bytes: u64,
+    /// Packets delivered.
+    pub delivered_packets: u64,
+    /// Packets dropped on TTL expiry (routing loops).
+    pub ttl_drops: u64,
+    /// Goodput time series in bits/s, one entry per sample interval.
+    pub rate_series: Vec<f64>,
+}
+
+impl FlowReport {
+    /// Mean goodput over the last `n` samples, in bits/s.
+    pub fn tail_rate(&self, n: usize) -> f64 {
+        if self.rate_series.is_empty() {
+            return 0.0;
+        }
+        let take = n.min(self.rate_series.len());
+        let tail = &self.rate_series[self.rate_series.len() - take..];
+        tail.iter().sum::<f64>() / take as f64
+    }
+
+    /// True if the flow made no progress over the last `n` samples while
+    /// earlier samples show it did run — the throughput signature of a
+    /// deadlock-paused flow (paper Fig. 10).
+    pub fn stalled(&self, n: usize) -> bool {
+        self.rate_series.len() > n
+            && self.tail_rate(n) == 0.0
+            && self.delivered_bytes > 0
+    }
+
+    /// True if the flow delivered nothing over the last `n` samples —
+    /// whether it ran before (a stall) or was frozen from birth by PAUSE
+    /// propagation (paper Fig. 12).
+    pub fn frozen(&self, n: usize) -> bool {
+        !self.rate_series.is_empty() && self.tail_rate(n) == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagger_topo::ClosConfig;
+
+    #[test]
+    fn pinned_route_builds_next_hop_map() {
+        let topo = ClosConfig::small().build();
+        let path = ["H1", "T1", "L1", "S1", "L3", "T3", "H9"]
+            .iter()
+            .map(|n| topo.expect_node(n))
+            .collect::<Vec<_>>();
+        let spec = FlowSpec::new(path[0], path[6], 0).pinned(path.clone());
+        let state = FlowState::new(spec, &topo);
+        let map = state.pinned_ports.unwrap();
+        assert_eq!(map.len(), 6);
+        assert_eq!(
+            map[&topo.expect_node("T1")],
+            topo.port_towards(topo.expect_node("T1"), topo.expect_node("L1"))
+                .unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not adjacent")]
+    fn pinned_route_rejects_non_adjacent() {
+        let topo = ClosConfig::small().build();
+        let bad = vec![topo.expect_node("H1"), topo.expect_node("S1")];
+        let spec = FlowSpec::new(bad[0], bad[1], 0).pinned(bad.clone());
+        FlowState::new(spec, &topo);
+    }
+
+    #[test]
+    fn limit_gates_wants_to_send() {
+        let topo = ClosConfig::small().build();
+        let spec = FlowSpec::new(topo.expect_node("H1"), topo.expect_node("H9"), 10)
+            .with_limit(1000);
+        let mut st = FlowState::new(spec, &topo);
+        st.started = true;
+        assert!(!st.wants_to_send(5)); // before start
+        assert!(st.wants_to_send(10));
+        st.injected_bytes = 1000;
+        assert!(!st.wants_to_send(20));
+    }
+
+    #[test]
+    fn stalled_detects_zero_tail() {
+        let r = FlowReport {
+            flow: 0,
+            src: NodeId(0),
+            dst: NodeId(1),
+            delivered_bytes: 100,
+            delivered_packets: 1,
+            ttl_drops: 0,
+            rate_series: vec![1e9, 1e9, 0.0, 0.0, 0.0],
+        };
+        assert!(r.stalled(3));
+        assert!(!r.stalled(5)); // window includes the running samples
+        assert_eq!(r.tail_rate(2), 0.0);
+    }
+}

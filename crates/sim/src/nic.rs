@@ -1,0 +1,89 @@
+//! Host NIC model: line-rate injection gated by PFC.
+
+use tagger_switch::PfcFrame;
+use tagger_topo::PortId;
+
+/// The sending side of a host NIC.
+///
+/// RoCE NICs honor PFC on their access links: when a switch pauses a
+/// priority on a port, the NIC stops *injecting* packets of that priority
+/// there. The NIC round-robins among the host's active flows, which
+/// models multiple queue pairs sharing the link fairly. Multi-homed hosts
+/// (BCube servers) track pause state per port; their *forwarded* traffic
+/// is handled by the host's own data-plane [`tagger_switch::SwitchState`]
+/// in the simulator, not here.
+#[derive(Clone, Debug)]
+pub(crate) struct HostNic {
+    /// Flow ids sourced at this host.
+    pub flows: Vec<u32>,
+    /// Round-robin pointer into `flows`.
+    pub rr: usize,
+    /// Per-(port, priority) pause state set by received PFC frames.
+    paused: Vec<bool>,
+    num_lossless: usize,
+}
+
+impl HostNic {
+    pub fn new(ports: usize, num_lossless: u8) -> HostNic {
+        HostNic {
+            flows: Vec::new(),
+            rr: 0,
+            paused: vec![false; ports.max(1) * num_lossless as usize],
+            num_lossless: num_lossless as usize,
+        }
+    }
+
+    fn index(&self, port: PortId, priority: u8) -> Option<usize> {
+        let i = port.index() * self.num_lossless + priority as usize;
+        ((priority as usize) < self.num_lossless && i < self.paused.len()).then_some(i)
+    }
+
+    /// Applies a PFC frame received on `port`.
+    pub fn on_pfc(&mut self, port: PortId, frame: PfcFrame) {
+        let (priority, value) = match frame {
+            PfcFrame::Pause { priority } => (priority, true),
+            PfcFrame::Resume { priority } => (priority, false),
+        };
+        if let Some(i) = self.index(port, priority) {
+            self.paused[i] = value;
+        }
+    }
+
+    /// True if the given lossless priority is paused on `port`.
+    pub fn is_paused(&self, port: PortId, priority: u8) -> bool {
+        self.index(port, priority)
+            .map(|i| self.paused[i])
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pause_resume_round_trip() {
+        let mut nic = HostNic::new(1, 2);
+        assert!(!nic.is_paused(PortId(0), 0));
+        nic.on_pfc(PortId(0), PfcFrame::Pause { priority: 0 });
+        assert!(nic.is_paused(PortId(0), 0));
+        assert!(!nic.is_paused(PortId(0), 1));
+        nic.on_pfc(PortId(0), PfcFrame::Resume { priority: 0 });
+        assert!(!nic.is_paused(PortId(0), 0));
+    }
+
+    #[test]
+    fn ports_are_independent() {
+        let mut nic = HostNic::new(2, 2);
+        nic.on_pfc(PortId(1), PfcFrame::Pause { priority: 1 });
+        assert!(nic.is_paused(PortId(1), 1));
+        assert!(!nic.is_paused(PortId(0), 1));
+    }
+
+    #[test]
+    fn out_of_range_priority_ignored() {
+        let mut nic = HostNic::new(1, 2);
+        nic.on_pfc(PortId(0), PfcFrame::Pause { priority: 7 });
+        assert!(!nic.is_paused(PortId(0), 7));
+    }
+}

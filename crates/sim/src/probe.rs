@@ -1,0 +1,267 @@
+//! The Table 1 reroute-probability measurement (paper §3.2).
+//!
+//! The paper instruments production servers with IP-in-IP probes: the
+//! probe travels up to a high-layer switch, is decapsulated there and
+//! routed back; a returned TTL below the healthy-path value reveals that
+//! the return path was rerouted. We reproduce the *methodology* over a
+//! synthetic failure process (production traces are proprietary).
+//!
+//! The forwarding model matters: with instant global reconvergence a Clos
+//! absorbs single failures into equal-cost alternatives and no TTL
+//! deficit appears. Real fabrics reroute *locally* first — a switch whose
+//! chosen downlink is dead sends the packet to the best live alternative,
+//! which on the down-path means bouncing back up (paper §3.2, §4.2). The
+//! probe trace below does exactly that: greedy downhill forwarding by
+//! healthy distances, with local detours (excluding the arrival port)
+//! when the preferred next hop is dead.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tagger_routing::{shortest_path_dag, ShortestPaths};
+use tagger_topo::{FailureSet, NodeId, Topology};
+
+/// Configuration of the probing campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeConfig {
+    /// Measurements per day (the paper's Table 1 reports hundreds of
+    /// millions per day; scale to taste).
+    pub measurements: u64,
+    /// Probes per measurement (`n = 100` in the paper).
+    pub probes_per_measurement: u32,
+    /// Probability that any given link is down during one measurement.
+    pub link_failure_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            measurements: 1_000_000,
+            probes_per_measurement: 100,
+            link_failure_probability: 2e-7,
+            seed: 1,
+        }
+    }
+}
+
+/// One day's results, in the shape of the paper's Table 1 rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeDay {
+    /// Total measurements (`N`).
+    pub total: u64,
+    /// Measurements that observed a reroute (`M`).
+    pub rerouted: u64,
+}
+
+impl ProbeDay {
+    /// `M / N`, the reroute probability the paper reports (≈1e-5).
+    pub fn reroute_probability(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.rerouted as f64 / self.total as f64
+        }
+    }
+}
+
+/// Traces one probe from `src` toward `dst` under greedy local-reroute
+/// forwarding, returning the hop count, or `None` if the probe was lost.
+///
+/// `dist` must be the *healthy* shortest-path distances from `dst` (what
+/// switches believe before reconvergence). At each switch the probe
+/// prefers a live downhill neighbor (ECMP-selected by `hash`); if none is
+/// live it detours to the live neighbor closest to the destination,
+/// excluding the one it arrived from — a bounce.
+pub fn trace_local_reroute(
+    topo: &Topology,
+    dist: &ShortestPaths,
+    failures: &FailureSet,
+    src: NodeId,
+    dst: NodeId,
+    hash: u64,
+) -> Option<usize> {
+    const MAX_HOPS: usize = 30;
+    let d = |n: NodeId| dist.distance(n);
+    let mut here = src;
+    let mut prev: Option<NodeId> = None;
+    let mut hops = 0usize;
+    while here != dst {
+        if hops >= MAX_HOPS {
+            return None; // forwarding loop: probe dies of TTL
+        }
+        let dh = d(here)?;
+        // Preferred: live downhill neighbors (healthy ECMP set).
+        let downhill: Vec<NodeId> = failures
+            .live_neighbors(topo, here)
+            .map(|(_, _, v)| v)
+            .filter(|&v| d(v) == Some(dh.wrapping_sub(1)))
+            .filter(|&v| v == dst || topo.node(v).kind == tagger_topo::NodeKind::Switch)
+            .collect();
+        let next = if !downhill.is_empty() {
+            // Real switches hash with per-switch seeds; without this, a
+            // bounced probe would re-descend into the same dead leaf
+            // forever.
+            downhill[(hash as usize + here.0 as usize) % downhill.len()]
+        } else {
+            // Local reroute: best live neighbor, not the one we came from.
+            let mut best: Option<(u32, NodeId)> = None;
+            for (_, _, v) in failures.live_neighbors(topo, here) {
+                if Some(v) == prev {
+                    continue;
+                }
+                if v != dst && topo.node(v).kind != tagger_topo::NodeKind::Switch {
+                    continue;
+                }
+                if let Some(dv) = d(v) {
+                    if best.is_none_or(|(bd, _)| dv < bd) {
+                        best = Some((dv, v));
+                    }
+                }
+            }
+            best?.1
+        };
+        prev = Some(here);
+        here = next;
+        hops += 1;
+    }
+    Some(hops)
+}
+
+/// Runs one day of probing over `topo`.
+pub fn run_probe_day(topo: &Topology, cfg: &ProbeConfig) -> ProbeDay {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let hosts: Vec<NodeId> = topo.host_ids().collect();
+    let spines: Vec<NodeId> = topo
+        .switch_ids()
+        .filter(|&s| topo.node(s).layer == tagger_topo::Layer::Spine)
+        .collect();
+    assert!(
+        !hosts.is_empty() && !spines.is_empty(),
+        "need hosts and spines"
+    );
+
+    // Healthy distances from each host (switches' pre-failure view).
+    let healthy: Vec<_> = hosts
+        .iter()
+        .map(|&h| shortest_path_dag(topo, &FailureSet::none(), h))
+        .collect();
+
+    let links: Vec<_> = topo.link_ids().collect();
+    let mut rerouted = 0u64;
+    for m in 0..cfg.measurements {
+        let hi = (m as usize) % hosts.len();
+        let host = hosts[hi];
+        let spine = spines[(m as usize / hosts.len()) % spines.len()];
+
+        // Sample this measurement's failure state.
+        let mut failures = FailureSet::none();
+        let mut any = false;
+        for &l in &links {
+            if rng.random::<f64>() < cfg.link_failure_probability {
+                failures.fail(l);
+                any = true;
+            }
+        }
+        if !any {
+            continue; // healthy: all probes return the base TTL
+        }
+
+        // n probes differ in their ECMP hash; the measurement detects a
+        // reroute if any probe's hop count differs from the healthy
+        // distance (TTL deficit) or the probe is lost to a loop.
+        let base = healthy[hi].distance(spine).map(|d| d as usize);
+        let detected = (0..cfg.probes_per_measurement as u64).any(|p| {
+            let hops = trace_local_reroute(topo, &healthy[hi], &failures, spine, host, p);
+            hops.map(|h| Some(h) != base).unwrap_or(true)
+        });
+        if detected {
+            rerouted += 1;
+        }
+    }
+    ProbeDay {
+        total: cfg.measurements,
+        rerouted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagger_topo::ClosConfig;
+
+    #[test]
+    fn healthy_network_has_zero_reroutes() {
+        let topo = ClosConfig::small().build();
+        let cfg = ProbeConfig {
+            measurements: 10_000,
+            link_failure_probability: 0.0,
+            ..Default::default()
+        };
+        let day = run_probe_day(&topo, &cfg);
+        assert_eq!(day.rerouted, 0);
+        assert_eq!(day.reroute_probability(), 0.0);
+    }
+
+    #[test]
+    fn dead_downlink_forces_a_bounce_with_ttl_deficit() {
+        // Fail L1-T1: a probe descending S1 -> L1 must bounce back up and
+        // arrives with 2 extra hops.
+        let topo = ClosConfig::small().build();
+        let h1 = topo.expect_node("H1");
+        let s1 = topo.expect_node("S1");
+        let healthy = shortest_path_dag(&topo, &FailureSet::none(), h1);
+        let mut failures = FailureSet::none();
+        failures.fail_between(&topo, "L1", "T1");
+        // Hash 0 picks the first downhill (L1 by port order at S1).
+        let hops =
+            trace_local_reroute(&topo, &healthy, &failures, s1, h1, 0).expect("delivered");
+        assert_eq!(healthy.distance(s1), Some(3));
+        assert_eq!(hops, 5, "bounce adds two hops");
+        // A probe hashed onto L2 sees no deficit.
+        let hops2 =
+            trace_local_reroute(&topo, &healthy, &failures, s1, h1, 1).expect("delivered");
+        assert_eq!(hops2, 3);
+    }
+
+    #[test]
+    fn measurement_detects_the_bounce() {
+        let topo = ClosConfig::small().build();
+        let cfg = ProbeConfig {
+            measurements: 5_000,
+            link_failure_probability: 2e-4,
+            seed: 11,
+            ..Default::default()
+        };
+        let day = run_probe_day(&topo, &cfg);
+        assert!(day.rerouted > 0, "expected detected reroutes");
+        assert!(day.reroute_probability() < 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = ClosConfig::small().build();
+        let cfg = ProbeConfig {
+            measurements: 20_000,
+            link_failure_probability: 1e-4,
+            seed: 3,
+            ..Default::default()
+        };
+        assert_eq!(run_probe_day(&topo, &cfg), run_probe_day(&topo, &cfg));
+    }
+
+    #[test]
+    fn isolated_host_loses_probes() {
+        // Cut both of T1's uplinks: probes to H1 from the spine layer are
+        // lost (or loop) and the measurement is flagged.
+        let topo = ClosConfig::small().build();
+        let h1 = topo.expect_node("H1");
+        let s1 = topo.expect_node("S1");
+        let healthy = shortest_path_dag(&topo, &FailureSet::none(), h1);
+        let mut failures = FailureSet::none();
+        failures.fail_between(&topo, "T1", "L1");
+        failures.fail_between(&topo, "T1", "L2");
+        let hops = trace_local_reroute(&topo, &healthy, &failures, s1, h1, 0);
+        assert_eq!(hops, None);
+    }
+}

@@ -1,0 +1,155 @@
+//! Aggregated results of a simulation run.
+
+use crate::deadlock::DeadlockReport;
+use crate::event::SimTime;
+use crate::flow::FlowReport;
+
+/// Everything a simulation run produced.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Per-flow results, in flow-handle order.
+    pub flows: Vec<FlowReport>,
+    /// First persistent deadlock detected, if any.
+    pub deadlock: Option<DeadlockReport>,
+    /// Total PFC PAUSE frames emitted across all switches.
+    pub pauses_sent: u64,
+    /// Total lossy tail drops.
+    pub lossy_drops: u64,
+    /// Total lossless drops (0 unless thresholds/transition are broken).
+    pub lossless_drops: u64,
+    /// Packets dropped for lack of a route (blackholes).
+    pub no_route_drops: u64,
+    /// Times the detect-and-break recovery fired (0 unless
+    /// [`crate::SimConfig::recovery`] is on).
+    pub recoveries: u64,
+    /// Lossless packets sacrificed by recovery flushes.
+    pub recovery_drops: u64,
+    /// Packets flushed from interfaces that lost carrier (link failures).
+    pub link_down_drops: u64,
+    /// Sampled byte depths of the queues named in
+    /// [`crate::SimConfig::track_queues`]: one row per sample tick, one
+    /// column per tracked queue.
+    pub queue_series: Vec<Vec<u64>>,
+    /// Simulation horizon.
+    pub end_time_ns: SimTime,
+    /// Sample interval used for the rate series.
+    pub sample_interval_ns: SimTime,
+}
+
+impl SimReport {
+    /// Sum of delivered bytes over all flows.
+    pub fn total_delivered_bytes(&self) -> u64 {
+        self.flows.iter().map(|f| f.delivered_bytes).sum()
+    }
+
+    /// Mean aggregate goodput over the whole run, bits/s.
+    pub fn aggregate_goodput_bps(&self) -> f64 {
+        self.total_delivered_bytes() as f64 * 8.0 / (self.end_time_ns as f64 / 1e9)
+    }
+
+    /// Number of flows whose goodput is zero over the last `n` samples
+    /// despite having run before — the deadlock victim count.
+    pub fn stalled_flows(&self, n: usize) -> usize {
+        self.flows.iter().filter(|f| f.stalled(n)).count()
+    }
+
+    /// Number of flows delivering nothing over the last `n` samples,
+    /// including flows frozen from birth by PAUSE propagation.
+    pub fn frozen_flows(&self, n: usize) -> usize {
+        self.flows.iter().filter(|f| f.frozen(n)).count()
+    }
+
+    /// Renders per-flow rate series as a TSV table (time in µs, rates in
+    /// Gb/s) — what the bench binaries print for the paper's figures.
+    pub fn rates_tsv(&self, labels: &[&str]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("time_us");
+        for (i, f) in self.flows.iter().enumerate() {
+            let label = labels.get(i).copied().unwrap_or("");
+            if label.is_empty() {
+                let _ = write!(out, "\tflow{}", f.flow);
+            } else {
+                let _ = write!(out, "\t{label}");
+            }
+        }
+        out.push('\n');
+        let samples = self
+            .flows
+            .iter()
+            .map(|f| f.rate_series.len())
+            .max()
+            .unwrap_or(0);
+        for s in 0..samples {
+            let t_us = (s as u64 + 1) * self.sample_interval_ns / 1_000;
+            let _ = write!(out, "{t_us}");
+            for f in &self.flows {
+                let rate = f.rate_series.get(s).copied().unwrap_or(0.0) / 1e9;
+                let _ = write!(out, "\t{rate:.2}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagger_topo::NodeId;
+
+    fn flow(rates: Vec<f64>, delivered: u64) -> FlowReport {
+        FlowReport {
+            flow: 0,
+            src: NodeId(0),
+            dst: NodeId(1),
+            delivered_bytes: delivered,
+            delivered_packets: delivered / 1000,
+            ttl_drops: 0,
+            rate_series: rates,
+        }
+    }
+
+    #[test]
+    fn aggregate_math() {
+        let r = SimReport {
+            flows: vec![flow(vec![1e9; 4], 1_000_000), flow(vec![2e9; 4], 2_000_000)],
+            deadlock: None,
+            pauses_sent: 0,
+            lossy_drops: 0,
+            lossless_drops: 0,
+            no_route_drops: 0,
+            recoveries: 0,
+            recovery_drops: 0,
+            link_down_drops: 0,
+            queue_series: Vec::new(),
+            end_time_ns: 1_000_000,
+            sample_interval_ns: 250_000,
+        };
+        assert_eq!(r.total_delivered_bytes(), 3_000_000);
+        assert!((r.aggregate_goodput_bps() - 24e9).abs() < 1e6);
+        assert_eq!(r.stalled_flows(2), 0);
+    }
+
+    #[test]
+    fn tsv_has_header_and_rows() {
+        let r = SimReport {
+            flows: vec![flow(vec![40e9, 0.0], 1000)],
+            deadlock: None,
+            pauses_sent: 0,
+            lossy_drops: 0,
+            lossless_drops: 0,
+            no_route_drops: 0,
+            recoveries: 0,
+            recovery_drops: 0,
+            link_down_drops: 0,
+            queue_series: Vec::new(),
+            end_time_ns: 200_000,
+            sample_interval_ns: 100_000,
+        };
+        let tsv = r.rates_tsv(&["green"]);
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines[0], "time_us\tgreen");
+        assert_eq!(lines[1], "100\t40.00");
+        assert_eq!(lines[2], "200\t0.00");
+    }
+}

@@ -1,0 +1,1010 @@
+//! The simulator core: event loop, forwarding, PFC delivery.
+
+use crate::deadlock::{detect_deadlock, DeadlockReport};
+use crate::event::{Ev, EventQueue, SimTime};
+use crate::flow::{FlowReport, FlowSpec, FlowState, Route};
+use crate::nic::HostNic;
+use crate::report::SimReport;
+use std::collections::{BTreeMap, BTreeSet};
+use tagger_core::{RuleSet, TagDecision};
+use tagger_routing::{EcmpMode, Fib};
+use tagger_switch::{
+    AdmitOutcome, Packet, PacketId, PfcFrame, SwitchConfig, SwitchState, TransitionMode,
+};
+use tagger_topo::{GlobalPort, NodeId, NodeKind, PortId, Topology};
+
+/// Global simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Per-switch buffer/PFC configuration.
+    pub switch: SwitchConfig,
+    /// Priority-transition behaviour (Fig. 8); the correct new-tag mode
+    /// by default.
+    pub transition: TransitionMode,
+    /// Wire size of every injected packet.
+    pub packet_bytes: u32,
+    /// Extra PFC reaction delay on top of the link propagation delay
+    /// (MAC processing, scheduling).
+    pub pfc_extra_delay_ns: u64,
+    /// Interval between rate samples (and deadlock checks).
+    pub sample_interval_ns: u64,
+    /// Simulation horizon.
+    pub end_time_ns: u64,
+    /// Run the structural deadlock detector at every sample tick.
+    pub deadlock_check: bool,
+    /// Egress queues whose byte depth is sampled each tick (reported in
+    /// [`crate::SimReport::queue_series`]). A frozen deadlocked queue
+    /// shows as a flat line; a healthy congested queue breathes.
+    pub track_queues: Vec<(NodeId, PortId, u8)>,
+    /// DCQCN-lite congestion control (paper §6): switches must also set
+    /// [`SwitchConfig::ecn_threshold_bytes`] for marking to happen.
+    pub dcqcn: Option<crate::dcqcn::DcqcnConfig>,
+    /// PFC pause quanta: when set, a received PAUSE only gates for this
+    /// long and the pausing switch refreshes it at half-quanta intervals
+    /// while its ingress stays congested — the real 802.1Qbb timer
+    /// behaviour. `None` models PAUSE/RESUME as level signals (the
+    /// common simulator simplification). Deadlocks persist either way:
+    /// a frozen ingress never drains, so refreshes never stop.
+    pub pause_quanta_ns: Option<u64>,
+    /// Detect-and-break recovery (the prior-work category the paper's §1
+    /// critiques): when a deadlock cycle is detected, flush one of its
+    /// gated queues — dropping lossless packets — to break it. The
+    /// deadlock typically reforms moments later; see the
+    /// `recovery_baseline` experiment.
+    pub recovery: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            switch: SwitchConfig::default(),
+            transition: TransitionMode::EgressByNewTag,
+            packet_bytes: 1_000,
+            pfc_extra_delay_ns: 500,
+            sample_interval_ns: 100_000, // 100 µs
+            end_time_ns: 10_000_000,     // 10 ms
+            deadlock_check: true,
+            track_queues: Vec::new(),
+            dcqcn: None,
+            pause_quanta_ns: None,
+            recovery: false,
+        }
+    }
+}
+
+/// A scripted change applied at a given simulation time — how experiments
+/// model link failures (FIB reconvergence), routing errors and path
+/// repinning.
+#[derive(Clone, Debug)]
+pub enum Action {
+    /// Replace the whole FIB (e.g. post-failure reconvergence).
+    ReplaceFib(Fib),
+    /// Pin a flow to an explicit path from now on.
+    PinFlow {
+        /// Flow handle.
+        flow: u32,
+        /// The new path (must be loop-free and adjacent).
+        path: Vec<NodeId>,
+    },
+    /// Return a flow to FIB routing.
+    UnpinFlow {
+        /// Flow handle.
+        flow: u32,
+    },
+    /// Stop a flow injecting further packets.
+    StopFlow {
+        /// Flow handle.
+        flow: u32,
+    },
+    /// Take a link down: transmitters on both ends stop starting new
+    /// packets (in-flight ones still arrive). Routing does NOT change —
+    /// pair with [`Action::ReplaceFib`] to model reconvergence, or leave
+    /// the pre-failure FIB installed to model the paper's §3.2 transient
+    /// window.
+    FailLink {
+        /// The link.
+        link: tagger_topo::LinkId,
+    },
+    /// Bring a failed link back.
+    RestoreLink {
+        /// The link.
+        link: tagger_topo::LinkId,
+    },
+}
+
+/// The deterministic discrete-event simulator.
+pub struct Simulator {
+    topo: Topology,
+    cfg: SimConfig,
+    rules: Option<RuleSet>,
+    fib: Fib,
+    flows: Vec<FlowState>,
+    switches: BTreeMap<NodeId, SwitchState>,
+    nics: BTreeMap<NodeId, HostNic>,
+    tx_busy: BTreeSet<GlobalPort>,
+    /// Hosts' forwarded-vs-generated alternation state per port.
+    host_tx_alt: BTreeSet<GlobalPort>,
+    queue: EventQueue,
+    now: SimTime,
+    actions: Vec<(SimTime, Action)>,
+    packet_seq: u64,
+    no_route_drops: u64,
+    failed_links: BTreeSet<tagger_topo::LinkId>,
+    /// Receiver-side pause deadlines when quanta are modelled.
+    pause_deadline: BTreeMap<(GlobalPort, u8), SimTime>,
+    /// Per-flow congestion-control state (present when DCQCN is on).
+    cc: Vec<crate::dcqcn::FlowCc>,
+    deadlock: Option<DeadlockReport>,
+    deadlock_streak: u32,
+    recoveries: u64,
+    recovery_drops: u64,
+    link_down_drops: u64,
+    queue_series: Vec<Vec<u64>>,
+}
+
+impl Simulator {
+    /// Creates a simulator over `topo`, forwarding through `fib`, with
+    /// optional Tagger `rules` (no rules = vanilla single-tag RoCE: the
+    /// packet's tag is never rewritten).
+    pub fn new(topo: Topology, fib: Fib, rules: Option<RuleSet>, cfg: SimConfig) -> Simulator {
+        cfg.switch.validate().expect("invalid switch config");
+        // Every node gets a data plane: switches obviously, but hosts
+        // too — in server-centric fabrics (BCube) servers forward, and a
+        // forwarding server needs queues and PFC accounting exactly like
+        // a switch. Pure-endpoint hosts simply never receive a packet to
+        // forward.
+        let mut switches = BTreeMap::new();
+        let mut nics = BTreeMap::new();
+        for n in topo.node_ids() {
+            switches.insert(n, SwitchState::new(n, topo.node(n).num_ports(), cfg.switch));
+            if topo.node(n).kind == NodeKind::Host {
+                nics.insert(
+                    n,
+                    HostNic::new(topo.node(n).num_ports(), cfg.switch.num_lossless),
+                );
+            }
+        }
+        Simulator {
+            topo,
+            cfg,
+            rules,
+            fib,
+            flows: Vec::new(),
+            switches,
+            nics,
+            tx_busy: BTreeSet::new(),
+            host_tx_alt: BTreeSet::new(),
+            queue: EventQueue::default(),
+            now: 0,
+            actions: Vec::new(),
+            packet_seq: 0,
+            no_route_drops: 0,
+            failed_links: BTreeSet::new(),
+            pause_deadline: BTreeMap::new(),
+            cc: Vec::new(),
+            deadlock: None,
+            deadlock_streak: 0,
+            recoveries: 0,
+            recovery_drops: 0,
+            link_down_drops: 0,
+            queue_series: Vec::new(),
+        }
+    }
+
+    /// Registers a flow; returns its handle.
+    ///
+    /// # Panics
+    /// Panics if src/dst are not hosts.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> u32 {
+        assert_eq!(
+            self.topo.node(spec.src).kind,
+            NodeKind::Host,
+            "flow src must be a host"
+        );
+        assert_eq!(
+            self.topo.node(spec.dst).kind,
+            NodeKind::Host,
+            "flow dst must be a host"
+        );
+        let id = self.flows.len() as u32;
+        let mut state = FlowState::new(spec, &self.topo);
+        state.started = true;
+        let line_bps = self
+            .topo
+            .node(state.spec.src)
+            .link_at(PortId(0))
+            .map(|l| self.topo.link(l).capacity_bps as f64)
+            .unwrap_or(40e9);
+        self.nics
+            .get_mut(&state.spec.src)
+            .expect("host nic")
+            .flows
+            .push(id);
+        self.flows.push(state);
+        self.cc.push(crate::dcqcn::FlowCc::new(line_bps));
+        id
+    }
+
+    /// Schedules a scripted action.
+    pub fn at(&mut self, time: SimTime, action: Action) {
+        self.actions.push((time, action));
+    }
+
+    /// The topology (for scenario builders).
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Runs the simulation to the horizon and reports.
+    pub fn run(&mut self) -> SimReport {
+        // Seed events: flow starts, samples, scripted actions. Each flow
+        // kicks the port its first hop leaves through (multi-homed BCube
+        // servers pick per-route ports; everything else uses port 0).
+        let starts: Vec<(SimTime, GlobalPort)> = self
+            .flows
+            .iter()
+            .map(|f| {
+                let first_port = f
+                    .pinned_ports
+                    .as_ref()
+                    .and_then(|m| m.get(&f.spec.src).copied())
+                    .unwrap_or(PortId(0));
+                let port = GlobalPort::new(f.spec.src, first_port);
+                (f.spec.start, port)
+            })
+            .collect();
+        for (t, port) in starts {
+            self.queue.push(t, Ev::Kick { port });
+        }
+        let mut t = self.cfg.sample_interval_ns;
+        while t <= self.cfg.end_time_ns {
+            self.queue.push(t, Ev::Sample);
+            t += self.cfg.sample_interval_ns;
+        }
+        for (i, (t, _)) in self.actions.iter().enumerate() {
+            self.queue.push(*t, Ev::RunAction { index: i });
+        }
+        if let Some(dcqcn) = self.cfg.dcqcn {
+            for (i, f) in self.flows.iter().enumerate() {
+                self.queue.push(
+                    f.spec.start + dcqcn.increase_interval_ns,
+                    Ev::RateTick { flow: i as u32 },
+                );
+            }
+        }
+
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.cfg.end_time_ns {
+                break;
+            }
+            self.now = t;
+            match ev {
+                Ev::Kick { port } => self.try_transmit(port),
+                Ev::TxEnd { port } => {
+                    self.tx_busy.remove(&port);
+                    self.try_transmit(port);
+                }
+                Ev::Arrive { port, packet } => self.on_arrive(port, packet),
+                Ev::Pfc { port, frame } => self.on_pfc(port, frame),
+                Ev::PfcExpire { port, prio, deadline } => {
+                    self.on_pfc_expire(port, prio, deadline)
+                }
+                Ev::PfcRefresh { port, prio } => self.on_pfc_refresh(port, prio),
+                Ev::Cnp { flow } => {
+                    if let Some(dcqcn) = self.cfg.dcqcn {
+                        self.cc[flow as usize].on_cnp(&dcqcn, self.now);
+                    }
+                }
+                Ev::RateTick { flow } => {
+                    if let Some(dcqcn) = self.cfg.dcqcn {
+                        self.cc[flow as usize].on_tick(&dcqcn);
+                        // A raised rate may unblock the pacer right away.
+                        self.queue.push(
+                            self.now,
+                            Ev::Kick {
+                                port: GlobalPort::new(
+                                    self.flows[flow as usize].spec.src,
+                                    PortId(0),
+                                ),
+                            },
+                        );
+                        let next = self.now + dcqcn.increase_interval_ns;
+                        if next <= self.cfg.end_time_ns {
+                            self.queue.push(next, Ev::RateTick { flow });
+                        }
+                    }
+                }
+                Ev::Sample => self.on_sample(),
+                Ev::RunAction { index } => self.run_action(index),
+            }
+        }
+
+        self.report()
+    }
+
+    fn link_of(&self, port: GlobalPort) -> Option<&tagger_topo::Link> {
+        self.topo
+            .node(port.node)
+            .link_at(port.port)
+            .map(|l| self.topo.link(l))
+    }
+
+    fn serialization_ns(&self, port: GlobalPort, bytes: u32) -> u64 {
+        let link = self.link_of(port).expect("wired port");
+        (bytes as u64 * 8).saturating_mul(1_000_000_000) / link.capacity_bps
+    }
+
+    /// Attempts to start a transmission on `port` (idempotent; no-op when
+    /// busy or nothing eligible).
+    fn try_transmit(&mut self, port: GlobalPort) {
+        if self.tx_busy.contains(&port) {
+            return;
+        }
+        if let Some(l) = self.topo.node(port.node).link_at(port.port) {
+            if self.failed_links.contains(&l) {
+                return; // dead link: nothing leaves this port
+            }
+        }
+        let Some(link) = self.link_of(port) else {
+            return;
+        };
+        let latency = link.latency_ns;
+        // Forwarded (queued) traffic and locally-generated traffic share
+        // the port; hosts alternate between the two so neither starves
+        // (a forwarding BCube server still gets to send its own flows).
+        let is_host = self.topo.node(port.node).kind == NodeKind::Host;
+        let prefer_generator = is_host && self.host_tx_alt.contains(&port);
+        let mut packet = None;
+        if prefer_generator {
+            packet = self.next_host_packet(port.node, port.port);
+        }
+        if packet.is_none() {
+            let sw = self.switches.get_mut(&port.node).expect("dataplane");
+            let qp = sw.dequeue(port.port);
+            self.flush_switch_pfc(port.node);
+            packet = qp.map(|q| q.packet);
+        }
+        if packet.is_none() && is_host && !prefer_generator {
+            packet = self.next_host_packet(port.node, port.port);
+        }
+        if is_host && packet.is_some() {
+            if prefer_generator {
+                self.host_tx_alt.remove(&port);
+            } else {
+                self.host_tx_alt.insert(port);
+            }
+        }
+        let Some(packet) = packet else {
+            return;
+        };
+        let ser = self.serialization_ns(port, packet.size_bytes);
+        let peer = self.topo.peer_of(port).expect("wired port");
+        self.tx_busy.insert(port);
+        self.queue.push(self.now + ser, Ev::TxEnd { port });
+        self.queue.push(
+            self.now + ser + latency,
+            Ev::Arrive { port: peer, packet },
+        );
+    }
+
+    /// Picks the next packet a host injects: round-robin over its active,
+    /// un-paused flows, with DCQCN pacing if enabled. When every active
+    /// flow is merely paced into the future, schedules a wake-up kick at
+    /// the earliest eligible time.
+    fn next_host_packet(&mut self, host: NodeId, out_port: PortId) -> Option<Packet> {
+        let dcqcn = self.cfg.dcqcn.is_some();
+        let nic = self.nics.get_mut(&host).expect("host nic");
+        let n = nic.flows.len();
+        let mut wake: Option<SimTime> = None;
+        let mut chosen: Option<(usize, u32)> = None;
+        for i in 0..n {
+            let idx = (nic.rr + i) % n;
+            let fid = nic.flows[idx];
+            let flow = &self.flows[fid as usize];
+            if !flow.wants_to_send(self.now) {
+                continue;
+            }
+            // Only flows whose first hop leaves via this port (pinned
+            // multi-homed hosts pick their route's port; FIB flows use
+            // port 0).
+            let first_port = flow
+                .pinned_ports
+                .as_ref()
+                .and_then(|m| m.get(&host).copied())
+                .unwrap_or(PortId(0));
+            if first_port != out_port {
+                continue;
+            }
+            // Hosts honor PFC for the priority their tag maps to.
+            let tag = flow.spec.initial_tag;
+            let prio = if tag.0 >= 1 && tag.0 <= self.cfg.switch.num_lossless as u16 {
+                Some((tag.0 - 1) as u8)
+            } else {
+                None
+            };
+            if let Some(p) = prio {
+                if nic.is_paused(out_port, p) {
+                    continue;
+                }
+            }
+            if dcqcn {
+                let next_allowed = self.cc[fid as usize].next_allowed;
+                if next_allowed > self.now {
+                    wake = Some(wake.map_or(next_allowed, |w| w.min(next_allowed)));
+                    continue;
+                }
+            }
+            chosen = Some((idx, fid));
+            break;
+        }
+        let Some((idx, fid)) = chosen else {
+            if let Some(at) = wake {
+                self.queue.push(
+                    at,
+                    Ev::Kick {
+                        port: GlobalPort::new(host, out_port),
+                    },
+                );
+            }
+            return None;
+        };
+        self.nics.get_mut(&host).expect("host nic").rr = (idx + 1) % n;
+        self.packet_seq += 1;
+        let flow = &self.flows[fid as usize];
+        let mut packet = Packet::new(
+            PacketId(self.packet_seq),
+            fid,
+            flow.spec.dst,
+            self.cfg.packet_bytes,
+        );
+        packet.tag = Some(flow.spec.initial_tag);
+        self.flows[fid as usize].injected_bytes += packet.size_bytes as u64;
+        if dcqcn {
+            self.cc[fid as usize].after_send(self.now, packet.size_bytes as u64 * 8);
+        }
+        Some(packet)
+    }
+
+    /// Full packet arrival at `port`.
+    fn on_arrive(&mut self, port: GlobalPort, mut packet: Packet) {
+        let node = port.node;
+        // Deliver at the destination host.
+        if self.topo.node(node).kind == NodeKind::Host && packet.dst == node {
+            let f = &mut self.flows[packet.flow as usize];
+            f.delivered_bytes += packet.size_bytes as u64;
+            f.delivered_packets += 1;
+            // DCQCN: congestion-marked deliveries trigger a CNP back to
+            // the source after the reverse-path delay.
+            if packet.ecn {
+                if let Some(dcqcn) = self.cfg.dcqcn {
+                    self.queue.push(
+                        self.now + dcqcn.cnp_delay_ns,
+                        Ev::Cnp { flow: packet.flow },
+                    );
+                }
+            }
+            return;
+        }
+        // Otherwise forward — switches always; hosts when the route says
+        // so (BCube servers). A host with no onward route simply drops
+        // the misrouted packet, as a real endpoint would.
+
+        // TTL: what eventually kills looping packets (Fig 11).
+        if packet.ttl <= 1 {
+            self.flows[packet.flow as usize].ttl_drops += 1;
+            return;
+        }
+        packet.ttl -= 1;
+
+        // Forwarding decision.
+        let flow = &self.flows[packet.flow as usize];
+        let out_port = match &flow.pinned_ports {
+            Some(map) => map.get(&node).copied(),
+            None => {
+                if self.topo.node(node).kind == NodeKind::Switch {
+                    self.fib
+                        .select(node, packet.dst, packet.flow as u64, EcmpMode::FlowHash)
+                } else {
+                    None // hosts have no FIB
+                }
+            }
+        };
+        let Some(out_port) = out_port else {
+            self.no_route_drops += 1;
+            return;
+        };
+
+        // Tagger pipeline step 2: tag rewrite (forwarding hosts carry
+        // rules too in server-centric fabrics).
+        let arriving = packet.tag;
+        packet.tag = match (&self.rules, arriving) {
+            (Some(rules), Some(t)) => match rules.decide(node, t, port.port, out_port) {
+                TagDecision::Lossless(t2) => Some(t2),
+                TagDecision::Lossy => None,
+            },
+            // Lossy is sticky: no rule ever matches an absent tag.
+            (Some(_), None) => None,
+            // No Tagger deployed: tags ride unchanged.
+            (None, t) => t,
+        };
+
+        let sw = self.switches.get_mut(&node).expect("dataplane");
+        let outcome = sw.admit(port.port, out_port, arriving, packet, self.cfg.transition);
+        self.flush_switch_pfc(node);
+        if matches!(outcome, AdmitOutcome::Enqueued { .. }) {
+            self.try_transmit(GlobalPort::new(node, out_port));
+        }
+    }
+
+    /// Delivers PFC frames a switch wants to emit to the relevant
+    /// upstream neighbors, after the wire + reaction delay. With quanta
+    /// modelling on, every emitted PAUSE also arms the refresh timer.
+    fn flush_switch_pfc(&mut self, node: NodeId) {
+        let emitted = self
+            .switches
+            .get_mut(&node)
+            .expect("switch")
+            .take_emitted_pfc();
+        for (port, frame) in emitted {
+            let gp = GlobalPort::new(node, port);
+            self.send_pfc(gp, frame);
+        }
+    }
+
+    /// Sends one PFC frame from `gp` to its peer.
+    fn send_pfc(&mut self, gp: GlobalPort, frame: PfcFrame) {
+        let Some(link) = self.link_of(gp) else {
+            return;
+        };
+        let delay = link.latency_ns + self.cfg.pfc_extra_delay_ns;
+        let peer = self.topo.peer_of(gp).expect("wired");
+        self.queue.push(self.now + delay, Ev::Pfc { port: peer, frame });
+        if let (Some(quanta), PfcFrame::Pause { priority }) = (self.cfg.pause_quanta_ns, frame) {
+            self.queue.push(
+                self.now + quanta / 2,
+                Ev::PfcRefresh {
+                    port: gp,
+                    prio: priority,
+                },
+            );
+        }
+    }
+
+    /// Receiver-side quanta expiry: ungate unless a refresh moved the
+    /// deadline.
+    fn on_pfc_expire(&mut self, port: GlobalPort, prio: u8, deadline: SimTime) {
+        if self.pause_deadline.get(&(port, prio)) != Some(&deadline) {
+            return; // refreshed (or resumed) since this was scheduled
+        }
+        self.pause_deadline.remove(&(port, prio));
+        self.apply_pfc(port, PfcFrame::Resume { priority: prio });
+    }
+
+    /// Pauser-side refresh: while the congestion that triggered the
+    /// PAUSE persists, re-assert it before the peer's quanta runs out.
+    fn on_pfc_refresh(&mut self, port: GlobalPort, prio: u8) {
+        // Every node (forwarding hosts included) pauses from its data
+        // plane's ingress accounting.
+        let outstanding = self
+            .switches
+            .get(&port.node)
+            .expect("dataplane")
+            .pause_outstanding(port.port, prio);
+        if outstanding {
+            self.send_pfc(port, PfcFrame::Pause { priority: prio });
+        }
+    }
+
+    /// PFC frame arrival on the wire: manage quanta deadlines, then
+    /// apply.
+    fn on_pfc(&mut self, port: GlobalPort, frame: PfcFrame) {
+        if let Some(quanta) = self.cfg.pause_quanta_ns {
+            match frame {
+                PfcFrame::Pause { priority } => {
+                    let deadline = self.now + quanta;
+                    self.pause_deadline.insert((port, priority), deadline);
+                    self.queue.push(
+                        deadline,
+                        Ev::PfcExpire {
+                            port,
+                            prio: priority,
+                            deadline,
+                        },
+                    );
+                }
+                PfcFrame::Resume { priority } => {
+                    self.pause_deadline.remove(&(port, priority));
+                }
+            }
+        }
+        self.apply_pfc(port, frame);
+    }
+
+    /// Applies a PFC state change to the receiving node: the data plane
+    /// gate always, and (on hosts) the NIC's injection gate too.
+    fn apply_pfc(&mut self, port: GlobalPort, frame: PfcFrame) {
+        self.switches
+            .get_mut(&port.node)
+            .expect("dataplane")
+            .on_pfc(port.port, frame);
+        if let Some(nic) = self.nics.get_mut(&port.node) {
+            nic.on_pfc(port.port, frame);
+        }
+        if matches!(frame, PfcFrame::Resume { .. }) {
+            self.try_transmit(port);
+        }
+    }
+
+    /// Periodic sampling: per-flow rates, tracked queue depths, deadlock
+    /// detection.
+    fn on_sample(&mut self) {
+        let dt_s = self.cfg.sample_interval_ns as f64 / 1e9;
+        for f in &mut self.flows {
+            let delta = f.delivered_bytes - f.last_sample_bytes;
+            f.last_sample_bytes = f.delivered_bytes;
+            f.rate_series.push(delta as f64 * 8.0 / dt_s);
+        }
+        if !self.cfg.track_queues.is_empty() {
+            let row = self
+                .cfg
+                .track_queues
+                .iter()
+                .map(|&(node, port, queue)| {
+                    self.switches
+                        .get(&node)
+                        .map(|sw| sw.queue_depth_bytes(port, queue))
+                        .unwrap_or(0)
+                })
+                .collect();
+            self.queue_series.push(row);
+        }
+        if self.cfg.deadlock_check {
+            match detect_deadlock(&self.topo, &self.switches) {
+                Some(cycle) => {
+                    self.deadlock_streak += 1;
+                    // Require persistence over 3 samples before declaring
+                    // deadlock: transient pause cycles resolve themselves;
+                    // real CBD deadlocks do not.
+                    if self.deadlock_streak >= 3 && self.deadlock.is_none() {
+                        self.deadlock = Some(DeadlockReport {
+                            detected_at: self.now,
+                            cycle: cycle.clone(),
+                        });
+                    }
+                    if self.cfg.recovery {
+                        self.break_deadlock(&cycle);
+                    }
+                }
+                None => self.deadlock_streak = 0,
+            }
+        }
+    }
+
+    /// Detect-and-break recovery: flush the first gated queue of the
+    /// witness cycle, dropping its lossless packets, and wake the port.
+    fn break_deadlock(&mut self, cycle: &[(NodeId, PortId, u8)]) {
+        let Some(&(node, port, prio)) = cycle.first() else {
+            return;
+        };
+        let sw = self.switches.get_mut(&node).expect("switch");
+        let dropped = sw.flush_queue(port, prio);
+        self.recoveries += 1;
+        self.recovery_drops += dropped.len() as u64;
+        self.flush_switch_pfc(node);
+        self.try_transmit(GlobalPort::new(node, port));
+    }
+
+    fn run_action(&mut self, index: usize) {
+        let action = self.actions[index].1.clone();
+        match action {
+            Action::ReplaceFib(fib) => self.fib = fib,
+            Action::PinFlow { flow, path } => {
+                let spec = self.flows[flow as usize].spec.clone();
+                let spec = FlowSpec {
+                    route: Route::Pinned(path),
+                    ..spec
+                };
+                let old = &mut self.flows[flow as usize];
+                let fresh = FlowState::new(spec, &self.topo);
+                old.spec = fresh.spec;
+                old.pinned_ports = fresh.pinned_ports;
+            }
+            Action::UnpinFlow { flow } => {
+                let f = &mut self.flows[flow as usize];
+                f.spec.route = Route::Fib;
+                f.pinned_ports = None;
+            }
+            Action::StopFlow { flow } => {
+                let f = &mut self.flows[flow as usize];
+                f.spec.limit_bytes = Some(f.injected_bytes);
+            }
+            Action::FailLink { link } => {
+                self.failed_links.insert(link);
+                // Carrier loss: real switches flush packets queued on a
+                // dead interface (they would otherwise pin ingress PFC
+                // accounting forever and freeze their upstreams).
+                let l = self.topo.link(link);
+                for gp in [l.a, l.b] {
+                    let queues = self.cfg.switch.queues_per_port() as u8;
+                    let sw = self.switches.get_mut(&gp.node).expect("dataplane");
+                    for q in 0..queues {
+                        self.link_down_drops += sw.flush_queue(gp.port, q).len() as u64;
+                    }
+                    self.flush_switch_pfc(gp.node);
+                }
+            }
+            Action::RestoreLink { link } => {
+                if self.failed_links.remove(&link) {
+                    // Wake both transmitters.
+                    let l = self.topo.link(link);
+                    let (a, b) = (l.a, l.b);
+                    self.queue.push(self.now, Ev::Kick { port: a });
+                    self.queue.push(self.now, Ev::Kick { port: b });
+                }
+            }
+        }
+    }
+
+    fn report(&self) -> SimReport {
+        let flows = self
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| FlowReport {
+                flow: i as u32,
+                src: f.spec.src,
+                dst: f.spec.dst,
+                delivered_bytes: f.delivered_bytes,
+                delivered_packets: f.delivered_packets,
+                ttl_drops: f.ttl_drops,
+                rate_series: f.rate_series.clone(),
+            })
+            .collect();
+        let mut pauses = 0;
+        let mut lossy_drops = 0;
+        let mut lossless_drops = 0;
+        for sw in self.switches.values() {
+            pauses += sw.stats.pauses_sent;
+            lossy_drops += sw.stats.lossy_drops;
+            lossless_drops += sw.stats.lossless_drops;
+        }
+        SimReport {
+            flows,
+            deadlock: self.deadlock.clone(),
+            pauses_sent: pauses,
+            lossy_drops,
+            lossless_drops,
+            no_route_drops: self.no_route_drops,
+            recoveries: self.recoveries,
+            recovery_drops: self.recovery_drops,
+            link_down_drops: self.link_down_drops,
+            queue_series: self.queue_series.clone(),
+            end_time_ns: self.cfg.end_time_ns,
+            sample_interval_ns: self.cfg.sample_interval_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagger_topo::{ClosConfig, FailureSet};
+
+    fn small_sim(rules: Option<RuleSet>, num_lossless: u8) -> Simulator {
+        let topo = ClosConfig::small().build();
+        let fib = Fib::shortest_path(&topo, &FailureSet::none());
+        let cfg = SimConfig {
+            switch: SwitchConfig {
+                num_lossless,
+                xoff_bytes: 20_000,
+                xon_bytes: 10_000,
+                ..SwitchConfig::default()
+            },
+            end_time_ns: 2_000_000, // 2 ms
+            ..SimConfig::default()
+        };
+        Simulator::new(topo, fib, rules, cfg)
+    }
+
+    #[test]
+    fn single_flow_reaches_line_rate() {
+        let mut sim = small_sim(None, 1);
+        let topo = sim.topo().clone();
+        let f = sim.add_flow(FlowSpec::new(
+            topo.expect_node("H1"),
+            topo.expect_node("H9"),
+            0,
+        ));
+        let report = sim.run();
+        let r = &report.flows[f as usize];
+        // 40G line rate, minus serialization pipelining slack: expect
+        // > 90% of line rate in the last samples.
+        assert!(
+            r.tail_rate(5) > 36e9,
+            "tail rate {} too low",
+            r.tail_rate(5)
+        );
+        assert!(report.deadlock.is_none());
+        assert_eq!(report.lossless_drops, 0);
+    }
+
+    #[test]
+    fn two_flows_share_a_bottleneck_fairly() {
+        let mut sim = small_sim(None, 1);
+        let topo = sim.topo().clone();
+        // Both flows into H1: bottleneck is the T1 -> H1 access link.
+        let a = sim.add_flow(FlowSpec::new(
+            topo.expect_node("H2"),
+            topo.expect_node("H1"),
+            0,
+        ));
+        let b = sim.add_flow(FlowSpec::new(
+            topo.expect_node("H3"),
+            topo.expect_node("H1"),
+            0,
+        ));
+        let report = sim.run();
+        let ra = report.flows[a as usize].tail_rate(5);
+        let rb = report.flows[b as usize].tail_rate(5);
+        assert!(ra + rb > 36e9, "sum {}", ra + rb);
+        let ratio = ra / rb;
+        assert!((0.8..1.25).contains(&ratio), "unfair split {ratio}");
+        // PFC must have throttled the sources.
+        assert!(report.pauses_sent > 0);
+        assert_eq!(report.lossless_drops, 0);
+    }
+
+    #[test]
+    fn limited_flow_stops() {
+        let mut sim = small_sim(None, 1);
+        let topo = sim.topo().clone();
+        let f = sim.add_flow(
+            FlowSpec::new(topo.expect_node("H1"), topo.expect_node("H5"), 0)
+                .with_limit(50_000),
+        );
+        let report = sim.run();
+        assert_eq!(report.flows[f as usize].delivered_bytes, 50_000);
+    }
+
+    #[test]
+    fn pinned_flow_follows_its_path() {
+        let mut sim = small_sim(None, 1);
+        let topo = sim.topo().clone();
+        let path: Vec<NodeId> = ["H1", "T1", "L2", "S2", "L4", "T4", "H13"]
+            .iter()
+            .map(|n| topo.expect_node(n))
+            .collect();
+        let f = sim.add_flow(
+            FlowSpec::new(path[0], path[6], 0)
+                .pinned(path)
+                .with_limit(10_000),
+        );
+        let report = sim.run();
+        assert_eq!(report.flows[f as usize].delivered_bytes, 10_000);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let mut sim = small_sim(None, 1);
+            let topo = sim.topo().clone();
+            sim.add_flow(FlowSpec::new(
+                topo.expect_node("H1"),
+                topo.expect_node("H9"),
+                0,
+            ));
+            sim.add_flow(FlowSpec::new(
+                topo.expect_node("H2"),
+                topo.expect_node("H9"),
+                50_000,
+            ));
+            let r = sim.run();
+            (
+                r.flows[0].delivered_bytes,
+                r.flows[1].delivered_bytes,
+                r.pauses_sent,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pause_quanta_do_not_change_steady_state() {
+        // Incast with and without quanta modelling reaches the same
+        // sharing; refreshes keep pauses alive exactly as level signals
+        // would.
+        let run = |quanta: Option<u64>| {
+            let topo = ClosConfig::small().build();
+            let fib = Fib::shortest_path(&topo, &FailureSet::none());
+            let cfg = SimConfig {
+                switch: SwitchConfig {
+                    num_lossless: 1,
+                    xoff_bytes: 20_000,
+                    xon_bytes: 10_000,
+                    ..SwitchConfig::default()
+                },
+                pause_quanta_ns: quanta,
+                end_time_ns: 2_000_000,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::new(topo.clone(), fib, None, cfg);
+            sim.add_flow(FlowSpec::new(
+                topo.expect_node("H2"),
+                topo.expect_node("H1"),
+                0,
+            ));
+            sim.add_flow(FlowSpec::new(
+                topo.expect_node("H3"),
+                topo.expect_node("H1"),
+                0,
+            ));
+            let r = sim.run();
+            (
+                r.lossless_drops,
+                r.flows[0].tail_rate(5) + r.flows[1].tail_rate(5),
+            )
+        };
+        let (drops_level, sum_level) = run(None);
+        let (drops_quanta, sum_quanta) = run(Some(50_000));
+        assert_eq!(drops_level, 0);
+        assert_eq!(drops_quanta, 0);
+        assert!(sum_level > 36e9);
+        assert!(sum_quanta > 36e9);
+    }
+
+    #[test]
+    fn expired_pause_without_refresh_ungates() {
+        // Deliver a PAUSE whose sender immediately drains (so no refresh
+        // follows): the gate must lift after one quanta. Construct by
+        // letting the incast clear: single short flow, then observe the
+        // network quiesces with no stuck gates (all bytes delivered).
+        let topo = ClosConfig::small().build();
+        let fib = Fib::shortest_path(&topo, &FailureSet::none());
+        let cfg = SimConfig {
+            switch: SwitchConfig {
+                num_lossless: 1,
+                xoff_bytes: 4_000,
+                xon_bytes: 1_000,
+                ..SwitchConfig::default()
+            },
+            pause_quanta_ns: Some(20_000),
+            end_time_ns: 3_000_000,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(topo.clone(), fib, None, cfg);
+        let a = sim.add_flow(
+            FlowSpec::new(topo.expect_node("H2"), topo.expect_node("H1"), 0)
+                .with_limit(400_000),
+        );
+        let b = sim.add_flow(
+            FlowSpec::new(topo.expect_node("H3"), topo.expect_node("H1"), 0)
+                .with_limit(400_000),
+        );
+        let report = sim.run();
+        assert_eq!(report.flows[a as usize].delivered_bytes, 400_000);
+        assert_eq!(report.flows[b as usize].delivered_bytes, 400_000);
+        assert_eq!(report.lossless_drops, 0);
+    }
+
+    #[test]
+    fn stopped_flow_frees_bandwidth() {
+        let mut sim = small_sim(None, 1);
+        let topo = sim.topo().clone();
+        let a = sim.add_flow(FlowSpec::new(
+            topo.expect_node("H2"),
+            topo.expect_node("H1"),
+            0,
+        ));
+        let b = sim.add_flow(FlowSpec::new(
+            topo.expect_node("H3"),
+            topo.expect_node("H1"),
+            0,
+        ));
+        sim.at(1_000_000, Action::StopFlow { flow: a });
+        let report = sim.run();
+        // After a stops, b should climb back toward line rate.
+        let rb = report.flows[b as usize].tail_rate(3);
+        assert!(rb > 30e9, "b tail rate {rb}");
+        let _ = a;
+    }
+}

@@ -1,0 +1,111 @@
+//! Switch buffer and PFC configuration.
+
+/// Buffer and PFC parameters of one switch.
+///
+/// Defaults approximate the paper's testbed (Broadcom-based 40GbE
+/// switches) scaled so that simulations exercise PFC quickly: what
+/// matters for deadlock behaviour is the *ordering* Xon < Xoff and enough
+/// headroom to absorb in-flight bytes after a PAUSE, not the absolute
+/// sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwitchConfig {
+    /// Number of lossless priority queues per port. Tags `1..=n` map to
+    /// queues `0..n`; one extra lossy queue exists at index `n`.
+    /// Commodity switches realistically support 2-3 (paper §3.3).
+    pub num_lossless: u8,
+    /// Total shared packet buffer in bytes.
+    pub buffer_bytes: u64,
+    /// Per-(ingress port, priority) occupancy that triggers PAUSE.
+    pub xoff_bytes: u64,
+    /// Occupancy below which RESUME is sent. Must be < `xoff_bytes`.
+    pub xon_bytes: u64,
+    /// Capacity of each lossy egress queue; beyond it, lossy packets are
+    /// tail-dropped.
+    pub lossy_queue_bytes: u64,
+    /// ECN marking threshold: lossless packets enqueued behind more than
+    /// this many bytes get congestion-marked (consumed by DCQCN-style
+    /// control). `None` disables marking.
+    pub ecn_threshold_bytes: Option<u64>,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            num_lossless: 2,
+            buffer_bytes: 12 * 1024 * 1024,
+            xoff_bytes: 96 * 1024,
+            xon_bytes: 48 * 1024,
+            lossy_queue_bytes: 256 * 1024,
+            ecn_threshold_bytes: None,
+        }
+    }
+}
+
+impl SwitchConfig {
+    /// Validates invariants (Xon < Xoff ≤ buffer, at least one lossless
+    /// queue).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_lossless == 0 {
+            return Err("need at least one lossless priority".into());
+        }
+        if self.xon_bytes >= self.xoff_bytes {
+            return Err(format!(
+                "xon ({}) must be below xoff ({})",
+                self.xon_bytes, self.xoff_bytes
+            ));
+        }
+        if self.xoff_bytes > self.buffer_bytes {
+            return Err("xoff exceeds total buffer".into());
+        }
+        Ok(())
+    }
+
+    /// Queue index used for lossy traffic.
+    pub fn lossy_queue(&self) -> usize {
+        self.num_lossless as usize
+    }
+
+    /// Queues per port including the lossy one.
+    pub fn queues_per_port(&self) -> usize {
+        self.num_lossless as usize + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        SwitchConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_inverted_thresholds() {
+        let cfg = SwitchConfig {
+            xon_bytes: 100,
+            xoff_bytes: 100,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_lossless() {
+        let cfg = SwitchConfig {
+            num_lossless: 0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn queue_layout() {
+        let cfg = SwitchConfig {
+            num_lossless: 3,
+            ..Default::default()
+        };
+        assert_eq!(cfg.lossy_queue(), 3);
+        assert_eq!(cfg.queues_per_port(), 4);
+    }
+}

@@ -1,0 +1,32 @@
+//! # tagger-switch — a shared-buffer PFC switch model
+//!
+//! Models the data plane the paper's testbed switches (Arista 7060,
+//! Broadcom ASIC) implement, at the fidelity deadlock phenomena need:
+//!
+//! - per-(ingress-port, priority) **PFC accounting** with Xoff/Xon
+//!   thresholds: crossing Xoff emits a PAUSE to the upstream neighbor,
+//!   falling below Xon emits a RESUME (paper §2);
+//! - per-(egress-port, queue) **output queues**, with the lossless queues
+//!   gateable by received PFC frames and a lossy queue that never
+//!   generates PFC and tail-drops at capacity;
+//! - the three-step **Tagger pipeline** of Fig. 7: classify by arriving
+//!   tag, rewrite via the match-action rules, and enqueue at the egress
+//!   queue of the *new* tag — the priority-transition handling of Fig. 8
+//!   (enqueueing by the old tag is also available, to reproduce the
+//!   packet loss of Fig. 8(a));
+//! - a shared buffer pool with headroom reservation, so lossless traffic
+//!   is never dropped as long as thresholds are configured sanely.
+//!
+//! The switch is a passive state machine: the discrete-event simulator in
+//! `tagger-sim` drives it with packet arrivals, departures and PFC
+//! frames, and collects the PFC frames it wants to emit.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod packet;
+mod switch;
+
+pub use config::SwitchConfig;
+pub use packet::{Packet, PacketId};
+pub use switch::{AdmitOutcome, PfcFrame, QueuedPacket, SwitchState, SwitchStats, TransitionMode};

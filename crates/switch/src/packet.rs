@@ -1,0 +1,80 @@
+//! The packet model shared by the switch and the simulator.
+
+use tagger_core::Tag;
+use tagger_topo::NodeId;
+
+/// Globally unique packet identifier (assigned by the simulator).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(pub u64);
+
+/// A packet in flight.
+///
+/// Carries just what the data plane needs: Tagger's tag rides in the DSCP
+/// field of real packets (paper §7) and is modelled as `Option<Tag>` —
+/// `None` means the packet has been demoted to the lossy class, which is
+/// sticky for the rest of its life (no rule ever matches an absent tag).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Unique id.
+    pub id: PacketId,
+    /// Flow the packet belongs to (simulator-level concept).
+    pub flow: u32,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Wire size in bytes (headers included).
+    pub size_bytes: u32,
+    /// Tagger tag; `None` once demoted to lossy.
+    pub tag: Option<Tag>,
+    /// Remaining IP TTL; decremented per switch hop, dropped at zero —
+    /// what eventually kills looping packets in the paper's Figure 11.
+    pub ttl: u8,
+    /// ECN congestion-experienced mark, set by switches whose egress
+    /// queue exceeds the marking threshold. Consumed by DCQCN-style
+    /// congestion control at the receiver (paper §6 discusses DCQCN as a
+    /// complement that reduces PFC generation).
+    pub ecn: bool,
+}
+
+impl Packet {
+    /// The default TTL used by the measurement methodology in the paper
+    /// (§3.2 sets 64 in the inner header).
+    pub const DEFAULT_TTL: u8 = 64;
+
+    /// A fresh packet as injected by a host NIC: initial tag, full TTL.
+    pub fn new(id: PacketId, flow: u32, dst: NodeId, size_bytes: u32) -> Packet {
+        Packet {
+            id,
+            flow,
+            dst,
+            size_bytes,
+            tag: Some(Tag::INITIAL),
+            ttl: Self::DEFAULT_TTL,
+            ecn: false,
+        }
+    }
+
+    /// True if the packet is in the lossy class.
+    pub fn is_lossy(&self) -> bool {
+        self.tag.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_packets_are_lossless_tag1() {
+        let p = Packet::new(PacketId(1), 7, NodeId(3), 1024);
+        assert_eq!(p.tag, Some(Tag::INITIAL));
+        assert!(!p.is_lossy());
+        assert_eq!(p.ttl, 64);
+    }
+
+    #[test]
+    fn demotion_is_expressible() {
+        let mut p = Packet::new(PacketId(1), 7, NodeId(3), 1024);
+        p.tag = None;
+        assert!(p.is_lossy());
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests for the switch data plane: conservation laws and PFC
+//! protocol invariants under random admit/dequeue/PFC interleavings.
+
+use proptest::prelude::*;
+use tagger_core::Tag;
+use tagger_switch::{AdmitOutcome, Packet, PacketId, PfcFrame, SwitchConfig, SwitchState};
+use tagger_topo::{NodeId, PortId};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Admit { in_port: u16, out_port: u16, tag: u16 },
+    Dequeue { port: u16 },
+    Pause { port: u16, prio: u8 },
+    Resume { port: u16, prio: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..4, 0u16..4, 0u16..4)
+            .prop_map(|(in_port, out_port, tag)| Op::Admit { in_port, out_port, tag }),
+        (0u16..4).prop_map(|port| Op::Dequeue { port }),
+        (0u16..4, 0u8..3).prop_map(|(port, prio)| Op::Pause { port, prio }),
+        (0u16..4, 0u8..3).prop_map(|(port, prio)| Op::Resume { port, prio }),
+    ]
+}
+
+fn cfg() -> SwitchConfig {
+    SwitchConfig {
+        num_lossless: 2,
+        buffer_bytes: 50_000,
+        xoff_bytes: 8_000,
+        xon_bytes: 3_000,
+        lossy_queue_bytes: 5_000,
+        ecn_threshold_bytes: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Byte conservation: everything admitted is either still buffered or
+    /// was dequeued; drops never enter the buffer. Ingress occupancy
+    /// returns to zero when the switch drains.
+    #[test]
+    fn conservation_under_random_ops(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let mut sw = SwitchState::new(NodeId(0), 4, cfg());
+        let mut id = 0u64;
+        let mut admitted_bytes = 0u64;
+        let mut dequeued_bytes = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Admit { in_port, out_port, tag } => {
+                    if in_port == out_port { continue; }
+                    id += 1;
+                    let tag = (tag > 0).then_some(Tag(tag));
+                    let pkt = Packet {
+                        id: PacketId(id),
+                        flow: 0,
+                        dst: NodeId(9),
+                        size_bytes: 1_000,
+                        tag,
+                        ttl: 64,
+                        ecn: false,
+                    };
+                    let out = sw.admit(
+                        PortId(in_port),
+                        PortId(out_port),
+                        tag,
+                        pkt,
+                        tagger_switch::TransitionMode::EgressByNewTag,
+                    );
+                    if matches!(out, AdmitOutcome::Enqueued { .. }) {
+                        admitted_bytes += 1_000;
+                    }
+                }
+                Op::Dequeue { port } => {
+                    if let Some(qp) = sw.dequeue(PortId(port)) {
+                        dequeued_bytes += qp.packet.size_bytes as u64;
+                    }
+                }
+                Op::Pause { port, prio } =>
+                    sw.on_pfc(PortId(port), PfcFrame::Pause { priority: prio }),
+                Op::Resume { port, prio } =>
+                    sw.on_pfc(PortId(port), PfcFrame::Resume { priority: prio }),
+            }
+            prop_assert_eq!(
+                sw.buffered_bytes(),
+                admitted_bytes - dequeued_bytes,
+                "conservation violated"
+            );
+        }
+        // Drain completely: clear all gates, then dequeue everything.
+        for port in 0..4u16 {
+            for prio in 0..2u8 {
+                sw.on_pfc(PortId(port), PfcFrame::Resume { priority: prio });
+            }
+        }
+        for port in 0..4u16 {
+            while sw.dequeue(PortId(port)).is_some() {}
+        }
+        prop_assert_eq!(sw.buffered_bytes(), 0);
+        for port in 0..4u16 {
+            for prio in 0..2u8 {
+                prop_assert_eq!(sw.ingress_occupancy(PortId(port), prio), 0);
+            }
+        }
+    }
+
+    /// PFC protocol sanity: PAUSE and RESUME emissions alternate per
+    /// (port, priority) — never two PAUSEs without a RESUME between.
+    #[test]
+    fn pfc_emissions_alternate(ops in proptest::collection::vec(arb_op(), 1..300)) {
+        let mut sw = SwitchState::new(NodeId(0), 4, cfg());
+        let mut id = 0u64;
+        let mut last: std::collections::BTreeMap<(PortId, u8), bool> =
+            std::collections::BTreeMap::new();
+        let mut check = |sw: &mut SwitchState| {
+            for (port, frame) in sw.take_emitted_pfc() {
+                let (prio, is_pause) = match frame {
+                    PfcFrame::Pause { priority } => (priority, true),
+                    PfcFrame::Resume { priority } => (priority, false),
+                };
+                let prev = last.insert((port, prio), is_pause);
+                // First emission must be a PAUSE; afterwards alternate.
+                match prev {
+                    None => assert!(is_pause, "resume before any pause"),
+                    Some(p) => assert_ne!(p, is_pause, "repeated {frame:?}"),
+                }
+            }
+        };
+        for op in &ops {
+            match *op {
+                Op::Admit { in_port, out_port, tag } => {
+                    if in_port == out_port { continue; }
+                    id += 1;
+                    let tag = (tag > 0).then_some(Tag(tag));
+                    let pkt = Packet {
+                        id: PacketId(id), flow: 0, dst: NodeId(9),
+                        size_bytes: 1_000, tag, ttl: 64, ecn: false,
+                    };
+                    sw.admit(
+                        PortId(in_port), PortId(out_port), tag, pkt,
+                        tagger_switch::TransitionMode::EgressByNewTag,
+                    );
+                }
+                Op::Dequeue { port } => { sw.dequeue(PortId(port)); }
+                Op::Pause { port, prio } =>
+                    sw.on_pfc(PortId(port), PfcFrame::Pause { priority: prio }),
+                Op::Resume { port, prio } =>
+                    sw.on_pfc(PortId(port), PfcFrame::Resume { priority: prio }),
+            }
+            check(&mut sw);
+        }
+    }
+
+    /// A gated queue never emits packets; resuming restores service.
+    #[test]
+    fn gating_is_absolute(tag in 1u16..3, n in 1usize..10) {
+        let mut sw = SwitchState::new(NodeId(0), 4, cfg());
+        let prio = (tag - 1) as u8;
+        for i in 0..n {
+            let pkt = Packet {
+                id: PacketId(i as u64), flow: 0, dst: NodeId(9),
+                size_bytes: 1_000, tag: Some(Tag(tag)), ttl: 64, ecn: false,
+            };
+            sw.admit(
+                PortId(0), PortId(1), Some(Tag(tag)), pkt,
+                tagger_switch::TransitionMode::EgressByNewTag,
+            );
+        }
+        sw.on_pfc(PortId(1), PfcFrame::Pause { priority: prio });
+        prop_assert!(sw.dequeue(PortId(1)).is_none());
+        sw.on_pfc(PortId(1), PfcFrame::Resume { priority: prio });
+        let mut count = 0;
+        while sw.dequeue(PortId(1)).is_some() {
+            count += 1;
+        }
+        prop_assert_eq!(count, n);
+    }
+}

@@ -1,0 +1,159 @@
+//! BCube(n, k) server-centric fabrics (Guo et al., SIGCOMM 2009).
+//!
+//! The Tagger paper reports (§5.3) that Algorithm 2 needs only `k` tags on a
+//! k-level BCube with default routing; this builder provides the substrate
+//! for that experiment.
+
+use crate::{Layer, NodeId, Topology};
+
+/// Configuration for a BCube fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BCubeConfig {
+    /// Switch port count `n` (also the arity of each address digit).
+    pub n: usize,
+    /// Level count parameter `k`: the fabric has `k + 1` switch levels
+    /// `0..=k` and `n^(k+1)` servers.
+    pub k: usize,
+}
+
+impl BCubeConfig {
+    /// Number of servers: `n^(k+1)`.
+    pub fn num_servers(&self) -> usize {
+        self.n.pow(self.k as u32 + 1)
+    }
+
+    /// Number of switches: `(k+1) · n^k`.
+    pub fn num_switches(&self) -> usize {
+        (self.k + 1) * self.n.pow(self.k as u32)
+    }
+
+    /// Decomposes a server index into its `k+1` base-`n` address digits,
+    /// least-significant first: `a_0, a_1, …, a_k`.
+    pub fn digits(&self, server: usize) -> Vec<usize> {
+        let mut d = Vec::with_capacity(self.k + 1);
+        let mut s = server;
+        for _ in 0..=self.k {
+            d.push(s % self.n);
+            s /= self.n;
+        }
+        d
+    }
+
+    /// Recomposes base-`n` digits (least-significant first) into an index.
+    pub fn from_digits(&self, digits: &[usize]) -> usize {
+        digits
+            .iter()
+            .rev()
+            .fold(0, |acc, &d| acc * self.n + d)
+    }
+}
+
+/// Builds BCube(n, k).
+///
+/// Server `s` has address digits `a_k … a_0` (base `n`). At level `l`, the
+/// server connects to the level-`l` switch indexed by its address with
+/// digit `l` removed; the `n` servers differing only in digit `l` share
+/// that switch. Switches sit at [`Layer::Level`]`(l)`; servers at
+/// [`Layer::Host`].
+///
+/// Names: servers `H0..` (0-indexed by address), switches `B<l>_<i>`.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn bcube(n: usize, k: usize) -> Topology {
+    let cfg = BCubeConfig { n, k };
+    assert!(n >= 2, "bcube requires n >= 2");
+    let mut t = Topology::new();
+
+    let servers: Vec<NodeId> = (0..cfg.num_servers())
+        .map(|s| t.add_host(format!("H{s}")))
+        .collect();
+
+    let per_level = n.pow(k as u32);
+    let mut switches = Vec::with_capacity((k + 1) * per_level);
+    for l in 0..=k {
+        for i in 0..per_level {
+            switches.push(t.add_switch(format!("B{l}_{i}"), Layer::Level(l as u8)));
+        }
+    }
+
+    // Wire: server s connects at level l to switch whose index is s with
+    // digit l removed. Iterate switches-outer so each switch's ports are
+    // allocated to its n members in digit order (port p = member with
+    // digit-l value p), matching BCube conventions.
+    for l in 0..=k {
+        for i in 0..per_level {
+            let sw = switches[l * per_level + i];
+            // Reinsert each possible digit value at position l.
+            let mut idigits = Vec::with_capacity(k);
+            let mut rest = i;
+            for _ in 0..k {
+                idigits.push(rest % n);
+                rest /= n;
+            }
+            for v in 0..n {
+                let mut digits = Vec::with_capacity(k + 1);
+                digits.extend_from_slice(&idigits[..l]);
+                digits.push(v);
+                digits.extend_from_slice(&idigits[l..]);
+                let s = cfg.from_digits(&digits);
+                t.connect(servers[s], sw);
+            }
+        }
+    }
+
+    debug_assert!(t.check_consistency().is_ok());
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formulas() {
+        for (n, k) in [(2, 1), (4, 1), (3, 2)] {
+            let cfg = BCubeConfig { n, k };
+            let t = bcube(n, k);
+            assert_eq!(t.num_hosts(), cfg.num_servers(), "n={n} k={k}");
+            assert_eq!(t.num_switches(), cfg.num_switches(), "n={n} k={k}");
+            t.check_consistency().unwrap();
+        }
+    }
+
+    #[test]
+    fn each_server_has_k_plus_1_ports() {
+        let t = bcube(4, 1);
+        for h in t.host_ids() {
+            assert_eq!(t.node(h).num_ports(), 2);
+        }
+        for s in t.switch_ids() {
+            assert_eq!(t.node(s).num_ports(), 4);
+        }
+    }
+
+    #[test]
+    fn digits_round_trip() {
+        let cfg = BCubeConfig { n: 4, k: 2 };
+        for s in 0..cfg.num_servers() {
+            assert_eq!(cfg.from_digits(&cfg.digits(s)), s);
+        }
+    }
+
+    #[test]
+    fn level0_switch_groups_servers_differing_in_digit0() {
+        let t = bcube(4, 1);
+        // Servers 0,1,2,3 differ only in digit 0 -> share switch B0_0.
+        let sw = t.expect_node("B0_0");
+        for s in 0..4 {
+            let h = t.expect_node(&format!("H{s}"));
+            assert!(t.link_between(h, sw).is_some(), "H{s} not on B0_0");
+        }
+        // Servers 0,4,8,12 differ only in digit 1 -> share switch B1_0.
+        let sw = t.expect_node("B1_0");
+        for s in [0, 4, 8, 12] {
+            let h = t.expect_node(&format!("H{s}"));
+            assert!(t.link_between(h, sw).is_some(), "H{s} not on B1_0");
+        }
+    }
+}

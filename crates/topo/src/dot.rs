@@ -1,0 +1,53 @@
+//! Graphviz export for debugging and documentation.
+
+use crate::{NodeKind, Topology};
+use std::fmt::Write as _;
+
+impl Topology {
+    /// Renders the topology in Graphviz `dot` format.
+    ///
+    /// Hosts are boxes, switches ellipses; nodes carry their names and
+    /// links are unlabelled edges. Useful for eyeballing small fabrics:
+    ///
+    /// ```
+    /// use tagger_topo::ClosConfig;
+    /// let dot = ClosConfig::small().build().to_dot();
+    /// assert!(dot.starts_with("graph topology {"));
+    /// assert!(dot.contains("\"L1\" -- \"S1\""));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("graph topology {\n");
+        for id in self.node_ids() {
+            let n = self.node(id);
+            let shape = match n.kind {
+                NodeKind::Host => "box",
+                NodeKind::Switch => "ellipse",
+            };
+            let _ = writeln!(out, "  \"{}\" [shape={shape}];", n.name);
+        }
+        for l in self.link_ids() {
+            let link = self.link(l);
+            let _ = writeln!(
+                out,
+                "  \"{}\" -- \"{}\";",
+                self.node(link.a.node).name,
+                self.node(link.b.node).name
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ClosConfig;
+
+    #[test]
+    fn dot_lists_every_node_and_link() {
+        let topo = ClosConfig::small().build();
+        let dot = topo.to_dot();
+        assert_eq!(dot.matches(" -- ").count(), topo.num_links());
+        assert_eq!(dot.matches("[shape=").count(), topo.num_nodes());
+    }
+}

@@ -1,0 +1,124 @@
+//! Non-destructive link-failure overlays.
+
+use crate::{LinkId, NodeId, Topology};
+use std::collections::BTreeSet;
+
+/// A set of failed links, overlaid on a [`Topology`] without mutating it.
+///
+/// Routing code consults the failure set when computing reroutes, so a
+/// single topology can serve both the pre-failure view (for ELP
+/// enumeration) and the post-failure view (for reroute simulation) — the
+/// exact situation Tagger is designed around: tags are computed against
+/// the *expected* lossless paths, failures then push real traffic off them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FailureSet {
+    failed: BTreeSet<LinkId>,
+}
+
+impl FailureSet {
+    /// Creates an empty failure set (the healthy network).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Marks `link` failed. Idempotent.
+    pub fn fail(&mut self, link: LinkId) {
+        self.failed.insert(link);
+    }
+
+    /// Marks the link between the named nodes as failed.
+    ///
+    /// # Panics
+    /// Panics if either node does not exist or they are not adjacent —
+    /// experiment scripts should fail loudly on typos.
+    pub fn fail_between(&mut self, topo: &Topology, a: &str, b: &str) {
+        let na = topo.expect_node(a);
+        let nb = topo.expect_node(b);
+        let link = topo
+            .link_between(na, nb)
+            .unwrap_or_else(|| panic!("no link between {a} and {b}"));
+        self.fail(link);
+    }
+
+    /// Restores `link`. Idempotent.
+    pub fn restore(&mut self, link: LinkId) {
+        self.failed.remove(&link);
+    }
+
+    /// True if `link` is currently failed.
+    pub fn is_failed(&self, link: LinkId) -> bool {
+        self.failed.contains(&link)
+    }
+
+    /// True if the direct link between `a` and `b` is usable (exists and
+    /// not failed).
+    pub fn link_up(&self, topo: &Topology, a: NodeId, b: NodeId) -> bool {
+        topo.link_between(a, b).is_some_and(|l| !self.is_failed(l))
+    }
+
+    /// Number of failed links.
+    pub fn len(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// True if no links are failed.
+    pub fn is_empty(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// Iterates over failed links in id order.
+    pub fn iter(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.failed.iter().copied()
+    }
+
+    /// Surviving neighbors of `node`: like [`Topology::neighbors`] but with
+    /// failed links masked out.
+    pub fn live_neighbors<'a>(
+        &'a self,
+        topo: &'a Topology,
+        node: NodeId,
+    ) -> impl Iterator<Item = (crate::PortId, LinkId, NodeId)> + 'a {
+        topo.neighbors(node)
+            .filter(move |&(_, l, _)| !self.is_failed(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClosConfig;
+
+    #[test]
+    fn fail_and_restore_round_trip() {
+        let topo = ClosConfig::small().build();
+        let mut f = FailureSet::none();
+        assert!(f.is_empty());
+        f.fail_between(&topo, "L1", "T1");
+        assert_eq!(f.len(), 1);
+        let l1 = topo.expect_node("L1");
+        let t1 = topo.expect_node("T1");
+        assert!(!f.link_up(&topo, l1, t1));
+        let link = topo.link_between(l1, t1).unwrap();
+        f.restore(link);
+        assert!(f.link_up(&topo, l1, t1));
+    }
+
+    #[test]
+    fn live_neighbors_masks_failed_links() {
+        let topo = ClosConfig::small().build();
+        let mut f = FailureSet::none();
+        let l1 = topo.expect_node("L1");
+        let before = f.live_neighbors(&topo, l1).count();
+        f.fail_between(&topo, "L1", "S1");
+        let after = f.live_neighbors(&topo, l1).count();
+        assert_eq!(after, before - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link between")]
+    fn fail_between_nonadjacent_panics() {
+        let topo = ClosConfig::small().build();
+        let mut f = FailureSet::none();
+        f.fail_between(&topo, "T1", "S1"); // ToRs do not touch spines
+    }
+}

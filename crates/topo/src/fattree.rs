@@ -1,0 +1,119 @@
+//! The canonical k-ary FatTree (Al-Fares et al., SIGCOMM 2008).
+
+use crate::{Layer, NodeId, Topology};
+
+/// Builds a k-ary FatTree.
+///
+/// For even `k ≥ 2`: `(k/2)²` core switches, `k` pods each containing `k/2`
+/// aggregation and `k/2` edge switches, and `k/2` hosts per edge switch —
+/// `k³/4` hosts total. Core switches sit at [`Layer::Spine`], aggregation at
+/// [`Layer::Leaf`], edge at [`Layer::Tor`], so up-down routing and the Clos
+/// tagging construction apply unchanged.
+///
+/// Core switch `c` (0-indexed) connects to aggregation switch `c / (k/2)`
+/// of every pod, matching the standard FatTree wiring.
+///
+/// Names: `C1..` (core), `A1..` (aggregation), `E1..` (edge), `H1..`.
+///
+/// # Panics
+/// Panics if `k` is odd or less than 2.
+pub fn fat_tree(k: usize) -> Topology {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat_tree requires even k >= 2");
+    let half = k / 2;
+    let mut t = Topology::new();
+
+    let cores: Vec<NodeId> = (1..=half * half)
+        .map(|i| t.add_switch(format!("C{i}"), Layer::Spine))
+        .collect();
+
+    let mut aggs = Vec::new();
+    let mut edges = Vec::new();
+    for pod in 0..k {
+        for j in 0..half {
+            aggs.push(t.add_switch(format!("A{}", pod * half + j + 1), Layer::Leaf));
+        }
+        for j in 0..half {
+            edges.push(t.add_switch(format!("E{}", pod * half + j + 1), Layer::Tor));
+        }
+    }
+
+    // Core-aggregation: core c connects to agg (c / half) in every pod.
+    for (c, &core) in cores.iter().enumerate() {
+        let agg_index = c / half;
+        for pod in 0..k {
+            t.connect(aggs[pod * half + agg_index], core);
+        }
+    }
+    // Aggregation-edge full mesh within each pod.
+    for pod in 0..k {
+        for a in 0..half {
+            for e in 0..half {
+                t.connect(edges[pod * half + e], aggs[pod * half + a]);
+            }
+        }
+    }
+    // Hosts.
+    let mut h = 0;
+    for &edge in &edges {
+        for _ in 0..half {
+            h += 1;
+            let host = t.add_host(format!("H{h}"));
+            t.connect(host, edge);
+        }
+    }
+
+    debug_assert!(t.check_consistency().is_ok());
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+
+    #[test]
+    fn k4_has_canonical_counts() {
+        let t = fat_tree(4);
+        assert_eq!(t.num_switches(), 4 + 8 + 8); // 4 cores, 8 aggs, 8 edges
+        assert_eq!(t.num_hosts(), 16); // k^3/4
+        // Every switch uses exactly k ports.
+        for s in t.switch_ids() {
+            assert_eq!(t.node(s).num_ports(), 4, "{}", t.node(s).name);
+        }
+        for h in t.host_ids() {
+            assert_eq!(t.node(h).num_ports(), 1);
+            assert_eq!(t.node(h).kind, NodeKind::Host);
+        }
+    }
+
+    #[test]
+    fn core_wiring_is_striped() {
+        let t = fat_tree(4);
+        // Core 1 (index 0) connects to the first agg of each pod.
+        let c1 = t.expect_node("C1");
+        for pod in 0..4usize {
+            let a = t.expect_node(&format!("A{}", pod * 2 + 1));
+            assert!(t.link_between(a, c1).is_some());
+        }
+        // Core 3 (index 2) connects to the second agg of each pod.
+        let c3 = t.expect_node("C3");
+        for pod in 0..4usize {
+            let a = t.expect_node(&format!("A{}", pod * 2 + 2));
+            assert!(t.link_between(a, c3).is_some());
+        }
+    }
+
+    #[test]
+    fn k6_builds_consistent() {
+        let t = fat_tree(6);
+        t.check_consistency().unwrap();
+        assert_eq!(t.num_hosts(), 54);
+        assert_eq!(t.num_switches(), 9 + 18 + 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "even k")]
+    fn odd_k_panics() {
+        fat_tree(3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Strongly-typed identifiers for nodes, ports and links.
+//!
+//! All identifiers are small integer newtypes: cheap to copy, ordered and
+//! hashable, and safe against mixing (a `PortId` can never be passed where
+//! a `NodeId` is expected). Ports are node-local — the pair of a node and
+//! one of its ports is a [`GlobalPort`], the unit Tagger's rules and PFC's
+//! PAUSE frames operate on.
+
+use std::fmt;
+
+/// Identifier of a node (host or switch) within a [`crate::Topology`].
+///
+/// Node ids are dense indices assigned in insertion order, so they can be
+/// used directly as `Vec` indices by downstream crates.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a port, local to one node.
+///
+/// Port ids are dense per-node indices. Port 0 is the first port allocated
+/// on the node; builders allocate ports in a deterministic order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u16);
+
+/// Identifier of a bidirectional link within a [`crate::Topology`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// A node-qualified port: one end of a link, and the granularity at which
+/// Tagger's match-action rules and PFC PAUSE frames apply.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalPort {
+    /// The node the port belongs to.
+    pub node: NodeId,
+    /// The node-local port index.
+    pub port: PortId,
+}
+
+impl NodeId {
+    /// Returns the id as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PortId {
+    /// Returns the id as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// Returns the id as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl GlobalPort {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(node: NodeId, port: PortId) -> Self {
+        GlobalPort { node, port }
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Debug for GlobalPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+impl fmt::Display for GlobalPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(PortId(0) < PortId(7));
+        assert!(LinkId(3) < LinkId(4));
+    }
+
+    #[test]
+    fn global_port_orders_by_node_then_port() {
+        let a = GlobalPort::new(NodeId(1), PortId(9));
+        let b = GlobalPort::new(NodeId(2), PortId(0));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let gp = GlobalPort::new(NodeId(3), PortId(2));
+        assert_eq!(format!("{gp}"), "n3:p2");
+        assert_eq!(format!("{:?}", LinkId(5)), "l5");
+    }
+}

@@ -1,0 +1,244 @@
+//! Jellyfish random-graph fabrics (Singla et al., NSDI 2012).
+//!
+//! Used by the paper's Table 5 scalability study: Tagger needs only a
+//! handful of lossless priorities even on unstructured topologies of up to
+//! 2000 switches.
+
+use crate::{Layer, NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Configuration for a Jellyfish fabric: a random `network_degree`-regular
+/// graph over `switches` switches, with the remaining ports of each switch
+/// attached to servers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JellyfishConfig {
+    /// Number of switches.
+    pub switches: usize,
+    /// Ports per switch.
+    pub ports_per_switch: usize,
+    /// Ports per switch used for switch-switch links. Must be less than
+    /// `ports_per_switch`; the rest attach servers. The paper's Table 5
+    /// uses half the ports for the network.
+    pub network_degree: usize,
+    /// RNG seed: construction is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl JellyfishConfig {
+    /// Table 5 style configuration: half the ports connect to servers.
+    pub fn half_servers(switches: usize, ports_per_switch: usize, seed: u64) -> Self {
+        JellyfishConfig {
+            switches,
+            ports_per_switch,
+            network_degree: ports_per_switch / 2,
+            seed,
+        }
+    }
+
+    /// Builds the topology.
+    ///
+    /// Switches are [`Layer::Flat`] (Jellyfish has no layer structure), so
+    /// up-down routing is inapplicable; use shortest-path routing instead.
+    ///
+    /// The random regular graph is grown by the incremental Jellyfish
+    /// procedure: repeatedly join two random non-adjacent switches with
+    /// free ports; when no such pair remains but free ports do, break a
+    /// random existing link and splice the stuck switch into it. This
+    /// terminates with all (or all but one odd-stub) network ports used.
+    ///
+    /// Names: switches `J1..`, servers `H1..`.
+    ///
+    /// # Panics
+    /// Panics unless `2 ≤ network_degree < ports_per_switch` and
+    /// `switches > network_degree`.
+    pub fn build(&self) -> Topology {
+        assert!(
+            self.network_degree >= 2 && self.network_degree < self.ports_per_switch,
+            "need 2 <= network_degree < ports_per_switch"
+        );
+        assert!(
+            self.switches > self.network_degree,
+            "need more switches than the network degree"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut t = Topology::new();
+        let switches: Vec<NodeId> = (1..=self.switches)
+            .map(|i| t.add_switch(format!("J{i}"), Layer::Flat))
+            .collect();
+
+        // Adjacency as index pairs; free[i] = remaining network ports.
+        let n = self.switches;
+        let mut adj: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut free: Vec<usize> = vec![self.network_degree; n];
+        let key = |a: usize, b: usize| if a < b { (a, b) } else { (b, a) };
+
+        loop {
+            // Candidate switches with free ports.
+            let open: Vec<usize> = (0..n).filter(|&i| free[i] > 0).collect();
+            if open.is_empty() {
+                break;
+            }
+            // Try to find a random non-adjacent pair among open switches.
+            let mut joined = false;
+            for _ in 0..50 {
+                if open.len() < 2 {
+                    break;
+                }
+                let i = open[rng.random_range(0..open.len())];
+                let j = open[rng.random_range(0..open.len())];
+                if i != j && !adj.contains(&key(i, j)) {
+                    adj.insert(key(i, j));
+                    free[i] -= 1;
+                    free[j] -= 1;
+                    joined = true;
+                    break;
+                }
+            }
+            if joined {
+                continue;
+            }
+            // Stuck: exhaustively look for any joinable pair first.
+            let mut found = None;
+            'outer: for (xi, &i) in open.iter().enumerate() {
+                for &j in &open[xi + 1..] {
+                    if !adj.contains(&key(i, j)) {
+                        found = Some((i, j));
+                        break 'outer;
+                    }
+                }
+            }
+            if let Some((i, j)) = found {
+                adj.insert(key(i, j));
+                free[i] -= 1;
+                free[j] -= 1;
+                continue;
+            }
+            // Genuinely stuck: splice a stuck switch into a random edge.
+            let x = open[rng.random_range(0..open.len())];
+            if free[x] < 2 {
+                // A single odd stub can remain unused; Jellyfish accepts it.
+                break;
+            }
+            let edges: Vec<(usize, usize)> = adj
+                .iter()
+                .copied()
+                .filter(|&(u, v)| u != x && v != x)
+                .filter(|&(u, v)| !adj.contains(&key(x, u)) && !adj.contains(&key(x, v)))
+                .collect();
+            if edges.is_empty() {
+                break; // cannot improve further; leave remaining ports free
+            }
+            let (u, v) = edges[rng.random_range(0..edges.len())];
+            adj.remove(&key(u, v));
+            adj.insert(key(x, u));
+            adj.insert(key(x, v));
+            free[x] -= 2;
+        }
+
+        for &(i, j) in &adj {
+            t.connect(switches[i], switches[j]);
+        }
+
+        // Attach servers to the non-network ports.
+        let servers_per_switch = self.ports_per_switch - self.network_degree;
+        let mut h = 0;
+        for &sw in &switches {
+            for _ in 0..servers_per_switch {
+                h += 1;
+                let host = t.add_host(format!("H{h}"));
+                t.connect(host, sw);
+            }
+        }
+
+        debug_assert!(t.check_consistency().is_ok());
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_regular_graph() {
+        let cfg = JellyfishConfig::half_servers(20, 8, 7);
+        let t = cfg.build();
+        assert_eq!(t.num_switches(), 20);
+        assert_eq!(t.num_hosts(), 20 * 4);
+        // Each switch should have exactly network_degree switch neighbors
+        // (allowing at most one switch with a single odd stub free).
+        let mut deficient = 0;
+        for s in t.switch_ids() {
+            let deg = t
+                .neighbors(s)
+                .filter(|&(_, _, n)| t.node(n).kind == crate::NodeKind::Switch)
+                .count();
+            assert!(deg <= 4);
+            if deg < 4 {
+                deficient += 1;
+            }
+        }
+        assert!(deficient <= 1, "{deficient} switches under degree");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = JellyfishConfig::half_servers(30, 8, 42).build();
+        let b = JellyfishConfig::half_servers(30, 8, 42).build();
+        assert_eq!(a.num_links(), b.num_links());
+        for (la, lb) in a.link_ids().zip(b.link_ids()) {
+            assert_eq!(a.link(la).a, b.link(lb).a);
+            assert_eq!(a.link(la).b, b.link(lb).b);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = JellyfishConfig::half_servers(30, 8, 1).build();
+        let b = JellyfishConfig::half_servers(30, 8, 2).build();
+        let ea: Vec<_> = a.link_ids().map(|l| (a.link(l).a, a.link(l).b)).collect();
+        let eb: Vec<_> = b.link_ids().map(|l| (b.link(l).a, b.link(l).b)).collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn no_duplicate_switch_links() {
+        let t = JellyfishConfig::half_servers(25, 6, 3).build();
+        let mut seen = BTreeSet::new();
+        for l in t.link_ids() {
+            let link = t.link(l);
+            let a = link.a.node.min(link.b.node);
+            let b = link.a.node.max(link.b.node);
+            if t.node(a).kind == crate::NodeKind::Switch
+                && t.node(b).kind == crate::NodeKind::Switch
+            {
+                assert!(seen.insert((a, b)), "duplicate link {a}-{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn connected_with_high_probability() {
+        // Degree-4 random graphs on 50 nodes are connected w.h.p.; check a
+        // few seeds to catch construction bugs.
+        for seed in 0..5 {
+            let t = JellyfishConfig::half_servers(50, 8, seed).build();
+            let start = t.switch_ids().next().unwrap();
+            let mut seen = BTreeSet::new();
+            let mut stack = vec![start];
+            while let Some(n) = stack.pop() {
+                if !seen.insert(n) {
+                    continue;
+                }
+                for (_, _, m) in t.neighbors(n) {
+                    if t.node(m).kind == crate::NodeKind::Switch && !seen.contains(&m) {
+                        stack.push(m);
+                    }
+                }
+            }
+            assert_eq!(seen.len(), 50, "seed {seed} disconnected");
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! A plain-text topology interchange format.
+//!
+//! Lets operators feed their own fabrics to the planning tools without
+//! pulling in a serialization stack. One declaration per line:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! node <name> host
+//! node <name> switch <tor|leaf|spine|flat|level:N>
+//! link <name> <name> [capacity_bps] [latency_ns]
+//! ```
+//!
+//! Ports are allocated in link order, exactly like the programmatic
+//! builders, so a spec round-trips to an identical topology.
+
+use crate::{Layer, NodeKind, Topology};
+use std::fmt;
+
+/// Parse errors, with 1-based line numbers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// Line the error occurred on (1-based).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(line: usize, message: impl Into<String>) -> SpecError {
+    SpecError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn layer_to_text(layer: Layer) -> String {
+    match layer {
+        Layer::Host => "host".into(),
+        Layer::Tor => "tor".into(),
+        Layer::Leaf => "leaf".into(),
+        Layer::Spine => "spine".into(),
+        Layer::Level(n) => format!("level:{n}"),
+        Layer::Flat => "flat".into(),
+    }
+}
+
+fn layer_from_text(s: &str, line: usize) -> Result<Layer, SpecError> {
+    match s {
+        "tor" => Ok(Layer::Tor),
+        "leaf" => Ok(Layer::Leaf),
+        "spine" => Ok(Layer::Spine),
+        "flat" => Ok(Layer::Flat),
+        other => {
+            if let Some(n) = other.strip_prefix("level:") {
+                n.parse::<u8>()
+                    .map(Layer::Level)
+                    .map_err(|_| err(line, format!("bad level in {other:?}")))
+            } else {
+                Err(err(
+                    line,
+                    format!("unknown layer {other:?} (tor|leaf|spine|flat|level:N)"),
+                ))
+            }
+        }
+    }
+}
+
+impl Topology {
+    /// Parses the plain-text topology format (`node ... host`,
+    /// `node ... switch <layer>`, `link <a> <b> [capacity] [latency]`;
+    /// `#` comments).
+    pub fn from_spec_text(text: &str) -> Result<Topology, SpecError> {
+        let mut topo = Topology::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            // Strip trailing comments, then whitespace.
+            let trimmed = raw.split('#').next().unwrap_or("").trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = trimmed.split_whitespace().collect();
+            match fields[0] {
+                "node" => match fields.as_slice() {
+                    ["node", name, "host"] => {
+                        if topo.node_by_name(name).is_some() {
+                            return Err(err(line, format!("duplicate node {name:?}")));
+                        }
+                        topo.add_host(*name);
+                    }
+                    ["node", name, "switch", layer] => {
+                        if topo.node_by_name(name).is_some() {
+                            return Err(err(line, format!("duplicate node {name:?}")));
+                        }
+                        topo.add_switch(*name, layer_from_text(layer, line)?);
+                    }
+                    _ => {
+                        return Err(err(
+                            line,
+                            "expected `node <name> host` or `node <name> switch <layer>`",
+                        ))
+                    }
+                },
+                "link" => {
+                    if fields.len() < 3 || fields.len() > 5 {
+                        return Err(err(
+                            line,
+                            "expected `link <a> <b> [capacity_bps] [latency_ns]`",
+                        ));
+                    }
+                    let a = topo
+                        .node_by_name(fields[1])
+                        .ok_or_else(|| err(line, format!("unknown node {:?}", fields[1])))?;
+                    let b = topo
+                        .node_by_name(fields[2])
+                        .ok_or_else(|| err(line, format!("unknown node {:?}", fields[2])))?;
+                    if a == b {
+                        return Err(err(line, "self-links are not allowed"));
+                    }
+                    let capacity = match fields.get(3) {
+                        Some(c) => c
+                            .parse()
+                            .map_err(|_| err(line, format!("bad capacity {c:?}")))?,
+                        None => crate::topology::DEFAULT_CAPACITY_BPS,
+                    };
+                    let latency = match fields.get(4) {
+                        Some(l) => l
+                            .parse()
+                            .map_err(|_| err(line, format!("bad latency {l:?}")))?,
+                        None => crate::topology::DEFAULT_LATENCY_NS,
+                    };
+                    topo.connect_with(a, b, capacity, latency);
+                }
+                other => return Err(err(line, format!("unknown directive {other:?}"))),
+            }
+        }
+        topo.check_consistency()
+            .map_err(|m| err(0, format!("inconsistent topology: {m}")))?;
+        Ok(topo)
+    }
+
+    /// Renders the topology in the text format, suitable for
+    /// [`Topology::from_spec_text`]. Nodes come first (insertion order),
+    /// then links (id order), so the round trip reproduces identical
+    /// node ids and port numbering.
+    pub fn to_spec_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for id in self.node_ids() {
+            let n = self.node(id);
+            match n.kind {
+                NodeKind::Host => {
+                    let _ = writeln!(out, "node {} host", n.name);
+                }
+                NodeKind::Switch => {
+                    let _ = writeln!(out, "node {} switch {}", n.name, layer_to_text(n.layer));
+                }
+            }
+        }
+        for l in self.link_ids() {
+            let link = self.link(l);
+            let _ = writeln!(
+                out,
+                "link {} {} {} {}",
+                self.node(link.a.node).name,
+                self.node(link.b.node).name,
+                link.capacity_bps,
+                link.latency_ns
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClosConfig;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let orig = ClosConfig::small().build();
+        let text = orig.to_spec_text();
+        let parsed = Topology::from_spec_text(&text).unwrap();
+        assert_eq!(parsed.num_nodes(), orig.num_nodes());
+        assert_eq!(parsed.num_links(), orig.num_links());
+        for id in orig.node_ids() {
+            let a = orig.node(id);
+            let b = parsed.node(id);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.layer, b.layer);
+            assert_eq!(a.num_ports(), b.num_ports());
+        }
+        for l in orig.link_ids() {
+            assert_eq!(orig.link(l).a, parsed.link(l).a);
+            assert_eq!(orig.link(l).b, parsed.link(l).b);
+            assert_eq!(orig.link(l).capacity_bps, parsed.link(l).capacity_bps);
+        }
+    }
+
+    #[test]
+    fn parses_minimal_spec_with_defaults() {
+        let text = "
+            # tiny fabric
+            node S switch spine
+            node T switch tor
+            node H host
+
+            link T S
+            link H T 10000000000 500
+        ";
+        let topo = Topology::from_spec_text(text).unwrap();
+        assert_eq!(topo.num_switches(), 2);
+        assert_eq!(topo.num_hosts(), 1);
+        let l = topo
+            .link_between(topo.expect_node("H"), topo.expect_node("T"))
+            .unwrap();
+        assert_eq!(topo.link(l).capacity_bps, 10_000_000_000);
+        assert_eq!(topo.link(l).latency_ns, 500);
+        let l0 = topo
+            .link_between(topo.expect_node("T"), topo.expect_node("S"))
+            .unwrap();
+        assert_eq!(topo.link(l0).capacity_bps, 40_000_000_000);
+    }
+
+    #[test]
+    fn inline_comments_are_stripped() {
+        let text = "node A host # the server\nnode B switch tor\nlink A B # access";
+        let topo = Topology::from_spec_text(text).unwrap();
+        assert_eq!(topo.num_nodes(), 2);
+        assert_eq!(topo.num_links(), 1);
+    }
+
+    #[test]
+    fn level_layers_round_trip() {
+        let text = "node B switch level:2\nnode H host\nlink H B";
+        let topo = Topology::from_spec_text(text).unwrap();
+        assert_eq!(topo.node(topo.expect_node("B")).layer, Layer::Level(2));
+        let again = Topology::from_spec_text(&topo.to_spec_text()).unwrap();
+        assert_eq!(again.node(again.expect_node("B")).layer, Layer::Level(2));
+    }
+
+    #[test]
+    fn good_errors() {
+        for (text, needle) in [
+            ("node A switch nowhere", "unknown layer"),
+            ("link A B", "unknown node"),
+            ("node A host\nnode A host", "duplicate node"),
+            ("frobnicate", "unknown directive"),
+            ("node A host\nlink A A", "self-links"),
+            ("node A host\nnode B host\nlink A B pig", "bad capacity"),
+        ] {
+            let e = Topology::from_spec_text(text).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "{text:?}: expected {needle:?} in {e}"
+            );
+        }
+    }
+}

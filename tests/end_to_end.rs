@@ -1,0 +1,143 @@
+//! End-to-end integration: topology → routing → tagging → rules →
+//! simulation, crossing every crate boundary.
+
+use tagger::core::clos::clos_tagging;
+use tagger::core::{Elp, Tag, TagDecision, Tagging};
+use tagger::routing::{updown_paths_between, Fib, Path};
+use tagger::sim::{FlowSpec, SimConfig, Simulator};
+use tagger::switch::SwitchConfig;
+use tagger::topo::{ClosConfig, FailureSet, JellyfishConfig};
+
+/// The full product promise on a Clos fabric: build, tag, certify,
+/// simulate with failures, stay deadlock-free and lossless.
+#[test]
+fn clos_full_stack_with_reroute() {
+    let topo = ClosConfig::small().build();
+    let tagging = clos_tagging(&topo, 1).expect("clos");
+    tagging.graph().verify().expect("certified");
+
+    // The ELP covers reroutes: check against paths computed under an
+    // actual failure.
+    let mut failures = FailureSet::none();
+    failures.fail_between(&topo, "L1", "T1");
+    let h9 = topo.expect_node("H9");
+    let h1 = topo.expect_node("H1");
+    let rerouted = tagger::routing::bounce_paths_between(&topo, &failures, h9, h1, 1);
+    assert!(!rerouted.is_empty());
+    tagging
+        .check_elp_lossless(&topo, &Elp::from_paths(rerouted))
+        .expect("rerouted paths stay lossless");
+
+    // Simulate a bouncing flow under the tagging: no deadlock, no
+    // lossless drops, flow makes progress.
+    let fib = Fib::shortest_path(&topo, &failures);
+    let cfg = SimConfig {
+        switch: SwitchConfig {
+            num_lossless: 2,
+            ..SwitchConfig::default()
+        },
+        end_time_ns: 2_000_000,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(topo.clone(), fib, Some(tagging.rules().clone()), cfg);
+    let bounce_path: Vec<_> = ["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"]
+        .iter()
+        .map(|n| topo.expect_node(n))
+        .collect();
+    let f = sim.add_flow(FlowSpec::new(h9, h1, 0).pinned(bounce_path));
+    let report = sim.run();
+    assert!(report.deadlock.is_none());
+    assert_eq!(report.lossless_drops, 0);
+    assert!(report.flows[f as usize].delivered_bytes > 1_000_000);
+}
+
+/// The generic pipeline ports to FatTree unchanged.
+#[test]
+fn fat_tree_pipeline() {
+    let topo = tagger::topo::fat_tree(4);
+    let tagging = clos_tagging(&topo, 1).expect("fat tree is layered");
+    assert_eq!(tagging.num_lossless_tags_on(&topo), 2);
+    tagging.graph().verify().unwrap();
+
+    // And the generic algorithm agrees on the up-down ELP.
+    let elp = Elp::updown(&topo);
+    let generic = Tagging::from_elp(&topo, &elp).unwrap();
+    assert_eq!(generic.num_lossless_tags_on(&topo), 1);
+}
+
+/// Jellyfish end to end: random topology, shortest-path ELP, few tags,
+/// certified, and ELP-lossless.
+#[test]
+fn jellyfish_pipeline() {
+    let topo = JellyfishConfig::half_servers(40, 10, 11).build();
+    let elp = Elp::shortest(&topo, 2, false);
+    let tagging = Tagging::from_elp(&topo, &elp).unwrap();
+    assert!(tagging.num_lossless_tags_on(&topo) <= 3);
+    assert!(!tagging.used_fallback());
+    tagging.graph().verify().unwrap();
+    tagging.check_elp_lossless(&topo, &elp).unwrap();
+}
+
+/// Tags must be monotone along every ELP path under the compiled rules,
+/// and the per-hop decisions must agree with the closure graph.
+#[test]
+fn rules_are_monotone_along_paths() {
+    let topo = ClosConfig::small().build();
+    let elp = Elp::updown_with_bounces_capped(&topo, 1, 8);
+    let tagging = Tagging::from_elp(&topo, &elp).unwrap();
+    for path in elp.paths() {
+        let ingresses: Vec<_> = path.ingress_ports(&topo).collect();
+        let mut tag = Tag(1);
+        for pair in ingresses.windows(2) {
+            let egress = topo.peer_of(pair[1]).unwrap();
+            match tagging
+                .rules()
+                .decide(pair[0].node, tag, pair[0].port, egress.port)
+            {
+                TagDecision::Lossless(next) => {
+                    assert!(next >= tag, "tag decreased along {}", path.display(&topo));
+                    tag = next;
+                }
+                TagDecision::Lossy => panic!("ELP path demoted: {}", path.display(&topo)),
+            }
+        }
+    }
+}
+
+/// The vanilla (no-Tagger) deployment deadlocks on the bounce scenario;
+/// the exact same simulation inputs with Tagger rules do not. This is
+/// the paper's whole point, exercised across all five crates.
+#[test]
+fn tagger_is_the_difference_between_deadlock_and_not() {
+    use tagger::sim::experiments::fig10_bounce_deadlock;
+    let (without, _) = fig10_bounce_deadlock(false, 4_000_000).run();
+    let (with, _) = fig10_bounce_deadlock(true, 4_000_000).run();
+    assert!(without.deadlock.is_some());
+    assert!(with.deadlock.is_none());
+    assert_eq!(without.stalled_flows(5), 2);
+    assert_eq!(with.stalled_flows(5), 0);
+}
+
+/// Up-down paths between any two hosts are consistent across the
+/// routing and core crates' notions of bounces.
+#[test]
+fn routing_and_core_agree_on_updown() {
+    let topo = ClosConfig::small().build();
+    let failures = FailureSet::none();
+    let h1 = topo.expect_node("H1");
+    let h9 = topo.expect_node("H9");
+    let paths = updown_paths_between(&topo, &failures, h1, h9);
+    assert!(!paths.is_empty());
+    // An up-down ELP merges to a single tag (no CBD).
+    let merged = tagger::core::minimize_elp(&topo, &Elp::from_paths(paths));
+    assert_eq!(merged.num_lossless_tags(&topo), 1);
+}
+
+/// Path display and port resolution survive the facade re-exports.
+#[test]
+fn facade_reexports_work() {
+    let topo = ClosConfig::small().build();
+    let p = Path::from_names(&topo, &["H1", "T1", "L1"]);
+    assert_eq!(format!("{}", p.display(&topo)), "H1 -> T1 -> L1");
+    assert_eq!(p.bounces(&topo), 0);
+}

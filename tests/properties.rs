@@ -1,0 +1,123 @@
+//! Cross-crate property-based tests (proptest): the paper's invariants
+//! must hold over randomized topologies, ELPs and failure patterns —
+//! not just the hand-picked scenarios.
+
+use proptest::prelude::*;
+use tagger::core::clos::clos_tagging;
+use tagger::core::{greedy_minimize, tag_by_hop_count, Elp, Tagging};
+use tagger::routing::{bounce_paths_between_capped, shortest_paths_between, Fib};
+use tagger::topo::{ClosConfig, FailureSet, JellyfishConfig, LinkId};
+
+fn arb_clos() -> impl Strategy<Value = ClosConfig> {
+    (2usize..=3, 2usize..=3, 2usize..=3, 2usize..=4, 1usize..=3).prop_map(
+        |(pods, leaves, tors, spines, hosts)| ClosConfig {
+            pods,
+            leaves_per_pod: leaves,
+            tors_per_pod: tors,
+            spines,
+            hosts_per_tor: hosts,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 5.1 requirements hold for the Clos construction on any
+    /// Clos dimensioning and any bounce budget.
+    #[test]
+    fn clos_tagging_always_verifies(cfg in arb_clos(), k in 0usize..3) {
+        let topo = cfg.build();
+        let tagging = clos_tagging(&topo, k).unwrap();
+        prop_assert_eq!(tagging.graph().verify(), Ok(()));
+        prop_assert_eq!(tagging.num_lossless_tags_on(&topo), k + 1);
+    }
+
+    /// Algorithm 1 output always verifies and uses exactly as many switch
+    /// tags as the longest route's switch-hop count.
+    #[test]
+    fn brute_force_always_verifies(cfg in arb_clos(), seed in 0u64..1000) {
+        let topo = cfg.build();
+        let hosts: Vec<_> = topo.host_ids().collect();
+        let a = hosts[seed as usize % hosts.len()];
+        let b = hosts[(seed as usize / hosts.len()) % hosts.len()];
+        prop_assume!(a != b);
+        let paths = bounce_paths_between_capped(
+            &topo, &FailureSet::none(), a, b, 1, 10);
+        prop_assume!(!paths.is_empty());
+        let elp = Elp::from_paths(paths);
+        let g = tag_by_hop_count(&topo, &elp);
+        prop_assert_eq!(g.verify(), Ok(()));
+        let merged = greedy_minimize(&topo, &g);
+        prop_assert_eq!(merged.verify(), Ok(()));
+        prop_assert!(merged.num_lossless_tags(&topo) <= g.num_lossless_tags(&topo));
+    }
+
+    /// The full pipeline on random Jellyfish fabrics: certified
+    /// deadlock-free, ELP-lossless, no fallback, few tags.
+    #[test]
+    fn jellyfish_pipeline_invariants(
+        switches in 8usize..24,
+        seed in 0u64..100,
+    ) {
+        let topo = JellyfishConfig::half_servers(switches, 6, seed).build();
+        let elp = Elp::shortest(&topo, 1, false);
+        prop_assume!(!elp.is_empty());
+        let tagging = Tagging::from_elp(&topo, &elp).unwrap();
+        prop_assert_eq!(tagging.graph().verify(), Ok(()));
+        tagging.check_elp_lossless(&topo, &elp).unwrap();
+        prop_assert!(tagging.num_lossless_tags_on(&topo) <= 4);
+    }
+
+    /// Under arbitrary single-link failures, a shortest-path FIB either
+    /// routes around (reaching the destination) or has genuinely no
+    /// route; it never loops.
+    #[test]
+    fn fib_never_loops_under_failures(
+        cfg in arb_clos(),
+        fail_seed in 0u64..1000,
+        pair_seed in 0u64..1000,
+    ) {
+        let topo = cfg.build();
+        let mut failures = FailureSet::none();
+        let link = LinkId((fail_seed % topo.num_links() as u64) as u32);
+        failures.fail(link);
+        let fib = Fib::shortest_path(&topo, &failures);
+        let hosts: Vec<_> = topo.host_ids().collect();
+        let src = hosts[pair_seed as usize % hosts.len()];
+        let dst = hosts[(pair_seed as usize / 7) % hosts.len()];
+        prop_assume!(src != dst);
+        let trace = fib.trace(&topo, src, dst, 64);
+        // Either delivered, or stopped early (no route) — never 64 hops.
+        prop_assert!(trace.len() < 60, "suspicious trace length {}", trace.len());
+        let last = *trace.last().unwrap();
+        if last == dst {
+            // Delivered: by definition of shortest-path FIB the length is
+            // bounded by healthy diameter + detour.
+            prop_assert!(trace.len() <= 16);
+        }
+    }
+
+    /// Shortest paths under failures never use a failed link and are
+    /// never shorter than the healthy distance.
+    #[test]
+    fn failure_reroutes_are_sound(
+        cfg in arb_clos(),
+        fail_seed in 0u64..1000,
+    ) {
+        let topo = cfg.build();
+        let mut failures = FailureSet::none();
+        failures.fail(LinkId((fail_seed % topo.num_links() as u64) as u32));
+        let hosts: Vec<_> = topo.host_ids().collect();
+        let (a, b) = (hosts[0], hosts[hosts.len() - 1]);
+        let healthy = shortest_paths_between(&topo, &FailureSet::none(), a, b, 4);
+        let live = shortest_paths_between(&topo, &failures, a, b, 4);
+        prop_assume!(!healthy.is_empty() && !live.is_empty());
+        prop_assert!(live[0].hops() >= healthy[0].hops());
+        for p in &live {
+            for (x, y) in p.hop_pairs() {
+                prop_assert!(failures.link_up(&topo, x, y));
+            }
+        }
+    }
+}
