@@ -11,11 +11,9 @@ fn bench_algorithm1(c: &mut Criterion) {
     for switches in [10usize, 20, 40] {
         let topo = JellyfishConfig::half_servers(switches, 8, 3).build();
         let elp = Elp::shortest(&topo, 1, false);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(switches),
-            &switches,
-            |b, _| b.iter(|| tag_by_hop_count(&topo, &elp)),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(switches), &switches, |b, _| {
+            b.iter(|| tag_by_hop_count(&topo, &elp))
+        });
     }
     g.finish();
 }
@@ -26,11 +24,9 @@ fn bench_algorithm2(c: &mut Criterion) {
         let topo = JellyfishConfig::half_servers(switches, 8, 3).build();
         let elp = Elp::shortest(&topo, 1, false);
         let brute = tag_by_hop_count(&topo, &elp);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(switches),
-            &switches,
-            |b, _| b.iter(|| greedy_minimize(&topo, &brute)),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(switches), &switches, |b, _| {
+            b.iter(|| greedy_minimize(&topo, &brute))
+        });
     }
     g.finish();
 }
@@ -50,9 +46,7 @@ fn bench_full_pipeline(c: &mut Criterion) {
             ("jellyfish30_shortest", t, e)
         },
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| Tagging::from_elp(&topo, &elp).unwrap())
-        });
+        g.bench_function(name, |b| b.iter(|| Tagging::from_elp(&topo, &elp).unwrap()));
     }
     g.finish();
 }

@@ -17,7 +17,12 @@ fn main() {
     for with_dcqcn in [false, true] {
         let (report, _) = dcqcn_incast(with_dcqcn, END_NS).run();
         rows.push(vec![
-            if with_dcqcn { "pfc + dcqcn" } else { "pfc only" }.to_string(),
+            if with_dcqcn {
+                "pfc + dcqcn"
+            } else {
+                "pfc only"
+            }
+            .to_string(),
             report.pauses_sent.to_string(),
             format!("{:.1}", report.aggregate_goodput_bps() / 1e9),
             report.lossless_drops.to_string(),

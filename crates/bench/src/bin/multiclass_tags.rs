@@ -27,7 +27,13 @@ fn main() {
     }
     print_table(
         "Multi-class tag sharing (paper 6): N classes, M bounces -> M+N tags",
-        &["classes_N", "bounces_M", "naive_N(M+1)", "shared_M+N", "verified_tags"],
+        &[
+            "classes_N",
+            "bounces_M",
+            "naive_N(M+1)",
+            "shared_M+N",
+            "verified_tags",
+        ],
         &rows,
     );
 }

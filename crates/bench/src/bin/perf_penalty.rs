@@ -26,7 +26,12 @@ fn main() {
     print_table(
         "Performance penalty: 16-flow random permutation on healthy Clos \
          (paper 8: negligible)",
-        &["seed", "goodput_no_tagger_gbps", "goodput_tagger_gbps", "penalty"],
+        &[
+            "seed",
+            "goodput_no_tagger_gbps",
+            "goodput_tagger_gbps",
+            "penalty",
+        ],
         &rows,
     );
 }

@@ -31,7 +31,12 @@ fn main() {
     print_table(
         "Table 1: packet reroute measurements (synthetic failure process, \
          paper reports ~1e-5 over production fleets)",
-        &["day", "total_measurements", "rerouted", "reroute_probability"],
+        &[
+            "day",
+            "total_measurements",
+            "rerouted",
+            "reroute_probability",
+        ],
         &rows,
     );
 }

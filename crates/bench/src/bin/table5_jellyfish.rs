@@ -26,7 +26,12 @@ fn fmt(row: &Table5Row, extra: usize) -> Vec<String> {
 fn main() {
     let large = std::env::args().any(|a| a == "--large");
     // (switches, ports, extra random paths)
-    let mut rows_cfg = vec![(50usize, 12usize, 0usize), (100, 12, 0), (200, 16, 0), (500, 16, 0)];
+    let mut rows_cfg = vec![
+        (50usize, 12usize, 0usize),
+        (100, 12, 0),
+        (200, 16, 0),
+        (500, 16, 0),
+    ];
     if large {
         rows_cfg.push((1000, 24, 0));
         rows_cfg.push((2000, 24, 1000));

@@ -8,9 +8,7 @@
 
 use tagger_core::tcam::{Compression, TcamProgram};
 use tagger_core::{Elp, Tagging};
-use tagger_routing::{
-    bounce_paths_between_capped, shortest_paths_all_pairs, Path,
-};
+use tagger_routing::{bounce_paths_between_capped, shortest_paths_all_pairs, Path};
 use tagger_topo::{FailureSet, JellyfishConfig, Topology};
 
 /// One row of the Table 5 reproduction.

@@ -202,10 +202,7 @@ pub fn greedy_assignment(topo: &Topology, g: &TaggedGraph) -> BTreeMap<TaggedNod
 
 /// Applies a re-tagging to a graph: every node's tag is replaced by its
 /// assigned tag, and edges are mapped accordingly (merging duplicates).
-pub fn apply_assignment(
-    g: &TaggedGraph,
-    assignment: &BTreeMap<TaggedNode, Tag>,
-) -> TaggedGraph {
+pub fn apply_assignment(g: &TaggedGraph, assignment: &BTreeMap<TaggedNode, Tag>) -> TaggedGraph {
     let renamed = |n: &TaggedNode| TaggedNode {
         port: n.port,
         tag: assignment[n],

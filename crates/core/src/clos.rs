@@ -65,20 +65,12 @@ pub fn clos_tagging(topo: &Topology, k: usize) -> Result<Tagging, ClosError> {
             .map(|(port, _, peer)| (port, peer))
             .collect();
         for &(in_port, in_peer) in &neighbors {
-            let in_upper = topo
-                .node(in_peer)
-                .layer
-                .rank()
-                .is_some_and(|r| r > rank);
+            let in_upper = topo.node(in_peer).layer.rank().is_some_and(|r| r > rank);
             for &(out_port, out_peer) in &neighbors {
                 if in_port == out_port {
                     continue;
                 }
-                let out_upper = topo
-                    .node(out_peer)
-                    .layer
-                    .rank()
-                    .is_some_and(|r| r > rank);
+                let out_upper = topo.node(out_peer).layer.rank().is_some_and(|r| r > rank);
                 let bounce = in_upper && out_upper;
                 for tag in 1..=max_tag {
                     let new_tag = if bounce { tag + 1 } else { tag };
@@ -257,13 +249,13 @@ mod tests {
         let l1 = topo.expect_node("L1");
         let t1_from_l1 = topo.port_towards(t1, l1).unwrap();
         let t1_to_l1 = t1_from_l1; // same port both ways is impossible...
-        // T1 has exactly one port to L1; a loop T1->L1->T1->L1 would
-        // re-use it, which real forwarding forbids. Use the two-leaf loop
-        // instead: L1 -> T1 -> L2 -> T1? Also forbidden. The realistic
-        // loop (Fig 11) is T1 -> L1 -> T1 via distinct FIB entries but the
-        // same physical link — model it as repeated bounces at T1 between
-        // its two uplinks: in from L1, out to L2 (bounce), in from L2,
-        // out to L1 (bounce), ...
+                                   // T1 has exactly one port to L1; a loop T1->L1->T1->L1 would
+                                   // re-use it, which real forwarding forbids. Use the two-leaf loop
+                                   // instead: L1 -> T1 -> L2 -> T1? Also forbidden. The realistic
+                                   // loop (Fig 11) is T1 -> L1 -> T1 via distinct FIB entries but the
+                                   // same physical link — model it as repeated bounces at T1 between
+                                   // its two uplinks: in from L1, out to L2 (bounce), in from L2,
+                                   // out to L1 (bounce), ...
         let t1_from_l2 = topo.port_towards(t1, topo.expect_node("L2")).unwrap();
         let mut tag = Tag::INITIAL;
         let mut demoted_at = None;

@@ -1,8 +1,6 @@
 //! Expected Lossless Paths (ELP): the operator's input to Tagger.
 
-use tagger_routing::{
-    all_paths_with_bounces, shortest_paths_all_pairs, updown_paths, Path,
-};
+use tagger_routing::{all_paths_with_bounces, shortest_paths_all_pairs, updown_paths, Path};
 use tagger_topo::{FailureSet, Topology};
 
 /// The set of paths the operator requires to stay lossless (paper §4.1).
@@ -55,12 +53,7 @@ impl Elp {
     /// fabrics in the paper's Table 5.
     pub fn shortest(topo: &Topology, cap_per_pair: usize, between_hosts: bool) -> Self {
         Elp {
-            paths: shortest_paths_all_pairs(
-                topo,
-                &FailureSet::none(),
-                cap_per_pair,
-                between_hosts,
-            ),
+            paths: shortest_paths_all_pairs(topo, &FailureSet::none(), cap_per_pair, between_hosts),
         }
     }
 
@@ -135,7 +128,7 @@ mod tests {
         let topo = ClosConfig::small().build();
         let mut elp = Elp::default();
         assert!(elp.is_empty());
-        elp.extend(Elp::updown(&topo).paths().iter().cloned().take(3));
+        elp.extend(Elp::updown(&topo).paths().iter().take(3).cloned());
         assert_eq!(elp.len(), 3);
     }
 }

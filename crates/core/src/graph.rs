@@ -90,9 +90,7 @@ impl fmt::Display for VerifyError {
                 }
                 Ok(())
             }
-            VerifyError::TagDecrease(a, b) =>
-
-                write!(f, "tag decreases along edge {a:?} -> {b:?}"),
+            VerifyError::TagDecrease(a, b) => write!(f, "tag decreases along edge {a:?} -> {b:?}"),
         }
     }
 }
@@ -194,8 +192,7 @@ impl TaggedGraph {
             .nodes
             .iter()
             .filter(|n| {
-                topo.node(n.port.node).kind == NodeKind::Switch
-                    || forwarding_hosts.contains(n)
+                topo.node(n.port.node).kind == NodeKind::Switch || forwarding_hosts.contains(n)
             })
             .map(|n| n.tag)
             .collect();

@@ -7,7 +7,7 @@
 //! ([`TagDecision::Lossy`]) so it can never trigger PFC.
 
 use crate::{Elp, Tag, TaggedGraph, TaggedNode, VerifyError};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use tagger_topo::{NodeId, NodeKind, PortId, Topology};
 
@@ -69,16 +69,42 @@ impl fmt::Display for RuleError {
                 "conflicting rules on switch {switch}: {:?} vs {:?}",
                 rules.0, rules.1
             ),
-            RuleError::ElpNotLossless { path_index, hop } => write!(
-                f,
-                "ELP path #{path_index} demoted to lossy at hop {hop}"
-            ),
+            RuleError::ElpNotLossless { path_index, hop } => {
+                write!(f, "ELP path #{path_index} demoted to lossy at hop {hop}")
+            }
             RuleError::NotDeadlockFree(e) => write!(f, "not deadlock-free: {e}"),
         }
     }
 }
 
 impl std::error::Error for RuleError {}
+
+/// One switch's rule-table update: the difference between two deployed
+/// [`RuleSet`]s, as shipped by an incremental control plane. A rule whose
+/// match key survives but whose `new_tag` changes appears as a
+/// remove-then-add pair, mirroring how a TCAM entry would be reinstalled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleDelta {
+    /// The switch whose table changes.
+    pub switch: NodeId,
+    /// Rules to install.
+    pub add: Vec<SwitchRule>,
+    /// Rules to withdraw.
+    pub remove: Vec<SwitchRule>,
+}
+
+impl RuleDelta {
+    /// Number of table operations (installs + withdrawals) this delta
+    /// performs — the churn figure compared against a full reinstall.
+    pub fn len(&self) -> usize {
+        self.add.len() + self.remove.len()
+    }
+
+    /// True if the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.add.is_empty() && self.remove.is_empty()
+    }
+}
 
 /// The complete rule program: per-switch exact-match tables plus the
 /// implicit lossy fallback.
@@ -230,7 +256,10 @@ impl RuleSet {
                     let to = topo
                         .peer_of(tagger_topo::GlobalPort::new(sw, out_port))
                         .expect("wired");
-                    let next = TaggedNode { port: to, tag: new_tag };
+                    let next = TaggedNode {
+                        port: to,
+                        tag: new_tag,
+                    };
                     g.add_edge(node, next);
                     work.push(next);
                 }
@@ -282,12 +311,106 @@ impl RuleSet {
     /// Largest rule count on any single switch — the TCAM-budget figure
     /// reported in the paper's Table 5.
     pub fn max_rules_per_switch(&self) -> usize {
-        self.per_switch.values().map(BTreeMap::len).max().unwrap_or(0)
+        self.per_switch
+            .values()
+            .map(BTreeMap::len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Switches that carry at least one rule.
     pub fn switches(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.per_switch.keys().copied()
+    }
+
+    /// Rule count on one switch (0 if the switch carries no rules) — the
+    /// cost of a full-table reinstall there.
+    pub fn table_size(&self, switch: NodeId) -> usize {
+        self.per_switch.get(&switch).map_or(0, BTreeMap::len)
+    }
+
+    /// Removes a rule if present (match key *and* rewrite must agree);
+    /// returns whether anything was removed. Empty per-switch tables are
+    /// dropped so `self` compares equal to a set that never knew the
+    /// switch.
+    pub fn remove(&mut self, switch: NodeId, rule: SwitchRule) -> bool {
+        let key = (rule.tag, rule.in_port, rule.out_port);
+        let Some(table) = self.per_switch.get_mut(&switch) else {
+            return false;
+        };
+        let removed = match table.get(&key) {
+            Some(&new_tag) if new_tag == rule.new_tag => {
+                table.remove(&key);
+                true
+            }
+            _ => false,
+        };
+        if table.is_empty() {
+            self.per_switch.remove(&switch);
+        }
+        removed
+    }
+
+    /// The per-switch deltas transforming `self` into `target`, sorted by
+    /// switch id; switches whose tables are identical emit nothing. A key
+    /// present in both with a different rewrite becomes remove-then-add.
+    ///
+    /// `apply_delta`ing every returned delta onto a clone of `self` yields
+    /// exactly `target` — the property an incremental control plane relies
+    /// on when it ships deltas instead of full tables.
+    pub fn diff(&self, target: &RuleSet) -> Vec<RuleDelta> {
+        let switches: BTreeSet<NodeId> = self
+            .per_switch
+            .keys()
+            .chain(target.per_switch.keys())
+            .copied()
+            .collect();
+        let empty = BTreeMap::new();
+        let mut deltas = Vec::new();
+        for switch in switches {
+            let old = self.per_switch.get(&switch).unwrap_or(&empty);
+            let new = target.per_switch.get(&switch).unwrap_or(&empty);
+            let mut delta = RuleDelta {
+                switch,
+                add: Vec::new(),
+                remove: Vec::new(),
+            };
+            for (&(tag, in_port, out_port), &new_tag) in old {
+                if new.get(&(tag, in_port, out_port)) != Some(&new_tag) {
+                    delta.remove.push(SwitchRule {
+                        tag,
+                        in_port,
+                        out_port,
+                        new_tag,
+                    });
+                }
+            }
+            for (&(tag, in_port, out_port), &new_tag) in new {
+                if old.get(&(tag, in_port, out_port)) != Some(&new_tag) {
+                    delta.add.push(SwitchRule {
+                        tag,
+                        in_port,
+                        out_port,
+                        new_tag,
+                    });
+                }
+            }
+            if !delta.is_empty() {
+                deltas.push(delta);
+            }
+        }
+        deltas
+    }
+
+    /// Applies one switch's delta: withdrawals first, then installs —
+    /// the order a remove-then-add rewrite change requires.
+    pub fn apply_delta(&mut self, delta: &RuleDelta) {
+        for &rule in &delta.remove {
+            self.remove(delta.switch, rule);
+        }
+        for &rule in &delta.add {
+            self.set(delta.switch, rule);
+        }
     }
 
     /// Largest `new_tag` reachable through any rule, or `None` if empty.
@@ -468,10 +591,7 @@ impl Tagging {
                 let next = pair[1]; // ingress at next node
                 let egress = topo.peer_of(next).expect("wired");
                 debug_assert_eq!(egress.node, here.node);
-                match self
-                    .rules
-                    .decide(here.node, tag, here.port, egress.port)
-                {
+                match self.rules.decide(here.node, tag, here.port, egress.port) {
                     TagDecision::Lossless(t) => tag = t,
                     TagDecision::Lossy => {
                         return Err(RuleError::ElpNotLossless { path_index, hop });
@@ -638,13 +758,106 @@ mod tests {
                 );
                 if i + 1 < ingresses.len() {
                     let egress = topo.peer_of(ingresses[i + 1]).unwrap();
-                    match t.rules().decide(ingress.node, tag, ingress.port, egress.port) {
+                    match t
+                        .rules()
+                        .decide(ingress.node, tag, ingress.port, egress.port)
+                    {
                         TagDecision::Lossless(next) => tag = next,
                         TagDecision::Lossy => panic!("ELP path demoted"),
                     }
                 }
             }
         }
+    }
+
+    fn rule(tag: u16, in_port: u16, out_port: u16, new_tag: u16) -> SwitchRule {
+        SwitchRule {
+            tag: Tag(tag),
+            in_port: PortId(in_port),
+            out_port: PortId(out_port),
+            new_tag: Tag(new_tag),
+        }
+    }
+
+    #[test]
+    fn diff_of_identical_sets_is_empty() {
+        let mut rs = RuleSet::new();
+        rs.add(NodeId(3), rule(1, 0, 1, 2)).unwrap();
+        rs.add(NodeId(7), rule(2, 1, 0, 2)).unwrap();
+        assert!(rs.diff(&rs.clone()).is_empty());
+        assert!(RuleSet::new().diff(&RuleSet::new()).is_empty());
+    }
+
+    #[test]
+    fn diff_add_only() {
+        let mut old = RuleSet::new();
+        old.add(NodeId(1), rule(1, 0, 1, 1)).unwrap();
+        let mut new = old.clone();
+        new.add(NodeId(1), rule(1, 2, 3, 2)).unwrap();
+        new.add(NodeId(4), rule(1, 0, 1, 1)).unwrap();
+        let deltas = old.diff(&new);
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas[0].switch, NodeId(1));
+        assert_eq!(deltas[0].add, vec![rule(1, 2, 3, 2)]);
+        assert!(deltas[0].remove.is_empty());
+        assert_eq!(deltas[1].switch, NodeId(4));
+        assert_eq!(deltas[1].add, vec![rule(1, 0, 1, 1)]);
+        assert!(deltas[1].remove.is_empty());
+    }
+
+    #[test]
+    fn diff_remove_only() {
+        let mut old = RuleSet::new();
+        old.add(NodeId(1), rule(1, 0, 1, 1)).unwrap();
+        old.add(NodeId(1), rule(2, 0, 1, 2)).unwrap();
+        let mut new = old.clone();
+        assert!(new.remove(NodeId(1), rule(2, 0, 1, 2)));
+        let deltas = old.diff(&new);
+        assert_eq!(deltas.len(), 1);
+        assert!(deltas[0].add.is_empty());
+        assert_eq!(deltas[0].remove, vec![rule(2, 0, 1, 2)]);
+    }
+
+    #[test]
+    fn diff_tag_rewrite_change_is_remove_plus_add() {
+        let mut old = RuleSet::new();
+        old.add(NodeId(2), rule(1, 0, 1, 1)).unwrap();
+        let mut new = RuleSet::new();
+        new.add(NodeId(2), rule(1, 0, 1, 2)).unwrap(); // same match, new rewrite
+        let deltas = old.diff(&new);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].remove, vec![rule(1, 0, 1, 1)]);
+        assert_eq!(deltas[0].add, vec![rule(1, 0, 1, 2)]);
+        assert_eq!(deltas[0].len(), 2);
+    }
+
+    #[test]
+    fn applying_diff_reproduces_target() {
+        let topo = ClosConfig::small().build();
+        let healthy = Tagging::from_elp(&topo, &Elp::updown(&topo)).unwrap();
+        let bouncy =
+            Tagging::from_elp(&topo, &Elp::updown_with_bounces_capped(&topo, 1, 4)).unwrap();
+        let mut replayed = healthy.rules().clone();
+        for delta in healthy.rules().diff(bouncy.rules()) {
+            replayed.apply_delta(&delta);
+        }
+        assert_eq!(&replayed, bouncy.rules());
+        // And the reverse direction shrinks back exactly.
+        for delta in bouncy.rules().diff(healthy.rules()) {
+            replayed.apply_delta(&delta);
+        }
+        assert_eq!(&replayed, healthy.rules());
+    }
+
+    #[test]
+    fn remove_requires_matching_rewrite() {
+        let mut rs = RuleSet::new();
+        rs.add(NodeId(1), rule(1, 0, 1, 2)).unwrap();
+        assert!(!rs.remove(NodeId(1), rule(1, 0, 1, 9)));
+        assert_eq!(rs.num_rules(), 1);
+        assert!(!rs.remove(NodeId(9), rule(1, 0, 1, 2)));
+        assert!(rs.remove(NodeId(1), rule(1, 0, 1, 2)));
+        assert_eq!(rs, RuleSet::new());
     }
 
     #[test]

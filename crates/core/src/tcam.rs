@@ -69,7 +69,9 @@ impl PortSet {
 
     /// Iterates over member ports in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = PortId> + '_ {
-        (0..128u16).filter(|&p| self.contains(PortId(p))).map(PortId)
+        (0..128u16)
+            .filter(|&p| self.contains(PortId(p)))
+            .map(PortId)
     }
 }
 

@@ -39,10 +39,7 @@ fn adding_a_pod_is_install_only() {
                 // pre-existing rule survives verbatim (old ports keep
                 // their numbers; new leaves wire onto fresh ports).
                 for r in old_rules {
-                    assert!(
-                        new_rules.contains(r),
-                        "k={k}: spine {name} lost rule {r:?}"
-                    );
+                    assert!(new_rules.contains(r), "k={k}: spine {name} lost rule {r:?}");
                 }
                 assert!(new_rules.len() > old_rules.len());
             } else {

@@ -1,0 +1,518 @@
+//! The two-phase controller: stage → validate → commit-or-rollback.
+
+use crate::event::CtrlEvent;
+use crate::metrics::ControllerMetrics;
+use crate::state::{ElpPolicy, NetworkState};
+use std::fmt;
+use std::time::{Duration, Instant};
+use tagger_core::tcam::{Compression, TcamProgram};
+use tagger_core::{RuleDelta, RuleError, RuleSet, TaggedGraph, Tagging};
+use tagger_topo::{LinkId, Topology};
+
+/// Hard errors: the event itself is malformed and no epoch was staged.
+///
+/// Everything else — a candidate tagging that fails certification, a
+/// table that blows the TCAM budget — is *not* an error but a normal
+/// [`EpochOutcome::RolledBack`]; the controller keeps running on the
+/// previous committed snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtrlError {
+    /// A link event referenced a link id outside the topology.
+    UnknownLink(LinkId),
+    /// The initial (epoch 0) tagging could not be built, so there is no
+    /// safe snapshot to fall back to.
+    Bootstrap(RuleError),
+    /// The initial tagging is valid but already exceeds the TCAM budget;
+    /// a controller that cannot even bootstrap would have nothing safe
+    /// to roll back to, so this is a construction error.
+    BootstrapBudget {
+        /// Entries the worst switch needs for the healthy network.
+        worst_switch_entries: usize,
+        /// The configured ceiling.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for CtrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtrlError::UnknownLink(l) => {
+                write!(f, "event references unknown link id {}", l.index())
+            }
+            CtrlError::Bootstrap(e) => write!(f, "cannot build initial tagging: {e}"),
+            CtrlError::BootstrapBudget {
+                worst_switch_entries,
+                budget,
+            } => write!(
+                f,
+                "bootstrap tagging needs {worst_switch_entries} TCAM entries on the worst switch, budget is {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CtrlError {}
+
+/// Why a staged epoch was abandoned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RollbackReason {
+    /// The candidate tagging failed deadlock-freedom certification
+    /// (Theorem 5.1) or left an ELP path lossy.
+    VerifyFailed(String),
+    /// The candidate's worst per-switch TCAM table exceeds the budget.
+    BudgetExceeded {
+        /// Entries the worst switch would need (after joint compression).
+        worst_switch_entries: usize,
+        /// The configured ceiling.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for RollbackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RollbackReason::VerifyFailed(e) => write!(f, "verification failed: {e}"),
+            RollbackReason::BudgetExceeded {
+                worst_switch_entries,
+                budget,
+            } => write!(
+                f,
+                "TCAM budget exceeded: worst switch needs {worst_switch_entries} entries, budget is {budget}"
+            ),
+        }
+    }
+}
+
+/// What a committed epoch shipped.
+#[derive(Clone, Debug)]
+pub struct CommitReport {
+    /// The epoch number this commit created.
+    pub epoch: u64,
+    /// The network-state version the new snapshot reflects.
+    pub version: u64,
+    /// Per-switch deltas against the previous committed snapshot, sorted
+    /// by switch id. Switches absent from the list are untouched.
+    pub deltas: Vec<RuleDelta>,
+    /// Rules installed across all deltas.
+    pub rules_added: usize,
+    /// Rules withdrawn across all deltas.
+    pub rules_removed: usize,
+    /// Total rules in the previous committed tables.
+    pub prev_table_rules: usize,
+    /// Total rules in the new committed tables.
+    pub new_table_rules: usize,
+    /// Lossless priorities the new tagging consumes.
+    pub lossless_tags: usize,
+    /// Worst per-switch TCAM entries (joint compression).
+    pub tcam_worst_switch: usize,
+    /// ELP paths the new tagging covers.
+    pub elp_paths: usize,
+    /// Stage latency for this epoch.
+    pub recompute: Duration,
+}
+
+impl CommitReport {
+    /// Switches whose tables changed this epoch.
+    pub fn switches_touched(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Total delta operations (installs + withdrawals).
+    pub fn delta_ops(&self) -> usize {
+        self.deltas.iter().map(RuleDelta::len).sum()
+    }
+
+    /// Cost of the naive alternative the deltas replace: withdrawing
+    /// every previous rule and installing every new one.
+    pub fn full_reinstall_ops(&self) -> usize {
+        self.prev_table_rules + self.new_table_rules
+    }
+}
+
+/// The result of successfully processing one event.
+#[derive(Clone, Debug)]
+pub enum EpochOutcome {
+    /// The staged tagging validated; deltas were emitted and the
+    /// snapshot advanced.
+    Committed(CommitReport),
+    /// The staged tagging was rejected; the previous snapshot (and the
+    /// previous network-state view) remain in force.
+    RolledBack {
+        /// The state version that was staged and then abandoned.
+        abandoned_version: u64,
+        /// Why validation rejected it.
+        reason: RollbackReason,
+    },
+}
+
+impl EpochOutcome {
+    /// The commit report, if this outcome committed.
+    pub fn committed(&self) -> Option<&CommitReport> {
+        match self {
+            EpochOutcome::Committed(r) => Some(r),
+            EpochOutcome::RolledBack { .. } => None,
+        }
+    }
+}
+
+/// A committed configuration: the deadlock-freedom certificate plus the
+/// exact rule tables switches are running.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Commit counter; 0 is the bootstrap tagging for the healthy
+    /// network.
+    pub epoch: u64,
+    /// The [`NetworkState::version`] this snapshot was computed from.
+    pub version: u64,
+    /// The verified tagged graph (Theorem 5.1 certificate).
+    pub graph: TaggedGraph,
+    /// The committed per-switch rule tables.
+    pub rules: RuleSet,
+    /// Lossless priorities consumed.
+    pub lossless_tags: usize,
+    /// Worst per-switch TCAM footprint (joint compression).
+    pub tcam_worst_switch: usize,
+    /// ELP paths covered.
+    pub elp_paths: usize,
+}
+
+/// The control-plane daemon core: consumes [`CtrlEvent`]s, maintains the
+/// committed [`Snapshot`], and emits [`RuleDelta`]s.
+///
+/// Rollout is two-phase. *Stage*: apply the event to a scratch copy of
+/// the network state and recompute the tagging from the policy ELP.
+/// *Validate*: the recompute must produce a certified tagged graph
+/// (monotone + per-tag acyclic, with every ELP path lossless) and, if a
+/// TCAM budget is set, fit the worst switch within it. Only then does
+/// the controller *commit*: the scratch state becomes current, the
+/// snapshot advances one epoch, and the per-switch diffs against the
+/// previous tables are returned for installation. On rollback nothing
+/// moves — including the network-state mutation itself, so a `LinkDown`
+/// whose reroute tagging is rejected leaves the controller deliberately
+/// blind to that failure rather than half-converged (a later `Resync`
+/// or any subsequent event retries from scratch).
+#[derive(Clone, Debug)]
+pub struct Controller {
+    topo: Topology,
+    policy: ElpPolicy,
+    tcam_budget: Option<usize>,
+    state: NetworkState,
+    committed: Snapshot,
+    metrics: ControllerMetrics,
+}
+
+impl Controller {
+    /// Builds a controller for a healthy network and commits epoch 0.
+    pub fn new(topo: Topology, policy: ElpPolicy) -> Result<Self, CtrlError> {
+        Self::with_budget(topo, policy, None)
+    }
+
+    /// Like [`Controller::new`] but enforcing a per-switch TCAM budget
+    /// (entries after joint compression) on every epoch, including
+    /// epoch 0.
+    pub fn with_budget(
+        topo: Topology,
+        policy: ElpPolicy,
+        tcam_budget: Option<usize>,
+    ) -> Result<Self, CtrlError> {
+        let state = NetworkState::initial();
+        let (snapshot, _) = stage(&topo, &policy, &state, 0).map_err(CtrlError::Bootstrap)?;
+        if let Some(budget) = tcam_budget {
+            if snapshot.tcam_worst_switch > budget {
+                return Err(CtrlError::BootstrapBudget {
+                    worst_switch_entries: snapshot.tcam_worst_switch,
+                    budget,
+                });
+            }
+        }
+        Ok(Controller {
+            topo,
+            policy,
+            tcam_budget,
+            state,
+            committed: snapshot,
+            metrics: ControllerMetrics::default(),
+        })
+    }
+
+    /// The topology under management.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The ELP policy in force.
+    pub fn policy(&self) -> ElpPolicy {
+        self.policy
+    }
+
+    /// The committed network-state view.
+    pub fn state(&self) -> &NetworkState {
+        &self.state
+    }
+
+    /// The committed snapshot (always verified).
+    pub fn committed(&self) -> &Snapshot {
+        &self.committed
+    }
+
+    /// Metrics so far.
+    pub fn metrics(&self) -> &ControllerMetrics {
+        &self.metrics
+    }
+
+    /// Processes one event through the two-phase rollout.
+    pub fn handle(&mut self, event: &CtrlEvent) -> Result<EpochOutcome, CtrlError> {
+        let mut staged_state = self.state.clone();
+        staged_state.apply(&self.topo, event)?;
+        self.metrics.events += 1;
+
+        let t0 = Instant::now();
+        let staged = stage(
+            &self.topo,
+            &self.policy,
+            &staged_state,
+            self.committed.epoch + 1,
+        );
+        let dt = t0.elapsed();
+        self.metrics.epochs_staged += 1;
+        self.metrics.record_recompute(dt);
+
+        let (candidate, elp_len) = match staged {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.metrics.verify_failures += 1;
+                self.metrics.rollbacks += 1;
+                return Ok(EpochOutcome::RolledBack {
+                    abandoned_version: staged_state.version,
+                    reason: RollbackReason::VerifyFailed(e.to_string()),
+                });
+            }
+        };
+
+        if let Some(budget) = self.tcam_budget {
+            if candidate.tcam_worst_switch > budget {
+                self.metrics.budget_rejections += 1;
+                self.metrics.rollbacks += 1;
+                return Ok(EpochOutcome::RolledBack {
+                    abandoned_version: staged_state.version,
+                    reason: RollbackReason::BudgetExceeded {
+                        worst_switch_entries: candidate.tcam_worst_switch,
+                        budget,
+                    },
+                });
+            }
+        }
+
+        // Validation passed: commit. Deltas are diffed against the
+        // previously committed tables, so a switch applying them in
+        // epoch order tracks the snapshot exactly.
+        let deltas = self.committed.rules.diff(&candidate.rules);
+        let rules_added = deltas.iter().map(|d| d.add.len()).sum();
+        let rules_removed = deltas.iter().map(|d| d.remove.len()).sum();
+        let report = CommitReport {
+            epoch: candidate.epoch,
+            version: candidate.version,
+            rules_added,
+            rules_removed,
+            prev_table_rules: self.committed.rules.num_rules(),
+            new_table_rules: candidate.rules.num_rules(),
+            lossless_tags: candidate.lossless_tags,
+            tcam_worst_switch: candidate.tcam_worst_switch,
+            elp_paths: elp_len,
+            recompute: dt,
+            deltas,
+        };
+        self.metrics.epochs_committed += 1;
+        self.metrics.rules_added += rules_added as u64;
+        self.metrics.rules_removed += rules_removed as u64;
+        self.state = staged_state;
+        self.committed = candidate;
+        Ok(EpochOutcome::Committed(report))
+    }
+
+    /// Replays a whole trace, stopping at the first malformed event.
+    pub fn replay<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a CtrlEvent>,
+    ) -> Result<Vec<EpochOutcome>, CtrlError> {
+        events.into_iter().map(|e| self.handle(e)).collect()
+    }
+}
+
+/// Stage step: recompute the tagging for a state and certify it.
+///
+/// Returns the candidate snapshot and the ELP size. The version stamped
+/// into the snapshot is the state's; the epoch is the caller's.
+fn stage(
+    topo: &Topology,
+    policy: &ElpPolicy,
+    state: &NetworkState,
+    epoch: u64,
+) -> Result<(Snapshot, usize), RuleError> {
+    let elp = policy.elp(topo, &state.failures, &state.extra_paths);
+    let tagging = Tagging::from_elp(topo, &elp)?;
+    // `from_elp` already certified the closure graph; re-verify here so
+    // the commit decision never depends on a distant invariant.
+    tagging
+        .graph()
+        .verify()
+        .map_err(RuleError::NotDeadlockFree)?;
+    let tcam = TcamProgram::compile(topo, tagging.rules(), Compression::Joint);
+    Ok((
+        Snapshot {
+            epoch,
+            version: state.version,
+            lossless_tags: tagging.num_lossless_tags_on(topo),
+            tcam_worst_switch: tcam.max_entries_per_switch(),
+            elp_paths: elp.len(),
+            graph: tagging.graph().clone(),
+            rules: tagging.rules().clone(),
+        },
+        elp.len(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_trace;
+    use tagger_topo::ClosConfig;
+
+    fn small_controller() -> Controller {
+        Controller::new(ClosConfig::small().build(), ElpPolicy::with_bounces(1)).unwrap()
+    }
+
+    #[test]
+    fn bootstrap_commits_a_verified_epoch_zero() {
+        let ctrl = small_controller();
+        assert_eq!(ctrl.committed().epoch, 0);
+        assert!(ctrl.committed().graph.verify().is_ok());
+        assert!(ctrl.committed().rules.num_rules() > 0);
+        // The general greedy pipeline is near-optimal here: the §4
+        // Clos-specific construction would use 2 priorities for 1-bounce
+        // ELPs, the greedy merge lands within one of that.
+        assert!(ctrl.committed().lossless_tags <= 3);
+    }
+
+    #[test]
+    fn link_down_commits_incremental_deltas() {
+        let mut ctrl = small_controller();
+        let full_before = ctrl.committed().rules.num_rules();
+        let events = parse_trace(ctrl.topo(), "down L1 T1").unwrap();
+        let outcome = ctrl.handle(&events[0]).unwrap();
+        let report = outcome.committed().expect("single link down must commit");
+        assert_eq!(report.epoch, 1);
+        assert!(!report.deltas.is_empty(), "reroute must change some tables");
+        assert!(
+            report.delta_ops() < report.full_reinstall_ops(),
+            "deltas ({} ops) must beat full reinstall ({} ops)",
+            report.delta_ops(),
+            report.full_reinstall_ops()
+        );
+        assert!(report.full_reinstall_ops() >= full_before);
+        assert!(ctrl.committed().graph.verify().is_ok());
+    }
+
+    #[test]
+    fn link_up_restores_the_original_tables() {
+        let mut ctrl = small_controller();
+        let original = ctrl.committed().rules.clone();
+        let events = parse_trace(ctrl.topo(), "down L1 T1\nup L1 T1").unwrap();
+        let outcomes = ctrl.replay(events.iter()).unwrap();
+        assert!(outcomes.iter().all(|o| o.committed().is_some()));
+        assert_eq!(ctrl.committed().epoch, 2);
+        assert_eq!(
+            ctrl.committed().rules,
+            original,
+            "recovering the link must converge back to the healthy tables"
+        );
+    }
+
+    #[test]
+    fn deltas_replayed_in_order_reproduce_committed_tables() {
+        let mut ctrl = small_controller();
+        let mut mirror = ctrl.committed().rules.clone();
+        let trace = "down L1 T1\ndown L3 T3\nup L1 T1\nresync\nup L3 T3";
+        let events = parse_trace(ctrl.topo(), trace).unwrap();
+        for outcome in ctrl.replay(events.iter()).unwrap() {
+            if let Some(report) = outcome.committed() {
+                for delta in &report.deltas {
+                    mirror.apply_delta(delta);
+                }
+            }
+        }
+        assert_eq!(mirror, ctrl.committed().rules);
+    }
+
+    #[test]
+    fn tight_tcam_budget_rolls_back_and_preserves_state() {
+        let topo = ClosConfig::small().build();
+        let healthy = Controller::new(topo.clone(), ElpPolicy::with_bounces(1)).unwrap();
+        let budget = healthy.committed().tcam_worst_switch;
+        // Budget exactly at the healthy footprint: bootstrap fits, but a
+        // failure's reroute tagging (more bounce variety through fewer
+        // links) needs more entries somewhere and must be rejected.
+        let mut ctrl =
+            Controller::with_budget(topo, ElpPolicy::with_bounces(1), Some(budget)).unwrap();
+        let before_rules = ctrl.committed().rules.clone();
+        let before_version = ctrl.state().version;
+        let events = parse_trace(ctrl.topo(), "down L1 T1").unwrap();
+        match ctrl.handle(&events[0]).unwrap() {
+            EpochOutcome::RolledBack { reason, .. } => {
+                assert!(matches!(reason, RollbackReason::BudgetExceeded { .. }));
+            }
+            EpochOutcome::Committed(r) => {
+                // If the reroute happens to fit the budget, the commit
+                // must still respect it.
+                assert!(r.tcam_worst_switch <= budget);
+                return;
+            }
+        }
+        assert_eq!(
+            ctrl.committed().epoch,
+            0,
+            "rollback must not advance epochs"
+        );
+        assert_eq!(ctrl.committed().rules, before_rules);
+        assert_eq!(
+            ctrl.state().version,
+            before_version,
+            "rollback must also revert the staged state mutation"
+        );
+        assert_eq!(ctrl.metrics().rollbacks, 1);
+        assert_eq!(ctrl.metrics().budget_rejections, 1);
+    }
+
+    #[test]
+    fn impossible_budget_fails_bootstrap() {
+        let topo = ClosConfig::small().build();
+        let err = Controller::with_budget(topo, ElpPolicy::updown(), Some(1)).unwrap_err();
+        assert!(matches!(err, CtrlError::BootstrapBudget { budget: 1, .. }));
+    }
+
+    #[test]
+    fn elp_add_then_remove_round_trips() {
+        let mut ctrl = small_controller();
+        let original = ctrl.committed().rules.clone();
+        // A 2-bounce path (bounces at T2 and T3) — outside the 1-bounce
+        // policy enumeration, so pinning it genuinely changes the ELP.
+        let trace = "elp-add H1 T1 L1 T2 L2 S1 L3 T3 L4 T4 H13\n\
+                     elp-remove H1 T1 L1 T2 L2 S1 L3 T3 L4 T4 H13";
+        let events = parse_trace(ctrl.topo(), trace).unwrap();
+        let outcomes = ctrl.replay(events.iter()).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.committed().is_some()));
+        assert_eq!(ctrl.committed().rules, original);
+        assert!(ctrl.state().extra_paths.is_empty());
+    }
+
+    #[test]
+    fn malformed_event_is_a_hard_error_not_a_rollback() {
+        let mut ctrl = small_controller();
+        let bogus = tagger_topo::LinkId(ctrl.topo().num_links() as u32 + 7);
+        let err = ctrl.handle(&CtrlEvent::LinkDown(bogus)).unwrap_err();
+        assert_eq!(err, CtrlError::UnknownLink(bogus));
+        assert_eq!(ctrl.metrics().events, 0);
+        assert_eq!(ctrl.committed().epoch, 0);
+    }
+}

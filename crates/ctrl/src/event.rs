@@ -1,0 +1,259 @@
+//! Control-plane events and the plain-text trace format.
+
+use std::fmt;
+use tagger_routing::{Path, PathError};
+use tagger_topo::{resolve_link, LinkId, LinkLookupError, Topology};
+
+/// One control-plane event.
+///
+/// Link events carry resolved [`LinkId`]s (resolution from names happens
+/// at trace-parse time so a typo is a parse error, not a runtime panic);
+/// ELP events carry full [`Path`]s, already validated for adjacency
+/// against the topology they were parsed with.
+#[derive(Clone, PartialEq, Eq)]
+pub enum CtrlEvent {
+    /// A physical link went down.
+    LinkDown(LinkId),
+    /// A previously failed link recovered.
+    LinkUp(LinkId),
+    /// The operator added an expected lossless path.
+    ElpAdd(Path),
+    /// The operator withdrew a previously added path. Withdrawing a path
+    /// that was never added is a no-op.
+    ElpRemove(Path),
+    /// Force a full recompute against the current state (e.g. after the
+    /// controller restarts and cannot trust its cached snapshot).
+    Resync,
+}
+
+impl CtrlEvent {
+    /// Short human-readable label for logs and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CtrlEvent::LinkDown(_) => "link-down",
+            CtrlEvent::LinkUp(_) => "link-up",
+            CtrlEvent::ElpAdd(_) => "elp-add",
+            CtrlEvent::ElpRemove(_) => "elp-remove",
+            CtrlEvent::Resync => "resync",
+        }
+    }
+}
+
+impl fmt::Debug for CtrlEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtrlEvent::LinkDown(l) => write!(f, "LinkDown({})", l.index()),
+            CtrlEvent::LinkUp(l) => write!(f, "LinkUp({})", l.index()),
+            CtrlEvent::ElpAdd(p) => write!(f, "ElpAdd({} nodes)", p.nodes().len()),
+            CtrlEvent::ElpRemove(p) => write!(f, "ElpRemove({} nodes)", p.nodes().len()),
+            CtrlEvent::Resync => write!(f, "Resync"),
+        }
+    }
+}
+
+/// Why a trace line failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceErrorKind {
+    /// The first word of the line is not a known directive.
+    UnknownDirective(String),
+    /// The directive is known but got the wrong number of arguments.
+    BadArity {
+        /// The directive in question.
+        directive: &'static str,
+        /// What the directive expects, in words.
+        expected: &'static str,
+    },
+    /// A `down`/`up` directive named a link that does not exist.
+    Link(LinkLookupError),
+    /// An `elp-add`/`elp-remove` directive named an unknown node.
+    UnknownNode(String),
+    /// An `elp-add`/`elp-remove` node sequence is not a valid path. The
+    /// string names the offending nodes as written in the trace (the
+    /// underlying [`PathError`] only knows internal node ids).
+    Path(PathError, String),
+}
+
+/// A parse error, carrying the 1-based line number it occurred on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number within the trace text.
+    pub line: usize,
+    /// What went wrong on that line.
+    pub kind: TraceErrorKind,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: ", self.line)?;
+        match &self.kind {
+            TraceErrorKind::UnknownDirective(d) => write!(f, "unknown directive {d:?}"),
+            TraceErrorKind::BadArity {
+                directive,
+                expected,
+            } => write!(f, "{directive} expects {expected}"),
+            TraceErrorKind::Link(e) => write!(f, "{e}"),
+            TraceErrorKind::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            TraceErrorKind::Path(_, named) => write!(f, "bad path: {named}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a plain-text event trace against a topology.
+///
+/// Format, one event per line (blank lines and `#` comments ignored):
+///
+/// ```text
+/// down <node> <node>          # fail the link between two named nodes
+/// up <node> <node>            # restore it
+/// elp-add <n1> <n2> ... <nk>  # add a lossless path through named nodes
+/// elp-remove <n1> ... <nk>    # withdraw it
+/// resync                      # force a full recompute
+/// ```
+///
+/// All names are resolved eagerly, so a replayed trace either parses
+/// completely or fails with the offending line number — events from an
+/// untrusted recording can never panic the controller.
+pub fn parse_trace(topo: &Topology, text: &str) -> Result<Vec<CtrlEvent>, TraceError> {
+    let mut events = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut words = content.split_whitespace();
+        let directive = words.next().expect("non-empty line has a first word");
+        let args: Vec<&str> = words.collect();
+        let err = |kind| TraceError { line, kind };
+        let event = match directive {
+            "down" | "up" => {
+                let [a, b] = args[..] else {
+                    return Err(err(TraceErrorKind::BadArity {
+                        directive: if directive == "down" { "down" } else { "up" },
+                        expected: "exactly two node names",
+                    }));
+                };
+                let link = resolve_link(topo, a, b).map_err(|e| err(TraceErrorKind::Link(e)))?;
+                if directive == "down" {
+                    CtrlEvent::LinkDown(link)
+                } else {
+                    CtrlEvent::LinkUp(link)
+                }
+            }
+            "elp-add" | "elp-remove" => {
+                if args.len() < 2 {
+                    return Err(err(TraceErrorKind::BadArity {
+                        directive: if directive == "elp-add" {
+                            "elp-add"
+                        } else {
+                            "elp-remove"
+                        },
+                        expected: "at least two node names",
+                    }));
+                }
+                let mut nodes = Vec::with_capacity(args.len());
+                for name in &args {
+                    nodes
+                        .push(topo.node_by_name(name).ok_or_else(|| {
+                            err(TraceErrorKind::UnknownNode((*name).to_string()))
+                        })?);
+                }
+                let path = Path::new(topo, nodes).map_err(|e| {
+                    // Re-render the diagnostic with the names the trace
+                    // used; `PathError` only knows internal node ids.
+                    let named = match &e {
+                        PathError::NotAdjacent(a, b) => format!(
+                            "nodes {} and {} are not adjacent",
+                            topo.node(*a).name,
+                            topo.node(*b).name
+                        ),
+                        PathError::RepeatedNode(n) => {
+                            format!(
+                                "node {} repeats; paths must be loop-free",
+                                topo.node(*n).name
+                            )
+                        }
+                        other => other.to_string(),
+                    };
+                    err(TraceErrorKind::Path(e, named))
+                })?;
+                if directive == "elp-add" {
+                    CtrlEvent::ElpAdd(path)
+                } else {
+                    CtrlEvent::ElpRemove(path)
+                }
+            }
+            "resync" => {
+                if !args.is_empty() {
+                    return Err(err(TraceErrorKind::BadArity {
+                        directive: "resync",
+                        expected: "no arguments",
+                    }));
+                }
+                CtrlEvent::Resync
+            }
+            other => {
+                return Err(err(TraceErrorKind::UnknownDirective(other.to_string())));
+            }
+        };
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagger_topo::ClosConfig;
+
+    #[test]
+    fn parses_a_full_trace() {
+        let topo = ClosConfig::small().build();
+        let text = "\
+# a recorded incident
+down L1 T1
+
+elp-add H1 T1 L2 T2 H5   # operator pins a detour
+up L1 T1
+resync
+";
+        let events = parse_trace(&topo, text).unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].label(), "link-down");
+        assert_eq!(events[1].label(), "elp-add");
+        assert_eq!(events[2].label(), "link-up");
+        assert_eq!(events[3], CtrlEvent::Resync);
+        match (&events[0], &events[2]) {
+            (CtrlEvent::LinkDown(d), CtrlEvent::LinkUp(u)) => assert_eq!(d, u),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn reports_offending_line_numbers() {
+        let topo = ClosConfig::small().build();
+        let e = parse_trace(&topo, "down L1 T1\nfrobnicate\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(
+            e.kind,
+            TraceErrorKind::UnknownDirective("frobnicate".into())
+        );
+
+        let e = parse_trace(&topo, "down L1 XX").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(matches!(e.kind, TraceErrorKind::Link(_)));
+
+        let e = parse_trace(&topo, "down L1").unwrap_err();
+        assert!(matches!(e.kind, TraceErrorKind::BadArity { .. }));
+
+        // T1 and S1 are not adjacent in a 3-layer Clos.
+        let e = parse_trace(&topo, "elp-add H1 T1 S1").unwrap_err();
+        assert!(matches!(e.kind, TraceErrorKind::Path(..)));
+        assert!(
+            e.to_string().contains("T1") && e.to_string().contains("S1"),
+            "diagnostic must use the names the trace used: {e}"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # tagger-ctrl — an incremental control plane for live tag management
+//!
+//! The Tagger paper (§4, §8) assumes tags and match-action rules are
+//! installed once, ahead of time, for a *static* ELP set. Real fabrics
+//! are not static: links fail and recover, and operators grow or shrink
+//! the expected lossless path set while traffic is flowing. This crate
+//! adds the missing piece — a small event-driven controller that keeps a
+//! fleet of switches converged on a deadlock-free tagging as the network
+//! changes, without ever reinstalling full tables.
+//!
+//! The moving parts:
+//!
+//! - [`CtrlEvent`] — the event vocabulary (`LinkDown`, `LinkUp`,
+//!   `ElpAdd`, `ElpRemove`, `Resync`), parseable from a plain-text trace
+//!   with [`parse_trace`] so recorded incidents can be replayed.
+//! - [`NetworkState`] — the controller's versioned view of the world: a
+//!   topology overlaid with a live [`tagger_topo::FailureSet`] plus any
+//!   operator-added ELPs.
+//! - [`Controller`] — consumes events and runs a **two-phase rollout**
+//!   per epoch: *stage* (recompute the tagging against the new state),
+//!   *validate* (Theorem 5.1 verification plus a per-switch TCAM
+//!   budget), then either *commit* — emitting per-switch [`RuleDelta`]s
+//!   diffed against the last committed snapshot — or *roll back*,
+//!   leaving the previous verified tables untouched.
+//! - [`ControllerMetrics`] — counters and recompute latencies with a
+//!   plain-text [`ControllerMetrics::report`].
+//!
+//! The invariant the controller maintains is the one that matters for
+//! PFC safety: **every committed snapshot is a verified tagged graph**
+//! (monotone, per-tag acyclic — Theorem 5.1 of the paper), and replaying
+//! the emitted deltas from epoch 0 reconstructs the committed tables
+//! exactly, so switches that apply deltas in order can never drift from
+//! the certificate.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod event;
+mod metrics;
+mod state;
+
+pub use controller::{CommitReport, Controller, CtrlError, EpochOutcome, RollbackReason, Snapshot};
+pub use event::{parse_trace, CtrlEvent, TraceError, TraceErrorKind};
+pub use metrics::ControllerMetrics;
+pub use state::{ElpPolicy, NetworkState};
+
+pub use tagger_core::RuleDelta;

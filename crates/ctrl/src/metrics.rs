@@ -1,0 +1,115 @@
+//! Controller observability: counters, latencies, and a text report.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Counters the [`Controller`](crate::Controller) maintains across its
+/// lifetime. All counters are cumulative; latencies cover the *stage*
+/// step (ELP enumeration + tagging recompute + certification), which is
+/// the expensive part of an epoch.
+#[derive(Clone, Debug, Default)]
+pub struct ControllerMetrics {
+    /// Events accepted (malformed events that return an error do not
+    /// count).
+    pub events: u64,
+    /// Epochs staged: a candidate tagging was computed.
+    pub epochs_staged: u64,
+    /// Epochs committed: the candidate passed validation and its deltas
+    /// were emitted.
+    pub epochs_committed: u64,
+    /// Epochs rolled back for any reason.
+    pub rollbacks: u64,
+    /// Rollbacks caused by Theorem 5.1 verification failure.
+    pub verify_failures: u64,
+    /// Rollbacks caused by the per-switch TCAM budget.
+    pub budget_rejections: u64,
+    /// Total rules installed across all committed deltas.
+    pub rules_added: u64,
+    /// Total rules withdrawn across all committed deltas.
+    pub rules_removed: u64,
+    /// Stage latency of the most recent epoch.
+    pub last_recompute: Duration,
+    /// Worst stage latency seen.
+    pub max_recompute: Duration,
+    /// Sum of all stage latencies (for the mean).
+    pub total_recompute: Duration,
+}
+
+impl ControllerMetrics {
+    /// Mean stage latency over all staged epochs.
+    pub fn mean_recompute(&self) -> Duration {
+        if self.epochs_staged == 0 {
+            Duration::ZERO
+        } else {
+            self.total_recompute / self.epochs_staged as u32
+        }
+    }
+
+    /// Records one stage latency sample.
+    pub(crate) fn record_recompute(&mut self, d: Duration) {
+        self.last_recompute = d;
+        self.max_recompute = self.max_recompute.max(d);
+        self.total_recompute += d;
+    }
+
+    /// Plain-text report, one metric per line.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "controller metrics");
+        let _ = writeln!(out, "  events processed    {:>8}", self.events);
+        let _ = writeln!(out, "  epochs staged       {:>8}", self.epochs_staged);
+        let _ = writeln!(out, "  epochs committed    {:>8}", self.epochs_committed);
+        let _ = writeln!(out, "  rollbacks           {:>8}", self.rollbacks);
+        let _ = writeln!(out, "    verify failures   {:>8}", self.verify_failures);
+        let _ = writeln!(out, "    budget rejections {:>8}", self.budget_rejections);
+        let _ = writeln!(out, "  rules added         {:>8}", self.rules_added);
+        let _ = writeln!(out, "  rules removed       {:>8}", self.rules_removed);
+        let _ = writeln!(
+            out,
+            "  recompute last/mean/max  {:?} / {:?} / {:?}",
+            self.last_recompute,
+            self.mean_recompute(),
+            self.max_recompute
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_mentions_every_counter() {
+        let mut m = ControllerMetrics {
+            events: 7,
+            epochs_staged: 6,
+            epochs_committed: 5,
+            rollbacks: 1,
+            budget_rejections: 1,
+            ..ControllerMetrics::default()
+        };
+        m.record_recompute(Duration::from_millis(3));
+        m.record_recompute(Duration::from_millis(1));
+        let r = m.report();
+        for needle in [
+            "events processed",
+            "epochs staged",
+            "epochs committed",
+            "rollbacks",
+            "verify failures",
+            "budget rejections",
+            "rules added",
+            "rules removed",
+            "recompute",
+        ] {
+            assert!(r.contains(needle), "report missing {needle:?}:\n{r}");
+        }
+        assert_eq!(m.max_recompute, Duration::from_millis(3));
+        assert_eq!(m.last_recompute, Duration::from_millis(1));
+        assert_eq!(
+            m.mean_recompute(),
+            Duration::from_micros(666) + Duration::from_nanos(666)
+        )
+    }
+}

@@ -1,0 +1,172 @@
+//! The controller's versioned view of the network.
+
+use crate::controller::CtrlError;
+use crate::event::CtrlEvent;
+use tagger_core::Elp;
+use tagger_routing::{all_paths_with_bounces, Path};
+use tagger_topo::{FailureSet, Topology};
+
+/// How the controller derives the ELP set from the live network view.
+///
+/// Tagger's tags are computed over *expected* lossless paths. The policy
+/// regenerates that expectation whenever the network changes: up-down
+/// paths with up to [`ElpPolicy::bounces`] bounces between every host
+/// pair, enumerated against the current failure set so a dead link never
+/// contributes paths. Operator-pinned extras (from
+/// [`CtrlEvent::ElpAdd`](crate::CtrlEvent::ElpAdd)) ride on top.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ElpPolicy {
+    /// Maximum number of down-up "bounces" a lossless path may take
+    /// (paper §4: a `k`-bounce Clos ELP needs `k + 1` lossless tags).
+    pub bounces: usize,
+    /// Cap on enumerated paths per (src, dst) host pair, to keep
+    /// recompute latency bounded on larger fabrics.
+    pub cap_per_pair: usize,
+}
+
+impl ElpPolicy {
+    /// Strict up-down routing only (0 bounces).
+    pub fn updown() -> Self {
+        ElpPolicy {
+            bounces: 0,
+            cap_per_pair: usize::MAX,
+        }
+    }
+
+    /// Up-down plus up to `k` bounces, uncapped.
+    pub fn with_bounces(k: usize) -> Self {
+        ElpPolicy {
+            bounces: k,
+            cap_per_pair: usize::MAX,
+        }
+    }
+
+    /// Caps enumeration at `cap` paths per host pair.
+    pub fn capped(mut self, cap: usize) -> Self {
+        self.cap_per_pair = cap;
+        self
+    }
+
+    /// Materializes the ELP for a given failure overlay plus pinned
+    /// extras. Pinned paths that currently traverse a failed link are
+    /// silently masked (they come back when the link does); duplicates
+    /// of policy-enumerated paths are dropped.
+    pub fn elp(&self, topo: &Topology, failures: &FailureSet, extras: &[Path]) -> Elp {
+        let mut elp = Elp::from_paths(all_paths_with_bounces(
+            topo,
+            failures,
+            self.bounces,
+            self.cap_per_pair,
+        ));
+        for path in extras {
+            let live = path.hop_pairs().all(|(a, b)| failures.link_up(topo, a, b));
+            if live && !elp.contains(path) {
+                elp.extend([path.clone()]);
+            }
+        }
+        elp
+    }
+}
+
+impl Default for ElpPolicy {
+    /// One bounce, uncapped — the paper's recommended operating point
+    /// for Clos (§4.1: 1-bounce ELPs cover single-failure reroutes at
+    /// the cost of one extra lossless priority).
+    fn default() -> Self {
+        ElpPolicy::with_bounces(1)
+    }
+}
+
+/// The versioned network state a [`Controller`](crate::Controller)
+/// manages: which links are failed and which extra ELPs are pinned.
+///
+/// `version` increments on every successfully applied event, including
+/// ones whose recompute is later rolled back — versions number *views*,
+/// epochs number *commits*.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NetworkState {
+    /// Monotonic view counter.
+    pub version: u64,
+    /// Links currently believed down.
+    pub failures: FailureSet,
+    /// Operator-pinned ELPs, in arrival order.
+    pub extra_paths: Vec<Path>,
+}
+
+impl NetworkState {
+    /// The healthy network: no failures, no pinned paths, version 0.
+    pub fn initial() -> Self {
+        NetworkState::default()
+    }
+
+    /// Applies one event, bumping the version. Fails (leaving state
+    /// untouched) if the event references a link outside the topology —
+    /// the one malformation that can survive trace parsing, since
+    /// [`LinkId`](tagger_topo::LinkId)s are plain indices.
+    pub fn apply(&mut self, topo: &Topology, event: &CtrlEvent) -> Result<(), CtrlError> {
+        match event {
+            CtrlEvent::LinkDown(l) | CtrlEvent::LinkUp(l) if l.index() >= topo.num_links() => {
+                return Err(CtrlError::UnknownLink(*l));
+            }
+            _ => {}
+        }
+        match event {
+            CtrlEvent::LinkDown(l) => self.failures.fail(*l),
+            CtrlEvent::LinkUp(l) => self.failures.restore(*l),
+            CtrlEvent::ElpAdd(p) => {
+                if !self.extra_paths.contains(p) {
+                    self.extra_paths.push(p.clone());
+                }
+            }
+            CtrlEvent::ElpRemove(p) => self.extra_paths.retain(|q| q != p),
+            CtrlEvent::Resync => {}
+        }
+        self.version += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagger_topo::{ClosConfig, LinkId};
+
+    #[test]
+    fn apply_tracks_versions_and_rejects_bogus_links() {
+        let topo = ClosConfig::small().build();
+        let mut st = NetworkState::initial();
+        let bogus = LinkId(topo.num_links() as u32);
+        assert_eq!(
+            st.apply(&topo, &CtrlEvent::LinkDown(bogus)),
+            Err(CtrlError::UnknownLink(bogus))
+        );
+        assert_eq!(st.version, 0, "failed apply must not bump the version");
+
+        let l = tagger_topo::resolve_link(&topo, "L1", "T1").unwrap();
+        st.apply(&topo, &CtrlEvent::LinkDown(l)).unwrap();
+        assert!(st.failures.is_failed(l));
+        st.apply(&topo, &CtrlEvent::LinkUp(l)).unwrap();
+        assert!(st.failures.is_empty());
+        st.apply(&topo, &CtrlEvent::Resync).unwrap();
+        assert_eq!(st.version, 3);
+    }
+
+    #[test]
+    fn elp_policy_masks_paths_over_failed_links() {
+        let topo = ClosConfig::small().build();
+        let pinned = tagger_routing::Path::from_names(&topo, &["H1", "T1", "L1", "T2", "H5"]);
+        let policy = ElpPolicy::updown();
+        let mut failures = FailureSet::none();
+
+        let healthy = policy.elp(&topo, &failures, std::slice::from_ref(&pinned));
+        assert!(healthy.contains(&pinned));
+
+        failures.fail_between(&topo, "T1", "L1");
+        let degraded = policy.elp(&topo, &failures, std::slice::from_ref(&pinned));
+        assert!(
+            !degraded.contains(&pinned),
+            "a pinned path over a failed link must be masked"
+        );
+        assert!(degraded.len() < healthy.len());
+    }
+}

@@ -19,12 +19,7 @@ use tagger_topo::{BCubeConfig, NodeId, Topology};
 /// # Panics
 /// Panics if the topology was not built by [`tagger_topo::bcube`] with the
 /// same `cfg` (node names must match).
-pub fn bcube_route(
-    cfg: &BCubeConfig,
-    topo: &Topology,
-    src: usize,
-    dst: usize,
-) -> Option<Path> {
+pub fn bcube_route(cfg: &BCubeConfig, topo: &Topology, src: usize, dst: usize) -> Option<Path> {
     if src == dst {
         return None;
     }

@@ -106,9 +106,7 @@ fn dfs(
         };
         if next == dst {
             stack.push(next);
-            out.push(
-                Path::new(topo, stack.clone()).expect("DFS builds valid loop-free paths"),
-            );
+            out.push(Path::new(topo, stack.clone()).expect("DFS builds valid loop-free paths"));
             stack.pop();
             continue;
         }
@@ -119,7 +117,16 @@ fn dfs(
         visited[next.index()] = true;
         stack.push(next);
         dfs(
-            topo, failures, dst, max_bounces, cap, next_phase, next_bounces, stack, visited, out,
+            topo,
+            failures,
+            dst,
+            max_bounces,
+            cap,
+            next_phase,
+            next_bounces,
+            stack,
+            visited,
+            out,
         );
         stack.pop();
         visited[next.index()] = false;
@@ -225,10 +232,7 @@ mod tests {
         // to T1 must bounce.
         let one = bounce_paths_between(&t, &f, h9, h1, 1);
         let l1 = t.expect_node("L1");
-        let via_l1: Vec<_> = one
-            .iter()
-            .filter(|p| p.nodes().contains(&l1))
-            .collect();
+        let via_l1: Vec<_> = one.iter().filter(|p| p.nodes().contains(&l1)).collect();
         assert!(!via_l1.is_empty());
         for p in via_l1 {
             assert_eq!(p.bounces(&t), 1, "{}", p.display(&t));

@@ -152,7 +152,13 @@ impl Fib {
     }
 
     /// Picks one port for a given flow hash, or `None` if no route.
-    pub fn select(&self, sw: NodeId, dst: NodeId, flow_hash: u64, mode: EcmpMode) -> Option<PortId> {
+    pub fn select(
+        &self,
+        sw: NodeId,
+        dst: NodeId,
+        flow_hash: u64,
+        mode: EcmpMode,
+    ) -> Option<PortId> {
         let ports = self.next_ports(sw, dst);
         match (ports.len(), mode) {
             (0, _) => None,
@@ -196,13 +202,7 @@ impl Fib {
     /// Walks a packet from `src` to `dst` using [`EcmpMode::First`],
     /// returning the node sequence — diagnostic helper to see what route
     /// the FIB actually realizes. Stops after `max_hops` (loop guard).
-    pub fn trace(
-        &self,
-        topo: &Topology,
-        src: NodeId,
-        dst: NodeId,
-        max_hops: usize,
-    ) -> Vec<NodeId> {
+    pub fn trace(&self, topo: &Topology, src: NodeId, dst: NodeId, max_hops: usize) -> Vec<NodeId> {
         let mut route = vec![src];
         let mut here = src;
         // Hosts hand the packet to their ToR first.
@@ -322,16 +322,16 @@ mod tests {
         let ports = fib.next_ports(l1, h1);
         assert!(!ports.is_empty());
         for &p in ports {
-            let peer = t
-                .peer_of(tagger_topo::GlobalPort::new(l1, p))
-                .unwrap()
-                .node;
+            let peer = t.peer_of(tagger_topo::GlobalPort::new(l1, p)).unwrap().node;
             assert_ne!(peer, t.expect_node("T1"));
         }
         // Spines still send toward L1 (they haven't converged).
         let s1 = t.expect_node("S1");
         let spine_ports = fib.next_ports(s1, h1);
-        assert_eq!(spine_ports, Fib::shortest_path(&t, &FailureSet::none()).next_ports(s1, h1));
+        assert_eq!(
+            spine_ports,
+            Fib::shortest_path(&t, &FailureSet::none()).next_ports(s1, h1)
+        );
     }
 
     #[test]

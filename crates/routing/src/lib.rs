@@ -30,13 +30,13 @@ mod shortest;
 mod updown;
 
 pub use bcube::bcube_paths;
+pub use bcube::{bcube_route, bcube_route_rotated};
+pub use bounce::bounce_paths_between_capped;
 pub use bounce::{all_paths_with_bounces, bounce_paths_between};
 pub use fib::{EcmpMode, Fib};
 pub use path::{Path, PathError};
+pub use shortest::enumerate_from_dag;
 pub use shortest::{
     shortest_path_dag, shortest_paths_all_pairs, shortest_paths_between, ShortestPaths,
 };
-pub use bcube::{bcube_route, bcube_route_rotated};
-pub use bounce::bounce_paths_between_capped;
-pub use shortest::enumerate_from_dag;
 pub use updown::{updown_paths, updown_paths_between, updown_paths_between_switches};

@@ -118,10 +118,7 @@ impl Path {
     }
 
     /// For each hop, the egress port at the *sending* node.
-    pub fn egress_ports<'a>(
-        &'a self,
-        topo: &'a Topology,
-    ) -> impl Iterator<Item = GlobalPort> + 'a {
+    pub fn egress_ports<'a>(&'a self, topo: &'a Topology) -> impl Iterator<Item = GlobalPort> + 'a {
         self.hop_pairs().map(move |(a, b)| {
             let link = topo
                 .link_between(a, b)
@@ -214,7 +211,9 @@ mod tests {
         // Bounce once at T2 (pod 1) and once at T3 (pod 2).
         let p = Path::from_names(
             &t,
-            &["H1", "T1", "L1", "T2", "L2", "S1", "L3", "T3", "L4", "T4", "H13"],
+            &[
+                "H1", "T1", "L1", "T2", "L2", "S1", "L3", "T3", "L4", "T4", "H13",
+            ],
         );
         assert_eq!(p.bounces(&t), 2);
     }

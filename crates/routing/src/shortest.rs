@@ -166,13 +166,8 @@ mod tests {
         // through a third host.
         let t = ClosConfig::small().build();
         let f = FailureSet::none();
-        let paths = shortest_paths_between(
-            &t,
-            &f,
-            t.expect_node("H1"),
-            t.expect_node("H2"),
-            usize::MAX,
-        );
+        let paths =
+            shortest_paths_between(&t, &f, t.expect_node("H1"), t.expect_node("H2"), usize::MAX);
         assert_eq!(paths.len(), 1);
         assert_eq!(paths[0].hops(), 2);
     }
@@ -181,13 +176,8 @@ mod tests {
     fn ecmp_count_cross_pod() {
         let t = ClosConfig::small().build();
         let f = FailureSet::none();
-        let paths = shortest_paths_between(
-            &t,
-            &f,
-            t.expect_node("H1"),
-            t.expect_node("H9"),
-            usize::MAX,
-        );
+        let paths =
+            shortest_paths_between(&t, &f, t.expect_node("H1"), t.expect_node("H9"), usize::MAX);
         // 2 leaves x 2 spines x 2 leaves = 8 equal-cost 6-hop paths.
         assert_eq!(paths.len(), 8);
         for p in &paths {
@@ -202,13 +192,8 @@ mod tests {
         // Cut T1's uplink to L1; H1->H9 still 6 hops via L2. Cut both
         // uplinks? Then T1 is isolated from the fabric.
         f.fail_between(&t, "T1", "L1");
-        let paths = shortest_paths_between(
-            &t,
-            &f,
-            t.expect_node("H1"),
-            t.expect_node("H9"),
-            usize::MAX,
-        );
+        let paths =
+            shortest_paths_between(&t, &f, t.expect_node("H1"), t.expect_node("H9"), usize::MAX);
         assert_eq!(paths.len(), 4); // only via L2 now
         for p in &paths {
             assert_eq!(p.hops(), 6);
@@ -225,13 +210,8 @@ mod tests {
         let t = ClosConfig::small().build();
         let mut f = FailureSet::none();
         f.fail_between(&t, "L1", "T1");
-        let paths = shortest_paths_between(
-            &t,
-            &f,
-            t.expect_node("L1"),
-            t.expect_node("H1"),
-            usize::MAX,
-        );
+        let paths =
+            shortest_paths_between(&t, &f, t.expect_node("L1"), t.expect_node("H1"), usize::MAX);
         assert!(!paths.is_empty());
         for p in &paths {
             // L1 -> S -> L2 -> T1 -> H1 or L1 -> T2 -> L2 -> T1 -> H1.
@@ -251,13 +231,8 @@ mod tests {
         let mut f = FailureSet::none();
         f.fail_between(&t, "T1", "L1");
         f.fail_between(&t, "T1", "L2");
-        let paths = shortest_paths_between(
-            &t,
-            &f,
-            t.expect_node("H1"),
-            t.expect_node("H9"),
-            usize::MAX,
-        );
+        let paths =
+            shortest_paths_between(&t, &f, t.expect_node("H1"), t.expect_node("H9"), usize::MAX);
         assert!(paths.is_empty());
     }
 

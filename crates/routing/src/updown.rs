@@ -44,10 +44,7 @@ pub fn updown_paths(topo: &Topology, failures: &FailureSet) -> Vec<Path> {
 /// Enumerates up-down paths between all ordered pairs of *switches* of the
 /// given layer-rank floor — useful when the ELP is expressed ToR-to-ToR
 /// rather than host-to-host.
-pub fn updown_paths_between_switches(
-    topo: &Topology,
-    failures: &FailureSet,
-) -> Vec<Path> {
+pub fn updown_paths_between_switches(topo: &Topology, failures: &FailureSet) -> Vec<Path> {
     let tors: Vec<NodeId> = topo
         .switch_ids()
         .filter(|&s| topo.node(s).kind == NodeKind::Switch)
@@ -102,7 +99,7 @@ mod tests {
         let paths = updown_paths_between(&t, &f, h1, h9);
         let min = paths.iter().map(|p| p.hops()).min().unwrap();
         assert_eq!(min, 6); // H-T-L-S-L-T-H
-        // 2 leaves x 2 spines x 2 leaves = 8 shortest choices.
+                            // 2 leaves x 2 spines x 2 leaves = 8 shortest choices.
         assert_eq!(paths.iter().filter(|p| p.hops() == 6).count(), 8);
         for p in &paths {
             assert!(p.is_updown(&t));
@@ -135,8 +132,14 @@ mod tests {
         // Directed pair counts match their reverses.
         let h1 = t.expect_node("H1");
         let h9 = t.expect_node("H9");
-        let fwd = all.iter().filter(|p| p.src() == h1 && p.dst() == h9).count();
-        let rev = all.iter().filter(|p| p.src() == h9 && p.dst() == h1).count();
+        let fwd = all
+            .iter()
+            .filter(|p| p.src() == h1 && p.dst() == h9)
+            .count();
+        let rev = all
+            .iter()
+            .filter(|p| p.src() == h9 && p.dst() == h1)
+            .count();
         assert_eq!(fwd, rev);
     }
 

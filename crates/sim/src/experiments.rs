@@ -79,8 +79,14 @@ fn names(topo: &Topology, path: &[&str]) -> Vec<NodeId> {
 pub fn fig10_bounce_deadlock(with_tagger: bool, end_ns: u64) -> Experiment {
     let topo = ClosConfig::small().build();
     let mut sim = testbed_sim(&topo, with_tagger, 1, end_ns);
-    let blue_path = names(&topo, &["H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13"]);
-    let green_path = names(&topo, &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"]);
+    let blue_path = names(
+        &topo,
+        &["H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13"],
+    );
+    let green_path = names(
+        &topo,
+        &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"],
+    );
     let h1 = topo.expect_node("H1");
     let h13 = topo.expect_node("H13");
     let h9 = topo.expect_node("H9");
@@ -146,15 +152,50 @@ pub fn fig12_pause_propagation(with_tagger: bool, end_ns: u64) -> Experiment {
     let later = 2 * end_ns / 5;
     let routes: [(&str, &str, u64, &[&str]); 8] = [
         // 4-to-1 shuffle into H1; H9 takes the bouncing path at L1.
-        ("H9", "H1", 0, &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"]),
-        ("H10", "H1", later, &["H10", "T3", "L3", "S1", "L2", "T1", "H1"]),
-        ("H13", "H1", later, &["H13", "T4", "L4", "S2", "L1", "T1", "H1"]),
-        ("H14", "H1", later, &["H14", "T4", "L4", "S2", "L1", "T1", "H1"]),
+        (
+            "H9",
+            "H1",
+            0,
+            &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"],
+        ),
+        (
+            "H10",
+            "H1",
+            later,
+            &["H10", "T3", "L3", "S1", "L2", "T1", "H1"],
+        ),
+        (
+            "H13",
+            "H1",
+            later,
+            &["H13", "T4", "L4", "S2", "L1", "T1", "H1"],
+        ),
+        (
+            "H14",
+            "H1",
+            later,
+            &["H14", "T4", "L4", "S2", "L1", "T1", "H1"],
+        ),
         // 1-to-4 shuffle out of H5; the H15 leg bounces at L3.
-        ("H5", "H15", second, &["H5", "T2", "L1", "S1", "L3", "S2", "L4", "T4", "H15"]),
+        (
+            "H5",
+            "H15",
+            second,
+            &["H5", "T2", "L1", "S1", "L3", "S2", "L4", "T4", "H15"],
+        ),
         ("H5", "H2", later, &["H5", "T2", "L1", "T1", "H2"]),
-        ("H5", "H11", later, &["H5", "T2", "L1", "S1", "L3", "T3", "H11"]),
-        ("H5", "H16", later, &["H5", "T2", "L1", "S1", "L4", "T4", "H16"]),
+        (
+            "H5",
+            "H11",
+            later,
+            &["H5", "T2", "L1", "S1", "L3", "T3", "H11"],
+        ),
+        (
+            "H5",
+            "H16",
+            later,
+            &["H5", "T2", "L1", "S1", "L4", "T4", "H16"],
+        ),
     ];
     for (src, dst, start, path) in routes {
         sim.add_flow(FlowSpec::new(h(src), h(dst), start).pinned(names(&topo, path)));
@@ -263,8 +304,7 @@ pub fn bcube_ring(with_tagger: bool, end_ns: u64) -> Experiment {
         let path = names(&topo, r);
         // Staggered starts trip the locking race, as in Fig 12.
         sim.add_flow(
-            FlowSpec::new(path[0], *path.last().unwrap(), i as u64 * end_ns / 20)
-                .pinned(path),
+            FlowSpec::new(path[0], *path.last().unwrap(), i as u64 * end_ns / 20).pinned(path),
         );
         labels.push(format!("{}->{}", r[0], r[r.len() - 1]));
     }
@@ -332,8 +372,14 @@ pub fn recovery_baseline(with_tagger: bool, end_ns: u64) -> Experiment {
         ..SimConfig::default()
     };
     let mut sim = Simulator::new(topo.clone(), fib, rules, cfg);
-    let blue = names(&topo, &["H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13"]);
-    let green = names(&topo, &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"]);
+    let blue = names(
+        &topo,
+        &["H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13"],
+    );
+    let green = names(
+        &topo,
+        &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"],
+    );
     let h1 = topo.expect_node("H1");
     let h13 = topo.expect_node("H13");
     let h9 = topo.expect_node("H9");
@@ -409,6 +455,92 @@ pub fn transient_failure(with_tagger: bool, end_ns: u64) -> Experiment {
     }
 }
 
+/// **Transient failure, controller-driven** — the same §1/§3.2 reroute
+/// scenario as [`transient_failure`], but with the Tagger tables managed
+/// end-to-end by the [`tagger_ctrl::Controller`] instead of being
+/// hand-wired:
+///
+/// 1. epoch 0: the controller bootstraps a verified tagging for the
+///    healthy fabric (1-bounce ELP policy) and its tables are installed
+///    wholesale before traffic starts;
+/// 2. at 1/5 of the horizon the L1–T1 link dies. The data plane reacts
+///    first (stale FIB with local detours — the transient-loop window);
+///    the controller consumes the `LinkDown` event, stages a reroute
+///    tagging against the failure-filtered ELP, verifies it, and
+///    commits per-switch deltas;
+/// 3. at 3/5 of the horizon routing reconverges and the committed
+///    deltas are applied — an incremental install, not a full-table
+///    reinstall.
+///
+/// Returns the experiment plus the controller's commit report for the
+/// failure epoch, so callers can check the delta economy (deltas much
+/// smaller than the tables they update) alongside the usual
+/// no-deadlock / no-lossless-drop assertions.
+///
+/// # Panics
+/// Panics if the controller cannot bootstrap or the `LinkDown` commit
+/// rolls back — for the healthy small Clos both always succeed.
+pub fn transient_failure_via_controller(end_ns: u64) -> (Experiment, tagger_ctrl::CommitReport) {
+    use tagger_ctrl::{Controller, CtrlEvent, ElpPolicy};
+
+    let topo = ClosConfig::small().build();
+    let mut ctrl = Controller::new(topo.clone(), ElpPolicy::with_bounces(1))
+        .expect("healthy small Clos bootstraps");
+    let epoch0 = ctrl.committed().rules.clone();
+
+    let dead = topo
+        .link_between(topo.expect_node("L1"), topo.expect_node("T1"))
+        .expect("adjacent");
+    let report = ctrl
+        .handle(&CtrlEvent::LinkDown(dead))
+        .expect("valid link id")
+        .committed()
+        .cloned()
+        .expect("single-link reroute commits");
+
+    // Lossless queues must cover every priority either epoch can assign.
+    let max_tag = |r: &tagger_core::RuleSet| r.max_tag().map_or(1, |t| t.0 as usize);
+    let queues = max_tag(&epoch0).max(max_tag(&ctrl.committed().rules)) as u8;
+    let cfg = SimConfig {
+        switch: testbed_switch_config(queues),
+        pfc_extra_delay_ns: TESTBED_PFC_DELAY_NS,
+        end_time_ns: end_ns,
+        ..SimConfig::default()
+    };
+    let fib = Fib::shortest_path(&topo, &FailureSet::none());
+    let mut sim = Simulator::new(topo.clone(), fib, Some(epoch0), cfg);
+
+    let h9 = topo.expect_node("H9");
+    let h1 = topo.expect_node("H1");
+    let h13 = topo.expect_node("H13");
+    let h6 = topo.expect_node("H6");
+    sim.add_flow(FlowSpec::new(h9, h1, 0));
+    let victim_path = names(&topo, &["H13", "T4", "L4", "S1", "L1", "T2", "H6"]);
+    sim.add_flow(FlowSpec::new(h13, h6, 0).pinned(victim_path));
+
+    let mut failures = FailureSet::none();
+    failures.fail(dead);
+    let t_fail = end_ns / 5;
+    let t_converge = 3 * end_ns / 5;
+    sim.at(t_fail, Action::FailLink { link: dead });
+    sim.at(
+        t_fail,
+        Action::ReplaceFib(Fib::local_reroute(&topo, &failures)),
+    );
+    sim.at(
+        t_converge,
+        Action::ReplaceFib(Fib::shortest_path(&topo, &failures)),
+    );
+    sim.at(t_converge, Action::ApplyRuleDeltas(report.deltas.clone()));
+    (
+        Experiment {
+            sim,
+            labels: vec!["green(H9->H1)".into(), "victim(H13->H6)".into()],
+        },
+        report,
+    )
+}
+
 /// **Figure 8** — priority-transition handling ablation.
 ///
 /// Flow A rides a 1-bounce path (tag 1 → 2 at L1) into a bottleneck it
@@ -439,7 +571,10 @@ pub fn fig8_priority_transition(correct: bool, end_ns: u64) -> Experiment {
         ..SimConfig::default()
     };
     let mut sim = Simulator::new(topo.clone(), fib, Some(tagging.rules().clone()), cfg);
-    let a_path = names(&topo, &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"]);
+    let a_path = names(
+        &topo,
+        &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"],
+    );
     let h9 = topo.expect_node("H9");
     let h1 = topo.expect_node("H1");
     let h2 = topo.expect_node("H2");
@@ -554,7 +689,10 @@ mod tests {
                 vanilla_deadlocks += 1;
             }
             let tagger = failure_trial(true, seed, 2, 4_000_000);
-            assert!(tagger.deadlock.is_none(), "seed {seed} deadlocked with Tagger");
+            assert!(
+                tagger.deadlock.is_none(),
+                "seed {seed} deadlocked with Tagger"
+            );
             assert_eq!(
                 tagger.frozen_flows(3),
                 0,
@@ -583,7 +721,12 @@ mod tests {
         assert_eq!(report.lossless_drops, 0);
         assert_eq!(report.lossy_drops, 0); // ELP covers every route
         for f in &report.flows {
-            assert!(f.tail_rate(5) > 15e9, "flow {} at {}", f.flow, f.tail_rate(5));
+            assert!(
+                f.tail_rate(5) > 15e9,
+                "flow {} at {}",
+                f.flow,
+                f.tail_rate(5)
+            );
         }
     }
 
@@ -621,14 +764,23 @@ mod tests {
             ..crate::SimConfig::default()
         };
         let mut sim = Simulator::new(topo.clone(), fib, None, cfg);
-        let blue = names(&topo, &["H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13"]);
-        let green = names(&topo, &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"]);
+        let blue = names(
+            &topo,
+            &["H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13"],
+        );
+        let green = names(
+            &topo,
+            &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"],
+        );
         sim.add_flow(FlowSpec::new(blue[0], *blue.last().unwrap(), 0).pinned(blue.clone()));
         sim.add_flow(
             FlowSpec::new(green[0], *green.last().unwrap(), END / 5).pinned(green.clone()),
         );
         let report = sim.run();
-        assert!(report.deadlock.is_some(), "deadlock must survive quanta expiry");
+        assert!(
+            report.deadlock.is_some(),
+            "deadlock must survive quanta expiry"
+        );
         assert_eq!(report.frozen_flows(5), 2);
     }
 
@@ -649,6 +801,35 @@ mod tests {
         assert_eq!(report.recoveries, 0);
         assert_eq!(report.recovery_drops, 0);
         assert!(report.deadlock.is_none());
+    }
+
+    #[test]
+    fn transient_failure_via_controller_matches_hand_wired_tagger() {
+        let (exp, commit) = transient_failure_via_controller(10_000_000);
+        // The commit is a real incremental update: it touches tables,
+        // but costs far less than withdrawing and reinstalling them.
+        assert!(commit.switches_touched() > 0);
+        assert!(
+            commit.delta_ops() < commit.full_reinstall_ops(),
+            "deltas ({} ops) must beat full reinstall ({} ops)",
+            commit.delta_ops(),
+            commit.full_reinstall_ops()
+        );
+        let (report, _) = exp.run();
+        // Same safety outcome as the hand-wired Tagger run: no deadlock,
+        // ricochets absorbed lossy, lossless class untouched, and both
+        // flows back at line rate after the controller's tables land.
+        assert!(report.deadlock.is_none());
+        assert_eq!(report.lossless_drops, 0);
+        assert_eq!(report.frozen_flows(5), 0);
+        for f in &report.flows {
+            assert!(
+                f.tail_rate(5) > 35e9,
+                "flow {} did not recover: {}",
+                f.flow,
+                f.tail_rate(5)
+            );
+        }
     }
 
     #[test]

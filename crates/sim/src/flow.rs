@@ -158,9 +158,7 @@ impl FlowReport {
     /// earlier samples show it did run — the throughput signature of a
     /// deadlock-paused flow (paper Fig. 10).
     pub fn stalled(&self, n: usize) -> bool {
-        self.rate_series.len() > n
-            && self.tail_rate(n) == 0.0
-            && self.delivered_bytes > 0
+        self.rate_series.len() > n && self.tail_rate(n) == 0.0 && self.delivered_bytes > 0
     }
 
     /// True if the flow delivered nothing over the last `n` samples —
@@ -206,8 +204,8 @@ mod tests {
     #[test]
     fn limit_gates_wants_to_send() {
         let topo = ClosConfig::small().build();
-        let spec = FlowSpec::new(topo.expect_node("H1"), topo.expect_node("H9"), 10)
-            .with_limit(1000);
+        let spec =
+            FlowSpec::new(topo.expect_node("H1"), topo.expect_node("H9"), 10).with_limit(1000);
         let mut st = FlowState::new(spec, &topo);
         st.started = true;
         assert!(!st.wants_to_send(5)); // before start

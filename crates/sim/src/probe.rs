@@ -214,13 +214,11 @@ mod tests {
         let mut failures = FailureSet::none();
         failures.fail_between(&topo, "L1", "T1");
         // Hash 0 picks the first downhill (L1 by port order at S1).
-        let hops =
-            trace_local_reroute(&topo, &healthy, &failures, s1, h1, 0).expect("delivered");
+        let hops = trace_local_reroute(&topo, &healthy, &failures, s1, h1, 0).expect("delivered");
         assert_eq!(healthy.distance(s1), Some(3));
         assert_eq!(hops, 5, "bounce adds two hops");
         // A probe hashed onto L2 sees no deficit.
-        let hops2 =
-            trace_local_reroute(&topo, &healthy, &failures, s1, h1, 1).expect("delivered");
+        let hops2 = trace_local_reroute(&topo, &healthy, &failures, s1, h1, 1).expect("delivered");
         assert_eq!(hops2, 3);
     }
 

@@ -110,6 +110,15 @@ pub enum Action {
         /// The link.
         link: tagger_topo::LinkId,
     },
+    /// Replace the entire installed Tagger rule program — the blunt
+    /// control-plane update (full-table reinstall).
+    ReplaceRules(RuleSet),
+    /// Apply incremental per-switch rule deltas to the installed Tagger
+    /// program, as emitted by a `tagger-ctrl` commit. Applied
+    /// atomically at the scheduled instant (the simulator has no notion
+    /// of per-switch install skew); starting from no installed rules
+    /// applies the deltas to an empty program.
+    ApplyRuleDeltas(Vec<tagger_core::RuleDelta>),
 }
 
 /// The deterministic discrete-event simulator.
@@ -286,9 +295,11 @@ impl Simulator {
                 }
                 Ev::Arrive { port, packet } => self.on_arrive(port, packet),
                 Ev::Pfc { port, frame } => self.on_pfc(port, frame),
-                Ev::PfcExpire { port, prio, deadline } => {
-                    self.on_pfc_expire(port, prio, deadline)
-                }
+                Ev::PfcExpire {
+                    port,
+                    prio,
+                    deadline,
+                } => self.on_pfc_expire(port, prio, deadline),
                 Ev::PfcRefresh { port, prio } => self.on_pfc_refresh(port, prio),
                 Ev::Cnp { flow } => {
                     if let Some(dcqcn) = self.cfg.dcqcn {
@@ -381,10 +392,8 @@ impl Simulator {
         let peer = self.topo.peer_of(port).expect("wired port");
         self.tx_busy.insert(port);
         self.queue.push(self.now + ser, Ev::TxEnd { port });
-        self.queue.push(
-            self.now + ser + latency,
-            Ev::Arrive { port: peer, packet },
-        );
+        self.queue
+            .push(self.now + ser + latency, Ev::Arrive { port: peer, packet });
     }
 
     /// Picks the next packet a host injects: round-robin over its active,
@@ -477,10 +486,8 @@ impl Simulator {
             // the source after the reverse-path delay.
             if packet.ecn {
                 if let Some(dcqcn) = self.cfg.dcqcn {
-                    self.queue.push(
-                        self.now + dcqcn.cnp_delay_ns,
-                        Ev::Cnp { flow: packet.flow },
-                    );
+                    self.queue
+                        .push(self.now + dcqcn.cnp_delay_ns, Ev::Cnp { flow: packet.flow });
                 }
             }
             return;
@@ -558,7 +565,8 @@ impl Simulator {
         };
         let delay = link.latency_ns + self.cfg.pfc_extra_delay_ns;
         let peer = self.topo.peer_of(gp).expect("wired");
-        self.queue.push(self.now + delay, Ev::Pfc { port: peer, frame });
+        self.queue
+            .push(self.now + delay, Ev::Pfc { port: peer, frame });
         if let (Some(quanta), PfcFrame::Pause { priority }) = (self.cfg.pause_quanta_ns, frame) {
             self.queue.push(
                 self.now + quanta / 2,
@@ -698,6 +706,13 @@ impl Simulator {
         let action = self.actions[index].1.clone();
         match action {
             Action::ReplaceFib(fib) => self.fib = fib,
+            Action::ReplaceRules(rules) => self.rules = Some(rules),
+            Action::ApplyRuleDeltas(deltas) => {
+                let rules = self.rules.get_or_insert_with(RuleSet::new);
+                for delta in &deltas {
+                    rules.apply_delta(delta);
+                }
+            }
             Action::PinFlow { flow, path } => {
                 let spec = self.flows[flow as usize].spec.clone();
                 let spec = FlowSpec {
@@ -859,8 +874,7 @@ mod tests {
         let mut sim = small_sim(None, 1);
         let topo = sim.topo().clone();
         let f = sim.add_flow(
-            FlowSpec::new(topo.expect_node("H1"), topo.expect_node("H5"), 0)
-                .with_limit(50_000),
+            FlowSpec::new(topo.expect_node("H1"), topo.expect_node("H5"), 0).with_limit(50_000),
         );
         let report = sim.run();
         assert_eq!(report.flows[f as usize].delivered_bytes, 50_000);
@@ -973,12 +987,10 @@ mod tests {
         };
         let mut sim = Simulator::new(topo.clone(), fib, None, cfg);
         let a = sim.add_flow(
-            FlowSpec::new(topo.expect_node("H2"), topo.expect_node("H1"), 0)
-                .with_limit(400_000),
+            FlowSpec::new(topo.expect_node("H2"), topo.expect_node("H1"), 0).with_limit(400_000),
         );
         let b = sim.add_flow(
-            FlowSpec::new(topo.expect_node("H3"), topo.expect_node("H1"), 0)
-                .with_limit(400_000),
+            FlowSpec::new(topo.expect_node("H3"), topo.expect_node("H1"), 0).with_limit(400_000),
         );
         let report = sim.run();
         assert_eq!(report.flows[a as usize].delivered_bytes, 400_000);

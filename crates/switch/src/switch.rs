@@ -207,7 +207,8 @@ impl SwitchState {
             if self.ingress_occ[idx] > self.cfg.xoff_bytes && !self.pause_sent[idx] {
                 self.pause_sent[idx] = true;
                 self.stats.pauses_sent += 1;
-                self.emitted.push((in_port, PfcFrame::Pause { priority: p }));
+                self.emitted
+                    .push((in_port, PfcFrame::Pause { priority: p }));
             }
         }
 
@@ -613,7 +614,9 @@ mod tests {
                 TransitionMode::EgressByNewTag,
             );
         }
-        let order: Vec<u64> = (0..4).map(|_| s.dequeue(PortId(1)).unwrap().packet.id.0).collect();
+        let order: Vec<u64> = (0..4)
+            .map(|_| s.dequeue(PortId(1)).unwrap().packet.id.0)
+            .collect();
         assert_eq!(order, vec![10, 20, 11, 21]);
     }
 

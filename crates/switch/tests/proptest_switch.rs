@@ -8,16 +8,31 @@ use tagger_topo::{NodeId, PortId};
 
 #[derive(Clone, Debug)]
 enum Op {
-    Admit { in_port: u16, out_port: u16, tag: u16 },
-    Dequeue { port: u16 },
-    Pause { port: u16, prio: u8 },
-    Resume { port: u16, prio: u8 },
+    Admit {
+        in_port: u16,
+        out_port: u16,
+        tag: u16,
+    },
+    Dequeue {
+        port: u16,
+    },
+    Pause {
+        port: u16,
+        prio: u8,
+    },
+    Resume {
+        port: u16,
+        prio: u8,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u16..4, 0u16..4, 0u16..4)
-            .prop_map(|(in_port, out_port, tag)| Op::Admit { in_port, out_port, tag }),
+        (0u16..4, 0u16..4, 0u16..4).prop_map(|(in_port, out_port, tag)| Op::Admit {
+            in_port,
+            out_port,
+            tag
+        }),
         (0u16..4).prop_map(|port| Op::Dequeue { port }),
         (0u16..4, 0u8..3).prop_map(|(port, prio)| Op::Pause { port, prio }),
         (0u16..4, 0u8..3).prop_map(|(port, prio)| Op::Resume { port, prio }),

@@ -41,10 +41,7 @@ impl BCubeConfig {
 
     /// Recomposes base-`n` digits (least-significant first) into an index.
     pub fn from_digits(&self, digits: &[usize]) -> usize {
-        digits
-            .iter()
-            .rev()
-            .fold(0, |acc, &d| acc * self.n + d)
+        digits.iter().rev().fold(0, |acc, &d| acc * self.n + d)
     }
 }
 

@@ -222,7 +222,10 @@ mod tests {
         for i in 1..=4 {
             for s in 1..=2 {
                 assert!(t
-                    .link_between(t.expect_node(&format!("T{i}")), t.expect_node(&format!("S{s}")))
+                    .link_between(
+                        t.expect_node(&format!("T{i}")),
+                        t.expect_node(&format!("S{s}"))
+                    )
                     .is_some());
             }
         }

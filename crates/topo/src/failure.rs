@@ -2,6 +2,29 @@
 
 use crate::{LinkId, NodeId, Topology};
 use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a named link could not be resolved against a topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkLookupError {
+    /// No node with this name exists.
+    UnknownNode(String),
+    /// Both nodes exist but share no link.
+    NotAdjacent(String, String),
+}
+
+impl fmt::Display for LinkLookupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkLookupError::UnknownNode(name) => write!(f, "unknown node {name:?}"),
+            LinkLookupError::NotAdjacent(a, b) => {
+                write!(f, "no link between {a:?} and {b:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkLookupError {}
 
 /// A set of failed links, overlaid on a [`Topology`] without mutating it.
 ///
@@ -32,12 +55,40 @@ impl FailureSet {
     /// Panics if either node does not exist or they are not adjacent —
     /// experiment scripts should fail loudly on typos.
     pub fn fail_between(&mut self, topo: &Topology, a: &str, b: &str) {
-        let na = topo.expect_node(a);
-        let nb = topo.expect_node(b);
-        let link = topo
-            .link_between(na, nb)
-            .unwrap_or_else(|| panic!("no link between {a} and {b}"));
+        match self.try_fail_between(topo, a, b) {
+            Ok(_) => {}
+            Err(LinkLookupError::UnknownNode(name)) => panic!("no node named {name}"),
+            Err(LinkLookupError::NotAdjacent(a, b)) => panic!("no link between {a} and {b}"),
+        }
+    }
+
+    /// Non-panicking [`FailureSet::fail_between`]: resolves the link once
+    /// and reports typos as errors instead of aborting — the right shape
+    /// when the names come from an untrusted source such as a recorded
+    /// control-plane event trace. Returns the failed link on success.
+    pub fn try_fail_between(
+        &mut self,
+        topo: &Topology,
+        a: &str,
+        b: &str,
+    ) -> Result<LinkId, LinkLookupError> {
+        let link = resolve_link(topo, a, b)?;
         self.fail(link);
+        Ok(link)
+    }
+
+    /// Non-panicking restore-by-name, the counterpart of
+    /// [`FailureSet::try_fail_between`]. Restoring a link that was never
+    /// failed is a no-op, matching [`FailureSet::restore`].
+    pub fn try_restore_between(
+        &mut self,
+        topo: &Topology,
+        a: &str,
+        b: &str,
+    ) -> Result<LinkId, LinkLookupError> {
+        let link = resolve_link(topo, a, b)?;
+        self.restore(link);
+        Ok(link)
     }
 
     /// Restores `link`. Idempotent.
@@ -83,6 +134,18 @@ impl FailureSet {
     }
 }
 
+/// Resolves the link between two named nodes.
+pub fn resolve_link(topo: &Topology, a: &str, b: &str) -> Result<LinkId, LinkLookupError> {
+    let na = topo
+        .node_by_name(a)
+        .ok_or_else(|| LinkLookupError::UnknownNode(a.to_string()))?;
+    let nb = topo
+        .node_by_name(b)
+        .ok_or_else(|| LinkLookupError::UnknownNode(b.to_string()))?;
+    topo.link_between(na, nb)
+        .ok_or_else(|| LinkLookupError::NotAdjacent(a.to_string(), b.to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +183,24 @@ mod tests {
         let topo = ClosConfig::small().build();
         let mut f = FailureSet::none();
         f.fail_between(&topo, "T1", "S1"); // ToRs do not touch spines
+    }
+
+    #[test]
+    fn try_fail_between_reports_typos_without_panicking() {
+        let topo = ClosConfig::small().build();
+        let mut f = FailureSet::none();
+        assert_eq!(
+            f.try_fail_between(&topo, "L1", "XX"),
+            Err(LinkLookupError::UnknownNode("XX".into()))
+        );
+        assert_eq!(
+            f.try_fail_between(&topo, "T1", "S1"),
+            Err(LinkLookupError::NotAdjacent("T1".into(), "S1".into()))
+        );
+        assert!(f.is_empty(), "failed lookups must not fail anything");
+        let link = f.try_fail_between(&topo, "L1", "T1").unwrap();
+        assert!(f.is_failed(link));
+        assert_eq!(f.try_restore_between(&topo, "L1", "T1"), Ok(link));
+        assert!(f.is_empty());
     }
 }

@@ -18,7 +18,10 @@ use crate::{Layer, NodeId, Topology};
 /// # Panics
 /// Panics if `k` is odd or less than 2.
 pub fn fat_tree(k: usize) -> Topology {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat_tree requires even k >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat_tree requires even k >= 2"
+    );
     let half = k / 2;
     let mut t = Topology::new();
 
@@ -76,7 +79,7 @@ mod tests {
         let t = fat_tree(4);
         assert_eq!(t.num_switches(), 4 + 8 + 8); // 4 cores, 8 aggs, 8 edges
         assert_eq!(t.num_hosts(), 16); // k^3/4
-        // Every switch uses exactly k ports.
+                                       // Every switch uses exactly k ports.
         for s in t.switch_ids() {
             assert_eq!(t.node(s).num_ports(), 4, "{}", t.node(s).name);
         }

@@ -237,7 +237,10 @@ impl Topology {
 
     /// Number of host nodes.
     pub fn num_hosts(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Host).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Host)
+            .count()
     }
 
     /// The node with id `id`.
@@ -312,7 +315,9 @@ impl Topology {
     /// The port on `a` that leads to `b`, if the nodes are adjacent. For
     /// parallel links, returns the lowest-numbered port.
     pub fn port_towards(&self, a: NodeId, b: NodeId) -> Option<PortId> {
-        self.neighbors(a).find(|&(_, _, n)| n == b).map(|(p, _, _)| p)
+        self.neighbors(a)
+            .find(|&(_, _, n)| n == b)
+            .map(|(p, _, _)| p)
     }
 
     /// The node on the far side of `port`, if the port is wired.

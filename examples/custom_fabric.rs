@@ -44,7 +44,11 @@ fn main() {
 
     // Host-to-host shortest-path ELP (all equal-cost paths).
     let elp = Elp::shortest(&topo, usize::MAX, true);
-    println!("ELP: {} shortest paths, longest {} hops", elp.len(), elp.max_hops());
+    println!(
+        "ELP: {} shortest paths, longest {} hops",
+        elp.len(),
+        elp.max_hops()
+    );
 
     let tagging = Tagging::from_elp(&topo, &elp).expect("pipeline");
     tagging.graph().verify().expect("deadlock-free");

@@ -4,8 +4,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use tagger::prelude::*;
 use tagger::core::tcam::{Compression, TcamProgram};
+use tagger::prelude::*;
 
 fn main() {
     // 1. The operator's fabric: a 3-layer Clos (the paper's Fig. 2).

@@ -1,0 +1,233 @@
+//! `tagger-ctrld` — replay a control-plane event trace through the
+//! incremental Tagger controller.
+//!
+//! Boots a [`tagger::ctrl::Controller`] for a 3-layer Clos, commits the
+//! epoch-0 tagging, then feeds it the events from a plain-text trace
+//! (see `examples/reroute.trace` for the format) and prints, per epoch,
+//! what a real deployment would ship to switches: per-switch rule
+//! deltas, their cost against a full-table reinstall, and the
+//! verification verdict. Ends with the controller's metrics report.
+//!
+//! ```text
+//! tagger-ctrld [trace-file] [--pods N] [--leaves N] [--tors N] [--spines N]
+//!              [--hosts N] [--bounces K] [--tcam-budget N] [--verbose]
+//! ```
+//!
+//! With no trace file, replays the canonical single-link flap
+//! (down L1 T1, then up L1 T1) — the paper's reroute scenario.
+//!
+//! The process exits non-zero if any commit violates the incremental
+//! promise (delta ops ≥ full reinstall ops for a single-link event) or
+//! if any epoch fails verification, so the binary doubles as an
+//! end-to-end check.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use tagger::ctrl::{parse_trace, Controller, CtrlEvent, ElpPolicy, EpochOutcome};
+use tagger::topo::ClosConfig;
+
+type Args = (Option<String>, BTreeMap<String, String>, bool);
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut flags = BTreeMap::new();
+    let mut trace = None;
+    let mut verbose = false;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--verbose" {
+            verbose = true;
+            i += 1;
+        } else if let Some(name) = a.strip_prefix("--") {
+            if i + 1 < args.len() {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                return Err(format!("--{name} wants a value"));
+            }
+        } else {
+            trace = Some(a.clone());
+            i += 1;
+        }
+    }
+    Ok((trace, flags, verbose))
+}
+
+fn get(flags: &BTreeMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} wants a number, got {v:?}")),
+    }
+}
+
+fn setup(args: &[String]) -> Result<(Args, ClosConfig, ElpPolicy, Option<usize>), String> {
+    let parsed = parse_args(args)?;
+    let flags = &parsed.1;
+    let config = ClosConfig {
+        pods: get(flags, "pods", 2)?,
+        leaves_per_pod: get(flags, "leaves", 2)?,
+        tors_per_pod: get(flags, "tors", 2)?,
+        spines: get(flags, "spines", 2)?,
+        hosts_per_tor: get(flags, "hosts", 4)?,
+    };
+    let policy = ElpPolicy::with_bounces(get(flags, "bounces", 1)?);
+    let budget = match flags.get("tcam-budget") {
+        None => None,
+        Some(_) => Some(get(flags, "tcam-budget", 0)?),
+    };
+    Ok((parsed, config, policy, budget))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ((trace_file, _, verbose), config, policy, budget) = match setup(&args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let topo = config.build();
+
+    let text = match &trace_file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => "down L1 T1\nup L1 T1\n".to_string(),
+    };
+    let events = match parse_trace(&topo, &text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut ctrl = match Controller::with_budget(topo.clone(), policy, budget) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bootstrap failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let epoch0 = ctrl.committed();
+    println!(
+        "epoch 0 (bootstrap): {} switches, {} links, {} ELP paths -> {} rules, \
+         {} lossless priorities, worst-switch TCAM {}",
+        topo.num_switches(),
+        topo.num_links(),
+        epoch0.elp_paths,
+        epoch0.rules.num_rules(),
+        epoch0.lossless_tags,
+        epoch0.tcam_worst_switch,
+    );
+
+    let mut single_link_commits = 0usize;
+    let mut incremental_wins = 0usize;
+    let mut failed = false;
+    for event in &events {
+        let is_link_event = matches!(event, CtrlEvent::LinkDown(_) | CtrlEvent::LinkUp(_));
+        match ctrl.handle(event) {
+            Ok(EpochOutcome::Committed(report)) => {
+                println!(
+                    "epoch {} <- {}: committed in {:?}; {} ELP paths, {} lossless \
+                     priorities, worst-switch TCAM {}",
+                    report.epoch,
+                    event.label(),
+                    report.recompute,
+                    report.elp_paths,
+                    report.lossless_tags,
+                    report.tcam_worst_switch,
+                );
+                println!(
+                    "  deltas: {} switches touched, +{} -{} rules ({} ops vs {} for a \
+                     full reinstall)",
+                    report.switches_touched(),
+                    report.rules_added,
+                    report.rules_removed,
+                    report.delta_ops(),
+                    report.full_reinstall_ops(),
+                );
+                for delta in &report.deltas {
+                    let line = format!(
+                        "    {}: +{} -{}",
+                        topo.node(delta.switch).name,
+                        delta.add.len(),
+                        delta.remove.len()
+                    );
+                    if verbose {
+                        println!("{line}");
+                        for r in &delta.remove {
+                            println!(
+                                "      - (tag {}, in {}, out {}) -> {}",
+                                r.tag.0, r.in_port.0, r.out_port.0, r.new_tag.0
+                            );
+                        }
+                        for r in &delta.add {
+                            println!(
+                                "      + (tag {}, in {}, out {}) -> {}",
+                                r.tag.0, r.in_port.0, r.out_port.0, r.new_tag.0
+                            );
+                        }
+                    } else {
+                        println!("{line}");
+                    }
+                }
+                if is_link_event && !report.deltas.is_empty() {
+                    single_link_commits += 1;
+                    if report.delta_ops() < report.full_reinstall_ops() {
+                        incremental_wins += 1;
+                    }
+                }
+            }
+            Ok(EpochOutcome::RolledBack {
+                abandoned_version,
+                reason,
+            }) => {
+                println!(
+                    "epoch {} <- {}: ROLLED BACK (view v{} abandoned): {}",
+                    ctrl.committed().epoch + 1,
+                    event.label(),
+                    abandoned_version,
+                    reason,
+                );
+            }
+            Err(e) => {
+                eprintln!("hard error on {}: {e}", event.label());
+                failed = true;
+                break;
+            }
+        }
+    }
+
+    println!();
+    print!("{}", ctrl.metrics().report());
+
+    let m = ctrl.metrics();
+    if m.verify_failures > 0 {
+        eprintln!(
+            "FAIL: {} committed epoch(s) required verify rollbacks",
+            m.verify_failures
+        );
+        failed = true;
+    }
+    if single_link_commits > 0 && incremental_wins < single_link_commits {
+        eprintln!(
+            "FAIL: only {incremental_wins}/{single_link_commits} single-link commits \
+             beat a full-table reinstall"
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

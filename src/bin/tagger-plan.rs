@@ -51,12 +51,18 @@ fn parse_flags(args: &[String]) -> (BTreeMap<String, String>, bool) {
 fn get(flags: &BTreeMap<String, String>, key: &str, default: usize) -> usize {
     flags
         .get(key)
-        .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} wants a number")))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--{key} wants a number"))
+        })
         .unwrap_or(default)
 }
 
 fn report(topo: &Topology, tagging: &Tagging, dump_rules: bool) {
-    tagging.graph().verify().expect("deadlock-freedom certificate");
+    tagging
+        .graph()
+        .verify()
+        .expect("deadlock-freedom certificate");
     let priorities = tagging.num_lossless_tags_on(topo);
     let tcam = TcamProgram::compile(topo, tagging.rules(), Compression::Joint);
     println!(
@@ -84,7 +90,10 @@ fn report(topo: &Topology, tagging: &Tagging, dump_rules: bool) {
     );
     println!("certificate     : deadlock-free (Theorem 5.1 verified)");
     if tagging.repairs() > 0 {
-        println!("note            : {} determinization repair rules", tagging.repairs());
+        println!(
+            "note            : {} determinization repair rules",
+            tagging.repairs()
+        );
     }
     if dump_rules {
         println!();
@@ -131,7 +140,10 @@ fn main() -> ExitCode {
         "fattree" => {
             let topo = fat_tree(get(&flags, "k", 4));
             let k = get(&flags, "bounces", 1);
-            println!("plan: fat-tree k={}, {k}-bounce lossless service\n", get(&flags, "k", 4));
+            println!(
+                "plan: fat-tree k={}, {k}-bounce lossless service\n",
+                get(&flags, "k", 4)
+            );
             let tagging = clos_tagging(&topo, k).expect("layered fabric");
             report(&topo, &tagging, dump_rules);
         }

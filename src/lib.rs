@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub use tagger_core as core;
+pub use tagger_ctrl as ctrl;
 pub use tagger_routing as routing;
 pub use tagger_sim as sim;
 pub use tagger_switch as switch;
@@ -52,6 +53,7 @@ pub mod prelude {
     pub use tagger_core::{
         clos::clos_tagging, greedy_minimize, tag_by_hop_count, Elp, Tag, TaggedGraph, Tagging,
     };
+    pub use tagger_ctrl::{Controller, CtrlEvent, ElpPolicy};
     pub use tagger_routing::{updown_paths, Path};
     pub use tagger_sim::{Experiment, Simulator};
     pub use tagger_topo::{ClosConfig, Layer, NodeId, Topology};
