@@ -79,6 +79,65 @@ impl fmt::Display for RuleError {
 
 impl std::error::Error for RuleError {}
 
+/// Why a rule-table install on one switch failed — the error taxonomy a
+/// control plane's southbound layer speaks.
+///
+/// The key property retries lean on: applying a [`RuleDelta`] is
+/// *idempotent* (withdrawing an absent rule is a no-op, installing an
+/// existing one overwrites in place), so after any of these errors the
+/// installer may simply re-send the same delta; a switch that ends up
+/// acking has exactly the delta applied, no matter how many partial or
+/// unacknowledged attempts preceded it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InstallError {
+    /// The switch rejected the update outright; no operations from the
+    /// delta were applied.
+    Refused,
+    /// The switch did not acknowledge within the deadline. The delta may
+    /// or may not have been applied — the installer must assume nothing
+    /// and retry (safe by idempotence) or reconcile.
+    Timeout,
+    /// The switch applied only the first `applied_ops` operations
+    /// (withdrawals first, then installs — [`RuleSet::apply_delta`]
+    /// order) before failing, leaving its table in a known intermediate
+    /// state.
+    PartialApply {
+        /// Operations applied before the failure, in delta order.
+        applied_ops: usize,
+    },
+    /// The switch's table has no room for the installs in the delta.
+    /// Retrying without shrinking the table cannot succeed.
+    TableFull {
+        /// The hardware table capacity, in rules.
+        capacity: usize,
+    },
+}
+
+impl InstallError {
+    /// True if retrying the same delta can possibly succeed. Transient
+    /// faults are retryable; a full table is not.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, InstallError::TableFull { .. })
+    }
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::Refused => write!(f, "switch refused the update"),
+            InstallError::Timeout => write!(f, "install timed out (apply state unknown)"),
+            InstallError::PartialApply { applied_ops } => {
+                write!(f, "partial apply: only {applied_ops} operation(s) landed")
+            }
+            InstallError::TableFull { capacity } => {
+                write!(f, "table full (capacity {capacity} rules)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
 /// One switch's rule-table update: the difference between two deployed
 /// [`RuleSet`]s, as shipped by an incremental control plane. A rule whose
 /// match key survives but whose `new_tag` changes appears as a
@@ -103,6 +162,28 @@ impl RuleDelta {
     /// True if the delta changes nothing.
     pub fn is_empty(&self) -> bool {
         self.add.is_empty() && self.remove.is_empty()
+    }
+
+    /// The delta that undoes this one: every install becomes a
+    /// withdrawal and vice versa. Applying a delta and then its inverse
+    /// restores the original table (withdrawals replay in apply order, so
+    /// a remove-then-add rewrite pair inverts cleanly).
+    pub fn inverse(&self) -> RuleDelta {
+        RuleDelta {
+            switch: self.switch,
+            add: self.remove.clone(),
+            remove: self.add.clone(),
+        }
+    }
+
+    /// The delta's operations in apply order (withdrawals, then
+    /// installs), as `(is_install, rule)` pairs — the granularity a
+    /// partial apply is expressed in.
+    pub fn ops(&self) -> impl Iterator<Item = (bool, SwitchRule)> + '_ {
+        self.remove
+            .iter()
+            .map(|&r| (false, r))
+            .chain(self.add.iter().map(|&r| (true, r)))
     }
 }
 

@@ -2,12 +2,13 @@
 
 use crate::event::CtrlEvent;
 use crate::metrics::ControllerMetrics;
+use crate::southbound::Southbound;
 use crate::state::{ElpPolicy, NetworkState};
 use std::fmt;
 use std::time::{Duration, Instant};
 use tagger_core::tcam::{Compression, TcamProgram};
-use tagger_core::{RuleDelta, RuleError, RuleSet, TaggedGraph, Tagging};
-use tagger_topo::{LinkId, Topology};
+use tagger_core::{InstallError, RuleDelta, RuleError, RuleSet, TaggedGraph, Tagging};
+use tagger_topo::{LinkId, NodeId, Topology};
 
 /// Hard errors: the event itself is malformed and no epoch was staged.
 ///
@@ -31,6 +32,10 @@ pub enum CtrlError {
         /// The configured ceiling.
         budget: usize,
     },
+    /// Crash recovery replayed a journal entry marked *committed* but
+    /// the deterministic recompute rolled it back — the journal does not
+    /// describe the topology/policy it is being replayed against.
+    RecoveryDiverged(String),
 }
 
 impl fmt::Display for CtrlError {
@@ -47,6 +52,9 @@ impl fmt::Display for CtrlError {
                 f,
                 "bootstrap tagging needs {worst_switch_entries} TCAM entries on the worst switch, budget is {budget}"
             ),
+            CtrlError::RecoveryDiverged(why) => {
+                write!(f, "journal replay diverged from its recorded outcome: {why}")
+            }
         }
     }
 }
@@ -66,6 +74,18 @@ pub enum RollbackReason {
         /// The configured ceiling.
         budget: usize,
     },
+    /// The candidate verified, but a switch exhausted its install
+    /// attempt budget; every switch already updated was rolled back to
+    /// the previous verified tables, so the fleet is never left running
+    /// a mix of epochs.
+    InstallAborted {
+        /// The switch whose installs kept failing.
+        switch: NodeId,
+        /// Attempts spent on it before giving up.
+        attempts: u32,
+        /// The last southbound error, rendered.
+        error: String,
+    },
 }
 
 impl fmt::Display for RollbackReason {
@@ -78,6 +98,15 @@ impl fmt::Display for RollbackReason {
             } => write!(
                 f,
                 "TCAM budget exceeded: worst switch needs {worst_switch_entries} entries, budget is {budget}"
+            ),
+            RollbackReason::InstallAborted {
+                switch,
+                attempts,
+                error,
+            } => write!(
+                f,
+                "install aborted: switch {switch} failed {attempts} attempts ({error}); \
+                 epoch rolled back fleet-wide"
             ),
         }
     }
@@ -109,6 +138,14 @@ pub struct CommitReport {
     pub elp_paths: usize,
     /// Stage latency for this epoch.
     pub recompute: Duration,
+    /// Southbound install attempts this epoch needed (one per switch
+    /// when the network behaves; more under retries). Zero for plan-only
+    /// commits that never touched a southbound.
+    pub install_attempts: u64,
+    /// Total backoff the retry schedule imposed this epoch (simulated —
+    /// the controller records rather than sleeps it, keeping replays
+    /// deterministic and fast).
+    pub install_backoff: Duration,
 }
 
 impl CommitReport {
@@ -126,6 +163,49 @@ impl CommitReport {
     /// every previous rule and installing every new one.
     pub fn full_reinstall_ops(&self) -> usize {
         self.prev_table_rules + self.new_table_rules
+    }
+}
+
+/// Retry discipline for southbound installs: exponential backoff with a
+/// bounded per-switch attempt budget.
+///
+/// Backoff is *recorded*, not slept: the controller is driven by event
+/// replay in tests and simulations, where wall-clock sleeping would only
+/// slow the suite without changing any decision. A production wrapper
+/// would sleep [`InstallPolicy::backoff_before`] between attempts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InstallPolicy {
+    /// Attempts per switch per epoch before the epoch is aborted and
+    /// rolled back. Must be at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry after that.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff interval.
+    pub max_backoff: Duration,
+}
+
+impl InstallPolicy {
+    /// The backoff to wait before attempt `attempt` (1-based; attempt 1
+    /// is immediate, attempt 2 waits `base_backoff`, attempt 3 twice
+    /// that, … capped at `max_backoff`).
+    pub fn backoff_before(&self, attempt: u32) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let doublings = (attempt - 2).min(20);
+        (self.base_backoff * 2u32.pow(doublings)).min(self.max_backoff)
+    }
+}
+
+impl Default for InstallPolicy {
+    /// Five attempts, 1 ms initial backoff, 64 ms cap — enough to ride
+    /// out bursty faults without stalling an epoch behind a dead switch.
+    fn default() -> Self {
+        InstallPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(64),
+        }
     }
 }
 
@@ -235,6 +315,38 @@ impl Controller {
         })
     }
 
+    /// Rebuilds a controller from a recovered network state, as read
+    /// back from a journal checkpoint: the tagging for `state` is
+    /// recomputed deterministically and committed as `epoch`. Because
+    /// staging is a pure function of `(topo, policy, state)`, the
+    /// snapshot this produces is byte-for-byte the one the crashed
+    /// controller had committed at that checkpoint.
+    pub fn resume(
+        topo: Topology,
+        policy: ElpPolicy,
+        tcam_budget: Option<usize>,
+        state: NetworkState,
+        epoch: u64,
+    ) -> Result<Self, CtrlError> {
+        let (snapshot, _) = stage(&topo, &policy, &state, epoch).map_err(CtrlError::Bootstrap)?;
+        if let Some(budget) = tcam_budget {
+            if snapshot.tcam_worst_switch > budget {
+                return Err(CtrlError::BootstrapBudget {
+                    worst_switch_entries: snapshot.tcam_worst_switch,
+                    budget,
+                });
+            }
+        }
+        Ok(Controller {
+            topo,
+            policy,
+            tcam_budget,
+            state,
+            committed: snapshot,
+            metrics: ControllerMetrics::default(),
+        })
+    }
+
     /// The topology under management.
     pub fn topo(&self) -> &Topology {
         &self.topo
@@ -260,11 +372,200 @@ impl Controller {
         &self.metrics
     }
 
-    /// Processes one event through the two-phase rollout.
+    /// Counts a checkpoint written by the journal layer.
+    pub(crate) fn bump_checkpoints(&mut self) {
+        self.metrics.checkpoints += 1;
+    }
+
+    /// Counts link transitions absorbed by flap damping.
+    pub(crate) fn bump_flaps_damped(&mut self, n: u64) {
+        self.metrics.flaps_damped += n;
+    }
+
+    /// Records how many events the most recent crash recovery replayed.
+    pub(crate) fn set_recovery_replays(&mut self, n: u64) {
+        self.metrics.recovery_replays = n;
+    }
+
+    /// Processes one event through the two-phase rollout, assuming a
+    /// perfectly reliable install path (PR 1 semantics: the commit *is*
+    /// the install). Production callers that own a real southbound
+    /// should use [`Controller::handle_via`] instead.
     pub fn handle(&mut self, event: &CtrlEvent) -> Result<EpochOutcome, CtrlError> {
+        self.handle_batch(std::slice::from_ref(event))
+    }
+
+    /// Like [`Controller::handle`] but staging one recompute for a whole
+    /// batch of events — the primitive flap damping is built from. All
+    /// state mutations land (the version bumps once per event), but only
+    /// one epoch is staged, validated and committed; on rollback the
+    /// entire batch's mutations are abandoned together.
+    pub fn handle_batch(&mut self, events: &[CtrlEvent]) -> Result<EpochOutcome, CtrlError> {
+        match self.plan(events)? {
+            Plan::Reject(outcome) => Ok(outcome),
+            Plan::Commit {
+                staged_state,
+                candidate,
+                report,
+            } => {
+                self.advance(staged_state, candidate, &report);
+                Ok(EpochOutcome::Committed(report))
+            }
+        }
+    }
+
+    /// The hardened rollout: stage → validate → **install → barrier →
+    /// commit-or-rollback**.
+    ///
+    /// Each per-switch delta is pushed through `southbound` with
+    /// per-switch retry and exponential backoff under `policy`. The
+    /// epoch commits only when *every* touched switch acks — the commit
+    /// barrier. If any switch exhausts its attempt budget, every switch
+    /// already updated (including the failing one, which may hold a
+    /// partial apply) is driven back to the previous verified tables
+    /// with unbounded retries, so the fleet is never left running a mix
+    /// of epochs; the outcome is then a rollback with
+    /// [`RollbackReason::InstallAborted`] and the controller's own state
+    /// does not advance either.
+    pub fn handle_via(
+        &mut self,
+        event: &CtrlEvent,
+        southbound: &mut dyn Southbound,
+        policy: &InstallPolicy,
+    ) -> Result<EpochOutcome, CtrlError> {
+        self.handle_batch_via(std::slice::from_ref(event), southbound, policy)
+    }
+
+    /// Batch form of [`Controller::handle_via`]; see
+    /// [`Controller::handle_batch`] for batch semantics.
+    pub fn handle_batch_via(
+        &mut self,
+        events: &[CtrlEvent],
+        southbound: &mut dyn Southbound,
+        policy: &InstallPolicy,
+    ) -> Result<EpochOutcome, CtrlError> {
+        let (staged_state, candidate, mut report) = match self.plan(events)? {
+            Plan::Reject(outcome) => return Ok(outcome),
+            Plan::Commit {
+                staged_state,
+                candidate,
+                report,
+            } => (staged_state, candidate, report),
+        };
+
+        let mut attempts_total = 0u64;
+        let mut backoff_total = Duration::ZERO;
+        let mut touched: Vec<&RuleDelta> = Vec::new();
+        let mut abort: Option<(NodeId, u32, InstallError)> = None;
+        for delta in &report.deltas {
+            // Even a failed install may have mutated the switch (partial
+            // apply, lost-ack timeout), so the switch is "touched" — and
+            // rolled back on abort — no matter how the attempt ends.
+            touched.push(delta);
+            match self.install_with_retry(southbound, candidate.epoch, delta, policy) {
+                Ok((attempts, backoff)) => {
+                    attempts_total += u64::from(attempts);
+                    backoff_total += backoff;
+                }
+                Err((attempts, backoff, error)) => {
+                    attempts_total += u64::from(attempts);
+                    backoff_total += backoff;
+                    abort = Some((delta.switch, attempts, error));
+                    break;
+                }
+            }
+        }
+
+        if let Some((switch, attempts, error)) = abort {
+            // Roll the stragglers back to the previous verified tables.
+            // These installs retry without an attempt bound: leaving the
+            // fleet mixed-epoch is the one outcome that voids the
+            // Theorem 5.1 certificate, so the controller insists. The
+            // chaos schedule's clamped fault rates guarantee termination.
+            for delta in touched {
+                self.force_install(southbound, self.committed.epoch, &delta.inverse());
+            }
+            self.metrics.install_aborts += 1;
+            self.metrics.rollbacks += 1;
+            return Ok(EpochOutcome::RolledBack {
+                abandoned_version: staged_state.version,
+                reason: RollbackReason::InstallAborted {
+                    switch,
+                    attempts,
+                    error: error.to_string(),
+                },
+            });
+        }
+
+        report.install_attempts = attempts_total;
+        report.install_backoff = backoff_total;
+        debug_assert_eq!(
+            southbound.fleet(),
+            &candidate.rules,
+            "commit barrier: an acked epoch must leave the fleet on the new tables"
+        );
+        self.advance(staged_state, candidate, &report);
+        Ok(EpochOutcome::Committed(report))
+    }
+
+    /// Replays a whole trace, stopping at the first malformed event.
+    pub fn replay<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a CtrlEvent>,
+    ) -> Result<Vec<EpochOutcome>, CtrlError> {
+        events.into_iter().map(|e| self.handle(e)).collect()
+    }
+
+    /// Replays a trace through a southbound with **flap damping**: a
+    /// maximal run of consecutive link events on the *same* link (a
+    /// flapping transceiver re-announcing down/up/down/up…) is debounced
+    /// into a single recompute of its net effect, instead of staging a
+    /// full tagging per transition. Returns one outcome per damped
+    /// batch; [`ControllerMetrics::flaps_damped`] counts the recomputes
+    /// saved.
+    pub fn replay_damped_via<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a CtrlEvent>,
+        southbound: &mut dyn Southbound,
+        policy: &InstallPolicy,
+    ) -> Result<Vec<EpochOutcome>, CtrlError> {
+        let events: Vec<&CtrlEvent> = events.into_iter().collect();
+        let mut outcomes = Vec::new();
+        for batch in coalesce_flaps(&events) {
+            self.metrics.flaps_damped += batch.len() as u64 - 1;
+            let owned: Vec<CtrlEvent> = batch.iter().map(|&e| e.clone()).collect();
+            outcomes.push(self.handle_batch_via(&owned, southbound, policy)?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Drives the fleet to the committed tables: diffs what the
+    /// southbound reports the switches are running against the committed
+    /// snapshot and installs the difference (with unbounded retries —
+    /// reconciliation is the step that *repairs* divergence, it cannot
+    /// be allowed to leave any). Returns the number of switches fixed.
+    ///
+    /// This is the last step of crash recovery: a controller that died
+    /// mid-epoch may have left partial installs behind, and the journal
+    /// cannot know which — the fleet itself is the authority.
+    pub fn reconcile(&mut self, southbound: &mut dyn Southbound) -> usize {
+        let deltas = southbound.fleet().diff(&self.committed.rules);
+        let fixed = deltas.len();
+        for delta in deltas {
+            self.force_install(southbound, self.committed.epoch, &delta);
+        }
+        debug_assert_eq!(southbound.fleet(), &self.committed.rules);
+        fixed
+    }
+
+    /// Stage + validate a batch of events; does not mutate committed
+    /// state (metrics only).
+    fn plan(&mut self, events: &[CtrlEvent]) -> Result<Plan, CtrlError> {
         let mut staged_state = self.state.clone();
-        staged_state.apply(&self.topo, event)?;
-        self.metrics.events += 1;
+        for event in events {
+            staged_state.apply(&self.topo, event)?;
+        }
+        self.metrics.events += events.len() as u64;
 
         let t0 = Instant::now();
         let staged = stage(
@@ -282,10 +583,10 @@ impl Controller {
             Err(e) => {
                 self.metrics.verify_failures += 1;
                 self.metrics.rollbacks += 1;
-                return Ok(EpochOutcome::RolledBack {
+                return Ok(Plan::Reject(EpochOutcome::RolledBack {
                     abandoned_version: staged_state.version,
                     reason: RollbackReason::VerifyFailed(e.to_string()),
-                });
+                }));
             }
         };
 
@@ -293,19 +594,19 @@ impl Controller {
             if candidate.tcam_worst_switch > budget {
                 self.metrics.budget_rejections += 1;
                 self.metrics.rollbacks += 1;
-                return Ok(EpochOutcome::RolledBack {
+                return Ok(Plan::Reject(EpochOutcome::RolledBack {
                     abandoned_version: staged_state.version,
                     reason: RollbackReason::BudgetExceeded {
                         worst_switch_entries: candidate.tcam_worst_switch,
                         budget,
                     },
-                });
+                }));
             }
         }
 
-        // Validation passed: commit. Deltas are diffed against the
-        // previously committed tables, so a switch applying them in
-        // epoch order tracks the snapshot exactly.
+        // Validation passed. Deltas are diffed against the previously
+        // committed tables, so a switch applying them in epoch order
+        // tracks the snapshot exactly.
         let deltas = self.committed.rules.diff(&candidate.rules);
         let rules_added = deltas.iter().map(|d| d.add.len()).sum();
         let rules_removed = deltas.iter().map(|d| d.remove.len()).sum();
@@ -320,23 +621,122 @@ impl Controller {
             tcam_worst_switch: candidate.tcam_worst_switch,
             elp_paths: elp_len,
             recompute: dt,
+            install_attempts: 0,
+            install_backoff: Duration::ZERO,
             deltas,
         };
-        self.metrics.epochs_committed += 1;
-        self.metrics.rules_added += rules_added as u64;
-        self.metrics.rules_removed += rules_removed as u64;
-        self.state = staged_state;
-        self.committed = candidate;
-        Ok(EpochOutcome::Committed(report))
+        Ok(Plan::Commit {
+            staged_state,
+            candidate,
+            report,
+        })
     }
 
-    /// Replays a whole trace, stopping at the first malformed event.
-    pub fn replay<'a>(
-        &mut self,
-        events: impl IntoIterator<Item = &'a CtrlEvent>,
-    ) -> Result<Vec<EpochOutcome>, CtrlError> {
-        events.into_iter().map(|e| self.handle(e)).collect()
+    /// The commit point: the staged view becomes current.
+    fn advance(&mut self, staged_state: NetworkState, candidate: Snapshot, report: &CommitReport) {
+        self.metrics.epochs_committed += 1;
+        self.metrics.rules_added += report.rules_added as u64;
+        self.metrics.rules_removed += report.rules_removed as u64;
+        self.state = staged_state;
+        self.committed = candidate;
     }
+
+    /// One switch's install under the retry policy. Returns the attempts
+    /// spent and backoff accrued either way.
+    fn install_with_retry(
+        &mut self,
+        southbound: &mut dyn Southbound,
+        epoch: u64,
+        delta: &RuleDelta,
+        policy: &InstallPolicy,
+    ) -> Result<(u32, Duration), (u32, Duration, InstallError)> {
+        let mut backoff = Duration::ZERO;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            backoff += policy.backoff_before(attempt);
+            self.metrics.install_attempts += 1;
+            match southbound.install(epoch, delta) {
+                Ok(()) => {
+                    self.metrics.install_backoff += backoff;
+                    return Ok((attempt, backoff));
+                }
+                Err(e) => {
+                    self.metrics.install_failures += 1;
+                    if !e.is_retryable() || attempt >= policy.max_attempts.max(1) {
+                        self.metrics.install_backoff += backoff;
+                        return Err((attempt, backoff, e));
+                    }
+                    self.metrics.install_retries += 1;
+                }
+            }
+        }
+    }
+
+    /// An install that must land: retries until the southbound acks.
+    /// Used for rollback and reconciliation, where giving up would leave
+    /// the fleet mixed-epoch. The attempt cap exists only to turn a
+    /// southbound that can *never* succeed (fault rate 1 — outside the
+    /// supported model, [`crate::ChaosConfig`] clamps below it) into a
+    /// loud panic instead of a hang.
+    fn force_install(&mut self, southbound: &mut dyn Southbound, epoch: u64, delta: &RuleDelta) {
+        const CAP: u32 = 100_000;
+        for _ in 0..CAP {
+            self.metrics.install_attempts += 1;
+            match southbound.install(epoch, delta) {
+                Ok(()) => {
+                    self.metrics.rollback_installs += 1;
+                    return;
+                }
+                Err(e) => {
+                    self.metrics.install_failures += 1;
+                    assert!(
+                        e.is_retryable(),
+                        "rollback to previously-fitting tables hit a permanent error: {e}"
+                    );
+                }
+            }
+        }
+        panic!("southbound refused a rollback install {CAP} times; fault model violated");
+    }
+}
+
+/// What [`Controller::plan`] decided for one staged batch.
+enum Plan {
+    /// Validation rejected the candidate; nothing may move.
+    Reject(EpochOutcome),
+    /// Validation passed; the caller decides how commit meets install.
+    Commit {
+        staged_state: NetworkState,
+        candidate: Snapshot,
+        report: CommitReport,
+    },
+}
+
+/// Splits an event stream into damping batches: maximal runs of
+/// consecutive link events on the same link collapse into one batch
+/// (one recompute of the run's net effect); every other event is its
+/// own singleton batch.
+pub fn coalesce_flaps<'a>(events: &'a [&'a CtrlEvent]) -> Vec<&'a [&'a CtrlEvent]> {
+    fn link_of(e: &CtrlEvent) -> Option<LinkId> {
+        match e {
+            CtrlEvent::LinkDown(l) | CtrlEvent::LinkUp(l) => Some(*l),
+            _ => None,
+        }
+    }
+    let mut batches = Vec::new();
+    let mut start = 0;
+    while start < events.len() {
+        let mut end = start + 1;
+        if let Some(link) = link_of(events[start]) {
+            while end < events.len() && link_of(events[end]) == Some(link) {
+                end += 1;
+            }
+        }
+        batches.push(&events[start..end]);
+        start = end;
+    }
+    batches
 }
 
 /// Stage step: recompute the tagging for a state and certify it.
@@ -504,6 +904,143 @@ mod tests {
         assert!(outcomes.iter().all(|o| o.committed().is_some()));
         assert_eq!(ctrl.committed().rules, original);
         assert!(ctrl.state().extra_paths.is_empty());
+    }
+
+    #[test]
+    fn reliable_southbound_commits_track_the_fleet() {
+        let mut ctrl = small_controller();
+        let mut sb = crate::ReliableSouthbound::new();
+        sb.bootstrap(&ctrl.committed().rules);
+        let policy = InstallPolicy::default();
+        let events = parse_trace(ctrl.topo(), "down L1 T1\nup L1 T1").unwrap();
+        for e in &events {
+            let outcome = ctrl.handle_via(e, &mut sb, &policy).unwrap();
+            let report = outcome.committed().expect("reliable installs commit");
+            assert_eq!(report.install_attempts, report.deltas.len() as u64);
+            assert_eq!(report.install_backoff, Duration::ZERO);
+            assert_eq!(sb.fleet(), &ctrl.committed().rules);
+        }
+    }
+
+    #[test]
+    fn chaotic_installs_never_leave_the_fleet_mixed_epoch() {
+        use crate::{ChaosConfig, ChaosSouthbound};
+        let mut ctrl = small_controller();
+        let mut sb = ChaosSouthbound::new(ChaosConfig::new(5, 0.4));
+        sb.bootstrap(&ctrl.committed().rules);
+        let policy = InstallPolicy {
+            max_attempts: 2, // tight budget so some epochs abort
+            ..InstallPolicy::default()
+        };
+        let trace = "down L1 T1\ndown L3 T3\nup L1 T1\nup L3 T3\nresync";
+        let events = parse_trace(ctrl.topo(), trace).unwrap();
+        let mut aborted = 0;
+        for e in &events {
+            match ctrl.handle_via(e, &mut sb, &policy).unwrap() {
+                EpochOutcome::Committed(_) => {}
+                EpochOutcome::RolledBack { reason, .. } => {
+                    assert!(matches!(reason, RollbackReason::InstallAborted { .. }));
+                    aborted += 1;
+                }
+            }
+            // The barrier invariant, checked against the fleet's ground
+            // truth after *every* event, committed or aborted:
+            assert_eq!(
+                sb.fleet(),
+                &ctrl.committed().rules,
+                "fleet must always run exactly the committed (verified) tables"
+            );
+            assert!(ctrl.committed().graph.verify().is_ok());
+        }
+        assert!(sb.faults_injected() > 0, "40% chaos must inject faults");
+        let m = ctrl.metrics();
+        assert!(m.install_attempts > events.len() as u64);
+        assert!(m.install_failures > 0);
+        if aborted > 0 {
+            assert_eq!(m.install_aborts, aborted);
+            assert!(m.rollback_installs > 0);
+        }
+    }
+
+    #[test]
+    fn retries_accrue_recorded_backoff() {
+        use crate::{ChaosConfig, ChaosSouthbound};
+        let mut ctrl = small_controller();
+        let mut sb = ChaosSouthbound::new(ChaosConfig::new(9, 0.6));
+        sb.bootstrap(&ctrl.committed().rules);
+        let policy = InstallPolicy::default();
+        let events = parse_trace(ctrl.topo(), "down L1 T1\nup L1 T1\nresync").unwrap();
+        for e in &events {
+            ctrl.handle_via(e, &mut sb, &policy).unwrap();
+        }
+        let m = ctrl.metrics();
+        assert!(m.install_retries > 0, "60% chaos must force retries");
+        assert!(m.install_backoff > Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_up_to_the_cap() {
+        let p = InstallPolicy::default();
+        assert_eq!(p.backoff_before(1), Duration::ZERO);
+        assert_eq!(p.backoff_before(2), Duration::from_millis(1));
+        assert_eq!(p.backoff_before(3), Duration::from_millis(2));
+        assert_eq!(p.backoff_before(8), Duration::from_millis(64));
+        assert_eq!(p.backoff_before(40), Duration::from_millis(64), "capped");
+    }
+
+    #[test]
+    fn flap_damping_coalesces_repeated_transitions() {
+        let mut ctrl = small_controller();
+        let mut sb = crate::ReliableSouthbound::new();
+        sb.bootstrap(&ctrl.committed().rules);
+        let original = ctrl.committed().rules.clone();
+        // 4 down/up pairs on one link then a real failure elsewhere.
+        let events = parse_trace(ctrl.topo(), "flap L1 T1 4\ndown L2 T2").unwrap();
+        assert_eq!(events.len(), 9);
+        let outcomes = ctrl
+            .replay_damped_via(events.iter(), &mut sb, &InstallPolicy::default())
+            .unwrap();
+        assert_eq!(outcomes.len(), 2, "8 flap events + 1 failure → 2 epochs");
+        assert_eq!(ctrl.metrics().flaps_damped, 7);
+        assert_eq!(ctrl.metrics().epochs_staged, 2);
+        // The flap's net effect is "nothing": its batch commits the same
+        // tables (empty deltas), then the real failure reroutes.
+        let flap_report = outcomes[0].committed().unwrap();
+        assert!(flap_report.deltas.is_empty());
+        assert_eq!(flap_report.version, 8);
+        assert_ne!(ctrl.committed().rules, original);
+        assert_eq!(sb.fleet(), &ctrl.committed().rules);
+    }
+
+    #[test]
+    fn resume_rebuilds_the_same_snapshot() {
+        let mut ctrl = small_controller();
+        let events = parse_trace(ctrl.topo(), "down L1 T1\ndown L2 T2").unwrap();
+        ctrl.replay(events.iter()).unwrap();
+        let resumed = Controller::resume(
+            ctrl.topo().clone(),
+            ctrl.policy(),
+            None,
+            ctrl.state().clone(),
+            ctrl.committed().epoch,
+        )
+        .unwrap();
+        assert_eq!(resumed.committed().rules, ctrl.committed().rules);
+        assert_eq!(resumed.committed().epoch, ctrl.committed().epoch);
+        assert_eq!(resumed.state(), ctrl.state());
+    }
+
+    #[test]
+    fn reconcile_repairs_a_diverged_fleet() {
+        let mut ctrl = small_controller();
+        let mut sb = crate::ReliableSouthbound::new();
+        // Deliberately bootstrap the fleet with nothing: maximal
+        // divergence from the committed tables.
+        sb.bootstrap(&RuleSet::new());
+        let fixed = ctrl.reconcile(&mut sb);
+        assert!(fixed > 0);
+        assert_eq!(sb.fleet(), &ctrl.committed().rules);
+        assert_eq!(ctrl.reconcile(&mut sb), 0, "second pass has nothing to do");
     }
 
     #[test]

@@ -37,6 +37,35 @@ impl CtrlEvent {
             CtrlEvent::Resync => "resync",
         }
     }
+
+    /// Renders this event back into the trace-line syntax
+    /// [`parse_trace`] accepts, using the topology's node names — the
+    /// round trip `parse_trace(topo, e.trace_line(topo))` yields `e`
+    /// again. This is the journal's on-disk event encoding.
+    pub fn trace_line(&self, topo: &Topology) -> String {
+        let link_names = |l: &LinkId| {
+            let link = topo.link(*l);
+            format!(
+                "{} {}",
+                topo.node(link.a.node).name,
+                topo.node(link.b.node).name
+            )
+        };
+        let path_names = |p: &Path| {
+            p.nodes()
+                .iter()
+                .map(|n| topo.node(*n).name.as_str())
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        match self {
+            CtrlEvent::LinkDown(l) => format!("down {}", link_names(l)),
+            CtrlEvent::LinkUp(l) => format!("up {}", link_names(l)),
+            CtrlEvent::ElpAdd(p) => format!("elp-add {}", path_names(p)),
+            CtrlEvent::ElpRemove(p) => format!("elp-remove {}", path_names(p)),
+            CtrlEvent::Resync => "resync".to_string(),
+        }
+    }
 }
 
 impl fmt::Debug for CtrlEvent {
@@ -107,10 +136,15 @@ impl std::error::Error for TraceError {}
 /// ```text
 /// down <node> <node>          # fail the link between two named nodes
 /// up <node> <node>            # restore it
+/// flap <node> <node> <n>      # n down/up pairs on that link in a row
 /// elp-add <n1> <n2> ... <nk>  # add a lossless path through named nodes
 /// elp-remove <n1> ... <nk>    # withdraw it
 /// resync                      # force a full recompute
 /// ```
+///
+/// `flap a b n` is shorthand: it expands to `n` consecutive
+/// `down a b` / `up a b` pairs, the canonical input for exercising the
+/// controller's flap damping.
 ///
 /// All names are resolved eagerly, so a replayed trace either parses
 /// completely or fails with the offending line number — events from an
@@ -185,6 +219,26 @@ pub fn parse_trace(topo: &Topology, text: &str) -> Result<Vec<CtrlEvent>, TraceE
                     CtrlEvent::ElpRemove(path)
                 }
             }
+            "flap" => {
+                let [a, b, n] = args[..] else {
+                    return Err(err(TraceErrorKind::BadArity {
+                        directive: "flap",
+                        expected: "two node names and a repeat count",
+                    }));
+                };
+                let link = resolve_link(topo, a, b).map_err(|e| err(TraceErrorKind::Link(e)))?;
+                let n: usize = n.parse().map_err(|_| {
+                    err(TraceErrorKind::BadArity {
+                        directive: "flap",
+                        expected: "two node names and a repeat count",
+                    })
+                })?;
+                for _ in 0..n {
+                    events.push(CtrlEvent::LinkDown(link));
+                    events.push(CtrlEvent::LinkUp(link));
+                }
+                continue;
+            }
             "resync" => {
                 if !args.is_empty() {
                     return Err(err(TraceErrorKind::BadArity {
@@ -228,6 +282,39 @@ resync
         match (&events[0], &events[2]) {
             (CtrlEvent::LinkDown(d), CtrlEvent::LinkUp(u)) => assert_eq!(d, u),
             _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn flap_expands_to_down_up_pairs() {
+        let topo = ClosConfig::small().build();
+        let events = parse_trace(&topo, "flap L1 T1 3").unwrap();
+        let pair = parse_trace(&topo, "down L1 T1\nup L1 T1").unwrap();
+        assert_eq!(events.len(), 6);
+        let expanded: Vec<CtrlEvent> = std::iter::repeat_with(|| pair.clone())
+            .take(3)
+            .flatten()
+            .collect();
+        assert_eq!(events, expanded);
+
+        let e = parse_trace(&topo, "flap L1 T1").unwrap_err();
+        assert!(matches!(e.kind, TraceErrorKind::BadArity { .. }));
+        let e = parse_trace(&topo, "flap L1 T1 many").unwrap_err();
+        assert!(matches!(e.kind, TraceErrorKind::BadArity { .. }));
+        let e = parse_trace(&topo, "flap L1 XX 2").unwrap_err();
+        assert!(matches!(e.kind, TraceErrorKind::Link(_)));
+    }
+
+    #[test]
+    fn trace_line_round_trips_every_event_kind() {
+        let topo = ClosConfig::small().build();
+        let text =
+            "down L1 T1\nup L1 T1\nelp-add H1 T1 L2 T2 H5\nelp-remove H1 T1 L2 T2 H5\nresync";
+        let events = parse_trace(&topo, text).unwrap();
+        for e in &events {
+            let line = e.trace_line(&topo);
+            let back = parse_trace(&topo, &line).unwrap();
+            assert_eq!(&back[..], std::slice::from_ref(e), "round trip of {line:?}");
         }
     }
 

@@ -24,6 +24,17 @@
 //!   leaving the previous verified tables untouched.
 //! - [`ControllerMetrics`] — counters and recompute latencies with a
 //!   plain-text [`ControllerMetrics::report`].
+//! - [`Southbound`] — the install transport between commits and the
+//!   fleet's running tables, with a [`ReliableSouthbound`] and a
+//!   seeded fault-injecting [`ChaosSouthbound`]. Commits through
+//!   [`Controller::handle_via`] retry per switch with exponential
+//!   backoff under an [`InstallPolicy`] and enforce a commit barrier:
+//!   an epoch lands everywhere or is rolled back everywhere — the fleet
+//!   is never left running a mix of epochs.
+//! - [`Journal`] — a write-ahead event journal with snapshot
+//!   checkpoints; [`recover`] rebuilds a crashed controller to
+//!   byte-identical committed tables and [`Controller::reconcile`]
+//!   repairs whatever a mid-epoch crash left on the switches.
 //!
 //! The invariant the controller maintains is the one that matters for
 //! PFC safety: **every committed snapshot is a verified tagged graph**
@@ -34,14 +45,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod controller;
 mod event;
+mod journal;
 mod metrics;
+mod southbound;
 mod state;
 
-pub use controller::{CommitReport, Controller, CtrlError, EpochOutcome, RollbackReason, Snapshot};
+pub use chaos::{ChaosConfig, ChaosSouthbound};
+pub use controller::{
+    coalesce_flaps, CommitReport, Controller, CtrlError, EpochOutcome, InstallPolicy,
+    RollbackReason, Snapshot,
+};
 pub use event::{parse_trace, CtrlEvent, TraceError, TraceErrorKind};
+pub use journal::{recover, DriveReport, Journal, JournalError, Recovery};
 pub use metrics::ControllerMetrics;
+pub use southbound::{ReliableSouthbound, Southbound};
 pub use state::{ElpPolicy, NetworkState};
 
-pub use tagger_core::RuleDelta;
+pub use tagger_core::{InstallError, RuleDelta};

@@ -27,6 +27,32 @@ pub struct ControllerMetrics {
     pub rules_added: u64,
     /// Total rules withdrawn across all committed deltas.
     pub rules_removed: u64,
+    /// Southbound install attempts (first tries, retries, rollback and
+    /// reconcile installs alike).
+    pub install_attempts: u64,
+    /// Install attempts that were retries of an earlier failed attempt.
+    pub install_retries: u64,
+    /// Install attempts the southbound failed (refused, timed out, or
+    /// partially applied).
+    pub install_failures: u64,
+    /// Epochs aborted because a switch exhausted its attempt budget
+    /// (each also counts in [`ControllerMetrics::rollbacks`]).
+    pub install_aborts: u64,
+    /// Successful inverse-delta / reconcile installs that undid or
+    /// repaired fleet state.
+    pub rollback_installs: u64,
+    /// Total backoff the retry schedule imposed (simulated — recorded,
+    /// never slept).
+    pub install_backoff: Duration,
+    /// Link events absorbed by flap damping: transitions that were
+    /// coalesced into a neighbouring recompute instead of staging their
+    /// own epoch.
+    pub flaps_damped: u64,
+    /// Checkpoints written to the journal.
+    pub checkpoints: u64,
+    /// Events replayed from the journal during the most recent crash
+    /// recovery.
+    pub recovery_replays: u64,
     /// Stage latency of the most recent epoch.
     pub last_recompute: Duration,
     /// Worst stage latency seen.
@@ -62,8 +88,17 @@ impl ControllerMetrics {
         let _ = writeln!(out, "  rollbacks           {:>8}", self.rollbacks);
         let _ = writeln!(out, "    verify failures   {:>8}", self.verify_failures);
         let _ = writeln!(out, "    budget rejections {:>8}", self.budget_rejections);
+        let _ = writeln!(out, "    install aborts    {:>8}", self.install_aborts);
         let _ = writeln!(out, "  rules added         {:>8}", self.rules_added);
         let _ = writeln!(out, "  rules removed       {:>8}", self.rules_removed);
+        let _ = writeln!(out, "  install attempts    {:>8}", self.install_attempts);
+        let _ = writeln!(out, "    install retries   {:>8}", self.install_retries);
+        let _ = writeln!(out, "    install failures  {:>8}", self.install_failures);
+        let _ = writeln!(out, "  rollback installs   {:>8}", self.rollback_installs);
+        let _ = writeln!(out, "  install backoff     {:>8?}", self.install_backoff);
+        let _ = writeln!(out, "  flaps damped        {:>8}", self.flaps_damped);
+        let _ = writeln!(out, "  checkpoints written {:>8}", self.checkpoints);
+        let _ = writeln!(out, "  recovery replays    {:>8}", self.recovery_replays);
         let _ = writeln!(
             out,
             "  recompute last/mean/max  {:?} / {:?} / {:?}",
@@ -101,6 +136,15 @@ mod tests {
             "budget rejections",
             "rules added",
             "rules removed",
+            "install attempts",
+            "install retries",
+            "install failures",
+            "install aborts",
+            "rollback installs",
+            "install backoff",
+            "flaps damped",
+            "checkpoints written",
+            "recovery replays",
             "recompute",
         ] {
             assert!(r.contains(needle), "report missing {needle:?}:\n{r}");

@@ -1,0 +1,146 @@
+//! The southbound layer: how committed rule deltas actually reach
+//! switches.
+//!
+//! PR 1's controller assumed every install succeeds instantly — an
+//! assumption no real control plane gets to make. This module inserts a
+//! [`Southbound`] trait between [`Controller`](crate::Controller) commits
+//! and the fleet's running tables: the controller pushes per-switch
+//! [`RuleDelta`]s through it, and only when *every* switch acks does the
+//! epoch count as installed (the commit barrier in
+//! [`Controller::handle_via`](crate::Controller::handle_via)).
+//!
+//! Two implementations ship: [`ReliableSouthbound`] (every install
+//! succeeds — the PR 1 behaviour, now explicit) and
+//! [`ChaosSouthbound`](crate::ChaosSouthbound), which injects
+//! [`InstallError`]s from a seeded schedule so the retry / rollback /
+//! recovery machinery can be exercised deterministically.
+
+use tagger_core::{InstallError, RuleDelta, RuleSet};
+
+/// A transport for rule installs, plus the ground-truth view of what the
+/// fleet is actually running.
+///
+/// The fleet table is the thing Theorem 5.1 is ultimately *about*: the
+/// certificate covers the tables switches run, not the tables the
+/// controller wishes they ran. Every implementation therefore tracks the
+/// running [`RuleSet`] exactly as its installs mutate it — including
+/// partial applies — so tests can assert the no-mixed-epoch invariant
+/// against reality rather than against the controller's beliefs.
+pub trait Southbound {
+    /// Attempts to install one switch's delta for `epoch`. On `Ok` the
+    /// switch's running table reflects the whole delta. On `Err` the
+    /// table holds whatever the error semantics say ([`InstallError`]):
+    /// nothing new for `Refused`, an unknown prefix for `Timeout`, a
+    /// known prefix for `PartialApply`. Re-sending the same delta is
+    /// always safe (delta application is idempotent).
+    fn install(&mut self, epoch: u64, delta: &RuleDelta) -> Result<(), InstallError>;
+
+    /// The rules the fleet is actually running right now.
+    fn fleet(&self) -> &RuleSet;
+
+    /// Seeds the fleet with full tables — the epoch-0 wholesale install,
+    /// which happens at provisioning time before any traffic and is
+    /// assumed reliable (a rack that cannot take its initial config
+    /// never enters service).
+    fn bootstrap(&mut self, rules: &RuleSet);
+}
+
+/// Applies the first `n` operations of `delta` (withdrawals first, then
+/// installs — the wire order) to a running table. `n >= delta.len()`
+/// applies everything.
+pub(crate) fn apply_prefix(fleet: &mut RuleSet, delta: &RuleDelta, n: usize) {
+    for (is_install, rule) in delta.ops().take(n) {
+        if is_install {
+            fleet.set(delta.switch, rule);
+        } else {
+            fleet.remove(delta.switch, rule);
+        }
+    }
+}
+
+/// The ideal transport: every install lands, instantly and completely.
+#[derive(Clone, Debug, Default)]
+pub struct ReliableSouthbound {
+    fleet: RuleSet,
+}
+
+impl ReliableSouthbound {
+    /// An empty fleet; call [`Southbound::bootstrap`] before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Southbound for ReliableSouthbound {
+    fn install(&mut self, _epoch: u64, delta: &RuleDelta) -> Result<(), InstallError> {
+        apply_prefix(&mut self.fleet, delta, delta.len());
+        Ok(())
+    }
+
+    fn fleet(&self) -> &RuleSet {
+        &self.fleet
+    }
+
+    fn bootstrap(&mut self, rules: &RuleSet) {
+        self.fleet = rules.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagger_core::{SwitchRule, Tag};
+    use tagger_topo::{NodeId, PortId};
+
+    fn rule(tag: u16, in_port: u16, out_port: u16, new_tag: u16) -> SwitchRule {
+        SwitchRule {
+            tag: Tag(tag),
+            in_port: PortId(in_port),
+            out_port: PortId(out_port),
+            new_tag: Tag(new_tag),
+        }
+    }
+
+    #[test]
+    fn reliable_southbound_tracks_deltas_exactly() {
+        let mut sb = ReliableSouthbound::new();
+        let mut seed = RuleSet::new();
+        seed.add(NodeId(1), rule(1, 0, 1, 1)).unwrap();
+        sb.bootstrap(&seed);
+        assert_eq!(sb.fleet(), &seed);
+
+        let delta = RuleDelta {
+            switch: NodeId(1),
+            add: vec![rule(1, 2, 3, 2)],
+            remove: vec![rule(1, 0, 1, 1)],
+        };
+        sb.install(1, &delta).unwrap();
+        let mut expect = seed.clone();
+        expect.apply_delta(&delta);
+        assert_eq!(sb.fleet(), &expect);
+
+        // The inverse delta restores the seed tables.
+        sb.install(1, &delta.inverse()).unwrap();
+        assert_eq!(sb.fleet(), &seed);
+    }
+
+    #[test]
+    fn partial_prefix_applies_wire_order() {
+        let mut fleet = RuleSet::new();
+        fleet.add(NodeId(4), rule(1, 0, 1, 1)).unwrap();
+        let delta = RuleDelta {
+            switch: NodeId(4),
+            add: vec![rule(1, 0, 1, 2)],
+            remove: vec![rule(1, 0, 1, 1)],
+        };
+        // One op = just the withdrawal; table ends up empty.
+        apply_prefix(&mut fleet, &delta, 1);
+        assert_eq!(fleet.num_rules(), 0);
+        // The rest of the prefix completes the rewrite.
+        apply_prefix(&mut fleet, &delta, delta.len());
+        assert_eq!(fleet.rules_for(NodeId(4)), vec![rule(1, 0, 1, 2)]);
+        // Replaying the whole delta is idempotent.
+        apply_prefix(&mut fleet, &delta, delta.len());
+        assert_eq!(fleet.rules_for(NodeId(4)), vec![rule(1, 0, 1, 2)]);
+    }
+}

@@ -111,8 +111,12 @@ impl NetworkState {
             _ => {}
         }
         match event {
-            CtrlEvent::LinkDown(l) => self.failures.fail(*l),
-            CtrlEvent::LinkUp(l) => self.failures.restore(*l),
+            CtrlEvent::LinkDown(l) => {
+                self.failures.fail(*l);
+            }
+            CtrlEvent::LinkUp(l) => {
+                self.failures.restore(*l);
+            }
             CtrlEvent::ElpAdd(p) => {
                 if !self.extra_paths.contains(p) {
                     self.extra_paths.push(p.clone());

@@ -541,6 +541,115 @@ pub fn transient_failure_via_controller(end_ns: u64) -> (Experiment, tagger_ctrl
     )
 }
 
+/// **Transient failure under a chaotic southbound** — the reroute of
+/// [`transient_failure_via_controller`], but nothing between controller
+/// and switches is reliable anymore: the failure epoch's deltas are
+/// installed through a [`tagger_ctrl::ChaosSouthbound`] that refuses,
+/// times out, and partially applies installs from a seeded schedule.
+/// The controller retries with exponential backoff and enforces its
+/// commit barrier, so the fleet ends the rollout on *exactly one*
+/// verified epoch — the new one if every switch eventually acked, the
+/// old one (rolled back) if a switch exhausted its attempt budget.
+///
+/// The simulation then runs whatever tables the chaotic rollout left on
+/// the switches. The safety claim this experiment pins down: for **any**
+/// seed, the victim flow sees no deadlock and no lossless drop — chaos
+/// can delay the reroute's table update or abort it, but it can never
+/// produce a mixed-epoch fabric, and both pure epochs carry Theorem 5.1
+/// certificates.
+///
+/// Returns the experiment, the failure epoch's outcome, and the
+/// controller metrics (retries, recorded backoff, rollback installs).
+///
+/// # Panics
+/// Panics if the controller cannot bootstrap, or if the chaotic rollout
+/// violates the barrier invariant (fleet != committed tables).
+pub fn transient_failure_chaotic_controller(
+    seed: u64,
+    fail_rate: f64,
+    end_ns: u64,
+) -> (
+    Experiment,
+    tagger_ctrl::EpochOutcome,
+    tagger_ctrl::ControllerMetrics,
+) {
+    use tagger_ctrl::{
+        ChaosConfig, ChaosSouthbound, Controller, CtrlEvent, ElpPolicy, InstallPolicy, Southbound,
+    };
+
+    let topo = ClosConfig::small().build();
+    let mut ctrl = Controller::new(topo.clone(), ElpPolicy::with_bounces(1))
+        .expect("healthy small Clos bootstraps");
+    let epoch0 = ctrl.committed().rules.clone();
+
+    let mut sb = ChaosSouthbound::new(ChaosConfig::new(seed, fail_rate));
+    sb.bootstrap(&epoch0);
+
+    let dead = topo
+        .link_between(topo.expect_node("L1"), topo.expect_node("T1"))
+        .expect("adjacent");
+    let outcome = ctrl
+        .handle_via(
+            &CtrlEvent::LinkDown(dead),
+            &mut sb,
+            &InstallPolicy::default(),
+        )
+        .expect("valid link id");
+    // The barrier invariant this experiment exists to exercise: whatever
+    // chaos did, the fleet runs exactly the committed (verified) tables.
+    assert_eq!(
+        sb.fleet(),
+        &ctrl.committed().rules,
+        "chaotic rollout left the fleet mixed-epoch (seed {seed})"
+    );
+    assert!(ctrl.committed().graph.verify().is_ok());
+    let fleet_rules = sb.fleet().clone();
+
+    let max_tag = |r: &tagger_core::RuleSet| r.max_tag().map_or(1, |t| t.0 as usize);
+    let queues = max_tag(&epoch0).max(max_tag(&fleet_rules)) as u8;
+    let cfg = SimConfig {
+        switch: testbed_switch_config(queues),
+        pfc_extra_delay_ns: TESTBED_PFC_DELAY_NS,
+        end_time_ns: end_ns,
+        ..SimConfig::default()
+    };
+    let fib = Fib::shortest_path(&topo, &FailureSet::none());
+    let mut sim = Simulator::new(topo.clone(), fib, Some(epoch0), cfg);
+
+    let h9 = topo.expect_node("H9");
+    let h1 = topo.expect_node("H1");
+    let h13 = topo.expect_node("H13");
+    let h6 = topo.expect_node("H6");
+    sim.add_flow(FlowSpec::new(h9, h1, 0));
+    let victim_path = names(&topo, &["H13", "T4", "L4", "S1", "L1", "T2", "H6"]);
+    sim.add_flow(FlowSpec::new(h13, h6, 0).pinned(victim_path));
+
+    let mut failures = FailureSet::none();
+    failures.fail(dead);
+    let t_fail = end_ns / 5;
+    let t_converge = 3 * end_ns / 5;
+    sim.at(t_fail, Action::FailLink { link: dead });
+    sim.at(
+        t_fail,
+        Action::ReplaceFib(Fib::local_reroute(&topo, &failures)),
+    );
+    sim.at(
+        t_converge,
+        Action::ReplaceFib(Fib::shortest_path(&topo, &failures)),
+    );
+    // The switches run what the chaotic rollout actually installed — not
+    // what the controller wished for.
+    sim.at(t_converge, Action::ReplaceRules(fleet_rules));
+    (
+        Experiment {
+            sim,
+            labels: vec!["green(H9->H1)".into(), "victim(H13->H6)".into()],
+        },
+        outcome,
+        ctrl.metrics().clone(),
+    )
+}
+
 /// **Figure 8** — priority-transition handling ablation.
 ///
 /// Flow A rides a 1-bounce path (tag 1 → 2 at L1) into a bottleneck it
@@ -830,6 +939,38 @@ mod tests {
                 f.tail_rate(5)
             );
         }
+    }
+
+    #[test]
+    fn chaotic_reroute_is_safe_for_every_seed() {
+        let mut aborted = 0;
+        let mut retried = 0;
+        for seed in 0..5u64 {
+            let (exp, outcome, metrics) =
+                transient_failure_chaotic_controller(seed, 0.4, 10_000_000);
+            if outcome.committed().is_none() {
+                aborted += 1;
+            }
+            if metrics.install_retries > 0 {
+                retried += 1;
+            }
+            let (report, _) = exp.run();
+            // The safety floor chaos cannot lower: no deadlock, no
+            // lossless drop, the victim never freezes.
+            assert!(report.deadlock.is_none(), "seed {seed} deadlocked");
+            assert_eq!(report.lossless_drops, 0, "seed {seed} dropped lossless");
+            assert!(
+                !report.flows[1].stalled(5),
+                "seed {seed}: victim flow froze"
+            );
+        }
+        assert!(
+            retried > 0,
+            "40% chaos over 5 seeds must force at least one retry"
+        );
+        // Aborted epochs (if any) are safe too — that is the point — but
+        // the default 5-attempt budget rides out most 40% schedules.
+        assert!(aborted <= 5);
     }
 
     #[test]

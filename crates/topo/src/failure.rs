@@ -4,27 +4,97 @@ use crate::{LinkId, NodeId, Topology};
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// Why a named link could not be resolved against a topology.
+/// Why a named link could not be resolved against a topology, or why a
+/// resolved link could not change failure state.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LinkLookupError {
-    /// No node with this name exists.
-    UnknownNode(String),
-    /// Both nodes exist but share no link.
-    NotAdjacent(String, String),
+    /// No node with this name exists. `nearest` holds up to three
+    /// closest-spelled node names (edit distance ≤ 2), so a typo'd trace
+    /// line tells the operator what they probably meant.
+    UnknownNode {
+        /// The name as written.
+        name: String,
+        /// Closest existing names, best match first.
+        nearest: Vec<String>,
+    },
+    /// Both nodes exist but share no link. `candidates` names the
+    /// switches actually adjacent to the first node.
+    NotAdjacent {
+        /// First endpoint, as written.
+        a: String,
+        /// Second endpoint, as written.
+        b: String,
+        /// Switch names adjacent to `a` — valid second endpoints.
+        candidates: Vec<String>,
+    },
+    /// The link resolved fine but is *already* failed — a repeated
+    /// `down` without an intervening `up`. Distinct from silent
+    /// idempotence so flap-damping logic can count flaps correctly.
+    AlreadyFailed {
+        /// First endpoint, as written.
+        a: String,
+        /// Second endpoint, as written.
+        b: String,
+        /// The resolved link, so callers can still act on it.
+        link: LinkId,
+    },
 }
 
 impl fmt::Display for LinkLookupError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LinkLookupError::UnknownNode(name) => write!(f, "unknown node {name:?}"),
-            LinkLookupError::NotAdjacent(a, b) => {
-                write!(f, "no link between {a:?} and {b:?}")
+            LinkLookupError::UnknownNode { name, nearest } => {
+                write!(f, "unknown node {name:?}")?;
+                if !nearest.is_empty() {
+                    write!(f, " (did you mean {}?)", nearest.join(", "))?;
+                }
+                Ok(())
+            }
+            LinkLookupError::NotAdjacent { a, b, candidates } => {
+                write!(f, "no link between {a:?} and {b:?}")?;
+                if !candidates.is_empty() {
+                    write!(f, " ({a} connects to: {})", candidates.join(", "))?;
+                }
+                Ok(())
+            }
+            LinkLookupError::AlreadyFailed { a, b, .. } => {
+                write!(f, "link between {a:?} and {b:?} is already failed")
             }
         }
     }
 }
 
 impl std::error::Error for LinkLookupError {}
+
+/// Levenshtein distance, small-string DP — only used on error paths.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// Up to three existing node names within edit distance 2 of `name`,
+/// best match first.
+fn nearest_names(topo: &Topology, name: &str) -> Vec<String> {
+    let mut scored: Vec<(usize, &str)> = topo
+        .node_ids()
+        .map(|n| topo.node(n).name.as_str())
+        .filter_map(|candidate| {
+            let d = edit_distance(name, candidate);
+            (d <= 2).then_some((d, candidate))
+        })
+        .collect();
+    scored.sort();
+    scored.into_iter().take(3).map(|(_, n)| n.into()).collect()
+}
 
 /// A set of failed links, overlaid on a [`Topology`] without mutating it.
 ///
@@ -44,28 +114,34 @@ impl FailureSet {
         Self::default()
     }
 
-    /// Marks `link` failed. Idempotent.
-    pub fn fail(&mut self, link: LinkId) {
-        self.failed.insert(link);
+    /// Marks `link` failed. Idempotent; returns `true` if the link was
+    /// healthy until now, `false` on a repeated failure — the signal a
+    /// flap counter needs.
+    pub fn fail(&mut self, link: LinkId) -> bool {
+        self.failed.insert(link)
     }
 
     /// Marks the link between the named nodes as failed.
     ///
     /// # Panics
     /// Panics if either node does not exist or they are not adjacent —
-    /// experiment scripts should fail loudly on typos.
+    /// experiment scripts should fail loudly on typos. Re-failing an
+    /// already-failed link stays silently idempotent here.
     pub fn fail_between(&mut self, topo: &Topology, a: &str, b: &str) {
         match self.try_fail_between(topo, a, b) {
-            Ok(_) => {}
-            Err(LinkLookupError::UnknownNode(name)) => panic!("no node named {name}"),
-            Err(LinkLookupError::NotAdjacent(a, b)) => panic!("no link between {a} and {b}"),
+            Ok(_) | Err(LinkLookupError::AlreadyFailed { .. }) => {}
+            Err(e @ LinkLookupError::UnknownNode { .. }) => panic!("{e}"),
+            Err(e @ LinkLookupError::NotAdjacent { .. }) => panic!("{e}"),
         }
     }
 
     /// Non-panicking [`FailureSet::fail_between`]: resolves the link once
     /// and reports typos as errors instead of aborting — the right shape
     /// when the names come from an untrusted source such as a recorded
-    /// control-plane event trace. Returns the failed link on success.
+    /// control-plane event trace. Returns the failed link on success, and
+    /// a distinct [`LinkLookupError::AlreadyFailed`] (carrying the
+    /// resolved link) when the link was already down, so callers tracking
+    /// flaps can tell a state change from a repeat.
     pub fn try_fail_between(
         &mut self,
         topo: &Topology,
@@ -73,7 +149,13 @@ impl FailureSet {
         b: &str,
     ) -> Result<LinkId, LinkLookupError> {
         let link = resolve_link(topo, a, b)?;
-        self.fail(link);
+        if !self.fail(link) {
+            return Err(LinkLookupError::AlreadyFailed {
+                a: a.to_string(),
+                b: b.to_string(),
+                link,
+            });
+        }
         Ok(link)
     }
 
@@ -91,9 +173,10 @@ impl FailureSet {
         Ok(link)
     }
 
-    /// Restores `link`. Idempotent.
-    pub fn restore(&mut self, link: LinkId) {
-        self.failed.remove(&link);
+    /// Restores `link`. Idempotent; returns `true` if the link was
+    /// actually failed, `false` on a redundant restore.
+    pub fn restore(&mut self, link: LinkId) -> bool {
+        self.failed.remove(&link)
     }
 
     /// True if `link` is currently failed.
@@ -134,16 +217,26 @@ impl FailureSet {
     }
 }
 
-/// Resolves the link between two named nodes.
+/// Resolves the link between two named nodes. Errors carry repair hints:
+/// near-miss spellings for unknown names, and the first node's actual
+/// switch neighbors when the pair is not adjacent.
 pub fn resolve_link(topo: &Topology, a: &str, b: &str) -> Result<LinkId, LinkLookupError> {
-    let na = topo
-        .node_by_name(a)
-        .ok_or_else(|| LinkLookupError::UnknownNode(a.to_string()))?;
-    let nb = topo
-        .node_by_name(b)
-        .ok_or_else(|| LinkLookupError::UnknownNode(b.to_string()))?;
+    let unknown = |name: &str| LinkLookupError::UnknownNode {
+        name: name.to_string(),
+        nearest: nearest_names(topo, name),
+    };
+    let na = topo.node_by_name(a).ok_or_else(|| unknown(a))?;
+    let nb = topo.node_by_name(b).ok_or_else(|| unknown(b))?;
     topo.link_between(na, nb)
-        .ok_or_else(|| LinkLookupError::NotAdjacent(a.to_string(), b.to_string()))
+        .ok_or_else(|| LinkLookupError::NotAdjacent {
+            a: a.to_string(),
+            b: b.to_string(),
+            candidates: topo
+                .neighbors(na)
+                .filter(|&(_, _, peer)| topo.node(peer).kind == crate::NodeKind::Switch)
+                .map(|(_, _, peer)| topo.node(peer).name.clone())
+                .collect(),
+        })
 }
 
 #[cfg(test)]
@@ -189,18 +282,57 @@ mod tests {
     fn try_fail_between_reports_typos_without_panicking() {
         let topo = ClosConfig::small().build();
         let mut f = FailureSet::none();
-        assert_eq!(
-            f.try_fail_between(&topo, "L1", "XX"),
-            Err(LinkLookupError::UnknownNode("XX".into()))
-        );
-        assert_eq!(
-            f.try_fail_between(&topo, "T1", "S1"),
-            Err(LinkLookupError::NotAdjacent("T1".into(), "S1".into()))
-        );
+        match f.try_fail_between(&topo, "L1", "XX") {
+            Err(LinkLookupError::UnknownNode { name, .. }) => assert_eq!(name, "XX"),
+            other => panic!("expected UnknownNode, got {other:?}"),
+        }
+        match f.try_fail_between(&topo, "T1", "S1") {
+            Err(LinkLookupError::NotAdjacent { a, b, candidates }) => {
+                assert_eq!((a.as_str(), b.as_str()), ("T1", "S1"));
+                assert!(
+                    candidates.contains(&"L1".to_string()),
+                    "T1's leaf neighbors must be suggested: {candidates:?}"
+                );
+            }
+            other => panic!("expected NotAdjacent, got {other:?}"),
+        }
         assert!(f.is_empty(), "failed lookups must not fail anything");
         let link = f.try_fail_between(&topo, "L1", "T1").unwrap();
         assert!(f.is_failed(link));
         assert_eq!(f.try_restore_between(&topo, "L1", "T1"), Ok(link));
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn refailing_a_failed_link_is_a_distinct_error() {
+        let topo = ClosConfig::small().build();
+        let mut f = FailureSet::none();
+        let link = f.try_fail_between(&topo, "L1", "T1").unwrap();
+        match f.try_fail_between(&topo, "L1", "T1") {
+            Err(LinkLookupError::AlreadyFailed { a, b, link: l }) => {
+                assert_eq!((a.as_str(), b.as_str(), l), ("L1", "T1", link));
+            }
+            other => panic!("expected AlreadyFailed, got {other:?}"),
+        }
+        assert_eq!(f.len(), 1, "the repeat must not double-count");
+        // The raw primitives report state changes for flap counting.
+        assert!(!f.fail(link), "re-fail is not a state change");
+        assert!(f.restore(link), "restore of a failed link is");
+        assert!(!f.restore(link), "redundant restore is not");
+        // fail_between stays silently idempotent for experiment scripts.
+        f.fail_between(&topo, "L1", "T1");
+        f.fail_between(&topo, "L1", "T1");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn unknown_node_errors_suggest_near_misses() {
+        let topo = ClosConfig::small().build();
+        let e = resolve_link(&topo, "L11", "T1").unwrap_err();
+        let msg = e.to_string();
+        assert!(
+            msg.contains("L1"),
+            "near-miss suggestion missing from {msg:?}"
+        );
     }
 }

@@ -11,21 +11,41 @@
 //! ```text
 //! tagger-ctrld [trace-file] [--pods N] [--leaves N] [--tors N] [--spines N]
 //!              [--hosts N] [--bounces K] [--tcam-budget N] [--verbose]
+//!              [--chaos seed=N,fail_rate=P[,timeout_rate=P][,partial_rate=P]]
+//!              [--journal PATH] [--checkpoint-every N] [--crash-after N]
 //! ```
 //!
 //! With no trace file, replays the canonical single-link flap
 //! (down L1 T1, then up L1 T1) — the paper's reroute scenario.
 //!
+//! Installs go through a southbound: reliable by default, or the seeded
+//! fault-injecting one with `--chaos` (installs are refused, time out,
+//! or partially apply; the controller retries with exponential backoff
+//! and rolls whole epochs back rather than ever leaving the fleet
+//! mixed-epoch). Consecutive events on the same link are flap-damped
+//! into one recompute.
+//!
+//! With `--journal` every event is write-ahead journaled and a snapshot
+//! checkpoint is taken every `--checkpoint-every` outcomes (default 4).
+//! `--crash-after N` runs the crash-recovery drill: the controller
+//! "crashes" after N epochs (mid-epoch — the next batch is journaled
+//! but unprocessed), is rebuilt from the journal, and the drill verifies
+//! the recovered committed tables are byte-for-byte the crashed
+//! controller's before reconciling the fleet and finishing the trace.
+//!
 //! The process exits non-zero if any commit violates the incremental
-//! promise (delta ops ≥ full reinstall ops for a single-link event) or
-//! if any epoch fails verification, so the binary doubles as an
-//! end-to-end check.
+//! promise (delta ops ≥ full reinstall ops for a single-link event),
+//! any epoch fails verification, the fleet ever diverges from the
+//! committed tables, or crash recovery does not reconverge exactly.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use tagger::ctrl::{parse_trace, Controller, CtrlEvent, ElpPolicy, EpochOutcome};
-use tagger::topo::ClosConfig;
+use tagger::ctrl::{
+    coalesce_flaps, parse_trace, recover, ChaosConfig, ChaosSouthbound, Controller, CtrlEvent,
+    ElpPolicy, EpochOutcome, InstallPolicy, Journal, ReliableSouthbound, Southbound,
+};
+use tagger::topo::{ClosConfig, Topology};
 
 type Args = (Option<String>, BTreeMap<String, String>, bool);
 
@@ -81,9 +101,97 @@ fn setup(args: &[String]) -> Result<(Args, ClosConfig, ElpPolicy, Option<usize>)
     Ok((parsed, config, policy, budget))
 }
 
+fn batch_label(batch: &[&CtrlEvent]) -> String {
+    if batch.len() == 1 {
+        batch[0].label().to_string()
+    } else {
+        format!("{} x{} (flap-damped)", batch[0].label(), batch.len())
+    }
+}
+
+fn print_outcome(topo: &Topology, label: &str, outcome: &EpochOutcome, verbose: bool) {
+    match outcome {
+        EpochOutcome::Committed(report) => {
+            println!(
+                "epoch {} <- {}: committed in {:?}; {} ELP paths, {} lossless \
+                 priorities, worst-switch TCAM {}",
+                report.epoch,
+                label,
+                report.recompute,
+                report.elp_paths,
+                report.lossless_tags,
+                report.tcam_worst_switch,
+            );
+            println!(
+                "  deltas: {} switches touched, +{} -{} rules ({} ops vs {} for a \
+                 full reinstall); {} install attempt(s), {:?} backoff",
+                report.switches_touched(),
+                report.rules_added,
+                report.rules_removed,
+                report.delta_ops(),
+                report.full_reinstall_ops(),
+                report.install_attempts,
+                report.install_backoff,
+            );
+            for delta in &report.deltas {
+                println!(
+                    "    {}: +{} -{}",
+                    topo.node(delta.switch).name,
+                    delta.add.len(),
+                    delta.remove.len()
+                );
+                if verbose {
+                    for r in &delta.remove {
+                        println!(
+                            "      - (tag {}, in {}, out {}) -> {}",
+                            r.tag.0, r.in_port.0, r.out_port.0, r.new_tag.0
+                        );
+                    }
+                    for r in &delta.add {
+                        println!(
+                            "      + (tag {}, in {}, out {}) -> {}",
+                            r.tag.0, r.in_port.0, r.out_port.0, r.new_tag.0
+                        );
+                    }
+                }
+            }
+        }
+        EpochOutcome::RolledBack {
+            abandoned_version,
+            reason,
+        } => {
+            println!(
+                "epoch <- {}: ROLLED BACK (view v{} abandoned): {}",
+                label, abandoned_version, reason,
+            );
+        }
+    }
+}
+
+/// Tallies the incremental-promise check over processed batches.
+fn tally(
+    batches: &[&[&CtrlEvent]],
+    outcomes: &[EpochOutcome],
+    single_link_commits: &mut usize,
+    incremental_wins: &mut usize,
+) {
+    for (batch, outcome) in batches.iter().zip(outcomes) {
+        let single_link =
+            batch.len() == 1 && matches!(batch[0], CtrlEvent::LinkDown(_) | CtrlEvent::LinkUp(_));
+        if let EpochOutcome::Committed(report) = outcome {
+            if single_link && !report.deltas.is_empty() {
+                *single_link_commits += 1;
+                if report.delta_ops() < report.full_reinstall_ops() {
+                    *incremental_wins += 1;
+                }
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let ((trace_file, _, verbose), config, policy, budget) = match setup(&args) {
+    let ((trace_file, flags, verbose), config, policy, budget) = match setup(&args) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("{e}");
@@ -91,6 +199,37 @@ fn main() -> ExitCode {
         }
     };
     let topo = config.build();
+
+    let chaos = match flags.get("chaos").map(|s| ChaosConfig::parse(s)) {
+        None => None,
+        Some(Ok(cfg)) => Some(cfg),
+        Some(Err(e)) => {
+            eprintln!("--chaos: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let journal_path = flags.get("journal").cloned();
+    let checkpoint_every = match get(&flags, "checkpoint-every", 4) {
+        Ok(n) => n as u64,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let crash_after = match flags.get("crash-after") {
+        None => None,
+        Some(_) => match get(&flags, "crash-after", 0) {
+            Ok(n) => Some(n as u64),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    if crash_after.is_some() && journal_path.is_none() {
+        eprintln!("--crash-after needs --journal (recovery replays the journal)");
+        return ExitCode::FAILURE;
+    }
 
     let text = match &trace_file {
         Some(path) => match std::fs::read_to_string(path) {
@@ -129,80 +268,145 @@ fn main() -> ExitCode {
         epoch0.tcam_worst_switch,
     );
 
+    let mut southbound: Box<dyn Southbound> = match chaos {
+        Some(cfg) => {
+            println!("southbound: chaos ({cfg})");
+            Box::new(ChaosSouthbound::new(cfg))
+        }
+        None => Box::new(ReliableSouthbound::new()),
+    };
+    southbound.bootstrap(&ctrl.committed().rules);
+    let install_policy = InstallPolicy::default();
+
+    let refs: Vec<&CtrlEvent> = events.iter().collect();
+    let batches = coalesce_flaps(&refs);
     let mut single_link_commits = 0usize;
     let mut incremental_wins = 0usize;
     let mut failed = false;
-    for event in &events {
-        let is_link_event = matches!(event, CtrlEvent::LinkDown(_) | CtrlEvent::LinkUp(_));
-        match ctrl.handle(event) {
-            Ok(EpochOutcome::Committed(report)) => {
-                println!(
-                    "epoch {} <- {}: committed in {:?}; {} ELP paths, {} lossless \
-                     priorities, worst-switch TCAM {}",
-                    report.epoch,
-                    event.label(),
-                    report.recompute,
-                    report.elp_paths,
-                    report.lossless_tags,
-                    report.tcam_worst_switch,
-                );
-                println!(
-                    "  deltas: {} switches touched, +{} -{} rules ({} ops vs {} for a \
-                     full reinstall)",
-                    report.switches_touched(),
-                    report.rules_added,
-                    report.rules_removed,
-                    report.delta_ops(),
-                    report.full_reinstall_ops(),
-                );
-                for delta in &report.deltas {
-                    let line = format!(
-                        "    {}: +{} -{}",
-                        topo.node(delta.switch).name,
-                        delta.add.len(),
-                        delta.remove.len()
-                    );
-                    if verbose {
-                        println!("{line}");
-                        for r in &delta.remove {
-                            println!(
-                                "      - (tag {}, in {}, out {}) -> {}",
-                                r.tag.0, r.in_port.0, r.out_port.0, r.new_tag.0
-                            );
-                        }
-                        for r in &delta.add {
-                            println!(
-                                "      + (tag {}, in {}, out {}) -> {}",
-                                r.tag.0, r.in_port.0, r.out_port.0, r.new_tag.0
-                            );
-                        }
-                    } else {
-                        println!("{line}");
-                    }
+
+    if let Some(path) = &journal_path {
+        let mut journal = match Journal::create(path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("cannot create journal {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = match journal.drive(
+            &mut ctrl,
+            &events,
+            southbound.as_mut(),
+            &install_policy,
+            checkpoint_every,
+            crash_after,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("journaled replay failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (batch, outcome) in batches.iter().zip(&report.outcomes) {
+            print_outcome(&topo, &batch_label(batch), outcome, verbose);
+        }
+        tally(
+            &batches,
+            &report.outcomes,
+            &mut single_link_commits,
+            &mut incremental_wins,
+        );
+
+        if report.crashed {
+            // The crash-recovery drill: remember what the controller had
+            // committed, kill it, rebuild from the journal, and demand
+            // byte-for-byte reconvergence.
+            let pre_rules = ctrl.committed().rules.clone();
+            let pre_epoch = ctrl.committed().epoch;
+            drop(ctrl);
+            println!(
+                "-- simulated crash after {} epoch(s); recovering from {path} --",
+                report.outcomes.len()
+            );
+            let recovery = match recover(path, topo.clone(), policy, budget) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("recovery failed: {e}");
+                    return ExitCode::FAILURE;
                 }
-                if is_link_event && !report.deltas.is_empty() {
-                    single_link_commits += 1;
-                    if report.delta_ops() < report.full_reinstall_ops() {
-                        incremental_wins += 1;
+            };
+            ctrl = recovery.controller;
+            if ctrl.committed().rules != pre_rules || ctrl.committed().epoch != pre_epoch {
+                eprintln!(
+                    "FAIL: recovery diverged (epoch {} vs {}, tables {})",
+                    ctrl.committed().epoch,
+                    pre_epoch,
+                    if ctrl.committed().rules == pre_rules {
+                        "equal"
+                    } else {
+                        "DIFFER"
                     }
+                );
+                return ExitCode::FAILURE;
+            }
+            let repaired = ctrl.reconcile(southbound.as_mut());
+            println!(
+                "recovered: {} event(s) replayed, committed tables byte-identical \
+                 (epoch {}); reconcile repaired {} switch(es); {} tail event(s)",
+                recovery.replayed,
+                ctrl.committed().epoch,
+                repaired,
+                recovery.tail.len(),
+            );
+            // Finish the interrupted work: the journaled-but-unresolved
+            // tail (which is exactly the batch in flight at the crash)
+            // plus everything after it.
+            let tail_refs: Vec<&CtrlEvent> = recovery.tail.iter().collect();
+            let processed = report.outcomes.len() + 1;
+            let rest: Vec<&CtrlEvent> = batches[processed.min(batches.len())..]
+                .iter()
+                .flat_map(|b| b.iter().copied())
+                .collect();
+            let remaining: Vec<CtrlEvent> = tail_refs
+                .iter()
+                .chain(rest.iter())
+                .map(|&e| e.clone())
+                .collect();
+            match ctrl.replay_damped_via(remaining.iter(), southbound.as_mut(), &install_policy) {
+                Ok(outcomes) => {
+                    let rrefs: Vec<&CtrlEvent> = remaining.iter().collect();
+                    let rbatches = coalesce_flaps(&rrefs);
+                    for (batch, outcome) in rbatches.iter().zip(&outcomes) {
+                        print_outcome(&topo, &batch_label(batch), outcome, verbose);
+                    }
+                    tally(
+                        &rbatches,
+                        &outcomes,
+                        &mut single_link_commits,
+                        &mut incremental_wins,
+                    );
+                }
+                Err(e) => {
+                    eprintln!("post-recovery replay failed: {e}");
+                    return ExitCode::FAILURE;
                 }
             }
-            Ok(EpochOutcome::RolledBack {
-                abandoned_version,
-                reason,
-            }) => {
-                println!(
-                    "epoch {} <- {}: ROLLED BACK (view v{} abandoned): {}",
-                    ctrl.committed().epoch + 1,
-                    event.label(),
-                    abandoned_version,
-                    reason,
+        }
+    } else {
+        match ctrl.replay_damped_via(events.iter(), southbound.as_mut(), &install_policy) {
+            Ok(outcomes) => {
+                for (batch, outcome) in batches.iter().zip(&outcomes) {
+                    print_outcome(&topo, &batch_label(batch), outcome, verbose);
+                }
+                tally(
+                    &batches,
+                    &outcomes,
+                    &mut single_link_commits,
+                    &mut incremental_wins,
                 );
             }
             Err(e) => {
-                eprintln!("hard error on {}: {e}", event.label());
+                eprintln!("replay failed: {e}");
                 failed = true;
-                break;
             }
         }
     }
@@ -210,6 +414,12 @@ fn main() -> ExitCode {
     println!();
     print!("{}", ctrl.metrics().report());
 
+    // The invariant the southbound layer exists for: whatever faults
+    // were injected, the fleet runs exactly the committed tables.
+    if southbound.fleet() != &ctrl.committed().rules {
+        eprintln!("FAIL: fleet diverged from the committed tables");
+        failed = true;
+    }
     let m = ctrl.metrics();
     if m.verify_failures > 0 {
         eprintln!(
