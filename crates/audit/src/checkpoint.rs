@@ -1,0 +1,204 @@
+//! Offline audit checkpoints.
+//!
+//! A checkpoint is the auditor's offline input: enough to rebuild the
+//! topology and the committed tables without a live controller. The
+//! format is deliberately line-oriented plain text so fixtures can be
+//! reviewed (and corrupted!) by hand:
+//!
+//! ```text
+//! # tagger-audit checkpoint v1
+//! topo clos pods=2 leaves_per_pod=2 tors_per_pod=2 spines=3 hosts_per_tor=2
+//! epoch 7
+//! switch S1
+//! rule 1 L1 L3 1
+//! ...
+//! ```
+//!
+//! The table body is exactly [`RuleSet::to_table_text`], so a checkpoint
+//! round-trips through [`render`] / [`parse`] losslessly.
+
+use std::fmt;
+use tagger_core::RuleSet;
+use tagger_topo::{ClosConfig, Topology};
+
+/// A parsed checkpoint: rebuilt topology plus the tables to audit.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// The Clos dimensions the topology was rebuilt from.
+    pub config: ClosConfig,
+    /// Epoch the tables were committed at.
+    pub epoch: u64,
+    /// The rebuilt fabric.
+    pub topo: Topology,
+    /// The committed per-switch tables.
+    pub rules: RuleSet,
+}
+
+/// Serializes a checkpoint.
+pub fn render(config: &ClosConfig, epoch: u64, topo: &Topology, rules: &RuleSet) -> String {
+    format!(
+        "# tagger-audit checkpoint v1\n\
+         topo clos pods={} leaves_per_pod={} tors_per_pod={} spines={} hosts_per_tor={}\n\
+         epoch {epoch}\n{}",
+        config.pods,
+        config.leaves_per_pod,
+        config.tors_per_pod,
+        config.spines,
+        config.hosts_per_tor,
+        rules.to_table_text(topo)
+    )
+}
+
+/// Parses a checkpoint, rebuilding the topology from the `topo clos`
+/// header and the tables from the body.
+pub fn parse(text: &str) -> Result<Checkpoint, CheckpointError> {
+    let mut config: Option<ClosConfig> = None;
+    let mut epoch: Option<u64> = None;
+    let mut body = String::new();
+    let mut body_started = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if body_started {
+            body.push_str(raw);
+            body.push('\n');
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("topo ") {
+            config = Some(parse_topo(rest, lineno)?);
+        } else if let Some(rest) = line.strip_prefix("epoch ") {
+            epoch = Some(rest.trim().parse().map_err(|_| CheckpointError {
+                line: lineno,
+                why: format!("epoch wants a number, got {rest:?}"),
+            })?);
+            body_started = true;
+        } else {
+            return Err(CheckpointError {
+                line: lineno,
+                why: format!("expected `topo` or `epoch`, got {line:?}"),
+            });
+        }
+    }
+    let config = config.ok_or(CheckpointError {
+        line: 0,
+        why: "missing `topo clos ...` header".into(),
+    })?;
+    let epoch = epoch.ok_or(CheckpointError {
+        line: 0,
+        why: "missing `epoch N` header".into(),
+    })?;
+    let topo = config.build();
+    let rules = RuleSet::from_table_text(&topo, &body).map_err(|e| CheckpointError {
+        line: 0,
+        why: format!("table body: line {}: {}", e.line, e.why),
+    })?;
+    Ok(Checkpoint {
+        config,
+        epoch,
+        topo,
+        rules,
+    })
+}
+
+fn parse_topo(rest: &str, line: usize) -> Result<ClosConfig, CheckpointError> {
+    let mut parts = rest.split_whitespace();
+    let kind = parts.next().unwrap_or_default();
+    if kind != "clos" {
+        return Err(CheckpointError {
+            line,
+            why: format!("only `topo clos` checkpoints are supported, got {kind:?}"),
+        });
+    }
+    let mut config = ClosConfig {
+        pods: 0,
+        leaves_per_pod: 0,
+        tors_per_pod: 0,
+        spines: 0,
+        hosts_per_tor: 0,
+    };
+    for kv in parts {
+        let (key, value) = kv.split_once('=').ok_or_else(|| CheckpointError {
+            line,
+            why: format!("expected key=value, got {kv:?}"),
+        })?;
+        let value: usize = value.parse().map_err(|_| CheckpointError {
+            line,
+            why: format!("{key} wants a number, got {value:?}"),
+        })?;
+        match key {
+            "pods" => config.pods = value,
+            "leaves_per_pod" => config.leaves_per_pod = value,
+            "tors_per_pod" => config.tors_per_pod = value,
+            "spines" => config.spines = value,
+            "hosts_per_tor" => config.hosts_per_tor = value,
+            other => {
+                return Err(CheckpointError {
+                    line,
+                    why: format!("unknown clos dimension {other:?}"),
+                })
+            }
+        }
+    }
+    if config.pods == 0 || config.leaves_per_pod == 0 || config.tors_per_pod == 0 {
+        return Err(CheckpointError {
+            line,
+            why: "clos dimensions must all be non-zero".into(),
+        });
+    }
+    Ok(config)
+}
+
+/// A malformed checkpoint, with the offending line (0 for whole-file
+/// problems).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointError {
+    /// 1-based line number, 0 when no single line is to blame.
+    pub line: usize,
+    /// What went wrong.
+    pub why: String,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "checkpoint: {}", self.why)
+        } else {
+            write!(f, "checkpoint line {}: {}", self.line, self.why)
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagger_core::clos::clos_tagging;
+
+    #[test]
+    fn checkpoints_round_trip() {
+        let config = ClosConfig::small();
+        let topo = config.build();
+        let tagging = clos_tagging(&topo, 1).unwrap();
+        let text = render(&config, 42, &topo, tagging.rules());
+        let ckpt = parse(&text).unwrap();
+        assert_eq!(ckpt.epoch, 42);
+        assert_eq!(ckpt.config, config);
+        assert_eq!(ckpt.rules.num_rules(), tagging.rules().num_rules());
+        // Re-render: byte-identical (stable fixture format).
+        assert_eq!(render(&ckpt.config, 42, &ckpt.topo, &ckpt.rules), text);
+    }
+
+    #[test]
+    fn malformed_checkpoints_are_rejected_with_line_numbers() {
+        assert!(parse("").is_err());
+        assert!(parse("epoch 1\n").is_err(), "missing topo");
+        let e = parse("topo clos pods=2 leaves_per_pod=x\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse("topo mesh\nepoch 1\n").unwrap_err();
+        assert!(e.why.contains("topo clos"));
+    }
+}

@@ -1,0 +1,147 @@
+//! TCAM decompilation and intent comparison.
+//!
+//! The controller installs bitmap-compressed TCAM entries; the auditor
+//! refuses to trust the compressor. It expands every masked entry back
+//! into concrete `(tag, in-port, out-port) → new-tag` tuples against the
+//! switch's *real* port map ([`Tcam::decompile`]) and diffs the result
+//! against the uncompressed intent. Any divergence — a tuple the intent
+//! wanted but the TCAM lost, a tuple the masks accidentally cover, or a
+//! tuple rewritten to the wrong tag — becomes a [`Finding::TcamMismatch`]
+//! and the *decompiled* behaviour (what the hardware would actually do)
+//! is what the dependency graph downstream is built from.
+
+use crate::Finding;
+use std::collections::BTreeMap;
+use tagger_core::tcam::TcamProgram;
+use tagger_core::{RuleSet, SwitchRule};
+use tagger_topo::{NodeId, Topology};
+
+/// Result of decompiling a TCAM program and checking it against intent.
+#[derive(Clone, Debug)]
+pub struct DecompileOutcome {
+    /// The concrete rule function the installed TCAMs implement.
+    pub decompiled: RuleSet,
+    /// Concrete tuples recovered from masked entries.
+    pub rules_decompiled: u64,
+    /// One finding per tuple where TCAM behaviour diverges from intent.
+    pub findings: Vec<Finding>,
+}
+
+/// Decompiles `program` against the topology's real port maps and diffs
+/// the recovered tuples against the uncompressed `intent`.
+pub fn check_program(topo: &Topology, intent: &RuleSet, program: &TcamProgram) -> DecompileOutcome {
+    let decompiled = program.decompile(topo);
+    let mut findings = Vec::new();
+    let mut switches: Vec<NodeId> = intent.switches().collect();
+    for sw in decompiled.switches() {
+        if !switches.contains(&sw) {
+            switches.push(sw);
+        }
+    }
+    switches.sort();
+    let mut rules_decompiled = 0u64;
+    for sw in switches {
+        let want = index(intent.rules_for(sw));
+        let got = index(decompiled.rules_for(sw));
+        rules_decompiled += got.len() as u64;
+        for (key, &new_tag) in &want {
+            match got.get(key) {
+                Some(&actual) if actual == new_tag => {}
+                other => findings.push(Finding::TcamMismatch {
+                    switch: sw,
+                    expected: Some(rule(*key, new_tag)),
+                    got: other.map(|&t| rule(*key, t)),
+                }),
+            }
+        }
+        for (key, &actual) in &got {
+            if !want.contains_key(key) {
+                findings.push(Finding::TcamMismatch {
+                    switch: sw,
+                    expected: None,
+                    got: Some(rule(*key, actual)),
+                });
+            }
+        }
+    }
+    DecompileOutcome {
+        decompiled,
+        rules_decompiled,
+        findings,
+    }
+}
+
+type Key = (tagger_core::Tag, tagger_topo::PortId, tagger_topo::PortId);
+
+fn index(rules: Vec<SwitchRule>) -> BTreeMap<Key, tagger_core::Tag> {
+    rules
+        .into_iter()
+        .map(|r| ((r.tag, r.in_port, r.out_port), r.new_tag))
+        .collect()
+}
+
+fn rule(key: Key, new_tag: tagger_core::Tag) -> SwitchRule {
+    SwitchRule {
+        tag: key.0,
+        in_port: key.1,
+        out_port: key.2,
+        new_tag,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagger_core::clos::clos_tagging;
+    use tagger_core::tcam::{Compression, PortSet, Tcam, TcamEntry};
+    use tagger_core::Tag;
+    use tagger_topo::ClosConfig;
+
+    #[test]
+    fn faithful_compilation_round_trips_clean() {
+        let topo = ClosConfig::small().build();
+        let tagging = clos_tagging(&topo, 2).unwrap();
+        for level in [Compression::None, Compression::InPort, Compression::Joint] {
+            let program = TcamProgram::compile(&topo, tagging.rules(), level);
+            let out = check_program(&topo, tagging.rules(), &program);
+            assert!(out.findings.is_empty(), "{level:?}: {:?}", out.findings);
+            assert_eq!(out.decompiled.num_rules(), tagging.rules().num_rules());
+        }
+    }
+
+    #[test]
+    fn overbroad_mask_is_flagged_as_spurious() {
+        let topo = ClosConfig::small().build();
+        let tagging = clos_tagging(&topo, 1).unwrap();
+        let mut program = TcamProgram::compile(&topo, tagging.rules(), Compression::Joint);
+        // Miscompile one switch: an entry whose in-mask covers every port.
+        let l1 = topo.expect_node("L1");
+        let mut all = PortSet::empty();
+        for p in 0..topo.node(l1).num_ports() as u16 {
+            all.insert(tagger_topo::PortId(p));
+        }
+        let out_s1 = topo.port_towards(l1, topo.expect_node("S1")).unwrap();
+        program.install(
+            l1,
+            Tcam::from_entries(vec![TcamEntry {
+                tag: Tag(1),
+                in_ports: all,
+                out_ports: PortSet::single(out_s1),
+                new_tag: Tag(1),
+            }]),
+        );
+        let out = check_program(&topo, tagging.rules(), &program);
+        assert!(
+            out.findings
+                .iter()
+                .any(|f| matches!(f, Finding::TcamMismatch { expected: None, .. })),
+            "spurious expansions flagged"
+        );
+        assert!(
+            out.findings
+                .iter()
+                .any(|f| matches!(f, Finding::TcamMismatch { got: None, .. })),
+            "lost intent tuples flagged"
+        );
+    }
+}

@@ -1,0 +1,339 @@
+//! The auditor's own buffer-dependency graph.
+//!
+//! Independence is the point: this module re-derives the PFC dependency
+//! structure from nothing but the *decompiled* `(tag, in-port, out-port)
+//! → new-tag` tuples and the physical link adjacency. It shares no node
+//! type, no traversal, and no verdict logic with
+//! `tagger_core::TaggedGraph::verify` — where the controller's verifier
+//! colors a DFS over graph edges it generated itself, the auditor runs
+//! Kahn's algorithm over ingress buffers it reached by walking installed
+//! rules from host-attach points. Agreement between the two is evidence;
+//! disagreement is a bug in one of them, which is exactly what an audit
+//! is for.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use tagger_core::{RuleSet, Tag};
+use tagger_topo::{FailureSet, GlobalPort, NodeId, NodeKind, PortId, Topology};
+
+/// One lossless ingress buffer: packets of `tag` arriving at `switch` on
+/// `in_port`. These are the vertices that PFC PAUSE actually propagates
+/// between, so a cycle over them is a real cyclic buffer dependency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DepNode {
+    /// The switch holding the buffer.
+    pub switch: NodeId,
+    /// Ingress port the buffer belongs to.
+    pub in_port: PortId,
+    /// Lossless tag (priority) of the buffer.
+    pub tag: Tag,
+}
+
+impl DepNode {
+    /// Renders as `L1[in S1, tag 2]` for reports.
+    pub fn describe(&self, topo: &Topology) -> String {
+        let sw = &topo.node(self.switch).name;
+        let up = topo
+            .peer_of(GlobalPort::new(self.switch, self.in_port))
+            .map(|p| topo.node(p.node).name.clone())
+            .unwrap_or_else(|| format!("#{}", self.in_port.0));
+        format!("{sw}[in {up}, tag {}]", self.tag.0)
+    }
+}
+
+/// The reachable buffer-dependency graph induced by a rule table.
+#[derive(Clone, Debug, Default)]
+pub struct DepGraph {
+    nodes: BTreeSet<DepNode>,
+    succ: BTreeMap<DepNode, BTreeSet<DepNode>>,
+    seeds: BTreeSet<DepNode>,
+}
+
+impl DepGraph {
+    /// Walks the closure of the installed rules from every host attach
+    /// point at [`Tag::INITIAL`], following only links that are up under
+    /// `failures`. Every edge is a physical "this buffer can fill because
+    /// that buffer paused" relation.
+    pub fn build(topo: &Topology, rules: &RuleSet, failures: &FailureSet) -> DepGraph {
+        let mut g = DepGraph::default();
+        let mut work: VecDeque<DepNode> = VecDeque::new();
+        for host in topo.host_ids() {
+            let Some(sw) = topo.attached_switch(host) else {
+                continue;
+            };
+            let Some(in_port) = topo.port_towards(sw, host) else {
+                continue;
+            };
+            if !failures.link_up(topo, sw, host) {
+                continue;
+            }
+            let seed = DepNode {
+                switch: sw,
+                in_port,
+                tag: Tag::INITIAL,
+            };
+            g.seeds.insert(seed);
+            if g.nodes.insert(seed) {
+                work.push_back(seed);
+            }
+        }
+        while let Some(node) = work.pop_front() {
+            for rule in rules.rules_for(node.switch) {
+                if rule.tag != node.tag || rule.in_port != node.in_port {
+                    continue;
+                }
+                let Some(peer) = topo.peer_of(GlobalPort::new(node.switch, rule.out_port)) else {
+                    continue;
+                };
+                if topo.node(peer.node).kind != NodeKind::Switch {
+                    continue; // hosts sink traffic; they never propagate PAUSE onward
+                }
+                if !failures.link_up(topo, node.switch, peer.node) {
+                    continue;
+                }
+                let next = DepNode {
+                    switch: peer.node,
+                    in_port: peer.port,
+                    tag: rule.new_tag,
+                };
+                if g.nodes.insert(next) {
+                    work.push_back(next);
+                }
+                g.succ.entry(node).or_default().insert(next);
+            }
+        }
+        g
+    }
+
+    /// Number of reachable buffers.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of dependency edges.
+    pub fn num_edges(&self) -> usize {
+        self.succ.values().map(|s| s.len()).sum()
+    }
+
+    /// All reachable buffers, sorted.
+    pub fn nodes(&self) -> impl Iterator<Item = DepNode> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Successors of a buffer (empty if it is a sink).
+    pub fn successors(&self, node: DepNode) -> impl Iterator<Item = DepNode> + '_ {
+        self.succ.get(&node).into_iter().flatten().copied()
+    }
+
+    /// All edges, sorted by source then target.
+    pub fn edges(&self) -> impl Iterator<Item = (DepNode, DepNode)> + '_ {
+        self.succ
+            .iter()
+            .flat_map(|(&from, tos)| tos.iter().map(move |&to| (from, to)))
+    }
+
+    /// The host-attach buffers the closure started from.
+    pub fn seeds(&self) -> impl Iterator<Item = DepNode> + '_ {
+        self.seeds.iter().copied()
+    }
+
+    /// Edges whose tag goes *down* — violations of the paper's
+    /// monotonicity requirement (Theorem 5.1, condition 2).
+    pub fn tag_decreases(&self) -> Vec<(DepNode, DepNode)> {
+        self.edges().filter(|(f, t)| t.tag < f.tag).collect()
+    }
+
+    /// Kahn's algorithm over the whole graph. On success every node is in
+    /// the returned order (a global topological witness); on failure the
+    /// leftover nodes — exactly those on or downstream-and-upstream of a
+    /// cycle — are returned as the residual.
+    pub fn kahn(&self) -> KahnResult {
+        let mut indeg: BTreeMap<DepNode, usize> = self.nodes.iter().map(|&n| (n, 0)).collect();
+        for (_, to) in self.edges() {
+            *indeg.entry(to).or_insert(0) += 1;
+        }
+        let mut ready: BTreeSet<DepNode> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(&node) = ready.iter().next() {
+            ready.remove(&node);
+            order.push(node);
+            for next in self.successors(node) {
+                let d = indeg.get_mut(&next).expect("edge target is a node");
+                *d -= 1;
+                if *d == 0 {
+                    ready.insert(next);
+                }
+            }
+        }
+        let residual: Vec<DepNode> = self
+            .nodes
+            .iter()
+            .copied()
+            .filter(|n| indeg[n] > 0)
+            .collect();
+        KahnResult { order, residual }
+    }
+
+    /// Extracts a minimal cycle from the residual of a failed Kahn run:
+    /// the shortest cycle through any residual node, preferring cycles
+    /// whose hops sit on distinct switches (those make the cleanest
+    /// counterexamples), ties broken lexicographically. Returns the hops
+    /// in order, first hop smallest, without repeating the first at the
+    /// end. `None` if the residual is empty.
+    pub fn minimal_cycle(&self, residual: &[DepNode]) -> Option<Vec<DepNode>> {
+        let residual_set: BTreeSet<DepNode> = residual.iter().copied().collect();
+        let mut best: Option<Vec<DepNode>> = None;
+        for &start in residual.iter().take(512) {
+            if let Some(cycle) = self.shortest_cycle_through(start, &residual_set) {
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        let key = |c: &Vec<DepNode>| {
+                            let distinct: BTreeSet<NodeId> = c.iter().map(|n| n.switch).collect();
+                            (c.len(), c.len() - distinct.len(), c.clone())
+                        };
+                        key(&cycle) < key(b)
+                    }
+                };
+                if better {
+                    best = Some(cycle);
+                }
+            }
+        }
+        best.map(canonical_rotation)
+    }
+
+    /// Shortest residual-confined cycle through `start`, via BFS from its
+    /// successors back to it.
+    fn shortest_cycle_through(
+        &self,
+        start: DepNode,
+        residual: &BTreeSet<DepNode>,
+    ) -> Option<Vec<DepNode>> {
+        let mut parent: BTreeMap<DepNode, DepNode> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        for next in self.successors(start) {
+            if residual.contains(&next) && !parent.contains_key(&next) {
+                parent.insert(next, start);
+                queue.push_back(next);
+            }
+        }
+        while let Some(node) = queue.pop_front() {
+            if node == start {
+                // Walk parents back to start to recover the cycle.
+                let mut hops = vec![start];
+                let mut cur = parent[&start];
+                while cur != start {
+                    hops.push(cur);
+                    cur = parent[&cur];
+                }
+                hops.reverse();
+                return Some(hops);
+            }
+            for next in self.successors(node) {
+                if !residual.contains(&next) {
+                    continue;
+                }
+                if next == start && !parent.contains_key(&start) {
+                    parent.insert(start, node);
+                    queue.push_back(start);
+                } else if next != start && !parent.contains_key(&next) {
+                    parent.insert(next, node);
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Outcome of [`DepGraph::kahn`].
+#[derive(Clone, Debug)]
+pub struct KahnResult {
+    /// Topological order of every node that could be scheduled. A full
+    /// order (residual empty) is the acyclicity witness.
+    pub order: Vec<DepNode>,
+    /// Nodes that could never reach in-degree zero — each sits on or
+    /// inside a strongly connected component with a cycle.
+    pub residual: Vec<DepNode>,
+}
+
+impl KahnResult {
+    /// True when the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.residual.is_empty()
+    }
+}
+
+/// Rotates a cycle so its smallest hop comes first (stable identity for
+/// golden tests and dedup).
+fn canonical_rotation(cycle: Vec<DepNode>) -> Vec<DepNode> {
+    let Some((min_idx, _)) = cycle.iter().enumerate().min_by_key(|(_, n)| **n) else {
+        return cycle;
+    };
+    let mut out = Vec::with_capacity(cycle.len());
+    out.extend_from_slice(&cycle[min_idx..]);
+    out.extend_from_slice(&cycle[..min_idx]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagger_core::clos::clos_tagging;
+    use tagger_topo::ClosConfig;
+
+    #[test]
+    fn healthy_clos_tagging_is_acyclic_and_monotone() {
+        let topo = ClosConfig::small().build();
+        let tagging = clos_tagging(&topo, 2).unwrap();
+        let g = DepGraph::build(&topo, tagging.rules(), &FailureSet::none());
+        assert!(g.num_nodes() > 0, "closure reached some buffers");
+        assert!(g.tag_decreases().is_empty());
+        let kahn = g.kahn();
+        assert!(kahn.is_acyclic());
+        assert_eq!(kahn.order.len(), g.num_nodes());
+        // The order really is topological: every edge goes forward.
+        let pos: BTreeMap<DepNode, usize> = kahn
+            .order
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
+        for (from, to) in g.edges() {
+            assert!(pos[&from] < pos[&to], "edge goes backward in witness");
+        }
+    }
+
+    #[test]
+    fn corrupted_bounce_rule_yields_a_cycle() {
+        let topo = ClosConfig::small().build();
+        let tagging = clos_tagging(&topo, 2).unwrap();
+        let mut rules = tagging.rules().clone();
+        // Non-monotone corruption: L1's second bounce (tag 2, in S1,
+        // out S2) rewrites back to 1 instead of up to 3.
+        let l1 = topo.expect_node("L1");
+        let in_s1 = topo.port_towards(l1, topo.expect_node("S1")).unwrap();
+        let out_s2 = topo.port_towards(l1, topo.expect_node("S2")).unwrap();
+        rules.set(
+            l1,
+            tagger_core::SwitchRule {
+                tag: Tag(2),
+                in_port: in_s1,
+                out_port: out_s2,
+                new_tag: Tag(1),
+            },
+        );
+        let g = DepGraph::build(&topo, &rules, &FailureSet::none());
+        assert!(!g.tag_decreases().is_empty(), "the 2->1 edge is visible");
+        let kahn = g.kahn();
+        assert!(!kahn.is_acyclic());
+        let cycle = g.minimal_cycle(&kahn.residual).unwrap();
+        assert_eq!(cycle.len(), 4, "minimal CBD is a 4-buffer loop");
+        let switches: BTreeSet<NodeId> = cycle.iter().map(|n| n.switch).collect();
+        assert_eq!(switches.len(), 4, "all hops on distinct switches");
+    }
+}

@@ -1,0 +1,94 @@
+//! Audit counters and latency accounting, styled after
+//! `tagger_ctrl::ControllerMetrics` so `tagger-ctrld` can print both
+//! reports side by side.
+
+use std::fmt::Write as _;
+
+/// Counters accumulated across every audit an [`crate::Auditor`] runs.
+#[derive(Clone, Debug, Default)]
+pub struct AuditMetrics {
+    /// Epochs audited.
+    pub epochs_audited: u64,
+    /// Concrete tuples recovered from installed TCAM entries.
+    pub rules_decompiled: u64,
+    /// Certificates issued (clean audits).
+    pub certificates_issued: u64,
+    /// Counterexamples extracted (audits that found a cycle).
+    pub counterexamples_found: u64,
+    /// Total findings of any kind.
+    pub findings: u64,
+    latencies_us: Vec<u64>,
+}
+
+impl AuditMetrics {
+    /// Records one audit's wall-clock latency.
+    pub fn record_latency_us(&mut self, us: u64) {
+        self.latencies_us.push(us);
+    }
+
+    /// Latency of the most recent audit, µs.
+    pub fn last_latency_us(&self) -> Option<u64> {
+        self.latencies_us.last().copied()
+    }
+
+    /// Mean audit latency, µs.
+    pub fn mean_latency_us(&self) -> Option<u64> {
+        if self.latencies_us.is_empty() {
+            return None;
+        }
+        Some(self.latencies_us.iter().sum::<u64>() / self.latencies_us.len() as u64)
+    }
+
+    /// Worst audit latency, µs.
+    pub fn max_latency_us(&self) -> Option<u64> {
+        self.latencies_us.iter().max().copied()
+    }
+
+    /// Plain-text report in the `ControllerMetrics::report` style.
+    pub fn report(&self) -> String {
+        let mut out = String::from("audit metrics\n");
+        let _ = writeln!(out, "  epochs audited      {:>8}", self.epochs_audited);
+        let _ = writeln!(out, "  rules decompiled    {:>8}", self.rules_decompiled);
+        let _ = writeln!(out, "  certificates issued {:>8}", self.certificates_issued);
+        let _ = writeln!(
+            out,
+            "  counterexamples     {:>8}",
+            self.counterexamples_found
+        );
+        let _ = writeln!(out, "  findings            {:>8}", self.findings);
+        if let (Some(last), Some(mean), Some(max)) = (
+            self.last_latency_us(),
+            self.mean_latency_us(),
+            self.max_latency_us(),
+        ) {
+            let _ = writeln!(
+                out,
+                "  audit latency µs    last {last} / mean {mean} / max {max}"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_includes_every_counter() {
+        let mut m = AuditMetrics {
+            epochs_audited: 3,
+            rules_decompiled: 120,
+            certificates_issued: 2,
+            counterexamples_found: 1,
+            findings: 4,
+            ..AuditMetrics::default()
+        };
+        m.record_latency_us(100);
+        m.record_latency_us(300);
+        let r = m.report();
+        assert!(r.contains("epochs audited"));
+        assert!(r.contains("120"));
+        assert!(r.contains("last 300 / mean 200 / max 300"));
+    }
+}

@@ -1,0 +1,162 @@
+//! What-if audits: hypothetical link failures vs. k-bounce reroutes.
+//!
+//! The installed tables were certified for the fabric as it stands; an
+//! operator planning maintenance wants to know what happens when links
+//! go away and traffic takes bounce reroutes *without* recomputing the
+//! tables. For each failure scenario this module re-certifies the
+//! dependency graph restricted to surviving links (a table safe on the
+//! full fabric stays safe on any subgraph, so a finding here means the
+//! baseline audit was wrong — but the check is cheap and an auditor
+//! trusts nothing), and walks every `≤ k`-bounce reroute path through
+//! the rules to count which ones fall out of the lossless class — the
+//! paper's intended, but operationally noteworthy, demotion behaviour.
+
+use crate::depgraph::DepGraph;
+use crate::Finding;
+use tagger_core::{RuleSet, Tag, TagDecision};
+use tagger_routing::all_paths_with_bounces;
+use tagger_topo::{FailureSet, NodeKind, Topology};
+
+/// Per-pair path cap for the reroute sweep; keeps the what-if tractable
+/// on bigger fabrics without silently dropping whole pairs.
+const CAP_PER_PAIR: usize = 8;
+
+/// The audit verdict for one hypothetical failure scenario.
+#[derive(Clone, Debug)]
+pub struct WhatIfScenario {
+    /// Human description, e.g. `fail L1-S1`.
+    pub description: String,
+    /// Safety findings on the restricted dependency graph (must be
+    /// empty whenever the baseline audit was clean).
+    pub findings: Vec<Finding>,
+    /// Reroute paths examined.
+    pub reroute_paths: usize,
+    /// Reroute paths that get demoted to the lossy class somewhere.
+    pub lossy_demotions: usize,
+}
+
+impl WhatIfScenario {
+    /// True when the scenario keeps the deadlock-freedom certificate.
+    pub fn is_safe(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// One-line summary for the CLI.
+    pub fn summarize(&self) -> String {
+        format!(
+            "{}: {} ({} reroute paths, {} demoted to lossy)",
+            self.description,
+            if self.is_safe() { "safe" } else { "UNSAFE" },
+            self.reroute_paths,
+            self.lossy_demotions
+        )
+    }
+}
+
+/// Audits one failure scenario against committed tables.
+pub fn whatif(
+    topo: &Topology,
+    rules: &RuleSet,
+    failures: &FailureSet,
+    description: impl Into<String>,
+    max_bounces: usize,
+) -> WhatIfScenario {
+    let graph = DepGraph::build(topo, rules, failures);
+    let mut findings: Vec<Finding> = graph
+        .tag_decreases()
+        .into_iter()
+        .map(|(from, to)| Finding::TagDecrease { from, to })
+        .collect();
+    let kahn = graph.kahn();
+    if !kahn.is_acyclic() {
+        if let Some(cycle) = graph.minimal_cycle(&kahn.residual) {
+            findings.push(Finding::CyclicDependency { cycle });
+        }
+    }
+
+    let paths = all_paths_with_bounces(topo, failures, max_bounces, CAP_PER_PAIR);
+    let mut lossy_demotions = 0usize;
+    for path in &paths {
+        let nodes = path.nodes();
+        let mut tag = Tag::INITIAL;
+        for w in nodes.windows(3) {
+            let (prev, here, next) = (w[0], w[1], w[2]);
+            if topo.node(here).kind != NodeKind::Switch {
+                continue;
+            }
+            let (Some(in_port), Some(out_port)) =
+                (topo.port_towards(here, prev), topo.port_towards(here, next))
+            else {
+                continue;
+            };
+            match rules.decide(here, tag, in_port, out_port) {
+                TagDecision::Lossless(next_tag) => tag = next_tag,
+                TagDecision::Lossy => {
+                    lossy_demotions += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    WhatIfScenario {
+        description: description.into(),
+        findings,
+        reroute_paths: paths.len(),
+        lossy_demotions,
+    }
+}
+
+/// Sweeps every single switch-to-switch link failure (host links would
+/// only disconnect a host) and audits each.
+pub fn sweep_single_links(
+    topo: &Topology,
+    rules: &RuleSet,
+    max_bounces: usize,
+) -> Vec<WhatIfScenario> {
+    let mut out = Vec::new();
+    for link_id in topo.link_ids() {
+        let link = topo.link(link_id);
+        let (na, nb) = (link.a.node, link.b.node);
+        if topo.node(na).kind != NodeKind::Switch || topo.node(nb).kind != NodeKind::Switch {
+            continue;
+        }
+        let mut failures = FailureSet::none();
+        failures.fail(link_id);
+        let description = format!("fail {}-{}", topo.node(na).name, topo.node(nb).name);
+        out.push(whatif(topo, rules, &failures, description, max_bounces));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagger_core::clos::clos_tagging;
+    use tagger_topo::ClosConfig;
+
+    #[test]
+    fn healthy_tables_stay_safe_under_any_single_failure() {
+        let topo = ClosConfig::small().build();
+        let tagging = clos_tagging(&topo, 1).unwrap();
+        let scenarios = sweep_single_links(&topo, tagging.rules(), 1);
+        assert!(!scenarios.is_empty());
+        for s in &scenarios {
+            assert!(s.is_safe(), "{}", s.summarize());
+            assert!(s.reroute_paths > 0, "{}", s.summarize());
+        }
+    }
+
+    #[test]
+    fn beyond_k_bounces_show_up_as_demotions() {
+        let topo = ClosConfig::small().build();
+        // Tables protect 0 bounces; asking about 1-bounce reroutes must
+        // report demotions (bounced traffic leaves the lossless class).
+        let tagging = clos_tagging(&topo, 0).unwrap();
+        let mut failures = FailureSet::none();
+        failures.fail_between(&topo, "L1", "S1");
+        let s = whatif(&topo, tagging.rules(), &failures, "fail L1-S1", 1);
+        assert!(s.is_safe());
+        assert!(s.lossy_demotions > 0, "{}", s.summarize());
+    }
+}

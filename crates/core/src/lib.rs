@@ -41,4 +41,6 @@ pub use algorithm1::{tag_by_hop_count, tag_by_hop_count_iter};
 pub use algorithm2::{apply_assignment, greedy_assignment, greedy_minimize, minimize_elp};
 pub use elp::Elp;
 pub use graph::{Tag, TaggedEdge, TaggedGraph, TaggedNode, VerifyError};
-pub use rules::{InstallError, RuleDelta, RuleError, RuleSet, SwitchRule, TagDecision, Tagging};
+pub use rules::{
+    InstallError, RuleDelta, RuleError, RuleSet, SwitchRule, TableTextError, TagDecision, Tagging,
+};

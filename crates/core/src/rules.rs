@@ -501,7 +501,148 @@ impl RuleSet {
             .flat_map(|t| t.values().copied().chain(t.keys().map(|k| k.0)))
             .max()
     }
+
+    /// Every rule in the set as `(switch, rule)` pairs, ordered by
+    /// switch id then `(tag, in, out)` — the iteration order external
+    /// verification tooling audits tables in.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, SwitchRule)> + '_ {
+        self.per_switch.iter().flat_map(|(&sw, table)| {
+            table
+                .iter()
+                .map(move |(&(tag, in_port, out_port), &new_tag)| {
+                    (
+                        sw,
+                        SwitchRule {
+                            tag,
+                            in_port,
+                            out_port,
+                            new_tag,
+                        },
+                    )
+                })
+        })
+    }
+
+    /// Serializes the tables as plain text, resolving ports to the names
+    /// of the neighbours they face so the dump is readable and stable
+    /// across port renumberings:
+    ///
+    /// ```text
+    /// switch L1
+    /// rule <tag> <in-neighbour> <out-neighbour> <new-tag>
+    /// ```
+    ///
+    /// Round-trips through [`RuleSet::from_table_text`] on the same
+    /// topology.
+    pub fn to_table_text(&self, topo: &Topology) -> String {
+        let peer_name = |sw: NodeId, port: PortId| -> String {
+            match topo.peer_of(tagger_topo::GlobalPort::new(sw, port)) {
+                Some(gp) => topo.node(gp.node).name.clone(),
+                None => format!("#{}", port.0),
+            }
+        };
+        let mut out = String::new();
+        for sw in self.switches() {
+            out.push_str(&format!("switch {}\n", topo.node(sw).name));
+            for r in self.rules_for(sw) {
+                out.push_str(&format!(
+                    "rule {} {} {} {}\n",
+                    r.tag.0,
+                    peer_name(sw, r.in_port),
+                    peer_name(sw, r.out_port),
+                    r.new_tag.0
+                ));
+            }
+        }
+        out
+    }
+
+    /// Parses tables serialized by [`RuleSet::to_table_text`]. Lines
+    /// starting with `#` and blank lines are ignored. Unknown switch or
+    /// neighbour names, or a `rule` line outside a `switch` block, are
+    /// errors.
+    pub fn from_table_text(topo: &Topology, text: &str) -> Result<RuleSet, TableTextError> {
+        let err = |line: usize, why: String| TableTextError { line, why };
+        let mut rs = RuleSet::new();
+        let mut current: Option<NodeId> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("switch ") {
+                let name = name.trim();
+                let sw = topo
+                    .node_by_name(name)
+                    .ok_or_else(|| err(lineno, format!("unknown switch {name:?}")))?;
+                current = Some(sw);
+            } else if let Some(rest) = line.strip_prefix("rule ") {
+                let sw = current
+                    .ok_or_else(|| err(lineno, "rule before any switch line".to_string()))?;
+                let fields: Vec<&str> = rest.split_whitespace().collect();
+                if fields.len() != 4 {
+                    return Err(err(
+                        lineno,
+                        format!("rule wants <tag> <in> <out> <new-tag>, got {rest:?}"),
+                    ));
+                }
+                let tag: u16 = fields[0]
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad tag {:?}", fields[0])))?;
+                let new_tag: u16 = fields[3]
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad new-tag {:?}", fields[3])))?;
+                let port = |name: &str| -> Result<PortId, TableTextError> {
+                    if let Some(num) = name.strip_prefix('#') {
+                        return num
+                            .parse()
+                            .map(PortId)
+                            .map_err(|_| err(lineno, format!("bad port {name:?}")));
+                    }
+                    let peer = topo
+                        .node_by_name(name)
+                        .ok_or_else(|| err(lineno, format!("unknown neighbour {name:?}")))?;
+                    topo.port_towards(sw, peer).ok_or_else(|| {
+                        err(
+                            lineno,
+                            format!("{} has no port towards {name}", topo.node(sw).name),
+                        )
+                    })
+                };
+                rs.set(
+                    sw,
+                    SwitchRule {
+                        tag: Tag(tag),
+                        in_port: port(fields[1])?,
+                        out_port: port(fields[2])?,
+                        new_tag: Tag(new_tag),
+                    },
+                );
+            } else {
+                return Err(err(lineno, format!("unrecognized line {line:?}")));
+            }
+        }
+        Ok(rs)
+    }
 }
+
+/// A malformed line in a [`RuleSet::from_table_text`] dump.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableTextError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong with it.
+    pub why: String,
+}
+
+impl fmt::Display for TableTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "table text line {}: {}", self.line, self.why)
+    }
+}
+
+impl std::error::Error for TableTextError {}
 
 /// A complete tagging scheme: the verified graph plus the compiled rules.
 ///
@@ -939,6 +1080,40 @@ mod tests {
         assert!(!rs.remove(NodeId(9), rule(1, 0, 1, 2)));
         assert!(rs.remove(NodeId(1), rule(1, 0, 1, 2)));
         assert_eq!(rs, RuleSet::new());
+    }
+
+    #[test]
+    fn table_text_round_trips() {
+        let topo = ClosConfig::small().build();
+        let t = crate::clos::clos_tagging(&topo, 2).unwrap();
+        let text = t.rules().to_table_text(&topo);
+        assert!(text.contains("switch L1"));
+        let back = RuleSet::from_table_text(&topo, &text).unwrap();
+        assert_eq!(&back, t.rules());
+        // Iterator agrees with the per-switch view.
+        assert_eq!(t.rules().iter().count(), t.rules().num_rules());
+        for (sw, rule) in t.rules().iter() {
+            assert_eq!(
+                t.rules().decide(sw, rule.tag, rule.in_port, rule.out_port),
+                TagDecision::Lossless(rule.new_tag)
+            );
+        }
+    }
+
+    #[test]
+    fn table_text_rejects_malformed_lines() {
+        let topo = ClosConfig::small().build();
+        for (text, line) in [
+            ("rule 1 T1 S1 1\n", 1),
+            ("switch NOPE\n", 1),
+            ("switch L1\nrule 1 NOPE S1 1\n", 2),
+            ("switch L1\nrule 1 T3 S1 1\n", 2), // T3 not adjacent to L1
+            ("switch L1\nrule x T1 S1 1\n", 2),
+            ("switch L1\njunk\n", 2),
+        ] {
+            let err = RuleSet::from_table_text(&topo, text).unwrap_err();
+            assert_eq!(err.line, line, "{text:?}: {err}");
+        }
     }
 
     #[test]

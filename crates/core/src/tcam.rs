@@ -104,6 +104,30 @@ impl TcamEntry {
     pub fn matches(&self, tag: Tag, in_port: PortId, out_port: PortId) -> bool {
         self.tag == tag && self.in_ports.contains(in_port) && self.out_ports.contains(out_port)
     }
+
+    /// Decompiles the entry back into the concrete exact-match rules it
+    /// realizes on a switch with `num_ports` ports: the cross product of
+    /// its ingress and egress bitmaps, clipped to the switch's real port
+    /// map. Clipping matters for verification: a bitmap bit beyond the
+    /// port count can never match a packet, so it is not part of the
+    /// entry's installed behaviour.
+    pub fn expand(&self, num_ports: u16) -> impl Iterator<Item = SwitchRule> + '_ {
+        let (tag, new_tag) = (self.tag, self.new_tag);
+        self.in_ports
+            .iter()
+            .filter(move |p| p.0 < num_ports)
+            .flat_map(move |in_port| {
+                self.out_ports
+                    .iter()
+                    .filter(move |p| p.0 < num_ports)
+                    .map(move |out_port| SwitchRule {
+                        tag,
+                        in_port,
+                        out_port,
+                        new_tag,
+                    })
+            })
+    }
 }
 
 /// How aggressively to compress.
@@ -193,9 +217,44 @@ impl Tcam {
         }
     }
 
+    /// Builds a TCAM directly from entries, bypassing compilation.
+    ///
+    /// This is the hook independent verification tooling uses to model
+    /// *arbitrary* installed tables — including miscompiled ones whose
+    /// bitmaps are broader than any rule list would produce — so the
+    /// decompile path can be exercised against tables that do not come
+    /// from [`Tcam::compile`].
+    pub fn from_entries(entries: Vec<TcamEntry>) -> Tcam {
+        Tcam { entries }
+    }
+
     /// The compiled entries.
     pub fn entries(&self) -> &[TcamEntry] {
         &self.entries
+    }
+
+    /// Decompiles the whole table back into concrete
+    /// `(tag, in-port, out-port) → new-tag` rules against a switch with
+    /// `num_ports` ports, first-match semantics preserved: where two
+    /// entries overlap on a triple, the earlier entry wins, exactly as
+    /// [`Tcam::decide`] would resolve the lookup. The result is sorted
+    /// by `(tag, in, out)`.
+    pub fn decompile(&self, num_ports: u16) -> Vec<SwitchRule> {
+        let mut seen: BTreeMap<(Tag, PortId, PortId), Tag> = BTreeMap::new();
+        for entry in &self.entries {
+            for rule in entry.expand(num_ports) {
+                seen.entry((rule.tag, rule.in_port, rule.out_port))
+                    .or_insert(rule.new_tag);
+            }
+        }
+        seen.into_iter()
+            .map(|((tag, in_port, out_port), new_tag)| SwitchRule {
+                tag,
+                in_port,
+                out_port,
+                new_tag,
+            })
+            .collect()
     }
 
     /// Entry count (the hardware-budget figure).
@@ -259,6 +318,34 @@ impl TcamProgram {
     /// The TCAM of one switch, if it has rules.
     pub fn tcam_for(&self, sw: NodeId) -> Option<&Tcam> {
         self.per_switch.get(&sw)
+    }
+
+    /// Switches that carry at least one compiled entry.
+    pub fn switches(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.per_switch.keys().copied()
+    }
+
+    /// Installs one switch's table, replacing whatever was there — the
+    /// building block verification tooling uses to model a fleet whose
+    /// hardware tables may not be what the compiler intended.
+    pub fn install(&mut self, sw: NodeId, tcam: Tcam) {
+        self.per_switch.insert(sw, tcam);
+    }
+
+    /// Decompiles every switch's TCAM back into an exact-match
+    /// [`RuleSet`] against the topology's real port map. The round-trip
+    /// property verification leans on: for programs produced by
+    /// [`TcamProgram::compile`], the result is semantically identical to
+    /// the source rules on every in-range triple.
+    pub fn decompile(&self, topo: &Topology) -> RuleSet {
+        let mut rs = RuleSet::new();
+        for (&sw, tcam) in &self.per_switch {
+            let num_ports = topo.node(sw).num_ports() as u16;
+            for rule in tcam.decompile(num_ports) {
+                rs.set(sw, rule);
+            }
+        }
+        rs
     }
 }
 
@@ -353,6 +440,66 @@ mod tests {
             "got {}",
             joint.max_entries_per_switch()
         );
+    }
+
+    #[test]
+    fn decompile_round_trips_compiled_programs() {
+        let topo = ClosConfig::small().build();
+        let t = clos_tagging(&topo, 2).unwrap();
+        for level in [Compression::None, Compression::InPort, Compression::Joint] {
+            let prog = TcamProgram::compile(&topo, t.rules(), level);
+            let back = prog.decompile(&topo);
+            assert_eq!(&back, t.rules(), "round trip at {level:?}");
+        }
+    }
+
+    #[test]
+    fn expand_clips_to_the_real_port_map() {
+        let mut in_ports = PortSet::empty();
+        in_ports.insert(PortId(0));
+        in_ports.insert(PortId(9)); // beyond the switch's port count
+        let entry = TcamEntry {
+            tag: Tag(1),
+            in_ports,
+            out_ports: PortSet::single(PortId(1)),
+            new_tag: Tag(2),
+        };
+        let rules: Vec<SwitchRule> = entry.expand(4).collect();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].in_port, PortId(0));
+    }
+
+    #[test]
+    fn decompile_respects_first_match_on_overlap() {
+        // Two overlapping entries: first-match wins, so decompile must
+        // report the first entry's rewrite for the shared triple.
+        let first = TcamEntry {
+            tag: Tag(1),
+            in_ports: PortSet::single(PortId(0)),
+            out_ports: PortSet::single(PortId(1)),
+            new_tag: Tag(1),
+        };
+        let shadowed = TcamEntry {
+            tag: Tag(1),
+            in_ports: [PortId(0), PortId(2)].into_iter().collect(),
+            out_ports: PortSet::single(PortId(1)),
+            new_tag: Tag(2),
+        };
+        let tcam = Tcam::from_entries(vec![first, shadowed]);
+        let rules = tcam.decompile(4);
+        assert_eq!(rules.len(), 2);
+        for r in rules {
+            let expect = if r.in_port == PortId(0) {
+                Tag(1)
+            } else {
+                Tag(2)
+            };
+            assert_eq!(r.new_tag, expect);
+            assert_eq!(
+                tcam.decide(r.tag, r.in_port, r.out_port),
+                TagDecision::Lossless(expect)
+            );
+        }
     }
 
     #[test]

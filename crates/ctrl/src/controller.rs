@@ -256,6 +256,15 @@ pub struct Snapshot {
     pub elp_paths: usize,
 }
 
+impl Snapshot {
+    /// Exports the committed rule tables in the plain-text form
+    /// ([`tagger_core::RuleSet::to_table_text`]) offline verification
+    /// tooling consumes — the payload of an audit checkpoint.
+    pub fn export_tables(&self, topo: &Topology) -> String {
+        self.rules.to_table_text(topo)
+    }
+}
+
 /// The control-plane daemon core: consumes [`CtrlEvent`]s, maintains the
 /// committed [`Snapshot`], and emits [`RuleDelta`]s.
 ///
@@ -529,12 +538,30 @@ impl Controller {
         southbound: &mut dyn Southbound,
         policy: &InstallPolicy,
     ) -> Result<Vec<EpochOutcome>, CtrlError> {
+        self.replay_damped_via_observed(events, southbound, policy, &mut crate::NoopObserver)
+    }
+
+    /// Like [`Controller::replay_damped_via`], but invoking `observer`
+    /// after every committed epoch (rollbacks are not observed) — the
+    /// entry point for running an independent audit of each epoch's
+    /// installed tables alongside the replay.
+    pub fn replay_damped_via_observed<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a CtrlEvent>,
+        southbound: &mut dyn Southbound,
+        policy: &InstallPolicy,
+        observer: &mut dyn crate::CommitObserver,
+    ) -> Result<Vec<EpochOutcome>, CtrlError> {
         let events: Vec<&CtrlEvent> = events.into_iter().collect();
         let mut outcomes = Vec::new();
         for batch in coalesce_flaps(&events) {
             self.metrics.flaps_damped += batch.len() as u64 - 1;
             let owned: Vec<CtrlEvent> = batch.iter().map(|&e| e.clone()).collect();
-            outcomes.push(self.handle_batch_via(&owned, southbound, policy)?);
+            let outcome = self.handle_batch_via(&owned, southbound, policy)?;
+            if let EpochOutcome::Committed(report) = &outcome {
+                observer.on_commit(&self.topo, &self.committed, report);
+            }
+            outcomes.push(outcome);
         }
         Ok(outcomes)
     }

@@ -194,6 +194,32 @@ impl Journal {
         checkpoint_every: u64,
         crash_after: Option<u64>,
     ) -> Result<DriveReport, JournalError> {
+        self.drive_observed(
+            ctrl,
+            events,
+            southbound,
+            policy,
+            checkpoint_every,
+            crash_after,
+            &mut crate::NoopObserver,
+        )
+    }
+
+    /// Like [`Journal::drive`], but invoking `observer` after every
+    /// committed epoch's outcome has been journaled, so an independent
+    /// audit of the installed tables rides along with the journaled
+    /// replay. Rollbacks and the simulated crash are not observed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn drive_observed(
+        &mut self,
+        ctrl: &mut Controller,
+        events: &[CtrlEvent],
+        southbound: &mut dyn Southbound,
+        policy: &InstallPolicy,
+        checkpoint_every: u64,
+        crash_after: Option<u64>,
+        observer: &mut dyn crate::CommitObserver,
+    ) -> Result<DriveReport, JournalError> {
         let refs: Vec<&CtrlEvent> = events.iter().collect();
         let mut outcomes = Vec::new();
         for batch in coalesce_flaps(&refs) {
@@ -211,6 +237,10 @@ impl Journal {
             let owned: Vec<CtrlEvent> = batch.iter().map(|&e| e.clone()).collect();
             let outcome = ctrl.handle_batch_via(&owned, southbound, policy)?;
             self.record_outcome(&outcome, batch.len())?;
+            if let EpochOutcome::Committed(report) = &outcome {
+                let topo = ctrl.topo().clone();
+                observer.on_commit(&topo, ctrl.committed(), report);
+            }
             outcomes.push(outcome);
             if checkpoint_every > 0 && (outcomes.len() as u64).is_multiple_of(checkpoint_every) {
                 self.checkpoint(ctrl)?;

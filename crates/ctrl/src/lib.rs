@@ -50,6 +50,7 @@ mod controller;
 mod event;
 mod journal;
 mod metrics;
+mod observer;
 mod southbound;
 mod state;
 
@@ -61,6 +62,7 @@ pub use controller::{
 pub use event::{parse_trace, CtrlEvent, TraceError, TraceErrorKind};
 pub use journal::{recover, DriveReport, Journal, JournalError, Recovery};
 pub use metrics::ControllerMetrics;
+pub use observer::{CommitObserver, NoopObserver};
 pub use southbound::{ReliableSouthbound, Southbound};
 pub use state::{ElpPolicy, NetworkState};
 

@@ -726,6 +726,38 @@ pub fn perf_penalty(with_tagger: bool, seed: u64, end_ns: u64) -> Experiment {
     Experiment { sim, labels }
 }
 
+/// **Counterexample replay** — demonstrates a cyclic buffer dependency
+/// found by an auditor in an *installed* rule table actually deadlocking.
+///
+/// Runs the given pinned flows against the audited `rules` (the suspect
+/// tables themselves, not a known-good tagging) under the testbed PFC
+/// regime, with the structural deadlock detector armed. The flows are
+/// generated from the audit counterexample so that together they keep
+/// every hop of the cyclic dependency loaded; if the cycle is real, the
+/// PFC wait-for graph closes and `report.deadlock` carries the witness.
+pub fn counterexample_replay(
+    topo: &Topology,
+    rules: &tagger_core::RuleSet,
+    flows: Vec<(String, FlowSpec)>,
+    end_ns: u64,
+) -> Experiment {
+    let fib = Fib::shortest_path(topo, &FailureSet::none());
+    let num_lossless = rules.max_tag().map(|t| t.0 as u8).unwrap_or(1).max(1);
+    let cfg = SimConfig {
+        switch: testbed_switch_config(num_lossless),
+        pfc_extra_delay_ns: TESTBED_PFC_DELAY_NS,
+        end_time_ns: end_ns,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(topo.clone(), fib, Some(rules.clone()), cfg);
+    let mut labels = Vec::new();
+    for (label, spec) in flows {
+        sim.add_flow(spec);
+        labels.push(label);
+    }
+    Experiment { sim, labels }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -739,6 +771,60 @@ mod tests {
         // Both flows frozen at the end.
         assert_eq!(report.stalled_flows(5), 2);
         assert_eq!(report.lossless_drops, 0); // PFC never drops, it freezes
+    }
+
+    #[test]
+    fn counterexample_replay_deadlocks_on_unsafe_tables() {
+        // The adversarial single-priority program (keep tag 1 across every
+        // port pair): its dependency graph contains the Fig. 3 CBD, and
+        // replaying flows that cover the cycle must actually deadlock.
+        let topo = ClosConfig::small().build();
+        let mut rules = tagger_core::RuleSet::new();
+        for sw in topo.switch_ids() {
+            let ports: Vec<_> = topo.neighbors(sw).map(|(p, _, _)| p).collect();
+            for &i in &ports {
+                for &o in &ports {
+                    if i != o {
+                        rules
+                            .add(
+                                sw,
+                                tagger_core::SwitchRule {
+                                    tag: tagger_core::Tag(1),
+                                    in_port: i,
+                                    out_port: o,
+                                    new_tag: tagger_core::Tag(1),
+                                },
+                            )
+                            .unwrap();
+                    }
+                }
+            }
+        }
+        let blue = names(
+            &topo,
+            &["H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13"],
+        );
+        let green = names(
+            &topo,
+            &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"],
+        );
+        let flows = vec![
+            (
+                "blue".to_string(),
+                FlowSpec::new(blue[0], *blue.last().unwrap(), 0).pinned(blue),
+            ),
+            (
+                "green".to_string(),
+                FlowSpec::new(green[0], *green.last().unwrap(), END / 5).pinned(green),
+            ),
+        ];
+        let (report, _) = counterexample_replay(&topo, &rules, flows.clone(), END).run();
+        assert!(report.deadlock.is_some(), "unsafe tables must deadlock");
+
+        // The same flows on the verified 1-bounce tagging stay live.
+        let safe = clos_tagging(&topo, 1).unwrap();
+        let (report, _) = counterexample_replay(&topo, safe.rules(), flows, END).run();
+        assert!(report.deadlock.is_none());
     }
 
     #[test]

@@ -16,6 +16,19 @@ impl Topology {
     /// assert!(dot.contains("\"L1\" -- \"S1\""));
     /// ```
     pub fn to_dot(&self) -> String {
+        self.to_dot_highlighted(&[])
+    }
+
+    /// Like [`Topology::to_dot`], but rendering the given node pairs —
+    /// typically the hops of a cyclic buffer dependency found by an
+    /// auditor — as bold red edges, with the nodes they touch filled
+    /// red too. Pairs are matched against links in either direction;
+    /// pairs that name no link are ignored.
+    pub fn to_dot_highlighted(&self, hot: &[(crate::NodeId, crate::NodeId)]) -> String {
+        let is_hot = |a: crate::NodeId, b: crate::NodeId| {
+            hot.iter()
+                .any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+        };
         let mut out = String::from("graph topology {\n");
         for id in self.node_ids() {
             let n = self.node(id);
@@ -23,16 +36,35 @@ impl Topology {
                 NodeKind::Host => "box",
                 NodeKind::Switch => "ellipse",
             };
-            let _ = writeln!(out, "  \"{}\" [shape={shape}];", n.name);
+            let on_cycle = hot.iter().any(|&(x, y)| x == id || y == id);
+            if on_cycle {
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" [shape={shape}, style=filled, fillcolor=\"#ffcccc\", color=red];",
+                    n.name
+                );
+            } else {
+                let _ = writeln!(out, "  \"{}\" [shape={shape}];", n.name);
+            }
         }
         for l in self.link_ids() {
             let link = self.link(l);
-            let _ = writeln!(
-                out,
-                "  \"{}\" -- \"{}\";",
-                self.node(link.a.node).name,
-                self.node(link.b.node).name
-            );
+            let (a, b) = (link.a.node, link.b.node);
+            if is_hot(a, b) {
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -- \"{}\" [color=red, penwidth=2.5];",
+                    self.node(a).name,
+                    self.node(b).name
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -- \"{}\";",
+                    self.node(a).name,
+                    self.node(b).name
+                );
+            }
         }
         out.push_str("}\n");
         out
@@ -49,5 +81,24 @@ mod tests {
         let dot = topo.to_dot();
         assert_eq!(dot.matches(" -- ").count(), topo.num_links());
         assert_eq!(dot.matches("[shape=").count(), topo.num_nodes());
+    }
+
+    #[test]
+    fn highlighted_dot_marks_exactly_the_cycle() {
+        let topo = ClosConfig::small().build();
+        let cycle = [
+            (topo.expect_node("L1"), topo.expect_node("S1")),
+            (topo.expect_node("S1"), topo.expect_node("L3")),
+            (topo.expect_node("L3"), topo.expect_node("S2")),
+            // Deliberately reversed relative to the stored link to check
+            // direction-insensitive matching.
+            (topo.expect_node("L1"), topo.expect_node("S2")),
+        ];
+        let dot = topo.to_dot_highlighted(&cycle);
+        assert_eq!(dot.matches("penwidth").count(), 4);
+        assert_eq!(dot.matches("fillcolor").count(), 4, "L1, S1, L3, S2");
+        assert_eq!(dot.matches(" -- ").count(), topo.num_links());
+        // No highlight requested = the plain renderer.
+        assert_eq!(topo.to_dot_highlighted(&[]), topo.to_dot());
     }
 }

@@ -13,6 +13,7 @@
 //!              [--hosts N] [--bounces K] [--tcam-budget N] [--verbose]
 //!              [--chaos seed=N,fail_rate=P[,timeout_rate=P][,partial_rate=P]]
 //!              [--journal PATH] [--checkpoint-every N] [--crash-after N]
+//!              [--audit] [--export-checkpoint PATH]
 //! ```
 //!
 //! With no trace file, replays the canonical single-link flap
@@ -33,17 +34,27 @@
 //! the recovered committed tables are byte-for-byte the crashed
 //! controller's before reconciling the fleet and finishing the trace.
 //!
+//! With `--audit` every committed epoch (including the bootstrap) is
+//! handed to the independent `tagger-audit` verifier, which decompiles
+//! the TCAM entries the tables compile to and re-proves deadlock
+//! freedom from scratch; the audit metrics print alongside the
+//! controller's. `--export-checkpoint PATH` writes the final committed
+//! tables as a `tagger-audit` checkpoint for offline auditing.
+//!
 //! The process exits non-zero if any commit violates the incremental
 //! promise (delta ops ≥ full reinstall ops for a single-link event),
-//! any epoch fails verification, the fleet ever diverges from the
-//! committed tables, or crash recovery does not reconverge exactly.
+//! any epoch fails verification, any audit finds a violation, the fleet
+//! ever diverges from the committed tables, or crash recovery does not
+//! reconverge exactly.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
+use tagger::audit::{checkpoint, Auditor};
 use tagger::ctrl::{
-    coalesce_flaps, parse_trace, recover, ChaosConfig, ChaosSouthbound, Controller, CtrlEvent,
-    ElpPolicy, EpochOutcome, InstallPolicy, Journal, ReliableSouthbound, Southbound,
+    coalesce_flaps, parse_trace, recover, ChaosConfig, ChaosSouthbound, CommitObserver,
+    CommitReport, Controller, CtrlEvent, ElpPolicy, EpochOutcome, InstallPolicy, Journal,
+    NoopObserver, ReliableSouthbound, Snapshot, Southbound,
 };
 use tagger::topo::{ClosConfig, Topology};
 
@@ -58,6 +69,9 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         let a = &args[i];
         if a == "--verbose" {
             verbose = true;
+            i += 1;
+        } else if a == "--audit" {
+            flags.insert("audit".to_string(), String::new());
             i += 1;
         } else if let Some(name) = a.strip_prefix("--") {
             if i + 1 < args.len() {
@@ -189,6 +203,45 @@ fn tally(
     }
 }
 
+/// Runs the independent verifier over every committed epoch and keeps
+/// score. The controller never sees the auditor (the hook is the
+/// [`CommitObserver`] trait); violations only surface here, as prints
+/// and a non-zero exit.
+struct AuditObserver {
+    auditor: Auditor,
+    violations: u64,
+}
+
+impl AuditObserver {
+    fn new(topo: Topology) -> AuditObserver {
+        AuditObserver {
+            auditor: Auditor::new(topo),
+            violations: 0,
+        }
+    }
+
+    fn audit_epoch(&mut self, epoch: u64, rules: &tagger::core::RuleSet) {
+        let topo = self.auditor.topo().clone();
+        let report = self.auditor.audit(epoch, rules);
+        if report.is_certified() {
+            let cert = report.certificate.as_ref().expect("certified");
+            println!(
+                "  audit: epoch {} certified deadlock-free ({} buffers, {} edges, {} rules decompiled)",
+                epoch, cert.total_nodes, cert.total_edges, report.rules_decompiled
+            );
+        } else {
+            self.violations += 1;
+            print!("{}", report.render(&topo));
+        }
+    }
+}
+
+impl CommitObserver for AuditObserver {
+    fn on_commit(&mut self, _topo: &Topology, snapshot: &Snapshot, _report: &CommitReport) {
+        self.audit_epoch(snapshot.epoch, &snapshot.rules);
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ((trace_file, flags, verbose), config, policy, budget) = match setup(&args) {
@@ -230,6 +283,21 @@ fn main() -> ExitCode {
         eprintln!("--crash-after needs --journal (recovery replays the journal)");
         return ExitCode::FAILURE;
     }
+    let mut audit: Option<AuditObserver> = flags
+        .contains_key("audit")
+        .then(|| AuditObserver::new(topo.clone()));
+    let mut noop = NoopObserver;
+    // Picks the live observer for a drive call without borrowing `audit`
+    // for longer than the call.
+    fn obs<'a>(
+        audit: &'a mut Option<AuditObserver>,
+        noop: &'a mut NoopObserver,
+    ) -> &'a mut dyn CommitObserver {
+        match audit.as_mut() {
+            Some(a) => a,
+            None => noop,
+        }
+    }
 
     let text = match &trace_file {
         Some(path) => match std::fs::read_to_string(path) {
@@ -267,6 +335,9 @@ fn main() -> ExitCode {
         epoch0.lossless_tags,
         epoch0.tcam_worst_switch,
     );
+    if let Some(a) = audit.as_mut() {
+        a.audit_epoch(0, &ctrl.committed().rules);
+    }
 
     let mut southbound: Box<dyn Southbound> = match chaos {
         Some(cfg) => {
@@ -292,13 +363,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let report = match journal.drive(
+        let report = match journal.drive_observed(
             &mut ctrl,
             &events,
             southbound.as_mut(),
             &install_policy,
             checkpoint_every,
             crash_after,
+            obs(&mut audit, &mut noop),
         ) {
             Ok(r) => r,
             Err(e) => {
@@ -371,7 +443,12 @@ fn main() -> ExitCode {
                 .chain(rest.iter())
                 .map(|&e| e.clone())
                 .collect();
-            match ctrl.replay_damped_via(remaining.iter(), southbound.as_mut(), &install_policy) {
+            match ctrl.replay_damped_via_observed(
+                remaining.iter(),
+                southbound.as_mut(),
+                &install_policy,
+                obs(&mut audit, &mut noop),
+            ) {
                 Ok(outcomes) => {
                     let rrefs: Vec<&CtrlEvent> = remaining.iter().collect();
                     let rbatches = coalesce_flaps(&rrefs);
@@ -392,7 +469,12 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        match ctrl.replay_damped_via(events.iter(), southbound.as_mut(), &install_policy) {
+        match ctrl.replay_damped_via_observed(
+            events.iter(),
+            southbound.as_mut(),
+            &install_policy,
+            obs(&mut audit, &mut noop),
+        ) {
             Ok(outcomes) => {
                 for (batch, outcome) in batches.iter().zip(&outcomes) {
                     print_outcome(&topo, &batch_label(batch), outcome, verbose);
@@ -413,6 +495,19 @@ fn main() -> ExitCode {
 
     println!();
     print!("{}", ctrl.metrics().report());
+    if let Some(a) = &audit {
+        print!("{}", a.auditor.metrics.report());
+    }
+    if let Some(path) = flags.get("export-checkpoint") {
+        let snap = ctrl.committed();
+        let text = checkpoint::render(&config, snap.epoch, &topo, &snap.rules);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write checkpoint {path}: {e}");
+            failed = true;
+        } else {
+            println!("exported epoch {} checkpoint to {path}", snap.epoch);
+        }
+    }
 
     // The invariant the southbound layer exists for: whatever faults
     // were injected, the fleet runs exactly the committed tables.
@@ -427,6 +522,15 @@ fn main() -> ExitCode {
             m.verify_failures
         );
         failed = true;
+    }
+    if let Some(a) = &audit {
+        if a.violations > 0 {
+            eprintln!(
+                "FAIL: independent audit found violations in {} epoch(s)",
+                a.violations
+            );
+            failed = true;
+        }
     }
     if single_link_commits > 0 && incremental_wins < single_link_commits {
         eprintln!(

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use tagger_audit as audit;
 pub use tagger_core as core;
 pub use tagger_ctrl as ctrl;
 pub use tagger_routing as routing;
