@@ -593,6 +593,13 @@ impl Controller {
             staged_state.apply(&self.topo, event)?;
         }
         self.metrics.events += events.len() as u64;
+        for event in events {
+            match event {
+                CtrlEvent::WatchdogTrip { .. } => self.metrics.watchdog_trips += 1,
+                CtrlEvent::WatchdogClear { .. } => self.metrics.watchdog_clears += 1,
+                _ => {}
+            }
+        }
 
         let t0 = Instant::now();
         let staged = stage(
@@ -776,7 +783,7 @@ fn stage(
     state: &NetworkState,
     epoch: u64,
 ) -> Result<(Snapshot, usize), RuleError> {
-    let elp = policy.elp(topo, &state.failures, &state.extra_paths);
+    let elp = policy.elp_for(topo, state);
     let tagging = Tagging::from_elp(topo, &elp)?;
     // `from_elp` already certified the closure graph; re-verify here so
     // the commit decision never depends on a distant invariant.
@@ -931,6 +938,34 @@ mod tests {
         assert!(outcomes.iter().all(|o| o.committed().is_some()));
         assert_eq!(ctrl.committed().rules, original);
         assert!(ctrl.state().extra_paths.is_empty());
+    }
+
+    #[test]
+    fn watchdog_trip_commits_a_corrective_delta_and_clear_restores() {
+        let mut ctrl = small_controller();
+        let original = ctrl.committed().rules.clone();
+        let events = parse_trace(ctrl.topo(), "watchdog L1 0 2").unwrap();
+        let outcome = ctrl.handle(&events[0]).unwrap();
+        let report = outcome.committed().expect("quarantine must commit");
+        assert_eq!(report.epoch, 1);
+        assert!(
+            !report.deltas.is_empty(),
+            "quarantining a spine-facing hop must change some tables"
+        );
+        assert_eq!(ctrl.state().quarantines.len(), 1);
+        assert!(ctrl.committed().graph.verify().is_ok());
+        assert_eq!(ctrl.metrics().watchdog_trips, 1);
+
+        let events = parse_trace(ctrl.topo(), "watchdog-clear L1 0 2").unwrap();
+        let outcome = ctrl.handle(&events[0]).unwrap();
+        assert!(outcome.committed().is_some());
+        assert!(ctrl.state().quarantines.is_empty());
+        assert_eq!(
+            ctrl.committed().rules,
+            original,
+            "lifting the quarantine must converge back to the healthy tables"
+        );
+        assert_eq!(ctrl.metrics().watchdog_clears, 1);
     }
 
     #[test]

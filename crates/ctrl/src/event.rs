@@ -1,8 +1,9 @@
 //! Control-plane events and the plain-text trace format.
 
 use std::fmt;
+use tagger_core::Tag;
 use tagger_routing::{Path, PathError};
-use tagger_topo::{resolve_link, LinkId, LinkLookupError, Topology};
+use tagger_topo::{resolve_link, LinkId, LinkLookupError, NodeId, PortId, Topology};
 
 /// One control-plane event.
 ///
@@ -21,6 +22,28 @@ pub enum CtrlEvent {
     /// The operator withdrew a previously added path. Withdrawing a path
     /// that was never added is a no-op.
     ElpRemove(Path),
+    /// A data-plane PFC watchdog tripped on a (switch, egress port, tag):
+    /// quarantine that hop — lossless paths crossing it are excluded from
+    /// the ELP until the quarantine is lifted.
+    WatchdogTrip {
+        /// The switch whose queue tripped.
+        switch: NodeId,
+        /// The egress port of the tripped queue.
+        port: PortId,
+        /// The lossless tag (= priority + 1) that was stuck.
+        tag: Tag,
+    },
+    /// The quarantine on a (switch, egress port, tag) is lifted — the
+    /// watchdog restored the queue, or the operator cleared it manually.
+    /// Clearing a hop that was never quarantined is a no-op.
+    WatchdogClear {
+        /// The switch.
+        switch: NodeId,
+        /// The egress port.
+        port: PortId,
+        /// The tag.
+        tag: Tag,
+    },
     /// Force a full recompute against the current state (e.g. after the
     /// controller restarts and cannot trust its cached snapshot).
     Resync,
@@ -34,6 +57,8 @@ impl CtrlEvent {
             CtrlEvent::LinkUp(_) => "link-up",
             CtrlEvent::ElpAdd(_) => "elp-add",
             CtrlEvent::ElpRemove(_) => "elp-remove",
+            CtrlEvent::WatchdogTrip { .. } => "watchdog-trip",
+            CtrlEvent::WatchdogClear { .. } => "watchdog-clear",
             CtrlEvent::Resync => "resync",
         }
     }
@@ -63,6 +88,17 @@ impl CtrlEvent {
             CtrlEvent::LinkUp(l) => format!("up {}", link_names(l)),
             CtrlEvent::ElpAdd(p) => format!("elp-add {}", path_names(p)),
             CtrlEvent::ElpRemove(p) => format!("elp-remove {}", path_names(p)),
+            CtrlEvent::WatchdogTrip { switch, port, tag } => {
+                format!("watchdog {} {} {}", topo.node(*switch).name, port.0, tag.0)
+            }
+            CtrlEvent::WatchdogClear { switch, port, tag } => {
+                format!(
+                    "watchdog-clear {} {} {}",
+                    topo.node(*switch).name,
+                    port.0,
+                    tag.0
+                )
+            }
             CtrlEvent::Resync => "resync".to_string(),
         }
     }
@@ -75,6 +111,12 @@ impl fmt::Debug for CtrlEvent {
             CtrlEvent::LinkUp(l) => write!(f, "LinkUp({})", l.index()),
             CtrlEvent::ElpAdd(p) => write!(f, "ElpAdd({} nodes)", p.nodes().len()),
             CtrlEvent::ElpRemove(p) => write!(f, "ElpRemove({} nodes)", p.nodes().len()),
+            CtrlEvent::WatchdogTrip { switch, port, tag } => {
+                write!(f, "WatchdogTrip({}:{} tag {})", switch.0, port.0, tag.0)
+            }
+            CtrlEvent::WatchdogClear { switch, port, tag } => {
+                write!(f, "WatchdogClear({}:{} tag {})", switch.0, port.0, tag.0)
+            }
             CtrlEvent::Resync => write!(f, "Resync"),
         }
     }
@@ -94,8 +136,17 @@ pub enum TraceErrorKind {
     },
     /// A `down`/`up` directive named a link that does not exist.
     Link(LinkLookupError),
-    /// An `elp-add`/`elp-remove` directive named an unknown node.
+    /// An `elp-add`/`elp-remove`/`watchdog` directive named an unknown
+    /// node.
     UnknownNode(String),
+    /// A `watchdog`/`watchdog-clear` directive named a port index the
+    /// node does not have.
+    PortOutOfRange {
+        /// The node as written in the trace.
+        node: String,
+        /// The offending port index.
+        port: u16,
+    },
     /// An `elp-add`/`elp-remove` node sequence is not a valid path. The
     /// string names the offending nodes as written in the trace (the
     /// underlying [`PathError`] only knows internal node ids).
@@ -122,6 +173,9 @@ impl fmt::Display for TraceError {
             } => write!(f, "{directive} expects {expected}"),
             TraceErrorKind::Link(e) => write!(f, "{e}"),
             TraceErrorKind::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            TraceErrorKind::PortOutOfRange { node, port } => {
+                write!(f, "node {node} has no port {port}")
+            }
             TraceErrorKind::Path(_, named) => write!(f, "bad path: {named}"),
         }
     }
@@ -139,6 +193,8 @@ impl std::error::Error for TraceError {}
 /// flap <node> <node> <n>      # n down/up pairs on that link in a row
 /// elp-add <n1> <n2> ... <nk>  # add a lossless path through named nodes
 /// elp-remove <n1> ... <nk>    # withdraw it
+/// watchdog <node> <port> <tag>        # quarantine a tripped hop
+/// watchdog-clear <node> <port> <tag>  # lift the quarantine
 /// resync                      # force a full recompute
 /// ```
 ///
@@ -239,6 +295,38 @@ pub fn parse_trace(topo: &Topology, text: &str) -> Result<Vec<CtrlEvent>, TraceE
                 }
                 continue;
             }
+            "watchdog" | "watchdog-clear" => {
+                let bad_arity = || {
+                    err(TraceErrorKind::BadArity {
+                        directive: if directive == "watchdog" {
+                            "watchdog"
+                        } else {
+                            "watchdog-clear"
+                        },
+                        expected: "a node name, a port index and a tag",
+                    })
+                };
+                let [name, port, tag] = args[..] else {
+                    return Err(bad_arity());
+                };
+                let switch = topo
+                    .node_by_name(name)
+                    .ok_or_else(|| err(TraceErrorKind::UnknownNode(name.to_string())))?;
+                let port: u16 = port.parse().map_err(|_| bad_arity())?;
+                let tag: u16 = tag.parse().map_err(|_| bad_arity())?;
+                if port as usize >= topo.node(switch).num_ports() {
+                    return Err(err(TraceErrorKind::PortOutOfRange {
+                        node: name.to_string(),
+                        port,
+                    }));
+                }
+                let (port, tag) = (PortId(port), Tag(tag));
+                if directive == "watchdog" {
+                    CtrlEvent::WatchdogTrip { switch, port, tag }
+                } else {
+                    CtrlEvent::WatchdogClear { switch, port, tag }
+                }
+            }
             "resync" => {
                 if !args.is_empty() {
                     return Err(err(TraceErrorKind::BadArity {
@@ -308,14 +396,40 @@ resync
     #[test]
     fn trace_line_round_trips_every_event_kind() {
         let topo = ClosConfig::small().build();
-        let text =
-            "down L1 T1\nup L1 T1\nelp-add H1 T1 L2 T2 H5\nelp-remove H1 T1 L2 T2 H5\nresync";
+        let text = "down L1 T1\nup L1 T1\nelp-add H1 T1 L2 T2 H5\nelp-remove H1 T1 L2 T2 H5\nwatchdog L1 2 2\nwatchdog-clear L1 2 2\nresync";
         let events = parse_trace(&topo, text).unwrap();
         for e in &events {
             let line = e.trace_line(&topo);
             let back = parse_trace(&topo, &line).unwrap();
             assert_eq!(&back[..], std::slice::from_ref(e), "round trip of {line:?}");
         }
+    }
+
+    #[test]
+    fn watchdog_directives_parse_and_validate() {
+        let topo = ClosConfig::small().build();
+        let events = parse_trace(&topo, "watchdog L1 0 2\nwatchdog-clear L1 0 2").unwrap();
+        let l1 = topo.expect_node("L1");
+        assert_eq!(
+            events[0],
+            CtrlEvent::WatchdogTrip {
+                switch: l1,
+                port: PortId(0),
+                tag: Tag(2)
+            }
+        );
+        assert_eq!(events[0].label(), "watchdog-trip");
+        assert_eq!(events[1].label(), "watchdog-clear");
+
+        let e = parse_trace(&topo, "watchdog XX 0 2").unwrap_err();
+        assert!(matches!(e.kind, TraceErrorKind::UnknownNode(_)));
+        let e = parse_trace(&topo, "watchdog L1 99 2").unwrap_err();
+        assert!(matches!(e.kind, TraceErrorKind::PortOutOfRange { .. }));
+        assert!(e.to_string().contains("no port 99"));
+        let e = parse_trace(&topo, "watchdog L1 zero 2").unwrap_err();
+        assert!(matches!(e.kind, TraceErrorKind::BadArity { .. }));
+        let e = parse_trace(&topo, "watchdog L1 0").unwrap_err();
+        assert!(matches!(e.kind, TraceErrorKind::BadArity { .. }));
     }
 
     #[test]

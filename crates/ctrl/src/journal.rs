@@ -170,6 +170,15 @@ impl Journal {
             let line = CtrlEvent::ElpAdd(path.clone()).trace_line(topo);
             writeln!(self.file, "!state {line}")?;
         }
+        for &(switch, port, tag) in &state.quarantines {
+            let line = CtrlEvent::WatchdogTrip {
+                switch,
+                port,
+                tag: tagger_core::Tag(tag),
+            }
+            .trace_line(topo);
+            writeln!(self.file, "!state {line}")?;
+        }
         writeln!(self.file, "!checkpoint-end")?;
         self.file.sync_data()?;
         ctrl.bump_checkpoints();
@@ -539,6 +548,42 @@ mod tests {
         assert_eq!(rec.replayed, 2);
         assert_eq!(rec.controller.metrics().recovery_replays, 2);
         assert_eq!(rec.controller.committed().rules, live.committed().rules);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quarantines_survive_crash_recovery() {
+        let path = tmp("watchdog");
+        let mut live = controller();
+        let mut sb = ReliableSouthbound::new();
+        sb.bootstrap(&live.committed().rules);
+        // A watchdog quarantine lands, then an unrelated failure whose
+        // checkpoint must carry the quarantine forward.
+        let events = parse_trace(live.topo(), "watchdog L1 0 2\ndown L3 T3").unwrap();
+        let mut journal = Journal::create(&path).unwrap();
+        journal
+            .drive(
+                &mut live,
+                &events,
+                &mut sb,
+                &InstallPolicy::default(),
+                1,
+                None,
+            )
+            .unwrap();
+        assert_eq!(live.state().quarantines.len(), 1);
+        let pre_crash = live.committed().rules.clone();
+        let quarantines = live.state().quarantines.clone();
+        drop(live); // the crash
+
+        let topo = ClosConfig::small().build();
+        let rec = recover(&path, topo, ElpPolicy::with_bounces(1), None).unwrap();
+        assert_eq!(
+            rec.controller.state().quarantines,
+            quarantines,
+            "recovery must replay the quarantine from the journal"
+        );
+        assert_eq!(rec.controller.committed().rules, pre_crash);
         std::fs::remove_file(&path).ok();
     }
 

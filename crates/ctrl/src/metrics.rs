@@ -48,6 +48,11 @@ pub struct ControllerMetrics {
     /// coalesced into a neighbouring recompute instead of staging their
     /// own epoch.
     pub flaps_damped: u64,
+    /// Watchdog trip events accepted: (switch, port, tag) hops
+    /// quarantined out of the ELP.
+    pub watchdog_trips: u64,
+    /// Watchdog clear events accepted: quarantines lifted.
+    pub watchdog_clears: u64,
     /// Checkpoints written to the journal.
     pub checkpoints: u64,
     /// Events replayed from the journal during the most recent crash
@@ -97,6 +102,8 @@ impl ControllerMetrics {
         let _ = writeln!(out, "  rollback installs   {:>8}", self.rollback_installs);
         let _ = writeln!(out, "  install backoff     {:>8?}", self.install_backoff);
         let _ = writeln!(out, "  flaps damped        {:>8}", self.flaps_damped);
+        let _ = writeln!(out, "  watchdog trips      {:>8}", self.watchdog_trips);
+        let _ = writeln!(out, "  watchdog clears     {:>8}", self.watchdog_clears);
         let _ = writeln!(out, "  checkpoints written {:>8}", self.checkpoints);
         let _ = writeln!(out, "  recovery replays    {:>8}", self.recovery_replays);
         let _ = writeln!(
@@ -143,6 +150,8 @@ mod tests {
             "rollback installs",
             "install backoff",
             "flaps damped",
+            "watchdog trips",
+            "watchdog clears",
             "checkpoints written",
             "recovery replays",
             "recompute",

@@ -2,9 +2,10 @@
 
 use crate::controller::CtrlError;
 use crate::event::CtrlEvent;
+use std::collections::BTreeSet;
 use tagger_core::Elp;
 use tagger_routing::{all_paths_with_bounces, Path};
-use tagger_topo::{FailureSet, Topology};
+use tagger_topo::{FailureSet, NodeId, PortId, Topology};
 
 /// How the controller derives the ELP set from the live network view.
 ///
@@ -66,6 +67,25 @@ impl ElpPolicy {
         }
         elp
     }
+
+    /// Materializes the ELP for a full [`NetworkState`]: the failure
+    /// overlay and pinned extras of [`ElpPolicy::elp`], minus every path
+    /// crossing a watchdog-quarantined hop. This is what the controller
+    /// stages from, so a quarantine produces a corrective tagging that
+    /// simply stops promising losslessness through the poisoned queue.
+    pub fn elp_for(&self, topo: &Topology, state: &NetworkState) -> Elp {
+        let elp = self.elp(topo, &state.failures, &state.extra_paths);
+        if state.quarantines.is_empty() {
+            return elp;
+        }
+        Elp::from_paths(
+            elp.paths()
+                .iter()
+                .filter(|p| state.quarantine_allows(topo, p))
+                .cloned()
+                .collect(),
+        )
+    }
 }
 
 impl Default for ElpPolicy {
@@ -91,6 +111,12 @@ pub struct NetworkState {
     pub failures: FailureSet,
     /// Operator-pinned ELPs, in arrival order.
     pub extra_paths: Vec<Path>,
+    /// Hops under watchdog quarantine, as `(switch, egress port, tag)`.
+    /// Paths crossing a quarantined hop are excluded from the ELP. The
+    /// tag is kept for reporting; exclusion is by (switch, port) — a
+    /// conservative over-approximation, since which tag a path carries
+    /// at a hop is only decided by the tagging compiled *from* the ELP.
+    pub quarantines: BTreeSet<(NodeId, PortId, u16)>,
 }
 
 impl NetworkState {
@@ -123,10 +149,32 @@ impl NetworkState {
                 }
             }
             CtrlEvent::ElpRemove(p) => self.extra_paths.retain(|q| q != p),
+            CtrlEvent::WatchdogTrip { switch, port, tag } => {
+                self.quarantines.insert((*switch, *port, tag.0));
+            }
+            CtrlEvent::WatchdogClear { switch, port, tag } => {
+                self.quarantines.remove(&(*switch, *port, tag.0));
+            }
             CtrlEvent::Resync => {}
         }
         self.version += 1;
         Ok(())
+    }
+
+    /// True if `path` avoids every quarantined hop: no hop of the path
+    /// leaves a quarantined switch through its quarantined egress port.
+    pub fn quarantine_allows(&self, topo: &Topology, path: &Path) -> bool {
+        if self.quarantines.is_empty() {
+            return true;
+        }
+        path.hop_pairs().all(|(a, b)| {
+            topo.port_towards(a, b).is_none_or(|p| {
+                !self
+                    .quarantines
+                    .iter()
+                    .any(|&(sw, port, _)| sw == a && port == p)
+            })
+        })
     }
 }
 
@@ -153,6 +201,47 @@ mod tests {
         assert!(st.failures.is_empty());
         st.apply(&topo, &CtrlEvent::Resync).unwrap();
         assert_eq!(st.version, 3);
+    }
+
+    #[test]
+    fn quarantine_masks_paths_through_the_hop() {
+        let topo = ClosConfig::small().build();
+        let mut st = NetworkState::initial();
+        let l1 = topo.expect_node("L1");
+        let s1 = topo.expect_node("S1");
+        let port = topo.port_towards(l1, s1).unwrap();
+        let trip = CtrlEvent::WatchdogTrip {
+            switch: l1,
+            port,
+            tag: tagger_core::Tag(2),
+        };
+        st.apply(&topo, &trip).unwrap();
+        assert_eq!(st.quarantines.len(), 1);
+
+        let policy = ElpPolicy::with_bounces(1);
+        let full = policy.elp(&topo, &st.failures, &st.extra_paths);
+        let filtered = policy.elp_for(&topo, &st);
+        assert!(
+            filtered.len() < full.len(),
+            "quarantining L1->S1 must drop paths ({} vs {})",
+            filtered.len(),
+            full.len()
+        );
+        for p in filtered.paths() {
+            assert!(st.quarantine_allows(&topo, p));
+        }
+
+        st.apply(
+            &topo,
+            &CtrlEvent::WatchdogClear {
+                switch: l1,
+                port,
+                tag: tagger_core::Tag(2),
+            },
+        )
+        .unwrap();
+        assert!(st.quarantines.is_empty());
+        assert_eq!(policy.elp_for(&topo, &st).len(), full.len());
     }
 
     #[test]

@@ -21,15 +21,13 @@ pub struct DeadlockReport {
     pub cycle: Vec<(NodeId, PortId, u8)>,
 }
 
-/// Searches the current PFC state for a cycle of mutually-waiting gated
-/// queues. Returns a witness cycle if one exists.
-pub(crate) fn detect_deadlock(
-    topo: &Topology,
-    switches: &BTreeMap<NodeId, SwitchState>,
-) -> Option<Vec<(NodeId, PortId, u8)>> {
-    type Q = (NodeId, PortId, u8);
-    // Collect gated, non-empty lossless egress queues and their wait-for
-    // edges.
+/// A gated lossless egress queue: `(switch, egress port, priority)`.
+pub(crate) type Q = (NodeId, PortId, u8);
+
+/// Builds the wait-for graph over the current PFC state: one node per
+/// gated, non-empty lossless egress queue, one edge per "the packets I
+/// hold drain into a downstream queue that is itself gated" dependency.
+fn wait_edges(topo: &Topology, switches: &BTreeMap<NodeId, SwitchState>) -> BTreeMap<Q, Vec<Q>> {
     let mut edges: BTreeMap<Q, Vec<Q>> = BTreeMap::new();
     for (&node, sw) in switches {
         let nl = sw.config().num_lossless;
@@ -66,6 +64,16 @@ pub(crate) fn detect_deadlock(
             }
         }
     }
+    edges
+}
+
+/// Searches the current PFC state for a cycle of mutually-waiting gated
+/// queues. Returns a witness cycle if one exists.
+pub(crate) fn detect_deadlock(
+    topo: &Topology,
+    switches: &BTreeMap<NodeId, SwitchState>,
+) -> Option<Vec<(NodeId, PortId, u8)>> {
+    let edges = wait_edges(topo, switches);
 
     // Cycle detection (iterative DFS, coloring).
     let nodes: Vec<Q> = edges.keys().copied().collect();
@@ -121,6 +129,86 @@ pub(crate) fn detect_deadlock(
         }
     }
     None
+}
+
+/// The **full membership** of every circular wait: all queues sitting on
+/// some cycle of the wait-for graph (a non-trivial strongly connected
+/// component, or a self-loop), not just one witness cycle. This is the
+/// watchdog's in-band cycle confirmation: a queue paused past the window
+/// but absent from this set is congested, not deadlocked, and must not
+/// be demoted.
+pub(crate) fn deadlocked_queues(
+    topo: &Topology,
+    switches: &BTreeMap<NodeId, SwitchState>,
+) -> std::collections::BTreeSet<Q> {
+    let edges = wait_edges(topo, switches);
+    let nodes: Vec<Q> = edges.keys().copied().collect();
+    let index: BTreeMap<Q, usize> = nodes.iter().enumerate().map(|(i, &q)| (q, i)).collect();
+    let adj: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|q| {
+            edges[q]
+                .iter()
+                .filter_map(|d| index.get(d).copied())
+                .collect()
+        })
+        .collect();
+
+    // Tarjan's SCC, iteratively.
+    let n = nodes.len();
+    let mut idx = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut result = std::collections::BTreeSet::new();
+    for root in 0..n {
+        if idx[root] != usize::MAX {
+            continue;
+        }
+        // (node, next child to visit)
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (u, ref mut ci)) = call.last_mut() {
+            if *ci == 0 {
+                idx[u] = next_index;
+                low[u] = next_index;
+                next_index += 1;
+                scc_stack.push(u);
+                on_stack[u] = true;
+            }
+            if *ci < adj[u].len() {
+                let v = adj[u][*ci];
+                *ci += 1;
+                if idx[v] == usize::MAX {
+                    call.push((v, 0));
+                } else if on_stack[v] {
+                    low[u] = low[u].min(idx[v]);
+                }
+            } else {
+                if low[u] == idx[u] {
+                    // u is an SCC root; pop its component.
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = scc_stack.pop().expect("tarjan stack");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == u {
+                            break;
+                        }
+                    }
+                    let cyclic = comp.len() > 1 || adj[u].contains(&u);
+                    if cyclic {
+                        result.extend(comp.into_iter().map(|w| nodes[w]));
+                    }
+                }
+                call.pop();
+                if let Some(&(p, _)) = call.last() {
+                    low[p] = low[p].min(low[u]);
+                }
+            }
+        }
+    }
+    result
 }
 
 #[cfg(test)]
@@ -183,6 +271,91 @@ mod tests {
         assert_eq!(cycle.len(), 2);
     }
 
+    /// A 3-switch ring A→B→C→A of gated queues: the witness cycle has
+    /// all three hops, and [`deadlocked_queues`] returns exactly the
+    /// ring — a stuck queue that merely dead-ends at a pausing host is
+    /// *not* reported, because it sits on no circular wait.
+    #[test]
+    fn three_switch_cycle_full_membership() {
+        let mut topo = Topology::new();
+        let a = topo.add_switch("A", Layer::Flat);
+        let b = topo.add_switch("B", Layer::Flat);
+        let c = topo.add_switch("C", Layer::Flat);
+        topo.connect(a, b); // a0 <-> b0
+        topo.connect(b, c); // b1 <-> c0
+        topo.connect(c, a); // c1 <-> a1
+        let ha = topo.add_host("HA");
+        topo.connect(ha, a); // a2
+
+        let cfg = SwitchConfig {
+            num_lossless: 1,
+            xoff_bytes: 1_500,
+            xon_bytes: 500,
+            ..SwitchConfig::default()
+        };
+        let mut swa = SwitchState::new(a, 3, cfg);
+        let mut swb = SwitchState::new(b, 2, cfg);
+        let mut swc = SwitchState::new(c, 2, cfg);
+        let pkt = |id: u64| Packet::new(PacketId(id), 0, ha, 1_000);
+        // Around the ring: each switch holds traffic that arrived from
+        // its upstream and drains toward its gated downstream.
+        for i in 0..2 {
+            swa.admit(
+                PortId(1),
+                PortId(0),
+                Some(tagger_core::Tag(1)),
+                pkt(i),
+                TransitionMode::EgressByNewTag,
+            );
+            swb.admit(
+                PortId(0),
+                PortId(1),
+                Some(tagger_core::Tag(1)),
+                pkt(10 + i),
+                TransitionMode::EgressByNewTag,
+            );
+            swc.admit(
+                PortId(0),
+                PortId(1),
+                Some(tagger_core::Tag(1)),
+                pkt(20 + i),
+                TransitionMode::EgressByNewTag,
+            );
+        }
+        swa.on_pfc(PortId(0), PfcFrame::Pause { priority: 0 });
+        swb.on_pfc(PortId(1), PfcFrame::Pause { priority: 0 });
+        swc.on_pfc(PortId(1), PfcFrame::Pause { priority: 0 });
+        // An unrelated stuck queue: A's uplink to the host is paused and
+        // non-empty, but the wait dead-ends at the host.
+        swa.admit(
+            PortId(1),
+            PortId(2),
+            Some(tagger_core::Tag(1)),
+            pkt(30),
+            TransitionMode::EgressByNewTag,
+        );
+        swa.on_pfc(PortId(2), PfcFrame::Pause { priority: 0 });
+
+        let mut switches = BTreeMap::new();
+        switches.insert(a, swa);
+        switches.insert(b, swb);
+        switches.insert(c, swc);
+
+        let cycle = detect_deadlock(&topo, &switches).expect("deadlock");
+        assert_eq!(cycle.len(), 3, "witness carries every hop: {cycle:?}");
+        let members = deadlocked_queues(&topo, &switches);
+        let expect: std::collections::BTreeSet<Q> =
+            [(a, PortId(0), 0), (b, PortId(1), 0), (c, PortId(1), 0)]
+                .into_iter()
+                .collect();
+        assert_eq!(members, expect);
+        assert!(
+            !members.contains(&(a, PortId(2), 0)),
+            "host-gated queue is stuck but not on a cycle"
+        );
+        assert!(cycle.iter().all(|q| members.contains(q)));
+    }
+
     #[test]
     fn no_deadlock_when_one_side_can_drain() {
         let mut topo = Topology::new();
@@ -214,5 +387,6 @@ mod tests {
         switches.insert(a, swa);
         switches.insert(b, swb);
         assert!(detect_deadlock(&topo, &switches).is_none());
+        assert!(deadlocked_queues(&topo, &switches).is_empty());
     }
 }

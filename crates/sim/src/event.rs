@@ -65,6 +65,9 @@ pub(crate) enum Ev {
     },
     /// Periodic statistics sample.
     Sample,
+    /// Periodic PFC-watchdog poll (finer-grained than `Sample`, present
+    /// only when a watchdog is configured).
+    WatchdogTick,
     /// Run the scripted action with this index.
     RunAction {
         /// Index into the simulator's action list.

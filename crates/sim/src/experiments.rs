@@ -758,6 +758,94 @@ pub fn counterexample_replay(
     Experiment { sim, labels }
 }
 
+/// **Watchdog rescue** — the data-plane safety net in action. Same
+/// setup as [`counterexample_replay`] (suspect rule tables, pinned
+/// cycle-covering flows, testbed PFC regime) but with the per-queue PFC
+/// watchdog armed when `watchdog` is `Some`. With the watchdog off the
+/// cycle locks permanently; with it on, every stuck queue that the
+/// structural detector confirms as cycle-resident trips within the
+/// configured window and is drained (Drop) or demoted to lossy
+/// (Demote, the paper's §4.4 escape hatch), after which the fabric
+/// recovers. Feed the resulting report to [`quarantine_events`] to
+/// close the loop into the controller.
+pub fn watchdog_rescue(
+    topo: &Topology,
+    rules: &tagger_core::RuleSet,
+    flows: Vec<(String, FlowSpec)>,
+    watchdog: Option<tagger_switch::WatchdogConfig>,
+    end_ns: u64,
+) -> Experiment {
+    let fib = Fib::shortest_path(topo, &FailureSet::none());
+    let num_lossless = rules.max_tag().map(|t| t.0 as u8).unwrap_or(1).max(1);
+    let cfg = SimConfig {
+        switch: testbed_switch_config(num_lossless),
+        pfc_extra_delay_ns: TESTBED_PFC_DELAY_NS,
+        end_time_ns: end_ns,
+        watchdog,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(topo.clone(), fib, Some(rules.clone()), cfg);
+    let mut labels = Vec::new();
+    for (label, spec) in flows {
+        sim.add_flow(spec);
+        labels.push(label);
+    }
+    Experiment { sim, labels }
+}
+
+/// Maps a finished run's watchdog trips to controller events, one
+/// [`CtrlEvent::WatchdogTrip`](tagger_ctrl::CtrlEvent::WatchdogTrip)
+/// per distinct `(switch, port, priority)` — repeat trips of the same
+/// queue (hold-down expiry, re-trip) collapse into the one quarantine
+/// they would produce. Priority `p` carries tag `p + 1`, the inverse of
+/// the tag→queue mapping the data plane uses.
+pub fn quarantine_events(report: &crate::SimReport) -> Vec<tagger_ctrl::CtrlEvent> {
+    let Some(wd) = &report.watchdog else {
+        return Vec::new();
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    let mut events = Vec::new();
+    for t in &wd.trips {
+        if seen.insert((t.switch, t.port, t.prio)) {
+            events.push(tagger_ctrl::CtrlEvent::WatchdogTrip {
+                switch: t.switch,
+                port: t.port,
+                tag: tagger_core::Tag(t.prio as u16 + 1),
+            });
+        }
+    }
+    events
+}
+
+/// **Incast false-positive guard** — the scenario a naive timeout-only
+/// watchdog gets wrong: an 8-to-1 incast into H1 holds queues paused
+/// well past the watchdog window, but no cyclic buffer dependency
+/// exists. With cycle confirmation (a stuck queue only trips if the
+/// structural detector places it on a CBD) the armed watchdog must
+/// record *zero* trips here, no matter how heavy the congestion.
+pub fn incast_false_positive_guard(window_ns: u64, end_ns: u64) -> Experiment {
+    let topo = ClosConfig::small().build();
+    let fib = Fib::shortest_path(&topo, &FailureSet::none());
+    let cfg = SimConfig {
+        switch: testbed_switch_config(1),
+        pfc_extra_delay_ns: TESTBED_PFC_DELAY_NS,
+        end_time_ns: end_ns,
+        watchdog: Some(tagger_switch::WatchdogConfig::with_window(window_ns)),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(topo.clone(), fib, None, cfg);
+    let mut labels = Vec::new();
+    for src in ["H5", "H6", "H7", "H8", "H9", "H10", "H13", "H14"] {
+        sim.add_flow(FlowSpec::new(
+            topo.expect_node(src),
+            topo.expect_node("H1"),
+            0,
+        ));
+        labels.push(format!("{src}->H1"));
+    }
+    Experiment { sim, labels }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -773,12 +861,9 @@ mod tests {
         assert_eq!(report.lossless_drops, 0); // PFC never drops, it freezes
     }
 
-    #[test]
-    fn counterexample_replay_deadlocks_on_unsafe_tables() {
-        // The adversarial single-priority program (keep tag 1 across every
-        // port pair): its dependency graph contains the Fig. 3 CBD, and
-        // replaying flows that cover the cycle must actually deadlock.
-        let topo = ClosConfig::small().build();
+    /// The adversarial single-priority program (keep tag 1 across every
+    /// port pair): its dependency graph contains the Fig. 3 CBD.
+    fn unsafe_identity_rules(topo: &Topology) -> tagger_core::RuleSet {
         let mut rules = tagger_core::RuleSet::new();
         for sw in topo.switch_ids() {
             let ports: Vec<_> = topo.neighbors(sw).map(|(p, _, _)| p).collect();
@@ -800,15 +885,21 @@ mod tests {
                 }
             }
         }
+        rules
+    }
+
+    /// Pinned flows that together keep every hop of the Fig. 3 CBD
+    /// (`L1 → S1 → L3 → S2 → L1`) loaded; green starts at `END / 5`.
+    fn cycle_flows(topo: &Topology) -> Vec<(String, FlowSpec)> {
         let blue = names(
-            &topo,
+            topo,
             &["H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13"],
         );
         let green = names(
-            &topo,
+            topo,
             &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"],
         );
-        let flows = vec![
+        vec![
             (
                 "blue".to_string(),
                 FlowSpec::new(blue[0], *blue.last().unwrap(), 0).pinned(blue),
@@ -817,7 +908,16 @@ mod tests {
                 "green".to_string(),
                 FlowSpec::new(green[0], *green.last().unwrap(), END / 5).pinned(green),
             ),
-        ];
+        ]
+    }
+
+    #[test]
+    fn counterexample_replay_deadlocks_on_unsafe_tables() {
+        // Replaying flows that cover the cycle of the adversarial tables
+        // must actually deadlock.
+        let topo = ClosConfig::small().build();
+        let rules = unsafe_identity_rules(&topo);
+        let flows = cycle_flows(&topo);
         let (report, _) = counterexample_replay(&topo, &rules, flows.clone(), END).run();
         assert!(report.deadlock.is_some(), "unsafe tables must deadlock");
 
@@ -825,6 +925,79 @@ mod tests {
         let safe = clos_tagging(&topo, 1).unwrap();
         let (report, _) = counterexample_replay(&topo, safe.rules(), flows, END).run();
         assert!(report.deadlock.is_none());
+    }
+
+    #[test]
+    fn watchdog_rescue_recovers_from_unsafe_tables() {
+        let topo = ClosConfig::small().build();
+        let rules = unsafe_identity_rules(&topo);
+        let mut flows = cycle_flows(&topo);
+        // An off-cycle lossless victim: H3→H4 stays under T2 and never
+        // touches the CBD; recovery must not cost it a single packet.
+        flows.push((
+            "victim".to_string(),
+            FlowSpec::new(topo.expect_node("H3"), topo.expect_node("H4"), 0),
+        ));
+
+        // Watchdog off: the cycle locks and stays locked.
+        let (report, _) = watchdog_rescue(&topo, &rules, flows.clone(), None, END).run();
+        assert!(report.deadlock.is_some(), "baseline must deadlock");
+        assert!(report.watchdog.is_none());
+
+        // Demote policy (default): confirmed stuck queues fall to lossy,
+        // the cycle clears within two windows of the first trip, and the
+        // off-cycle victim is untouched.
+        let wd = tagger_switch::WatchdogConfig::with_window(200_000);
+        let (report, labels) = watchdog_rescue(&topo, &rules, flows.clone(), Some(wd), END).run();
+        let w = report.watchdog.clone().expect("watchdog report");
+        assert!(w.stats.trips >= 1, "confirmed cycle must trip: {w:?}");
+        let first = w.first_trip_at.expect("first trip time");
+        let cleared = w.cleared_at.expect("cycle must clear after demotion");
+        assert!(
+            cleared - first <= 2 * wd.window_ns,
+            "recovery took {} ns (> 2 windows)",
+            cleared - first
+        );
+        assert!(
+            w.stats.demoted_packets + w.stats.redirected_packets > 0,
+            "demotion must move packets to lossy: {:?}",
+            w.stats
+        );
+        let vic = labels.iter().position(|l| l == "victim").unwrap();
+        assert_eq!(report.flows[vic].wd_drops, 0);
+        assert!(report.flows[vic].delivered_bytes > 0);
+
+        // The trips collapse into deduplicated controller quarantines.
+        let events = quarantine_events(&report);
+        assert!(!events.is_empty());
+        assert!(events.len() as u64 <= w.stats.trips);
+
+        // Drop policy: recovery by sacrifice — the drained packets are
+        // accounted, and the cycle still clears.
+        let wd = tagger_switch::WatchdogConfig::with_policy(
+            200_000,
+            tagger_switch::WatchdogPolicy::Drop,
+        );
+        let (report, _) = watchdog_rescue(&topo, &rules, flows, Some(wd), END).run();
+        let w = report.watchdog.expect("watchdog report");
+        assert!(w.stats.trips >= 1);
+        assert!(w.cleared_at.is_some(), "drain must clear the cycle");
+        assert!(w.stats.drained_packets > 0);
+        let drained: u64 = report.flows.iter().map(|f| f.wd_drops).sum();
+        assert_eq!(drained, w.stats.drained_packets, "per-flow attribution");
+    }
+
+    #[test]
+    fn incast_guard_never_trips() {
+        // Heavy 8-to-1 incast pauses queues far longer than the window,
+        // but there is no cycle — confirmation must hold the trigger.
+        let (report, _) = incast_false_positive_guard(200_000, END).run();
+        let w = report.watchdog.clone().expect("watchdog report");
+        assert_eq!(w.stats.trips, 0, "incast must never trip: {:?}", w.stats);
+        assert!(w.trips.is_empty() && w.first_trip_at.is_none());
+        assert!(report.pauses_sent > 0, "PFC must actually engage");
+        assert!(report.deadlock.is_none());
+        assert!(quarantine_events(&report).is_empty());
     }
 
     #[test]

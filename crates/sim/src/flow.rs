@@ -79,6 +79,8 @@ pub(crate) struct FlowState {
     pub delivered_bytes: u64,
     pub delivered_packets: u64,
     pub ttl_drops: u64,
+    /// Packets of this flow sacrificed by a watchdog drain (Drop policy).
+    pub wd_drops: u64,
     /// Delivered bytes at the last sample tick (for the rate series).
     pub last_sample_bytes: u64,
     /// Rate series in bits/s, one entry per sample interval.
@@ -108,6 +110,7 @@ impl FlowState {
             delivered_bytes: 0,
             delivered_packets: 0,
             ttl_drops: 0,
+            wd_drops: 0,
             last_sample_bytes: 0,
             rate_series: Vec::new(),
         }
@@ -139,6 +142,9 @@ pub struct FlowReport {
     pub delivered_packets: u64,
     /// Packets dropped on TTL expiry (routing loops).
     pub ttl_drops: u64,
+    /// Packets sacrificed by a PFC-watchdog drain (Drop policy only; 0
+    /// when the watchdog is off or demoting).
+    pub wd_drops: u64,
     /// Goodput time series in bits/s, one entry per sample interval.
     pub rate_series: Vec<f64>,
 }
@@ -223,6 +229,7 @@ mod tests {
             delivered_bytes: 100,
             delivered_packets: 1,
             ttl_drops: 0,
+            wd_drops: 0,
             rate_series: vec![1e9, 1e9, 0.0, 0.0, 0.0],
         };
         assert!(r.stalled(3));

@@ -58,5 +58,5 @@ pub use deadlock::DeadlockReport;
 pub use event::SimTime;
 pub use experiments::Experiment;
 pub use flow::{FlowReport, FlowSpec, Route};
-pub use report::SimReport;
+pub use report::{SimReport, WatchdogReport, WatchdogTripRecord};
 pub use sim::{Action, SimConfig, Simulator};

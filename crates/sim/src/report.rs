@@ -3,6 +3,35 @@
 use crate::deadlock::DeadlockReport;
 use crate::event::SimTime;
 use crate::flow::FlowReport;
+use tagger_switch::WatchdogStats;
+use tagger_topo::{NodeId, PortId};
+
+/// One PFC-watchdog trip: the queue whose lossless service was suspended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogTripRecord {
+    /// Time of the trip.
+    pub at: SimTime,
+    /// Switch owning the tripped queue.
+    pub switch: NodeId,
+    /// Egress port of the tripped queue.
+    pub port: PortId,
+    /// Lossless priority (= queue index) that tripped.
+    pub prio: u8,
+}
+
+/// What the PFC watchdog did over a run (present only when armed).
+#[derive(Clone, Debug, Default)]
+pub struct WatchdogReport {
+    /// Aggregate counters across every switch and queue.
+    pub stats: WatchdogStats,
+    /// Every trip, in time order.
+    pub trips: Vec<WatchdogTripRecord>,
+    /// Time of the first trip, if any.
+    pub first_trip_at: Option<SimTime>,
+    /// First watchdog poll after a trip at which the wait-for graph held
+    /// no confirmed cycle — the bounded-recovery timestamp.
+    pub cleared_at: Option<SimTime>,
+}
 
 /// Everything a simulation run produced.
 #[derive(Clone, Debug)]
@@ -26,6 +55,8 @@ pub struct SimReport {
     pub recovery_drops: u64,
     /// Packets flushed from interfaces that lost carrier (link failures).
     pub link_down_drops: u64,
+    /// PFC-watchdog activity; `None` when no watchdog was configured.
+    pub watchdog: Option<WatchdogReport>,
     /// Sampled byte depths of the queues named in
     /// [`crate::SimConfig::track_queues`]: one row per sample tick, one
     /// column per tracked queue.
@@ -105,6 +136,7 @@ mod tests {
             delivered_bytes: delivered,
             delivered_packets: delivered / 1000,
             ttl_drops: 0,
+            wd_drops: 0,
             rate_series: rates,
         }
     }
@@ -121,6 +153,7 @@ mod tests {
             recoveries: 0,
             recovery_drops: 0,
             link_down_drops: 0,
+            watchdog: None,
             queue_series: Vec::new(),
             end_time_ns: 1_000_000,
             sample_interval_ns: 250_000,
@@ -142,6 +175,7 @@ mod tests {
             recoveries: 0,
             recovery_drops: 0,
             link_down_drops: 0,
+            watchdog: None,
             queue_series: Vec::new(),
             end_time_ns: 200_000,
             sample_interval_ns: 100_000,

@@ -1,15 +1,16 @@
 //! The simulator core: event loop, forwarding, PFC delivery.
 
-use crate::deadlock::{detect_deadlock, DeadlockReport};
+use crate::deadlock::{deadlocked_queues, detect_deadlock, DeadlockReport};
 use crate::event::{Ev, EventQueue, SimTime};
 use crate::flow::{FlowReport, FlowSpec, FlowState, Route};
 use crate::nic::HostNic;
-use crate::report::SimReport;
+use crate::report::{SimReport, WatchdogReport, WatchdogTripRecord};
 use std::collections::{BTreeMap, BTreeSet};
 use tagger_core::{RuleSet, TagDecision};
 use tagger_routing::{EcmpMode, Fib};
 use tagger_switch::{
-    AdmitOutcome, Packet, PacketId, PfcFrame, SwitchConfig, SwitchState, TransitionMode,
+    AdmitOutcome, Packet, PacketId, PfcFrame, QueueWatchdog, SwitchConfig, SwitchState,
+    SwitchStats, TransitionMode, WatchdogConfig, WatchdogPolicy, WatchdogStats, WatchdogVerdict,
 };
 use tagger_topo::{GlobalPort, NodeId, NodeKind, PortId, Topology};
 
@@ -52,6 +53,12 @@ pub struct SimConfig {
     /// deadlock typically reforms moments later; see the
     /// `recovery_baseline` experiment.
     pub recovery: bool,
+    /// Per-queue PFC watchdog (paper §4.4 escape hatch): a lossless queue
+    /// that stays tx-paused with data for a full window — and sits on a
+    /// structurally confirmed wait-for cycle — is tripped: drained to
+    /// drop or demoted to the lossy class for a hold-down period.
+    /// `None` = no watchdog (the default; deadlocks then persist).
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for SimConfig {
@@ -68,6 +75,7 @@ impl Default for SimConfig {
             dcqcn: None,
             pause_quanta_ns: None,
             recovery: false,
+            watchdog: None,
         }
     }
 }
@@ -149,6 +157,13 @@ pub struct Simulator {
     recovery_drops: u64,
     link_down_drops: u64,
     queue_series: Vec<Vec<u64>>,
+    /// Per-queue watchdog state machines, created lazily on first
+    /// symptom (a paused, non-empty lossless queue).
+    watchdogs: BTreeMap<(NodeId, PortId, u8), QueueWatchdog>,
+    wd_stats: WatchdogStats,
+    wd_trips: Vec<WatchdogTripRecord>,
+    wd_first_trip_at: Option<SimTime>,
+    wd_cleared_at: Option<SimTime>,
 }
 
 impl Simulator {
@@ -197,6 +212,11 @@ impl Simulator {
             recovery_drops: 0,
             link_down_drops: 0,
             queue_series: Vec::new(),
+            watchdogs: BTreeMap::new(),
+            wd_stats: WatchdogStats::default(),
+            wd_trips: Vec::new(),
+            wd_first_trip_at: None,
+            wd_cleared_at: None,
         }
     }
 
@@ -273,6 +293,16 @@ impl Simulator {
         for (i, (t, _)) in self.actions.iter().enumerate() {
             self.queue.push(*t, Ev::RunAction { index: i });
         }
+        if let Some(wd) = self.cfg.watchdog {
+            // Poll well inside the window so a trip fires at most a
+            // quarter-window late, never a whole window late.
+            let interval = (wd.window_ns / 4).max(1_000);
+            let mut t = interval;
+            while t <= self.cfg.end_time_ns {
+                self.queue.push(t, Ev::WatchdogTick);
+                t += interval;
+            }
+        }
         if let Some(dcqcn) = self.cfg.dcqcn {
             for (i, f) in self.flows.iter().enumerate() {
                 self.queue.push(
@@ -326,6 +356,7 @@ impl Simulator {
                     }
                 }
                 Ev::Sample => self.on_sample(),
+                Ev::WatchdogTick => self.on_watchdog_tick(),
                 Ev::RunAction { index } => self.run_action(index),
             }
         }
@@ -688,6 +719,94 @@ impl Simulator {
         }
     }
 
+    /// One PFC-watchdog poll: feed every queue's symptom (tx-paused with
+    /// data) and cycle confirmation (membership in a wait-for-graph SCC,
+    /// the structural stand-in for DCFIT's in-band probe) into its state
+    /// machine, then act on the verdicts.
+    fn on_watchdog_tick(&mut self) {
+        let Some(wcfg) = self.cfg.watchdog else {
+            return;
+        };
+        // Symptom scan: paused lossless queues holding data.
+        let mut stuck: BTreeSet<(NodeId, PortId, u8)> = BTreeSet::new();
+        for (&node, sw) in &self.switches {
+            let nl = sw.config().num_lossless;
+            for p in 0..sw.num_ports() as u16 {
+                let port = PortId(p);
+                for prio in 0..nl {
+                    if sw.is_tx_paused(port, prio) && sw.queue_depth_bytes(port, prio) > 0 {
+                        stuck.insert((node, port, prio));
+                    }
+                }
+            }
+        }
+        // Confirmation witness, computed once per tick: queues on a
+        // circular wait. A queue stuck behind plain incast backpressure
+        // is not in any cycle, so its watchdog suppresses instead of
+        // tripping — the false-positive guard.
+        let confirmed = if stuck.is_empty() {
+            BTreeSet::new()
+        } else {
+            deadlocked_queues(&self.topo, &self.switches)
+        };
+        // Poll every symptomatic queue plus every existing state machine
+        // (those in Watching need to see recovery; those in HoldDown need
+        // their restore).
+        let mut keys: BTreeSet<(NodeId, PortId, u8)> = self.watchdogs.keys().copied().collect();
+        keys.extend(stuck.iter().copied());
+        for q in keys {
+            let wd = self.watchdogs.entry(q).or_default();
+            let verdict = wd.poll(self.now, stuck.contains(&q), confirmed.contains(&q), &wcfg);
+            let (node, port, prio) = q;
+            match verdict {
+                WatchdogVerdict::None => {}
+                WatchdogVerdict::Suppressed => self.wd_stats.suppressions += 1,
+                WatchdogVerdict::Trip => {
+                    self.wd_stats.trips += 1;
+                    self.wd_first_trip_at.get_or_insert(self.now);
+                    self.wd_trips.push(WatchdogTripRecord {
+                        at: self.now,
+                        switch: node,
+                        port,
+                        prio,
+                    });
+                    let sw = self.switches.get_mut(&node).expect("switch");
+                    match wcfg.policy {
+                        WatchdogPolicy::Drop => {
+                            let flushed = sw.flush_queue(port, prio);
+                            self.wd_stats.drained_packets += flushed.len() as u64;
+                            for qp in &flushed {
+                                self.flows[qp.packet.flow as usize].wd_drops += 1;
+                            }
+                        }
+                        WatchdogPolicy::Demote => {
+                            self.wd_stats.demoted_packets += sw.demote_queue(port, prio) as u64;
+                        }
+                    }
+                    // Dropping/demoting released ingress accounting or
+                    // cleared the gate: deliver any RESUMEs and wake the
+                    // port so the lossy (or emptied) queue drains.
+                    self.flush_switch_pfc(node);
+                    self.try_transmit(GlobalPort::new(node, port));
+                }
+                WatchdogVerdict::Restore => {
+                    self.wd_stats.restores += 1;
+                    let sw = self.switches.get_mut(&node).expect("switch");
+                    sw.restore_queue(port, prio);
+                    self.try_transmit(GlobalPort::new(node, port));
+                }
+            }
+        }
+        // Bounded-recovery timestamp: first poll after a trip at which no
+        // confirmed cycle remains anywhere.
+        if self.wd_first_trip_at.is_some()
+            && self.wd_cleared_at.is_none()
+            && deadlocked_queues(&self.topo, &self.switches).is_empty()
+        {
+            self.wd_cleared_at = Some(self.now);
+        }
+    }
+
     /// Detect-and-break recovery: flush the first gated queue of the
     /// witness cycle, dropping its lossless packets, and wake the port.
     fn break_deadlock(&mut self, cycle: &[(NodeId, PortId, u8)]) {
@@ -772,27 +891,35 @@ impl Simulator {
                 delivered_bytes: f.delivered_bytes,
                 delivered_packets: f.delivered_packets,
                 ttl_drops: f.ttl_drops,
+                wd_drops: f.wd_drops,
                 rate_series: f.rate_series.clone(),
             })
             .collect();
-        let mut pauses = 0;
-        let mut lossy_drops = 0;
-        let mut lossless_drops = 0;
-        for sw in self.switches.values() {
-            pauses += sw.stats.pauses_sent;
-            lossy_drops += sw.stats.lossy_drops;
-            lossless_drops += sw.stats.lossless_drops;
-        }
+        // Every per-switch counter is aggregated here, in one place:
+        // `SwitchStats` implements `Sum`, so new counters added to it
+        // flow into the report without another hand-rolled loop.
+        let totals: SwitchStats = self.switches.values().map(|sw| sw.stats).sum();
+        let watchdog = self.cfg.watchdog.map(|_| {
+            let mut stats = self.wd_stats;
+            stats.redirected_packets = totals.demoted_redirects;
+            WatchdogReport {
+                stats,
+                trips: self.wd_trips.clone(),
+                first_trip_at: self.wd_first_trip_at,
+                cleared_at: self.wd_cleared_at,
+            }
+        });
         SimReport {
             flows,
             deadlock: self.deadlock.clone(),
-            pauses_sent: pauses,
-            lossy_drops,
-            lossless_drops,
+            pauses_sent: totals.pauses_sent,
+            lossy_drops: totals.lossy_drops,
+            lossless_drops: totals.lossless_drops,
             no_route_drops: self.no_route_drops,
             recoveries: self.recoveries,
             recovery_drops: self.recovery_drops,
             link_down_drops: self.link_down_drops,
+            watchdog,
             queue_series: self.queue_series.clone(),
             end_time_ns: self.cfg.end_time_ns,
             sample_interval_ns: self.cfg.sample_interval_ns,

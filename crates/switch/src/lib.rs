@@ -26,7 +26,9 @@
 mod config;
 mod packet;
 mod switch;
+mod watchdog;
 
 pub use config::SwitchConfig;
 pub use packet::{Packet, PacketId};
 pub use switch::{AdmitOutcome, PfcFrame, QueuedPacket, SwitchState, SwitchStats, TransitionMode};
+pub use watchdog::{QueueWatchdog, WatchdogConfig, WatchdogPolicy, WatchdogStats, WatchdogVerdict};

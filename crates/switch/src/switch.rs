@@ -81,6 +81,29 @@ pub struct SwitchStats {
     pub pauses_sent: u64,
     /// RESUME frames emitted.
     pub resumes_sent: u64,
+    /// Arrivals redirected to the lossy class because their lossless
+    /// queue was watchdog-demoted.
+    pub demoted_redirects: u64,
+}
+
+impl std::ops::AddAssign for SwitchStats {
+    fn add_assign(&mut self, rhs: SwitchStats) {
+        self.forwarded += rhs.forwarded;
+        self.lossy_drops += rhs.lossy_drops;
+        self.lossless_drops += rhs.lossless_drops;
+        self.pauses_sent += rhs.pauses_sent;
+        self.resumes_sent += rhs.resumes_sent;
+        self.demoted_redirects += rhs.demoted_redirects;
+    }
+}
+
+impl std::iter::Sum for SwitchStats {
+    fn sum<I: Iterator<Item = SwitchStats>>(iter: I) -> SwitchStats {
+        iter.fold(SwitchStats::default(), |mut acc, s| {
+            acc += s;
+            acc
+        })
+    }
 }
 
 /// The state of one switch.
@@ -101,6 +124,9 @@ pub struct SwitchState {
     queue_bytes: Vec<u64>,
     /// Total buffered bytes.
     total_bytes: u64,
+    /// True if the lossless queue `(port, prio)` is watchdog-demoted to
+    /// the lossy class, `[port * num_lossless + prio]`.
+    demoted: Vec<bool>,
     /// Per-port round-robin pointer over queues.
     rr: Vec<usize>,
     /// PFC frames generated since the last drain.
@@ -128,6 +154,7 @@ impl SwitchState {
             queues: vec![VecDeque::new(); nports * qpp],
             queue_bytes: vec![0; nports * qpp],
             total_bytes: 0,
+            demoted: vec![false; nports * nl],
             rr: vec![0; nports],
             emitted: Vec::new(),
             stats: SwitchStats::default(),
@@ -177,11 +204,23 @@ impl SwitchState {
     ) -> AdmitOutcome {
         let ingress_prio = self.lossless_prio_of(arriving_tag);
         let new_prio = self.lossless_prio_of(packet.tag);
-        let egress_queue = match mode {
+        let mut egress_queue = match mode {
             TransitionMode::EgressByNewTag => new_prio,
             TransitionMode::EgressByOldTag => ingress_prio,
         }
         .unwrap_or(self.cfg.num_lossless);
+
+        // A watchdog-demoted queue takes no new lossless traffic: the
+        // arrival is stripped of its tag (the §4.4 sentinel) and rides
+        // the lossy class end-to-end, so downstream switches neither
+        // queue it lossless nor generate PFC for it.
+        if (egress_queue as usize) < self.cfg.num_lossless as usize
+            && self.demoted[self.iq(out_port, egress_queue)]
+        {
+            packet.tag = None;
+            egress_queue = self.cfg.num_lossless;
+            self.stats.demoted_redirects += 1;
+        }
 
         let size = packet.size_bytes as u64;
         let is_lossy_queue = egress_queue as usize == self.cfg.lossy_queue();
@@ -373,6 +412,48 @@ impl SwitchState {
             self.tx_paused[idx] = false;
         }
         dropped
+    }
+
+    /// Demotes the lossless queue `(port, prio)` to the lossy class —
+    /// the watchdog's §4.4 sentinel-tag escape: every held packet moves
+    /// to the same port's lossy queue with its tag stripped (downstream
+    /// treats it lossy end-to-end) and subsequent arrivals are
+    /// redirected likewise until [`SwitchState::restore_queue`]. Moved
+    /// packets keep their ingress-PFC accounting (released on dequeue as
+    /// usual) and the move itself ignores the lossy cap — the bytes are
+    /// already held. The received PAUSE gate is cleared: the lossy queue
+    /// is never gated, which is exactly what breaks the circular wait.
+    /// Returns the number of packets moved.
+    pub fn demote_queue(&mut self, port: PortId, prio: u8) -> usize {
+        assert!((prio as usize) < self.cfg.num_lossless as usize);
+        let from = self.eq(port, prio);
+        let to = self.eq(port, self.cfg.num_lossless);
+        let held: VecDeque<QueuedPacket> = std::mem::take(&mut self.queues[from]);
+        let moved = held.len();
+        for mut qp in held {
+            let size = qp.packet.size_bytes as u64;
+            self.queue_bytes[from] -= size;
+            self.queue_bytes[to] += size;
+            qp.packet.tag = None;
+            qp.egress_queue = self.cfg.num_lossless;
+            self.queues[to].push_back(qp);
+        }
+        let idx = self.iq(port, prio);
+        self.tx_paused[idx] = false;
+        self.demoted[idx] = true;
+        moved
+    }
+
+    /// Ends a demotion: the queue re-joins the lossless class and new
+    /// arrivals queue (and PFC-account) normally again.
+    pub fn restore_queue(&mut self, port: PortId, prio: u8) {
+        let idx = self.iq(port, prio);
+        self.demoted[idx] = false;
+    }
+
+    /// True while `(port, prio)` is watchdog-demoted.
+    pub fn is_demoted(&self, port: PortId, prio: u8) -> bool {
+        self.demoted[self.iq(port, prio)]
     }
 
     /// Number of ports.
@@ -742,6 +823,96 @@ mod tests {
             TransitionMode::EgressByNewTag,
         );
         assert!(!s.dequeue(PortId(1)).unwrap().packet.ecn);
+    }
+
+    #[test]
+    fn demote_moves_held_packets_to_lossy_and_ungates() {
+        let mut s = sw();
+        for i in 0..4 {
+            s.admit(
+                PortId(0),
+                PortId(1),
+                Some(Tag(1)),
+                pkt(i, Some(1)),
+                TransitionMode::EgressByNewTag,
+            );
+        }
+        s.take_emitted_pfc();
+        s.on_pfc(PortId(1), PfcFrame::Pause { priority: 0 });
+        assert!(!s.can_transmit(PortId(1)));
+
+        let moved = s.demote_queue(PortId(1), 0);
+        assert_eq!(moved, 4);
+        assert!(s.is_demoted(PortId(1), 0));
+        assert_eq!(s.queue_depth_bytes(PortId(1), 0), 0);
+        let lossy = s.config().lossy_queue() as u8;
+        assert_eq!(s.queue_depth_bytes(PortId(1), lossy), 4_000);
+        // The lossy queue is never gated: the port transmits again...
+        assert!(s.can_transmit(PortId(1)));
+        let qp = s.dequeue(PortId(1)).unwrap();
+        // ...with the tag stripped but the ingress accounting intact
+        // until departure releases it.
+        assert_eq!(qp.packet.tag, None);
+        assert_eq!(qp.ingress_prio, Some(0));
+        assert_eq!(s.ingress_occupancy(PortId(0), 0), 3_000);
+    }
+
+    #[test]
+    fn demoted_queue_redirects_arrivals_until_restore() {
+        let mut s = sw();
+        s.demote_queue(PortId(1), 0);
+        let out = s.admit(
+            PortId(0),
+            PortId(1),
+            Some(Tag(1)),
+            pkt(1, Some(1)),
+            TransitionMode::EgressByNewTag,
+        );
+        let lossy = s.config().lossy_queue() as u8;
+        assert_eq!(
+            out,
+            AdmitOutcome::Enqueued {
+                egress_queue: lossy
+            }
+        );
+        assert_eq!(s.stats.demoted_redirects, 1);
+        assert_eq!(s.dequeue(PortId(1)).unwrap().packet.tag, None);
+        // Another priority on the same port is unaffected.
+        let out = s.admit(
+            PortId(0),
+            PortId(1),
+            Some(Tag(2)),
+            pkt(2, Some(2)),
+            TransitionMode::EgressByNewTag,
+        );
+        assert_eq!(out, AdmitOutcome::Enqueued { egress_queue: 1 });
+
+        s.restore_queue(PortId(1), 0);
+        assert!(!s.is_demoted(PortId(1), 0));
+        let out = s.admit(
+            PortId(0),
+            PortId(1),
+            Some(Tag(1)),
+            pkt(3, Some(1)),
+            TransitionMode::EgressByNewTag,
+        );
+        assert_eq!(out, AdmitOutcome::Enqueued { egress_queue: 0 });
+        assert_eq!(s.stats.demoted_redirects, 1, "no redirect after restore");
+    }
+
+    #[test]
+    fn switch_stats_sum() {
+        let a = SwitchStats {
+            forwarded: 1,
+            lossy_drops: 2,
+            lossless_drops: 3,
+            pauses_sent: 4,
+            resumes_sent: 5,
+            demoted_redirects: 6,
+        };
+        let total: SwitchStats = [a, a].into_iter().sum();
+        assert_eq!(total.forwarded, 2);
+        assert_eq!(total.demoted_redirects, 12);
     }
 
     #[test]

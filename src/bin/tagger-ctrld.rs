@@ -14,6 +14,7 @@
 //!              [--chaos seed=N,fail_rate=P[,timeout_rate=P][,partial_rate=P]]
 //!              [--journal PATH] [--checkpoint-every N] [--crash-after N]
 //!              [--audit] [--export-checkpoint PATH]
+//!              [--watchdog WINDOW_US [--watchdog-policy drop|demote]]
 //! ```
 //!
 //! With no trace file, replays the canonical single-link flap
@@ -33,6 +34,18 @@
 //! but unprocessed), is rebuilt from the journal, and the drill verifies
 //! the recovered committed tables are byte-for-byte the crashed
 //! controller's before reconciling the fleet and finishing the trace.
+//!
+//! `--watchdog WINDOW_US` runs the data-plane safety-net drill instead
+//! of a trace replay: the embedded corrupted tables from
+//! `examples/corrupted.ckpt` are audited, their counterexample flows
+//! are replayed once without a watchdog (permanent deadlock) and once
+//! with the per-queue PFC watchdog armed at the given window
+//! (`--watchdog-policy` selects drain-to-drop or demote-to-lossy,
+//! default demote). The drill then closes the loop: the trips become
+//! quarantine events, are journaled through a controller that crashes
+//! mid-replay, recovery must replay every quarantine from the journal,
+//! and the corrective tables must pass an independent re-audit. Any
+//! broken link in that chain exits non-zero.
 //!
 //! With `--audit` every committed epoch (including the bootstrap) is
 //! handed to the independent `tagger-audit` verifier, which decompiles
@@ -242,6 +255,174 @@ impl CommitObserver for AuditObserver {
     }
 }
 
+/// The `--watchdog` drill: the full safety-net loop on the corrupted
+/// fixture. Audit finds the cycle, the sim shows the deadlock and its
+/// watchdog rescue, the trips become journaled controller quarantines
+/// that survive a crash, and the corrective tables re-certify.
+fn watchdog_drill(
+    window_us: u64,
+    policy: tagger::switch::WatchdogPolicy,
+    journal_path: Option<String>,
+) -> Result<(), String> {
+    use tagger::audit::REPLAY_END_NS;
+    use tagger::sim::experiments::{quarantine_events, watchdog_rescue};
+    use tagger::switch::WatchdogConfig;
+
+    let ckpt = checkpoint::parse(include_str!("../../examples/corrupted.ckpt"))
+        .map_err(|e| format!("embedded corrupted.ckpt: {e}"))?;
+    let topo = ckpt.topo.clone();
+    let mut auditor = Auditor::new(topo.clone());
+    let audit = auditor.audit(ckpt.epoch, &ckpt.rules);
+    if audit.is_certified() {
+        return Err("drill fixture unexpectedly certified".into());
+    }
+    let cx = audit
+        .counterexample
+        .clone()
+        .ok_or("audit found no counterexample to replay")?;
+    println!(
+        "watchdog drill: corrupted tables, cycle {}",
+        cx.describe(&topo)
+    );
+
+    // Baseline: with the watchdog off the deadlock is permanent.
+    let (baseline, _) =
+        watchdog_rescue(&topo, &ckpt.rules, cx.flows.clone(), None, REPLAY_END_NS).run();
+    if baseline.deadlock.is_none() {
+        return Err("baseline (watchdog off) did not deadlock".into());
+    }
+    println!(
+        "  watchdog off: deadlocked, {} flow(s) frozen at the horizon",
+        baseline.stalled_flows(5)
+    );
+
+    // Armed: recovery within two windows of the first trip.
+    let window_ns = window_us * 1_000;
+    let cfg = WatchdogConfig::with_policy(window_ns, policy);
+    let (report, _) = watchdog_rescue(
+        &topo,
+        &ckpt.rules,
+        cx.flows.clone(),
+        Some(cfg),
+        REPLAY_END_NS,
+    )
+    .run();
+    let wd = report
+        .watchdog
+        .clone()
+        .ok_or("armed run produced no watchdog report")?;
+    println!(
+        "  watchdog on ({window_us} us, {policy:?}): {}",
+        wd.stats.describe()
+    );
+    let first = wd.first_trip_at.ok_or("armed watchdog never tripped")?;
+    let cleared = wd.cleared_at.ok_or("cycle never cleared after the trips")?;
+    if cleared - first > 2 * window_ns {
+        return Err(format!(
+            "recovery took {} ns from first trip, more than 2 windows",
+            cleared - first
+        ));
+    }
+    println!(
+        "    first trip at {} us, cycle cleared at {} us",
+        first / 1_000,
+        cleared / 1_000
+    );
+
+    // Closed loop: trips -> quarantine events -> journaled controller
+    // that crashes mid-replay and must recover every quarantine.
+    let events = quarantine_events(&report);
+    if events.is_empty() {
+        return Err("trips produced no quarantine events".into());
+    }
+    for e in &events {
+        println!("    -> {}", e.trace_line(&topo));
+    }
+    let policy_elp = ElpPolicy::with_bounces(1);
+    let mut ctrl = Controller::with_budget(topo.clone(), policy_elp, None)
+        .map_err(|e| format!("drill bootstrap: {e}"))?;
+    let mut sb = ReliableSouthbound::new();
+    sb.bootstrap(&ctrl.committed().rules);
+    let install = InstallPolicy::default();
+    let jpath = journal_path.unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join("tagger-watchdog-drill.journal")
+            .to_string_lossy()
+            .into_owned()
+    });
+    let mut journal =
+        Journal::create(&jpath).map_err(|e| format!("cannot create journal {jpath}: {e}"))?;
+    let drive = journal
+        .drive(&mut ctrl, &events, &mut sb, &install, 1, Some(1))
+        .map_err(|e| format!("journaled quarantine replay: {e}"))?;
+    let pre_quarantines = ctrl.state().quarantines.clone();
+    let pre_rules = ctrl.committed().rules.clone();
+    drop(ctrl);
+    println!(
+        "    -- crash after {} quarantine epoch(s); recovering from {jpath} --",
+        drive.outcomes.len()
+    );
+    let rec =
+        recover(&jpath, topo.clone(), policy_elp, None).map_err(|e| format!("recovery: {e}"))?;
+    let mut ctrl = rec.controller;
+    if ctrl.state().quarantines != pre_quarantines {
+        return Err(format!(
+            "recovery lost quarantines: {:?} vs pre-crash {:?}",
+            ctrl.state().quarantines,
+            pre_quarantines
+        ));
+    }
+    if ctrl.committed().rules != pre_rules {
+        return Err("recovered tables differ from the crashed controller's".into());
+    }
+    println!(
+        "    recovered: {} event(s) replayed, {} quarantine(s) intact",
+        rec.replayed,
+        pre_quarantines.len()
+    );
+    ctrl.reconcile(&mut sb);
+    // Finish the interrupted work: the in-flight batch the journal
+    // preserved, plus the quarantines that were never journaled
+    // (watchdog events are singleton batches, so batch i == event i).
+    let processed = drive.outcomes.len() + 1;
+    let remaining: Vec<CtrlEvent> = rec
+        .tail
+        .iter()
+        .cloned()
+        .chain(events.iter().skip(processed.min(events.len())).cloned())
+        .collect();
+    ctrl.replay_damped_via(remaining.iter(), &mut sb, &install)
+        .map_err(|e| format!("post-recovery replay: {e}"))?;
+    if ctrl.state().quarantines.len() != events.len() {
+        return Err(format!(
+            "expected {} active quarantine(s) after the full replay, have {}",
+            events.len(),
+            ctrl.state().quarantines.len()
+        ));
+    }
+
+    // Re-audit: the corrective tables must certify deadlock-free.
+    let mut recheck = Auditor::new(topo.clone());
+    let verdict = recheck.audit(ctrl.committed().epoch, &ctrl.committed().rules);
+    if !verdict.is_certified() {
+        return Err(format!(
+            "corrective tables failed the re-audit:\n{}",
+            verdict.render(&topo)
+        ));
+    }
+    let m = ctrl.metrics();
+    println!(
+        "    corrective epoch {} certified deadlock-free; {} quarantine(s) active, \
+         {} watchdog trip event(s), +{} -{} rules across commits",
+        ctrl.committed().epoch,
+        ctrl.state().quarantines.len(),
+        m.watchdog_trips,
+        m.rules_added,
+        m.rules_removed,
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ((trace_file, flags, verbose), config, policy, budget) = match setup(&args) {
@@ -282,6 +463,30 @@ fn main() -> ExitCode {
     if crash_after.is_some() && journal_path.is_none() {
         eprintln!("--crash-after needs --journal (recovery replays the journal)");
         return ExitCode::FAILURE;
+    }
+    if let Some(w) = flags.get("watchdog") {
+        let window_us: u64 = match w.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--watchdog wants a window in microseconds, got {w:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let policy = match flags.get("watchdog-policy").map(|s| s.as_str()) {
+            None | Some("demote") => tagger::switch::WatchdogPolicy::Demote,
+            Some("drop") => tagger::switch::WatchdogPolicy::Drop,
+            Some(other) => {
+                eprintln!("--watchdog-policy wants drop or demote, got {other:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match watchdog_drill(window_us, policy, journal_path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("watchdog drill FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let mut audit: Option<AuditObserver> = flags
         .contains_key("audit")

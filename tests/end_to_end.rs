@@ -133,6 +133,100 @@ fn routing_and_core_agree_on_updown() {
     assert_eq!(merged.num_lossless_tags(&topo), 1);
 }
 
+/// The complete safety-net loop across every layer: the audit finds the
+/// cycle in the corrupted checkpoint, the simulator shows it deadlock
+/// and the armed watchdog rescue it, the trips become controller
+/// quarantine events that journal through a crash, and the corrective
+/// commit re-certifies deadlock-free.
+#[test]
+fn watchdog_safety_net_closes_the_loop() {
+    use tagger::audit::{checkpoint, Auditor, REPLAY_END_NS};
+    use tagger::ctrl::{
+        recover, Controller, ElpPolicy, EpochOutcome, InstallPolicy, Journal, ReliableSouthbound,
+        Southbound as _,
+    };
+    use tagger::sim::experiments::{quarantine_events, watchdog_rescue};
+    use tagger::switch::WatchdogConfig;
+
+    // 1. Audit the corrupted tables: violation + replayable cycle.
+    let ckpt = checkpoint::parse(include_str!("../examples/corrupted.ckpt")).unwrap();
+    let topo = ckpt.topo.clone();
+    let audit = Auditor::new(topo.clone()).audit(ckpt.epoch, &ckpt.rules);
+    assert!(!audit.is_certified());
+    let cx = audit.counterexample.expect("cycle counterexample");
+
+    // 2. Without the watchdog the counterexample deadlocks for good.
+    let (baseline, _) =
+        watchdog_rescue(&topo, &ckpt.rules, cx.flows.clone(), None, REPLAY_END_NS).run();
+    assert!(baseline.deadlock.is_some(), "baseline must deadlock");
+
+    // 3. Armed, the confirmed cycle trips and clears within two windows.
+    let cfg = WatchdogConfig::with_window(200_000);
+    let (report, _) = watchdog_rescue(
+        &topo,
+        &ckpt.rules,
+        cx.flows.clone(),
+        Some(cfg),
+        REPLAY_END_NS,
+    )
+    .run();
+    let wd = report.watchdog.clone().expect("watchdog report");
+    assert!(wd.stats.trips >= 1);
+    let first = wd.first_trip_at.unwrap();
+    let cleared = wd.cleared_at.expect("cycle must clear");
+    assert!(cleared - first <= 2 * cfg.window_ns);
+
+    // 4. Trips -> quarantines -> a journaled controller that crashes
+    // after the first corrective epoch and recovers the quarantine.
+    let events = quarantine_events(&report);
+    assert!(!events.is_empty(), "trips must map to quarantine events");
+    let policy = ElpPolicy::with_bounces(1);
+    let mut ctrl = Controller::with_budget(topo.clone(), policy, None).unwrap();
+    let mut sb = ReliableSouthbound::new();
+    sb.bootstrap(&ctrl.committed().rules);
+    let install = InstallPolicy::default();
+    let jpath = std::env::temp_dir().join("tagger-e2e-watchdog.journal");
+    let jpath = jpath.to_str().unwrap();
+    let mut journal = Journal::create(jpath).unwrap();
+    let drive = journal
+        .drive(&mut ctrl, &events, &mut sb, &install, 1, Some(1))
+        .unwrap();
+    let EpochOutcome::Committed(corrective) = &drive.outcomes[0] else {
+        panic!("quarantine must commit, got {:?}", drive.outcomes[0]);
+    };
+    assert!(
+        !corrective.deltas.is_empty(),
+        "quarantine must stage a corrective delta"
+    );
+    let pre_quarantines = ctrl.state().quarantines.clone();
+    assert!(!pre_quarantines.is_empty());
+    drop(ctrl); // crash
+
+    let rec = recover(jpath, topo.clone(), policy, None).unwrap();
+    let mut ctrl = rec.controller;
+    assert_eq!(
+        ctrl.state().quarantines,
+        pre_quarantines,
+        "quarantines must be replayed from the journal"
+    );
+    ctrl.reconcile(&mut sb);
+    let remaining: Vec<_> = rec
+        .tail
+        .iter()
+        .cloned()
+        .chain(events.iter().skip(drive.outcomes.len() + 1).cloned())
+        .collect();
+    ctrl.replay_damped_via(remaining.iter(), &mut sb, &install)
+        .unwrap();
+    assert_eq!(ctrl.state().quarantines.len(), events.len());
+
+    // 5. The corrective tables re-certify deadlock-free.
+    let verdict = Auditor::new(topo.clone()).audit(ctrl.committed().epoch, &ctrl.committed().rules);
+    assert!(verdict.is_certified(), "corrective tables must certify");
+    assert!(ctrl.metrics().watchdog_trips >= 1);
+    std::fs::remove_file(jpath).ok();
+}
+
 /// Path display and port resolution survive the facade re-exports.
 #[test]
 fn facade_reexports_work() {
