@@ -100,6 +100,36 @@ impl AuditCertificate {
         })
     }
 
+    /// A short stable identifier for this certificate, derived (FNV-1a)
+    /// from the epoch, the graph dimensions and the full witness. Two
+    /// audits of the same tables at the same epoch produce the same id,
+    /// so external tools (`tagger-lint`, dashboards) can cross-reference
+    /// a certificate without storing it.
+    pub fn id(&self) -> String {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.epoch);
+        mix(self.total_nodes as u64);
+        mix(self.total_edges as u64);
+        for cert in &self.per_tag {
+            mix(cert.tag.0 as u64);
+            mix(cert.edges as u64);
+            for n in &cert.witness {
+                mix(n.switch.0 as u64);
+                mix(n.in_port.0 as u64);
+                mix(n.tag.0 as u64);
+            }
+        }
+        format!("cert-{h:016x}")
+    }
+
     /// Plain-text rendering for logs and the CLI.
     pub fn render(&self, topo: &Topology) -> String {
         let mut out = String::new();
@@ -150,6 +180,20 @@ mod tests {
         let rendered = cert.render(&topo);
         assert!(rendered.contains("epoch 7"));
         assert!(rendered.contains("G_1:"));
+    }
+
+    #[test]
+    fn certificate_ids_are_deterministic_and_input_sensitive() {
+        let topo = ClosConfig::small().build();
+        let tagging = clos_tagging(&topo, 2).unwrap();
+        let g = DepGraph::build(&topo, tagging.rules(), &FailureSet::none());
+        let kahn = g.kahn();
+        let a = AuditCertificate::new(7, &g, &kahn.order);
+        let b = AuditCertificate::new(7, &g, &kahn.order);
+        assert_eq!(a.id(), b.id());
+        assert!(a.id().starts_with("cert-"));
+        let other_epoch = AuditCertificate::new(8, &g, &kahn.order);
+        assert_ne!(a.id(), other_epoch.id());
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub struct Checkpoint {
     pub topo: Topology,
     /// The committed per-switch tables.
     pub rules: RuleSet,
+    /// 1-based file line where the table body starts (the line after
+    /// `epoch`) — lets tools map table-text spans to file coordinates.
+    pub body_line: usize,
 }
 
 /// Serializes a checkpoint.
@@ -49,13 +52,28 @@ pub fn render(config: &ClosConfig, epoch: u64, topo: &Topology, rules: &RuleSet)
     )
 }
 
-/// Parses a checkpoint, rebuilding the topology from the `topo clos`
-/// header and the tables from the body.
-pub fn parse(text: &str) -> Result<Checkpoint, CheckpointError> {
+/// The parsed checkpoint header: everything above the table body.
+#[derive(Clone, Debug)]
+pub struct CheckpointHeader {
+    /// The Clos dimensions the topology is rebuilt from.
+    pub config: ClosConfig,
+    /// Epoch the tables were committed at.
+    pub epoch: u64,
+    /// 1-based file line where the table body starts.
+    pub body_line: usize,
+    /// The table body text, verbatim.
+    pub body: String,
+}
+
+/// Parses just the checkpoint header, leaving the table body untouched —
+/// the entry point for tools (like `tagger-lint`) that want to run their
+/// own, more forgiving parse over the body.
+pub fn parse_header(text: &str) -> Result<CheckpointHeader, CheckpointError> {
     let mut config: Option<ClosConfig> = None;
     let mut epoch: Option<u64> = None;
     let mut body = String::new();
     let mut body_started = false;
+    let mut body_line = 0usize;
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
         let line = raw.trim();
@@ -75,6 +93,7 @@ pub fn parse(text: &str) -> Result<Checkpoint, CheckpointError> {
                 why: format!("epoch wants a number, got {rest:?}"),
             })?);
             body_started = true;
+            body_line = lineno + 1;
         } else {
             return Err(CheckpointError {
                 line: lineno,
@@ -90,16 +109,32 @@ pub fn parse(text: &str) -> Result<Checkpoint, CheckpointError> {
         line: 0,
         why: "missing `epoch N` header".into(),
     })?;
-    let topo = config.build();
-    let rules = RuleSet::from_table_text(&topo, &body).map_err(|e| CheckpointError {
-        line: 0,
-        why: format!("table body: line {}: {}", e.line, e.why),
-    })?;
-    Ok(Checkpoint {
+    Ok(CheckpointHeader {
         config,
         epoch,
+        body_line,
+        body,
+    })
+}
+
+/// Parses a checkpoint, rebuilding the topology from the `topo clos`
+/// header and the tables from the body.
+pub fn parse(text: &str) -> Result<Checkpoint, CheckpointError> {
+    let header = parse_header(text)?;
+    let topo = header.config.build();
+    let rules = RuleSet::from_table_text(&topo, &header.body).map_err(|e| {
+        let file_span = e.span.offset_lines(header.body_line.saturating_sub(1));
+        CheckpointError {
+            line: file_span.line,
+            why: format!("table body: col {}: {}", file_span.col, e.why),
+        }
+    })?;
+    Ok(Checkpoint {
+        config: header.config,
+        epoch: header.epoch,
         topo,
         rules,
+        body_line: header.body_line,
     })
 }
 

@@ -30,6 +30,11 @@ fn generate_fixtures() {
         },
     );
     let text = tagger_audit::checkpoint::render(&config, 4, &topo, &rules);
+    // Second, text-level defect for tagger-lint: a duplicate match key.
+    // A first-match TCAM would apply the earlier (correct) line; the
+    // last-write-wins table-text loader keeps the later (corrupt) one,
+    // so the parsed RuleSet — and the audit goldens — are unchanged.
+    let text = text.replace("rule 2 S1 S2 1\n", "rule 2 S1 S2 3\nrule 2 S1 S2 1\n");
     std::fs::write(format!("{root}/examples/corrupted.ckpt"), &text).unwrap();
 
     // Print the audit verdict so the golden test can pin exact values.

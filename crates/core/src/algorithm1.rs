@@ -46,6 +46,7 @@ pub fn tag_by_hop_count(topo: &Topology, elp: &Elp) -> TaggedGraph {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tagger_routing::Path;

@@ -48,7 +48,8 @@ impl PortIndexer {
     }
 
     fn total(&self) -> usize {
-        *self.offsets.last().unwrap() as usize
+        // `offsets` always ends with the grand total pushed above.
+        self.offsets.last().copied().unwrap_or(0) as usize
     }
 
     fn pid(&self, p: GlobalPort) -> u32 {
@@ -233,6 +234,7 @@ pub fn minimize_elp(topo: &Topology, elp: &crate::Elp) -> TaggedGraph {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::{tag_by_hop_count, Elp};

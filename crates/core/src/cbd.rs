@@ -53,6 +53,7 @@ pub fn find_cbd(topo: &Topology, paths: &[Path]) -> Option<Vec<TaggedNode>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tagger_routing::Path;

@@ -117,6 +117,7 @@ pub fn clos_tagging(topo: &Topology, k: usize) -> Result<Tagging, ClosError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::{Elp, TagDecision};

@@ -89,6 +89,7 @@ impl Elp {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tagger_topo::ClosConfig;

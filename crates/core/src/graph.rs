@@ -341,6 +341,7 @@ impl TaggedGraph {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tagger_topo::{Layer, PortId};

@@ -25,6 +25,10 @@
 //!   that *without* Tagger the same path sets deadlock.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code paths reachable from user-supplied artifacts (table
+// text, checkpoints) must return typed errors, never panic; test-only
+// uses are allow-listed per test module.
+#![warn(clippy::unwrap_used)]
 
 mod algorithm1;
 pub(crate) mod algorithm2;
@@ -35,6 +39,7 @@ mod elp;
 mod graph;
 pub mod multiclass;
 mod rules;
+pub mod span;
 pub mod tcam;
 
 pub use algorithm1::{tag_by_hop_count, tag_by_hop_count_iter};
@@ -42,5 +47,7 @@ pub use algorithm2::{apply_assignment, greedy_assignment, greedy_minimize, minim
 pub use elp::Elp;
 pub use graph::{Tag, TaggedEdge, TaggedGraph, TaggedNode, VerifyError};
 pub use rules::{
-    InstallError, RuleDelta, RuleError, RuleSet, SwitchRule, TableTextError, TagDecision, Tagging,
+    InstallError, RuleDelta, RuleError, RuleSet, SpannedRule, SwitchRule, TableTextError,
+    TableTextParse, TagDecision, Tagging,
 };
+pub use span::Span;

@@ -85,6 +85,7 @@ pub fn shifted_union(base: &TaggedGraph, n: u16) -> TaggedGraph {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::{Elp, TagDecision};

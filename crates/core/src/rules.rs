@@ -6,6 +6,7 @@
 //! TCAM's final safeguard entry: it is demoted to the lossy class
 //! ([`TagDecision::Lossy`]) so it can never trigger PFC.
 
+use crate::span::{spanned_words, Span};
 use crate::{Elp, Tag, TaggedGraph, TaggedNode, VerifyError};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -559,86 +560,187 @@ impl RuleSet {
 
     /// Parses tables serialized by [`RuleSet::to_table_text`]. Lines
     /// starting with `#` and blank lines are ignored. Unknown switch or
-    /// neighbour names, or a `rule` line outside a `switch` block, are
-    /// errors.
+    /// neighbour names, a port index the switch does not have, or a
+    /// `rule` line outside a `switch` block, are errors; the first one
+    /// is returned with the exact span of the offending token. When a
+    /// match key appears twice, the later line wins (last-write-wins) —
+    /// [`RuleSet::parse_table_text_lenient`] exposes the duplicates for
+    /// tooling that wants to flag them.
     pub fn from_table_text(topo: &Topology, text: &str) -> Result<RuleSet, TableTextError> {
-        let err = |line: usize, why: String| TableTextError { line, why };
+        let parse = Self::parse_table_text_lenient(topo, text);
+        if let Some(e) = parse.errors.into_iter().next() {
+            return Err(e);
+        }
         let mut rs = RuleSet::new();
-        let mut current: Option<NodeId> = None;
+        for sr in parse.rules {
+            rs.set(sr.switch, sr.rule);
+        }
+        Ok(rs)
+    }
+
+    /// The lint-grade table-text parser: keeps going past errors,
+    /// records a [`Span`] for every parsed rule line and every failure,
+    /// and preserves file order (so duplicate match keys are visible —
+    /// [`RuleSet::from_table_text`] resolves them last-write-wins, a
+    /// first-match TCAM would resolve them the other way around).
+    ///
+    /// Rule lines inside a `switch` block whose name failed to resolve
+    /// are swallowed (one error for the header, not one per rule).
+    pub fn parse_table_text_lenient(topo: &Topology, text: &str) -> TableTextParse {
+        let mut out = TableTextParse {
+            rules: Vec::new(),
+            errors: Vec::new(),
+        };
+        // None: no switch header yet; Some(None): header seen but its
+        // name did not resolve (swallow the section); Some(Some(sw)): ok.
+        let mut current: Option<Option<NodeId>> = None;
         for (i, raw) in text.lines().enumerate() {
             let lineno = i + 1;
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            if let Some(name) = line.strip_prefix("switch ") {
-                let name = name.trim();
-                let sw = topo
-                    .node_by_name(name)
-                    .ok_or_else(|| err(lineno, format!("unknown switch {name:?}")))?;
-                current = Some(sw);
-            } else if let Some(rest) = line.strip_prefix("rule ") {
-                let sw = current
-                    .ok_or_else(|| err(lineno, "rule before any switch line".to_string()))?;
-                let fields: Vec<&str> = rest.split_whitespace().collect();
-                if fields.len() != 4 {
-                    return Err(err(
-                        lineno,
-                        format!("rule wants <tag> <in> <out> <new-tag>, got {rest:?}"),
-                    ));
-                }
-                let tag: u16 = fields[0]
-                    .parse()
-                    .map_err(|_| err(lineno, format!("bad tag {:?}", fields[0])))?;
-                let new_tag: u16 = fields[3]
-                    .parse()
-                    .map_err(|_| err(lineno, format!("bad new-tag {:?}", fields[3])))?;
-                let port = |name: &str| -> Result<PortId, TableTextError> {
-                    if let Some(num) = name.strip_prefix('#') {
-                        return num
-                            .parse()
-                            .map(PortId)
-                            .map_err(|_| err(lineno, format!("bad port {name:?}")));
+            let words: Vec<(usize, &str)> = spanned_words(raw).collect();
+            let err = |out: &mut TableTextParse, (col, tok): (usize, &str), why: String| {
+                out.errors.push(TableTextError {
+                    span: Span::new(lineno, col, tok.len()),
+                    why,
+                });
+            };
+            match words[0].1 {
+                "switch" => {
+                    let Some(&name) = words.get(1) else {
+                        err(&mut out, words[0], "switch wants a node name".to_string());
+                        current = Some(None);
+                        continue;
+                    };
+                    match topo.node_by_name(name.1) {
+                        Some(sw) => current = Some(Some(sw)),
+                        None => {
+                            err(&mut out, name, format!("unknown switch {:?}", name.1));
+                            current = Some(None);
+                        }
                     }
-                    let peer = topo
-                        .node_by_name(name)
-                        .ok_or_else(|| err(lineno, format!("unknown neighbour {name:?}")))?;
-                    topo.port_towards(sw, peer).ok_or_else(|| {
+                }
+                "rule" => {
+                    let sw = match current {
+                        None => {
+                            err(
+                                &mut out,
+                                words[0],
+                                "rule before any switch line".to_string(),
+                            );
+                            continue;
+                        }
+                        Some(None) => continue, // section header already errored
+                        Some(Some(sw)) => sw,
+                    };
+                    if words.len() != 5 {
                         err(
-                            lineno,
-                            format!("{} has no port towards {name}", topo.node(sw).name),
-                        )
-                    })
-                };
-                rs.set(
-                    sw,
-                    SwitchRule {
-                        tag: Tag(tag),
-                        in_port: port(fields[1])?,
-                        out_port: port(fields[2])?,
-                        new_tag: Tag(new_tag),
-                    },
-                );
-            } else {
-                return Err(err(lineno, format!("unrecognized line {line:?}")));
+                            &mut out,
+                            words[0],
+                            format!(
+                                "rule wants <tag> <in> <out> <new-tag>, got {} argument(s)",
+                                words.len() - 1
+                            ),
+                        );
+                        continue;
+                    }
+                    let num = |out: &mut TableTextParse, w: (usize, &str), what: &str| {
+                        let v: Option<u16> = w.1.parse().ok();
+                        if v.is_none() {
+                            err(out, w, format!("bad {what} {:?}", w.1));
+                        }
+                        v
+                    };
+                    let port = |out: &mut TableTextParse, w: (usize, &str)| -> Option<PortId> {
+                        if let Some(n) = w.1.strip_prefix('#') {
+                            let Ok(p) = n.parse::<u16>() else {
+                                err(out, w, format!("bad port {:?}", w.1));
+                                return None;
+                            };
+                            if p as usize >= topo.node(sw).num_ports() {
+                                err(out, w, format!("{} has no port {p}", topo.node(sw).name));
+                                return None;
+                            }
+                            return Some(PortId(p));
+                        }
+                        let Some(peer) = topo.node_by_name(w.1) else {
+                            err(out, w, format!("unknown neighbour {:?}", w.1));
+                            return None;
+                        };
+                        let towards = topo.port_towards(sw, peer);
+                        if towards.is_none() {
+                            err(
+                                out,
+                                w,
+                                format!("{} has no port towards {}", topo.node(sw).name, w.1),
+                            );
+                        }
+                        towards
+                    };
+                    let tag = num(&mut out, words[1], "tag");
+                    let in_port = port(&mut out, words[2]);
+                    let out_port = port(&mut out, words[3]);
+                    let new_tag = num(&mut out, words[4], "new-tag");
+                    let (Some(tag), Some(in_port), Some(out_port), Some(new_tag)) =
+                        (tag, in_port, out_port, new_tag)
+                    else {
+                        continue;
+                    };
+                    let last = words[words.len() - 1];
+                    out.rules.push(SpannedRule {
+                        switch: sw,
+                        rule: SwitchRule {
+                            tag: Tag(tag),
+                            in_port,
+                            out_port,
+                            new_tag: Tag(new_tag),
+                        },
+                        span: Span::new(lineno, words[0].0, last.0 + last.1.len() - words[0].0),
+                    });
+                }
+                _ => err(&mut out, words[0], format!("unrecognized line {line:?}")),
             }
         }
-        Ok(rs)
+        out
     }
+}
+
+/// One rule as it appeared in a table-text dump, with the span of its
+/// `rule` line — the coordinates lint diagnostics point at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpannedRule {
+    /// The switch the enclosing `switch` block named.
+    pub switch: NodeId,
+    /// The parsed rule.
+    pub rule: SwitchRule,
+    /// Span of the whole `rule ...` line content.
+    pub span: Span,
+}
+
+/// Everything a lenient table-text parse recovered: the rules in file
+/// order (duplicates included) plus every malformed line.
+#[derive(Clone, Debug, Default)]
+pub struct TableTextParse {
+    /// Successfully parsed rules, in file order.
+    pub rules: Vec<SpannedRule>,
+    /// Malformed lines, in file order.
+    pub errors: Vec<TableTextError>,
 }
 
 /// A malformed line in a [`RuleSet::from_table_text`] dump.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TableTextError {
-    /// 1-based line number.
-    pub line: usize,
+    /// Where the offending token sits.
+    pub span: Span,
     /// What was wrong with it.
     pub why: String,
 }
 
 impl fmt::Display for TableTextError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "table text line {}: {}", self.line, self.why)
+        write!(f, "table text line {}: {}", self.span, self.why)
     }
 }
 
@@ -826,6 +928,7 @@ impl Tagging {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::Elp;
@@ -1103,17 +1206,55 @@ mod tests {
     #[test]
     fn table_text_rejects_malformed_lines() {
         let topo = ClosConfig::small().build();
-        for (text, line) in [
-            ("rule 1 T1 S1 1\n", 1),
-            ("switch NOPE\n", 1),
-            ("switch L1\nrule 1 NOPE S1 1\n", 2),
-            ("switch L1\nrule 1 T3 S1 1\n", 2), // T3 not adjacent to L1
-            ("switch L1\nrule x T1 S1 1\n", 2),
-            ("switch L1\njunk\n", 2),
+        for (text, line, col) in [
+            ("rule 1 T1 S1 1\n", 1, 1),
+            ("switch NOPE\n", 1, 8),
+            ("switch L1\nrule 1 NOPE S1 1\n", 2, 8),
+            ("switch L1\nrule 1 T3 S1 1\n", 2, 8), // T3 not adjacent to L1
+            ("switch L1\nrule x T1 S1 1\n", 2, 6),
+            ("switch L1\njunk\n", 2, 1),
+            ("switch L1\nrule 1 #99 S1 1\n", 2, 8), // port out of range
         ] {
             let err = RuleSet::from_table_text(&topo, text).unwrap_err();
-            assert_eq!(err.line, line, "{text:?}: {err}");
+            assert_eq!(err.span.line, line, "{text:?}: {err}");
+            assert_eq!(err.span.col, col, "{text:?}: {err}");
         }
+    }
+
+    #[test]
+    fn lenient_parse_collects_every_error_and_duplicate() {
+        let topo = ClosConfig::small().build();
+        let text = "\
+switch L1
+rule 1 T1 S1 1
+rule 1 T1 S1 2
+switch NOPE
+rule 1 T1 S1 1
+switch L2
+rule x T1 S1 1
+rule 1 T3 S1 1
+";
+        let parse = RuleSet::parse_table_text_lenient(&topo, text);
+        // Both L1 lines parse (duplicate key preserved in file order);
+        // the NOPE section swallows its rule; L2's two bad lines each
+        // produce one error.
+        assert_eq!(parse.rules.len(), 2);
+        assert_eq!(parse.rules[0].span.line, 2);
+        assert_eq!(parse.rules[1].span.line, 3);
+        assert_eq!(parse.rules[0].rule.new_tag, Tag(1));
+        assert_eq!(parse.rules[1].rule.new_tag, Tag(2));
+        let lines: Vec<usize> = parse.errors.iter().map(|e| e.span.line).collect();
+        assert_eq!(lines, vec![4, 7, 8]);
+        // from_table_text on the duplicate-only prefix: last write wins.
+        let rs =
+            RuleSet::from_table_text(&topo, "switch L1\nrule 1 T1 S1 1\nrule 1 T1 S1 2\n").unwrap();
+        let l1 = topo.expect_node("L1");
+        let in_port = topo.port_towards(l1, topo.expect_node("T1")).unwrap();
+        let out_port = topo.port_towards(l1, topo.expect_node("S1")).unwrap();
+        assert_eq!(
+            rs.decide(l1, Tag(1), in_port, out_port),
+            TagDecision::Lossless(Tag(2))
+        );
     }
 
     #[test]

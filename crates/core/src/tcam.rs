@@ -73,6 +73,16 @@ impl PortSet {
             .filter(|&p| self.contains(PortId(p)))
             .map(PortId)
     }
+
+    /// True if every port of `other` is also in `self`.
+    pub fn is_superset(&self, other: &PortSet) -> bool {
+        other.bits & !self.bits == 0
+    }
+
+    /// True if the two sets share at least one port.
+    pub fn intersects(&self, other: &PortSet) -> bool {
+        self.bits & other.bits != 0
+    }
 }
 
 impl FromIterator<PortId> for PortSet {
@@ -103,6 +113,25 @@ impl TcamEntry {
     /// True if the entry matches the triple.
     pub fn matches(&self, tag: Tag, in_port: PortId, out_port: PortId) -> bool {
         self.tag == tag && self.in_ports.contains(in_port) && self.out_ports.contains(out_port)
+    }
+
+    /// True if every triple `other` matches, `self` matches too — under
+    /// first-match lookup an earlier covering entry makes the later one
+    /// dead (its action can never fire).
+    pub fn covers(&self, other: &TcamEntry) -> bool {
+        self.tag == other.tag
+            && self.in_ports.is_superset(&other.in_ports)
+            && self.out_ports.is_superset(&other.out_ports)
+    }
+
+    /// True if at least one triple matches both entries. A partial
+    /// overlap with a *different* rewrite makes lookup order
+    /// significant — a hazard worth flagging even when neither entry is
+    /// fully dead.
+    pub fn overlaps(&self, other: &TcamEntry) -> bool {
+        self.tag == other.tag
+            && self.in_ports.intersects(&other.in_ports)
+            && self.out_ports.intersects(&other.out_ports)
     }
 
     /// Decompiles the entry back into the concrete exact-match rules it
@@ -325,6 +354,19 @@ impl TcamProgram {
         self.per_switch.keys().copied()
     }
 
+    /// Every installed entry as `(switch, entry index, entry)` triples,
+    /// ordered by switch id then hardware priority (entry index = match
+    /// order) — the iteration order external analysis tooling audits
+    /// installed programs in.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, usize, &TcamEntry)> + '_ {
+        self.per_switch.iter().flat_map(|(&sw, tcam)| {
+            tcam.entries()
+                .iter()
+                .enumerate()
+                .map(move |(i, e)| (sw, i, e))
+        })
+    }
+
     /// Installs one switch's table, replacing whatever was there — the
     /// building block verification tooling uses to model a fleet whose
     /// hardware tables may not be what the compiler intended.
@@ -350,6 +392,7 @@ impl TcamProgram {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::clos::clos_tagging;
@@ -499,6 +542,53 @@ mod tests {
                 tcam.decide(r.tag, r.in_port, r.out_port),
                 TagDecision::Lossless(expect)
             );
+        }
+    }
+
+    #[test]
+    fn covers_and_overlaps_follow_first_match_semantics() {
+        let wide = TcamEntry {
+            tag: Tag(1),
+            in_ports: [PortId(0), PortId(1), PortId(2)].into_iter().collect(),
+            out_ports: [PortId(3), PortId(4)].into_iter().collect(),
+            new_tag: Tag(1),
+        };
+        let narrow = TcamEntry {
+            tag: Tag(1),
+            in_ports: PortSet::single(PortId(1)),
+            out_ports: PortSet::single(PortId(3)),
+            new_tag: Tag(2),
+        };
+        let disjoint = TcamEntry {
+            tag: Tag(1),
+            in_ports: PortSet::single(PortId(7)),
+            out_ports: PortSet::single(PortId(3)),
+            new_tag: Tag(2),
+        };
+        let other_tag = TcamEntry {
+            tag: Tag(2),
+            ..narrow
+        };
+        assert!(wide.covers(&narrow));
+        assert!(!narrow.covers(&wide));
+        assert!(wide.overlaps(&narrow));
+        assert!(!wide.covers(&disjoint));
+        assert!(!wide.overlaps(&disjoint));
+        assert!(!wide.covers(&other_tag));
+        assert!(!wide.overlaps(&other_tag));
+        assert!(wide.in_ports.is_superset(&narrow.in_ports));
+        assert!(!narrow.in_ports.is_superset(&wide.in_ports));
+        assert!(wide.in_ports.intersects(&narrow.in_ports));
+    }
+
+    #[test]
+    fn program_iteration_matches_per_switch_tables() {
+        let topo = ClosConfig::small().build();
+        let t = clos_tagging(&topo, 1).unwrap();
+        let prog = TcamProgram::compile(&topo, t.rules(), Compression::Joint);
+        assert_eq!(prog.iter().count(), prog.total_entries());
+        for (sw, i, entry) in prog.iter() {
+            assert_eq!(prog.tcam_for(sw).unwrap().entries()[i], *entry);
         }
     }
 

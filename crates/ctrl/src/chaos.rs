@@ -180,6 +180,7 @@ impl Southbound for ChaosSouthbound {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tagger_core::{SwitchRule, Tag};

@@ -807,6 +807,7 @@ fn stage(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::event::parse_trace;

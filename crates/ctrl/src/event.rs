@@ -1,7 +1,8 @@
 //! Control-plane events and the plain-text trace format.
 
 use std::fmt;
-use tagger_core::Tag;
+use tagger_core::span::spanned_words;
+use tagger_core::{Span, Tag};
 use tagger_routing::{Path, PathError};
 use tagger_topo::{resolve_link, LinkId, LinkLookupError, NodeId, PortId, Topology};
 
@@ -153,18 +154,18 @@ pub enum TraceErrorKind {
     Path(PathError, String),
 }
 
-/// A parse error, carrying the 1-based line number it occurred on.
+/// A parse error, carrying the exact source span it occurred at.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceError {
-    /// 1-based line number within the trace text.
-    pub line: usize,
-    /// What went wrong on that line.
+    /// Line and column of the offending token within the trace text.
+    pub span: Span,
+    /// What went wrong there.
     pub kind: TraceErrorKind,
 }
 
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace line {}: ", self.line)?;
+        write!(f, "trace line {}: ", self.span)?;
         match &self.kind {
             TraceErrorKind::UnknownDirective(d) => write!(f, "unknown directive {d:?}"),
             TraceErrorKind::BadArity {
@@ -209,23 +210,55 @@ pub fn parse_trace(topo: &Topology, text: &str) -> Result<Vec<CtrlEvent>, TraceE
     let mut events = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let line = idx + 1;
-        let content = raw.split('#').next().unwrap_or("").trim();
-        if content.is_empty() {
+        // Strip the comment but keep the prefix untrimmed so token
+        // columns still index into the raw line.
+        let content = raw.split('#').next().unwrap_or("");
+        let mut words = spanned_words(content);
+        let Some((dcol, directive)) = words.next() else {
             continue;
-        }
-        let mut words = content.split_whitespace();
-        let directive = words.next().expect("non-empty line has a first word");
-        let args: Vec<&str> = words.collect();
-        let err = |kind| TraceError { line, kind };
+        };
+        let args: Vec<(usize, &str)> = words.collect();
+        // Span of the directive itself — the fallback when no single
+        // argument is to blame (arity errors, unknown directives).
+        let dspan = Span::new(line, dcol, directive.len());
+        // Span of the i-th argument, falling back to the directive.
+        let arg_span = |i: usize| {
+            args.get(i)
+                .map(|(c, w)| Span::new(line, *c, w.len()))
+                .unwrap_or(dspan)
+        };
+        // Span of the argument spelled `name` (diagnostics that learn the
+        // offending name from a lower layer, e.g. link resolution).
+        let name_span = |name: &str| {
+            args.iter()
+                .find(|(_, w)| *w == name)
+                .map(|(c, w)| Span::new(line, *c, w.len()))
+                .unwrap_or(dspan)
+        };
+        let link_err = |e: LinkLookupError| {
+            let span = match &e {
+                LinkLookupError::UnknownNode { name, .. } => name_span(name),
+                LinkLookupError::NotAdjacent { b, .. } => name_span(b),
+                _ => dspan,
+            };
+            TraceError {
+                span,
+                kind: TraceErrorKind::Link(e),
+            }
+        };
+        let err = |span, kind| TraceError { span, kind };
         let event = match directive {
             "down" | "up" => {
-                let [a, b] = args[..] else {
-                    return Err(err(TraceErrorKind::BadArity {
-                        directive: if directive == "down" { "down" } else { "up" },
-                        expected: "exactly two node names",
-                    }));
+                let [(_, a), (_, b)] = args[..] else {
+                    return Err(err(
+                        dspan,
+                        TraceErrorKind::BadArity {
+                            directive: if directive == "down" { "down" } else { "up" },
+                            expected: "exactly two node names",
+                        },
+                    ));
                 };
-                let link = resolve_link(topo, a, b).map_err(|e| err(TraceErrorKind::Link(e)))?;
+                let link = resolve_link(topo, a, b).map_err(link_err)?;
                 if directive == "down" {
                     CtrlEvent::LinkDown(link)
                 } else {
@@ -234,40 +267,49 @@ pub fn parse_trace(topo: &Topology, text: &str) -> Result<Vec<CtrlEvent>, TraceE
             }
             "elp-add" | "elp-remove" => {
                 if args.len() < 2 {
-                    return Err(err(TraceErrorKind::BadArity {
-                        directive: if directive == "elp-add" {
-                            "elp-add"
-                        } else {
-                            "elp-remove"
+                    return Err(err(
+                        dspan,
+                        TraceErrorKind::BadArity {
+                            directive: if directive == "elp-add" {
+                                "elp-add"
+                            } else {
+                                "elp-remove"
+                            },
+                            expected: "at least two node names",
                         },
-                        expected: "at least two node names",
-                    }));
+                    ));
                 }
                 let mut nodes = Vec::with_capacity(args.len());
-                for name in &args {
-                    nodes
-                        .push(topo.node_by_name(name).ok_or_else(|| {
-                            err(TraceErrorKind::UnknownNode((*name).to_string()))
-                        })?);
+                for (col, name) in &args {
+                    nodes.push(topo.node_by_name(name).ok_or_else(|| {
+                        err(
+                            Span::new(line, *col, name.len()),
+                            TraceErrorKind::UnknownNode((*name).to_string()),
+                        )
+                    })?);
                 }
                 let path = Path::new(topo, nodes).map_err(|e| {
                     // Re-render the diagnostic with the names the trace
                     // used; `PathError` only knows internal node ids.
-                    let named = match &e {
-                        PathError::NotAdjacent(a, b) => format!(
-                            "nodes {} and {} are not adjacent",
-                            topo.node(*a).name,
-                            topo.node(*b).name
+                    let (span, named) = match &e {
+                        PathError::NotAdjacent(a, b) => (
+                            name_span(&topo.node(*b).name),
+                            format!(
+                                "nodes {} and {} are not adjacent",
+                                topo.node(*a).name,
+                                topo.node(*b).name
+                            ),
                         ),
-                        PathError::RepeatedNode(n) => {
+                        PathError::RepeatedNode(n) => (
+                            name_span(&topo.node(*n).name),
                             format!(
                                 "node {} repeats; paths must be loop-free",
                                 topo.node(*n).name
-                            )
-                        }
-                        other => other.to_string(),
+                            ),
+                        ),
+                        other => (dspan, other.to_string()),
                     };
-                    err(TraceErrorKind::Path(e, named))
+                    err(span, TraceErrorKind::Path(e, named))
                 })?;
                 if directive == "elp-add" {
                     CtrlEvent::ElpAdd(path)
@@ -276,18 +318,24 @@ pub fn parse_trace(topo: &Topology, text: &str) -> Result<Vec<CtrlEvent>, TraceE
                 }
             }
             "flap" => {
-                let [a, b, n] = args[..] else {
-                    return Err(err(TraceErrorKind::BadArity {
-                        directive: "flap",
-                        expected: "two node names and a repeat count",
-                    }));
+                let [(_, a), (_, b), (_, n)] = args[..] else {
+                    return Err(err(
+                        dspan,
+                        TraceErrorKind::BadArity {
+                            directive: "flap",
+                            expected: "two node names and a repeat count",
+                        },
+                    ));
                 };
-                let link = resolve_link(topo, a, b).map_err(|e| err(TraceErrorKind::Link(e)))?;
+                let link = resolve_link(topo, a, b).map_err(link_err)?;
                 let n: usize = n.parse().map_err(|_| {
-                    err(TraceErrorKind::BadArity {
-                        directive: "flap",
-                        expected: "two node names and a repeat count",
-                    })
+                    err(
+                        arg_span(2),
+                        TraceErrorKind::BadArity {
+                            directive: "flap",
+                            expected: "two node names and a repeat count",
+                        },
+                    )
                 })?;
                 for _ in 0..n {
                     events.push(CtrlEvent::LinkDown(link));
@@ -296,29 +344,35 @@ pub fn parse_trace(topo: &Topology, text: &str) -> Result<Vec<CtrlEvent>, TraceE
                 continue;
             }
             "watchdog" | "watchdog-clear" => {
-                let bad_arity = || {
-                    err(TraceErrorKind::BadArity {
-                        directive: if directive == "watchdog" {
-                            "watchdog"
-                        } else {
-                            "watchdog-clear"
+                let bad_arity = |span| {
+                    err(
+                        span,
+                        TraceErrorKind::BadArity {
+                            directive: if directive == "watchdog" {
+                                "watchdog"
+                            } else {
+                                "watchdog-clear"
+                            },
+                            expected: "a node name, a port index and a tag",
                         },
-                        expected: "a node name, a port index and a tag",
-                    })
+                    )
                 };
-                let [name, port, tag] = args[..] else {
-                    return Err(bad_arity());
+                let [(_, name), (_, port), (_, tag)] = args[..] else {
+                    return Err(bad_arity(dspan));
                 };
-                let switch = topo
-                    .node_by_name(name)
-                    .ok_or_else(|| err(TraceErrorKind::UnknownNode(name.to_string())))?;
-                let port: u16 = port.parse().map_err(|_| bad_arity())?;
-                let tag: u16 = tag.parse().map_err(|_| bad_arity())?;
+                let switch = topo.node_by_name(name).ok_or_else(|| {
+                    err(arg_span(0), TraceErrorKind::UnknownNode(name.to_string()))
+                })?;
+                let port: u16 = port.parse().map_err(|_| bad_arity(arg_span(1)))?;
+                let tag: u16 = tag.parse().map_err(|_| bad_arity(arg_span(2)))?;
                 if port as usize >= topo.node(switch).num_ports() {
-                    return Err(err(TraceErrorKind::PortOutOfRange {
-                        node: name.to_string(),
-                        port,
-                    }));
+                    return Err(err(
+                        arg_span(1),
+                        TraceErrorKind::PortOutOfRange {
+                            node: name.to_string(),
+                            port,
+                        },
+                    ));
                 }
                 let (port, tag) = (PortId(port), Tag(tag));
                 if directive == "watchdog" {
@@ -329,15 +383,21 @@ pub fn parse_trace(topo: &Topology, text: &str) -> Result<Vec<CtrlEvent>, TraceE
             }
             "resync" => {
                 if !args.is_empty() {
-                    return Err(err(TraceErrorKind::BadArity {
-                        directive: "resync",
-                        expected: "no arguments",
-                    }));
+                    return Err(err(
+                        arg_span(0),
+                        TraceErrorKind::BadArity {
+                            directive: "resync",
+                            expected: "no arguments",
+                        },
+                    ));
                 }
                 CtrlEvent::Resync
             }
             other => {
-                return Err(err(TraceErrorKind::UnknownDirective(other.to_string())));
+                return Err(err(
+                    dspan,
+                    TraceErrorKind::UnknownDirective(other.to_string()),
+                ));
             }
         };
         events.push(event);
@@ -346,6 +406,7 @@ pub fn parse_trace(topo: &Topology, text: &str) -> Result<Vec<CtrlEvent>, TraceE
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tagger_topo::ClosConfig;
@@ -436,25 +497,44 @@ resync
     fn reports_offending_line_numbers() {
         let topo = ClosConfig::small().build();
         let e = parse_trace(&topo, "down L1 T1\nfrobnicate\n").unwrap_err();
-        assert_eq!(e.line, 2);
+        assert_eq!(e.span, Span::new(2, 1, "frobnicate".len()));
         assert_eq!(
             e.kind,
             TraceErrorKind::UnknownDirective("frobnicate".into())
         );
 
         let e = parse_trace(&topo, "down L1 XX").unwrap_err();
-        assert_eq!(e.line, 1);
+        assert_eq!(e.span, Span::new(1, 9, 2), "span points at the typo'd name");
         assert!(matches!(e.kind, TraceErrorKind::Link(_)));
 
         let e = parse_trace(&topo, "down L1").unwrap_err();
+        assert_eq!(
+            e.span,
+            Span::new(1, 1, 4),
+            "arity errors blame the directive"
+        );
         assert!(matches!(e.kind, TraceErrorKind::BadArity { .. }));
 
         // T1 and S1 are not adjacent in a 3-layer Clos.
         let e = parse_trace(&topo, "elp-add H1 T1 S1").unwrap_err();
         assert!(matches!(e.kind, TraceErrorKind::Path(..)));
+        assert_eq!(e.span, Span::new(1, 15, 2), "span points at the bad hop");
         assert!(
             e.to_string().contains("T1") && e.to_string().contains("S1"),
             "diagnostic must use the names the trace used: {e}"
         );
+    }
+
+    #[test]
+    fn spans_survive_comments_and_indentation() {
+        let topo = ClosConfig::small().build();
+        // The error column must index into the raw line, comment and all.
+        let e = parse_trace(&topo, "  watchdog L1 99 2  # tripped\n").unwrap_err();
+        assert!(matches!(e.kind, TraceErrorKind::PortOutOfRange { .. }));
+        assert_eq!(e.span, Span::new(1, 15, 2), "span points at the port token");
+
+        let e = parse_trace(&topo, "elp-add H1 T1 NOPE T2 H5").unwrap_err();
+        assert_eq!(e.kind, TraceErrorKind::UnknownNode("NOPE".into()));
+        assert_eq!(e.span, Span::new(1, 15, 4));
     }
 }

@@ -419,6 +419,7 @@ pub fn recover(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::chaos::{ChaosConfig, ChaosSouthbound};

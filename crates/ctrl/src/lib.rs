@@ -44,6 +44,9 @@
 //! the certificate.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The controller ingests untrusted artifacts (traces, journals); library
+// paths must return typed errors, never panic. Tests are allow-listed.
+#![warn(clippy::unwrap_used)]
 
 mod chaos;
 mod controller;

@@ -34,6 +34,7 @@ impl CommitObserver for NoopObserver {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::{Controller, CtrlEvent, ElpPolicy, InstallPolicy, ReliableSouthbound, Southbound};

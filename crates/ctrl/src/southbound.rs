@@ -87,6 +87,7 @@ impl Southbound for ReliableSouthbound {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tagger_core::{SwitchRule, Tag};

@@ -179,6 +179,7 @@ impl NetworkState {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tagger_topo::{ClosConfig, LinkId};

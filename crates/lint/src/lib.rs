@@ -1,0 +1,542 @@
+//! # tagger-lint — pre-deployment static analysis for Tagger artifacts
+//!
+//! `tagger-audit` proves a committed table deadlock-free; this crate is
+//! the *earlier*, cheaper gate: a linter that reads the artifacts an
+//! operator actually edits and ships — checkpoint files, `tagger-ctrld`
+//! event traces (which carry the ELP spec), raw rule-table text — and
+//! emits **structured diagnostics**: a stable error code (`T0001`…), a
+//! severity, an exact source span (`file:line:col`) or table locus
+//! (`"L1 entry 3"`), and a fix-it hint where one is known.
+//!
+//! The analyses (see [`analyses`]):
+//!
+//! - **TCAM order semantics** — duplicate match keys whose conflicting
+//!   rewrites make first-match hardware disagree with the
+//!   last-write-wins table loader ([`diag::codes::CONFLICTING_DUPLICATE`]),
+//!   and installed entries fully covered by an earlier masked entry
+//!   ([`diag::codes::SHADOWED_ENTRY`]).
+//! - **Tag monotonicity** — the per-edge half of Theorem 5.1, checked
+//!   locally per rule without building any graph
+//!   ([`diag::codes::TAG_DECREASE`]).
+//! - **Reachability** — rules no host-injected packet can ever hit,
+//!   via the core forward-closure graph
+//!   ([`diag::codes::UNREACHABLE_RULE`]).
+//! - **Lossless coverage** — expected lossless paths that silently fall
+//!   into the lossy class ([`diag::codes::TAG_LEAK_TO_LOSSY`]).
+//! - **Redundancy** — tables that admit a smaller TCAM encoding
+//!   ([`diag::codes::MERGEABLE_ENTRIES`]).
+//! - **Cross-checks** — the independent auditor's verdict, cross-linked
+//!   by certificate id ([`diag::codes::AUDIT_CERTIFIED`]).
+//!
+//! Lint is deliberately *not* the audit: it runs local, per-edge and
+//! per-entry checks plus one linear closure, never cycle detection —
+//! a checkpoint that merely *contains* a cyclic table (like the Figure 1
+//! fixture) lints clean apart from warnings, while the audit rejects it.
+//! The two tools disagree by design; the `T09xx` cross-check surfaces
+//! the auditor's verdict without duplicating its proof.
+//!
+//! Output is a [`LintReport`]: render it with
+//! [`LintReport::render_human`] or [`render_json`] (byte-stable, golden
+//! testable, round-trips through the bundled [`json`] parser).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Lint is the tool that *reports* defects in user artifacts; it must
+// never panic on them. Tests are allow-listed.
+#![warn(clippy::unwrap_used)]
+
+pub mod analyses;
+pub mod diag;
+pub mod json;
+
+pub use diag::{codes, ArtifactKind, ArtifactReport, Diagnostic, LintReport, Severity};
+
+use analyses::{lint_elp_coverage, lint_ruleset, lint_table_text, redundancy_note};
+use diag::codes as C;
+use json::Value;
+use tagger_audit::checkpoint;
+use tagger_core::{Elp, RuleSet, Span};
+use tagger_ctrl::{parse_trace, TraceErrorKind};
+use tagger_topo::{nearest_names, ClosConfig, LinkLookupError, Topology};
+
+/// Which expected-lossless-path set to check coverage against.
+///
+/// Lint cannot guess the operator's ELP, so coverage analysis
+/// ([`diag::codes::TAG_LEAK_TO_LOSSY`]) only runs when an ELP family is
+/// named explicitly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ElpSpec {
+    /// Strict up-down paths (no bounces).
+    UpDown,
+    /// Up-down paths with up to `k` bounces (paper §4).
+    Bounces(usize),
+}
+
+impl ElpSpec {
+    fn build(self, topo: &Topology) -> Elp {
+        match self {
+            ElpSpec::UpDown => Elp::updown(topo),
+            ElpSpec::Bounces(k) => Elp::updown_with_bounces(topo, k),
+        }
+    }
+}
+
+/// Knobs for a lint run.
+#[derive(Clone, Debug)]
+pub struct LintOptions {
+    /// Check ELP coverage against this path family (off by default).
+    pub elp: Option<ElpSpec>,
+    /// Run the independent auditor over checkpoints and cross-link its
+    /// certificate (on by default; the `T09xx` codes).
+    pub audit_cross_check: bool,
+    /// Topology to resolve *trace* files against (checkpoints carry
+    /// their own). Defaults to the same small Clos `tagger-ctrld`
+    /// defaults to.
+    pub trace_topo: Topology,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            elp: None,
+            audit_cross_check: true,
+            trace_topo: ClosConfig::small().build(),
+        }
+    }
+}
+
+/// Lints one checkpoint file's text.
+pub fn lint_checkpoint_text(file: &str, text: &str, opts: &LintOptions) -> ArtifactReport {
+    let mut report = ArtifactReport {
+        file: file.to_string(),
+        kind: ArtifactKind::Checkpoint,
+        diagnostics: Vec::new(),
+    };
+    let header = match checkpoint::parse_header(text) {
+        Ok(h) => h,
+        Err(e) => {
+            let span = if e.line == 0 {
+                Span::whole_file()
+            } else {
+                Span::line_start(e.line)
+            };
+            report.diagnostics.push(
+                Diagnostic::new(C::BAD_HEADER, Severity::Error, e.why)
+                    .with_span(span)
+                    .with_hint(
+                        "a checkpoint needs a `topo clos key=value...` line and an \
+                         `epoch N` line before the table body",
+                    ),
+            );
+            return report.finish();
+        }
+    };
+    let topo = header.config.build();
+    let table = lint_table_text(&topo, &header.body, header.body_line.saturating_sub(1));
+    report.diagnostics.extend(table.diagnostics);
+    report
+        .diagnostics
+        .extend(lint_ruleset(&topo, &table.rules, &table.spans));
+    if let Some(spec) = opts.elp {
+        report
+            .diagnostics
+            .extend(lint_elp_coverage(&topo, &table.rules, &spec.build(&topo)));
+    }
+    report
+        .diagnostics
+        .extend(redundancy_note(&topo, &table.rules));
+    if opts.audit_cross_check {
+        report
+            .diagnostics
+            .push(audit_cross_check(&topo, header.epoch, &table.rules));
+    }
+    report.finish()
+}
+
+/// Runs the independent auditor and condenses its verdict into one
+/// cross-link diagnostic — lint never re-proves (or contradicts) the
+/// audit, it just points at it.
+fn audit_cross_check(topo: &Topology, epoch: u64, rules: &RuleSet) -> Diagnostic {
+    let mut auditor = tagger_audit::Auditor::new(topo.clone());
+    let audit = auditor.audit(epoch, rules);
+    match &audit.certificate {
+        Some(cert) if audit.is_certified() => Diagnostic::new(
+            C::AUDIT_CERTIFIED,
+            Severity::Note,
+            format!(
+                "independent audit certified epoch {epoch} deadlock-free (certificate {})",
+                cert.id()
+            ),
+        ),
+        _ => Diagnostic::new(
+            C::AUDIT_FINDINGS,
+            Severity::Warning,
+            format!(
+                "independent audit reports {} finding(s) at epoch {epoch}",
+                audit.findings.len()
+            ),
+        )
+        .with_hint("run `tagger-audit check` on this checkpoint for the full report"),
+    }
+}
+
+/// Lints one `tagger-ctrld` trace file's text against a topology.
+///
+/// Unlike [`tagger_ctrl::parse_trace`] — which stops at the first error
+/// so a *replay* never proceeds past garbage — lint feeds each line
+/// separately and reports every defective line in one pass.
+pub fn lint_trace_text(file: &str, topo: &Topology, text: &str) -> ArtifactReport {
+    let mut report = ArtifactReport {
+        file: file.to_string(),
+        kind: ArtifactKind::Trace,
+        diagnostics: Vec::new(),
+    };
+    for (idx, line) in text.lines().enumerate() {
+        let Err(e) = parse_trace(topo, line) else {
+            continue;
+        };
+        // The single-line parse reports line 1; restore file coordinates.
+        let span = Span::new(idx + 1, e.span.col, e.span.len);
+        let (code, hint) = match &e.kind {
+            TraceErrorKind::UnknownDirective(_) => (
+                C::UNKNOWN_DIRECTIVE,
+                Some(
+                    "known directives: down, up, flap, elp-add, elp-remove, watchdog, \
+                     watchdog-clear, resync"
+                        .to_string(),
+                ),
+            ),
+            TraceErrorKind::BadArity { .. } => (C::TRACE_ARITY, None),
+            TraceErrorKind::UnknownNode(name) => {
+                let nearest = nearest_names(topo, name);
+                (
+                    C::TRACE_UNKNOWN_NODE,
+                    (!nearest.is_empty()).then(|| format!("did you mean {}?", nearest.join(", "))),
+                )
+            }
+            TraceErrorKind::PortOutOfRange { node, .. } => (
+                C::TRACE_PORT_RANGE,
+                topo.node_by_name(node)
+                    .map(|n| format!("{node} has ports 0..{}", topo.node(n).num_ports())),
+            ),
+            TraceErrorKind::Path(..) => (C::TRACE_BAD_PATH, None),
+            TraceErrorKind::Link(link) => {
+                let hint = match link {
+                    LinkLookupError::UnknownNode { nearest, .. } if !nearest.is_empty() => {
+                        Some(format!("did you mean {}?", nearest.join(", ")))
+                    }
+                    LinkLookupError::NotAdjacent { a, candidates, .. }
+                        if !candidates.is_empty() =>
+                    {
+                        Some(format!("{a} is adjacent to {}", candidates.join(", ")))
+                    }
+                    _ => None,
+                };
+                (C::TRACE_UNKNOWN_LINK, hint)
+            }
+        };
+        // Render the kind's message without the "trace line N:" prefix —
+        // the diagnostic carries the span itself.
+        let full = e.to_string();
+        let message = full
+            .split_once(": ")
+            .map(|(_, m)| m.to_string())
+            .unwrap_or(full);
+        let mut d = Diagnostic::new(code, Severity::Error, message).with_span(span);
+        if let Some(hint) = hint {
+            d = d.with_hint(hint);
+        }
+        report.diagnostics.push(d);
+    }
+    report.finish()
+}
+
+/// Lints an in-memory rule set (no file behind it) — the library entry
+/// point controllers can call before staging an epoch.
+pub fn lint_rules(
+    label: &str,
+    topo: &Topology,
+    rules: &RuleSet,
+    opts: &LintOptions,
+) -> ArtifactReport {
+    let mut report = ArtifactReport {
+        file: label.to_string(),
+        kind: ArtifactKind::Rules,
+        diagnostics: lint_ruleset(topo, rules, &analyses::SpanIndex::new()),
+    };
+    if let Some(spec) = opts.elp {
+        report
+            .diagnostics
+            .extend(lint_elp_coverage(topo, rules, &spec.build(topo)));
+    }
+    report.diagnostics.extend(redundancy_note(topo, rules));
+    report.finish()
+}
+
+/// Guesses what kind of artifact `text` is, preferring content over the
+/// `name` extension: checkpoints self-identify via their header.
+pub fn sniff_kind(name: &str, text: &str) -> ArtifactKind {
+    let looks_like_checkpoint = text
+        .lines()
+        .take(10)
+        .any(|l| l.contains("tagger-audit checkpoint") || l.trim_start().starts_with("topo clos"));
+    if looks_like_checkpoint || name.ends_with(".ckpt") {
+        ArtifactKind::Checkpoint
+    } else {
+        ArtifactKind::Trace
+    }
+}
+
+/// Lints a list of files (reading each from disk), producing one
+/// [`LintReport`] with the artifacts in argument order. Unreadable
+/// files become [`diag::codes::UNREADABLE`] errors rather than
+/// aborting the run.
+pub fn lint_files(paths: &[String], opts: &LintOptions) -> LintReport {
+    let mut report = LintReport::default();
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                report.artifacts.push(ArtifactReport {
+                    file: path.clone(),
+                    kind: ArtifactKind::Trace,
+                    diagnostics: vec![Diagnostic::new(
+                        C::UNREADABLE,
+                        Severity::Error,
+                        format!("cannot read: {e}"),
+                    )],
+                });
+                continue;
+            }
+        };
+        report.artifacts.push(match sniff_kind(path, &text) {
+            ArtifactKind::Checkpoint => lint_checkpoint_text(path, &text, opts),
+            _ => lint_trace_text(path, &opts.trace_topo, &text),
+        });
+    }
+    report
+}
+
+/// Encodes a report as a JSON [`Value`] (see [`render_json`] for the
+/// schema).
+pub fn report_to_json(report: &LintReport) -> Value {
+    let artifacts = report
+        .artifacts
+        .iter()
+        .map(|a| {
+            let diagnostics = a
+                .diagnostics
+                .iter()
+                .map(|d| {
+                    let mut members = vec![
+                        ("code".to_string(), Value::str(d.code)),
+                        ("severity".to_string(), Value::str(d.severity.label())),
+                    ];
+                    if let Some(s) = d.span {
+                        if !s.is_whole_file() {
+                            members.push(("line".into(), Value::Num(s.line as i64)));
+                            members.push(("col".into(), Value::Num(s.col as i64)));
+                            members.push(("len".into(), Value::Num(s.len as i64)));
+                        }
+                    }
+                    members.push(("message".into(), Value::str(&d.message)));
+                    if let Some(locus) = &d.locus {
+                        members.push(("locus".into(), Value::str(locus)));
+                    }
+                    if let Some(hint) = &d.hint {
+                        members.push(("hint".into(), Value::str(hint)));
+                    }
+                    Value::Obj(members)
+                })
+                .collect();
+            Value::Obj(vec![
+                ("file".into(), Value::str(&a.file)),
+                ("kind".into(), Value::str(a.kind.label())),
+                ("diagnostics".into(), Value::Arr(diagnostics)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("version".into(), Value::Num(1)),
+        (
+            "summary".into(),
+            Value::Obj(vec![
+                (
+                    "errors".into(),
+                    Value::Num(report.count(Severity::Error) as i64),
+                ),
+                (
+                    "warnings".into(),
+                    Value::Num(report.count(Severity::Warning) as i64),
+                ),
+                (
+                    "notes".into(),
+                    Value::Num(report.count(Severity::Note) as i64),
+                ),
+            ]),
+        ),
+        ("artifacts".into(), Value::Arr(artifacts)),
+    ])
+}
+
+/// The byte-stable JSON rendering of a report:
+///
+/// ```json
+/// {
+///   "version": 1,
+///   "summary": {"errors": 2, "warnings": 1, "notes": 1},
+///   "artifacts": [
+///     {"file": "...", "kind": "checkpoint", "diagnostics": [
+///       {"code": "T0201", "severity": "error", "line": 146, "col": 1,
+///        "len": 15, "message": "...", "locus": "switch L1", "hint": "..."}
+///     ]}
+///   ]
+/// }
+/// ```
+///
+/// Diagnostics keep the canonical deterministic order, so the rendering
+/// is golden-testable; it parses back via [`json::Value::parse`].
+pub fn render_json(report: &LintReport) -> String {
+    report_to_json(report).render()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use tagger_core::clos::clos_tagging;
+
+    fn render(config: &ClosConfig, rules: &RuleSet, topo: &Topology) -> String {
+        checkpoint::render(config, 1, topo, rules)
+    }
+
+    #[test]
+    fn clean_checkpoint_has_no_errors_and_a_certificate_note() {
+        let config = ClosConfig::small();
+        let topo = config.build();
+        let tagging = clos_tagging(&topo, 1).unwrap();
+        let text = render(&config, tagging.rules(), &topo);
+        let report = lint_checkpoint_text("t.ckpt", &text, &LintOptions::default());
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.severity != Severity::Error));
+        let cert = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == C::AUDIT_CERTIFIED)
+            .expect("certificate cross-link");
+        assert!(cert.message.contains("cert-"), "{}", cert.message);
+    }
+
+    #[test]
+    fn bad_header_is_a_single_error() {
+        let report = lint_checkpoint_text(
+            "t.ckpt",
+            "topo clos pods=2\nepoch 1\n",
+            &LintOptions::default(),
+        );
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].code, C::BAD_HEADER);
+        assert_eq!(report.diagnostics[0].span.unwrap(), Span::line_start(1));
+    }
+
+    #[test]
+    fn trace_lint_reports_every_bad_line_with_columns() {
+        let topo = ClosConfig::small().build();
+        let text = "down L1 T1\nfrobnicate\ndown L1 XX\nwatchdog L1 99 2\nelp-add H1 T1 S1\n";
+        let report = lint_trace_text("t.trace", &topo, text);
+        let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                C::UNKNOWN_DIRECTIVE,
+                C::TRACE_UNKNOWN_LINK,
+                C::TRACE_PORT_RANGE,
+                C::TRACE_BAD_PATH
+            ]
+        );
+        let lines: Vec<usize> = report
+            .diagnostics
+            .iter()
+            .map(|d| d.span.unwrap().line)
+            .collect();
+        assert_eq!(lines, vec![2, 3, 4, 5]);
+        // Column accuracy on the port-range error.
+        assert_eq!(report.diagnostics[2].span.unwrap().col, 13);
+        assert!(report.diagnostics[2]
+            .hint
+            .as_ref()
+            .unwrap()
+            .contains("ports 0.."));
+    }
+
+    #[test]
+    fn sniffing_prefers_content_over_extension() {
+        assert_eq!(
+            sniff_kind(
+                "x.trace",
+                "# tagger-audit checkpoint v1\ntopo clos pods=1\n"
+            ),
+            ArtifactKind::Checkpoint
+        );
+        assert_eq!(sniff_kind("x.ckpt", ""), ArtifactKind::Checkpoint);
+        assert_eq!(sniff_kind("x.trace", "down L1 T1\n"), ArtifactKind::Trace);
+    }
+
+    #[test]
+    fn json_encoding_round_trips_and_counts_severities() {
+        let config = ClosConfig::small();
+        let topo = config.build();
+        let tagging = clos_tagging(&topo, 1).unwrap();
+        let mut text = render(&config, tagging.rules(), &topo);
+        text.push_str("rule 1 T1 T2 1\nrule 1 T1 T2 2\n"); // conflicting duplicate
+        let report = LintReport {
+            artifacts: vec![lint_checkpoint_text(
+                "t.ckpt",
+                &text,
+                &LintOptions::default(),
+            )],
+        };
+        assert!(report.has_errors());
+        let rendered = render_json(&report);
+        let parsed = Value::parse(&rendered).unwrap();
+        assert_eq!(parsed.render(), rendered, "byte-stable round trip");
+        assert_eq!(parsed.get("version"), Some(&Value::Num(1)));
+        let errors = parsed.get("summary").unwrap().get("errors").unwrap();
+        assert_eq!(errors, &Value::Num(report.count(Severity::Error) as i64));
+    }
+
+    #[test]
+    fn elp_coverage_is_opt_in() {
+        let config = ClosConfig::small();
+        let topo = config.build();
+        // 1-bounce tagging covers up-down-with-1-bounce ELPs, but if we
+        // lint against 2-bounce ELPs some paths leak.
+        let tagging = clos_tagging(&topo, 1).unwrap();
+        let text = render(&config, tagging.rules(), &topo);
+        let quiet = lint_checkpoint_text("t.ckpt", &text, &LintOptions::default());
+        assert!(quiet
+            .diagnostics
+            .iter()
+            .all(|d| d.code != C::TAG_LEAK_TO_LOSSY));
+        let opts = LintOptions {
+            elp: Some(ElpSpec::Bounces(2)),
+            ..LintOptions::default()
+        };
+        let loud = lint_checkpoint_text("t.ckpt", &text, &opts);
+        assert!(loud
+            .diagnostics
+            .iter()
+            .any(|d| d.code == C::TAG_LEAK_TO_LOSSY));
+        let covered = LintOptions {
+            elp: Some(ElpSpec::Bounces(1)),
+            ..LintOptions::default()
+        };
+        let clean = lint_checkpoint_text("t.ckpt", &text, &covered);
+        assert!(clean
+            .diagnostics
+            .iter()
+            .all(|d| d.code != C::TAG_LEAK_TO_LOSSY));
+    }
+}

@@ -1,0 +1,81 @@
+//! Golden test over the corrupted-checkpoint fixture: the structured
+//! JSON report is byte-stable (codes, ordering, spans and all), so any
+//! accidental change to the diagnostic model or renderer shows up as a
+//! diff against `results/lint_corrupted.json`.
+//!
+//! Regenerate after an *intentional* change with:
+//!
+//! ```text
+//! cargo run --bin tagger-lint -- check examples/corrupted.ckpt \
+//!     --format json > results/lint_corrupted.json
+//! ```
+
+use tagger_lint::{
+    codes, json::Value, lint_checkpoint_text, render_json, LintOptions, LintReport, Severity,
+};
+
+fn root(rel: &str) -> String {
+    format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn corrupted_checkpoint_report_matches_golden_json() {
+    let text = std::fs::read_to_string(root("examples/corrupted.ckpt")).expect("fixture");
+    let report = LintReport {
+        artifacts: vec![lint_checkpoint_text(
+            "examples/corrupted.ckpt",
+            &text,
+            &LintOptions::default(),
+        )],
+    };
+
+    // The stable contract first: non-zero-exit condition, one
+    // first-match shadowing finding, one monotonicity finding.
+    assert!(report.has_errors());
+    let codes_found: Vec<&str> = report.artifacts[0]
+        .diagnostics
+        .iter()
+        .map(|d| d.code)
+        .collect();
+    assert!(codes_found.contains(&codes::CONFLICTING_DUPLICATE));
+    assert!(codes_found.contains(&codes::TAG_DECREASE));
+    assert!(codes_found.contains(&codes::AUDIT_FINDINGS));
+
+    // Then the bytes.
+    let rendered = render_json(&report);
+    let golden = std::fs::read_to_string(root("results/lint_corrupted.json")).expect("golden");
+    assert_eq!(
+        rendered, golden,
+        "lint JSON drifted from results/lint_corrupted.json — regenerate it if intentional"
+    );
+
+    // And the rendering is real JSON that round-trips byte-stably.
+    let parsed = Value::parse(&rendered).expect("valid json");
+    assert_eq!(parsed.render(), rendered);
+    assert_eq!(
+        parsed.get("summary").and_then(|s| s.get("errors")),
+        Some(&Value::Num(report.count(Severity::Error) as i64))
+    );
+}
+
+#[test]
+fn fig1_cycle_checkpoint_lints_without_errors() {
+    // The Figure 1 fixture *contains* a deadlock cycle — the audit
+    // rejects it — but lint's local checks have nothing to flag as an
+    // error: monotone rewrites, no duplicates. The division of labour
+    // (lint = local pre-filter, audit = global proof) is deliberate;
+    // the cross-check warning is how lint points at the audit verdict.
+    let text = std::fs::read_to_string(root("examples/fig1_cycle.ckpt")).expect("fixture");
+    let report = LintReport {
+        artifacts: vec![lint_checkpoint_text(
+            "examples/fig1_cycle.ckpt",
+            &text,
+            &LintOptions::default(),
+        )],
+    };
+    assert!(!report.has_errors());
+    assert!(report.artifacts[0]
+        .diagnostics
+        .iter()
+        .any(|d| d.code == codes::AUDIT_FINDINGS && d.severity == Severity::Warning));
+}

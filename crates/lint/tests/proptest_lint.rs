@@ -1,0 +1,107 @@
+//! Property tests tying lint to the auditor: whatever the independent
+//! auditor certifies must lint without error-severity findings (lint is
+//! a *pre*-filter, never stricter than the proof), and a single
+//! downward tag rewrite — the canonical table corruption — must always
+//! surface as at least one error.
+
+use proptest::prelude::*;
+use tagger_audit::Auditor;
+use tagger_core::clos::clos_tagging;
+use tagger_core::{Elp, RuleSet, SwitchRule, Tag, Tagging};
+use tagger_lint::analyses::{lint_ruleset, lint_table_text, SpanIndex};
+use tagger_lint::{codes, Severity};
+use tagger_topo::{ClosConfig, JellyfishConfig, Topology};
+
+/// Every error-severity finding over `rules`, via both the semantic
+/// analyses and a text round trip through the lenient parser.
+fn errors(topo: &Topology, rules: &RuleSet) -> Vec<String> {
+    let mut diags = lint_ruleset(topo, rules, &SpanIndex::new());
+    let table = lint_table_text(topo, &rules.to_table_text(topo), 0);
+    diags.extend(table.diagnostics);
+    diags
+        .into_iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| format!("{}: {}", d.code, d.message))
+        .collect()
+}
+
+/// Corrupts one rule's rewrite downward — `new_tag = tag - 1` is always
+/// a monotonicity violation since tags start at 1.
+fn corrupt_one(rules: &RuleSet, pick: usize) -> RuleSet {
+    let mut out = rules.clone();
+    let all: Vec<_> = rules.iter().collect();
+    let (sw, rule) = all[pick % all.len()];
+    out.set(
+        sw,
+        SwitchRule {
+            new_tag: Tag(rule.tag.0 - 1),
+            ..rule
+        },
+    );
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Audit-certified Clos taggings of random dimensions lint clean,
+    /// and one downward rewrite always produces at least one error.
+    #[test]
+    fn certified_clos_tables_lint_clean_and_corruption_is_caught(
+        dims in (1usize..3, 1usize..3, 1usize..3, 1usize..4, 0usize..3),
+        pick in 0usize..10_000
+    ) {
+        let (pods, leaves, tors, spines, k) = dims;
+        let config = ClosConfig {
+            pods,
+            leaves_per_pod: leaves,
+            tors_per_pod: tors,
+            spines,
+            hosts_per_tor: 2,
+        };
+        let topo = config.build();
+        let tagging = clos_tagging(&topo, k).unwrap();
+        let mut auditor = Auditor::new(topo.clone());
+        prop_assert!(auditor.audit(0, tagging.rules()).is_certified());
+        let clean = errors(&topo, tagging.rules());
+        prop_assert!(clean.is_empty(), "certified table lints dirty: {clean:?}");
+
+        if tagging.rules().num_rules() > 0 {
+            let corrupted = corrupt_one(tagging.rules(), pick);
+            let found = errors(&topo, &corrupted);
+            prop_assert!(!found.is_empty(), "downward rewrite went unnoticed");
+            prop_assert!(
+                found.iter().any(|e| e.starts_with(codes::TAG_DECREASE)),
+                "expected a {} finding, got {found:?}", codes::TAG_DECREASE
+            );
+        }
+    }
+
+    /// The same invariant off-Clos: ELP-derived taggings on random
+    /// Jellyfish graphs lint clean when certified, and the downward
+    /// corruption is still caught.
+    #[test]
+    fn certified_jellyfish_tables_lint_clean_and_corruption_is_caught(
+        shape in (4usize..10, 0u64..1000),
+        pick in 0usize..10_000
+    ) {
+        let (switches, seed) = shape;
+        let topo = JellyfishConfig::half_servers(switches, 6, seed).build();
+        let elp = Elp::shortest(&topo, 2, true);
+        let Ok(tagging) = Tagging::from_elp(&topo, &elp) else {
+            // Some random graphs exceed the tag budget; nothing to lint.
+            return Ok(());
+        };
+        let mut auditor = Auditor::new(topo.clone());
+        if !auditor.audit(0, tagging.rules()).is_certified() {
+            return Ok(());
+        }
+        let clean = errors(&topo, tagging.rules());
+        prop_assert!(clean.is_empty(), "certified table lints dirty: {clean:?}");
+
+        if tagging.rules().num_rules() > 0 {
+            let corrupted = corrupt_one(tagging.rules(), pick);
+            prop_assert!(!errors(&topo, &corrupted).is_empty());
+        }
+    }
+}

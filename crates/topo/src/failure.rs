@@ -82,8 +82,9 @@ fn edit_distance(a: &str, b: &str) -> usize {
 }
 
 /// Up to three existing node names within edit distance 2 of `name`,
-/// best match first.
-fn nearest_names(topo: &Topology, name: &str) -> Vec<String> {
+/// best match first — the "did you mean ...?" suggestion source for any
+/// tool resolving operator-typed node names.
+pub fn nearest_names(topo: &Topology, name: &str) -> Vec<String> {
     let mut scored: Vec<(usize, &str)> = topo
         .node_ids()
         .map(|n| topo.node(n).name.as_str())

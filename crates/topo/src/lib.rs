@@ -34,7 +34,7 @@ mod topology;
 
 pub use bcube::{bcube, BCubeConfig};
 pub use clos::{clos2, ClosConfig};
-pub use failure::{resolve_link, FailureSet, LinkLookupError};
+pub use failure::{nearest_names, resolve_link, FailureSet, LinkLookupError};
 pub use fattree::fat_tree;
 pub use ids::{GlobalPort, LinkId, NodeId, PortId};
 pub use jellyfish::JellyfishConfig;

@@ -1,0 +1,142 @@
+//! `tagger-lint` — pre-deployment static analysis for Tagger artifacts.
+//!
+//! ```text
+//! tagger-lint check <file...> [--format human|json] [--elp updown|bounces=K]
+//!                   [--no-audit] [--pods N] [--leaves N] [--tors N]
+//!                   [--spines N] [--hosts N]
+//! tagger-lint explain <code>
+//! ```
+//!
+//! `check` lints checkpoint (`.ckpt`) and trace (`.trace`) files — the
+//! kind is sniffed from content, so misnamed files still work — and
+//! exits non-zero iff at least one error-severity diagnostic was
+//! emitted. Checkpoints carry their own topology; traces are resolved
+//! against a Clos built from the `--pods`-family flags (defaults match
+//! `tagger-ctrld`). `--elp` additionally checks that every expected
+//! lossless path stays lossless under a checkpoint's tables; `--no-audit`
+//! skips the independent-auditor cross-check. `--format json` emits the
+//! byte-stable structured report for CI and editors.
+//!
+//! `explain` prints the one-line description of a diagnostic code.
+
+use std::process::ExitCode;
+
+use tagger::lint::{codes, lint_files, render_json, ElpSpec, LintOptions};
+use tagger::topo::ClosConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: tagger-lint <check|explain> ...");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "check" => cmd_check(rest),
+        "explain" => cmd_explain(rest),
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Positional + `--flag value` parsing (`--no-audit` is valueless).
+fn parse(
+    rest: &[String],
+) -> Result<(Vec<String>, std::collections::BTreeMap<String, String>), String> {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::BTreeMap::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = &rest[i];
+        if a == "--no-audit" {
+            flags.insert("no-audit".to_string(), String::new());
+            i += 1;
+        } else if let Some(name) = a.strip_prefix("--") {
+            if i + 1 < rest.len() {
+                flags.insert(name.to_string(), rest[i + 1].clone());
+                i += 2;
+            } else {
+                return Err(format!("--{name} wants a value"));
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn get(
+    flags: &std::collections::BTreeMap<String, String>,
+    name: &str,
+    default: usize,
+) -> Result<usize, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} wants a number, got {v:?}")),
+    }
+}
+
+fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
+    let (files, flags) = parse(rest)?;
+    if files.is_empty() {
+        return Err("usage: tagger-lint check <file...>".into());
+    }
+    let elp = match flags.get("elp").map(String::as_str) {
+        None => None,
+        Some("updown") => Some(ElpSpec::UpDown),
+        Some(spec) => match spec.strip_prefix("bounces=") {
+            Some(k) => {
+                Some(ElpSpec::Bounces(k.parse().map_err(|_| {
+                    format!("--elp bounces wants a number, got {k:?}")
+                })?))
+            }
+            None => return Err(format!("--elp wants `updown` or `bounces=K`, got {spec:?}")),
+        },
+    };
+    let trace_topo = ClosConfig {
+        pods: get(&flags, "pods", 2)?,
+        leaves_per_pod: get(&flags, "leaves", 2)?,
+        tors_per_pod: get(&flags, "tors", 2)?,
+        spines: get(&flags, "spines", 2)?,
+        hosts_per_tor: get(&flags, "hosts", 4)?,
+    }
+    .build();
+    let opts = LintOptions {
+        elp,
+        audit_cross_check: !flags.contains_key("no-audit"),
+        trace_topo,
+    };
+    let report = lint_files(&files, &opts);
+    match flags.get("format").map(String::as_str) {
+        None | Some("human") => print!("{}", report.render_human()),
+        Some("json") => print!("{}", render_json(&report)),
+        Some(other) => return Err(format!("--format wants `human` or `json`, got {other:?}")),
+    }
+    Ok(if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn cmd_explain(rest: &[String]) -> Result<ExitCode, String> {
+    let (positional, _) = parse(rest)?;
+    let [code] = &positional[..] else {
+        return Err("usage: tagger-lint explain <code>".into());
+    };
+    match codes::describe(code) {
+        Some(description) => {
+            println!("{code}: {description}");
+            Ok(ExitCode::SUCCESS)
+        }
+        None => Err(format!("unknown diagnostic code {code:?}")),
+    }
+}

@@ -44,6 +44,7 @@
 pub use tagger_audit as audit;
 pub use tagger_core as core;
 pub use tagger_ctrl as ctrl;
+pub use tagger_lint as lint;
 pub use tagger_routing as routing;
 pub use tagger_sim as sim;
 pub use tagger_switch as switch;
