@@ -20,6 +20,29 @@ pub struct AuditMetrics {
     latencies_us: Vec<u64>,
 }
 
+impl std::ops::AddAssign for AuditMetrics {
+    /// Fleet rollup: counters add and latency samples concatenate, so a
+    /// fleet-wide mean/max is computed over every fabric's audits —
+    /// mirroring `SwitchStats` / `ControllerMetrics` one-place rollups.
+    fn add_assign(&mut self, rhs: AuditMetrics) {
+        self.epochs_audited += rhs.epochs_audited;
+        self.rules_decompiled += rhs.rules_decompiled;
+        self.certificates_issued += rhs.certificates_issued;
+        self.counterexamples_found += rhs.counterexamples_found;
+        self.findings += rhs.findings;
+        self.latencies_us.extend(rhs.latencies_us);
+    }
+}
+
+impl std::iter::Sum for AuditMetrics {
+    fn sum<I: Iterator<Item = AuditMetrics>>(iter: I) -> AuditMetrics {
+        iter.fold(AuditMetrics::default(), |mut acc, m| {
+            acc += m;
+            acc
+        })
+    }
+}
+
 impl AuditMetrics {
     /// Records one audit's wall-clock latency.
     pub fn record_latency_us(&mut self, us: u64) {
@@ -90,5 +113,35 @@ mod tests {
         assert!(r.contains("epochs audited"));
         assert!(r.contains("120"));
         assert!(r.contains("last 300 / mean 200 / max 300"));
+    }
+
+    #[test]
+    fn sum_rolls_up_counters_and_concatenates_latencies() {
+        let mut a = AuditMetrics {
+            epochs_audited: 2,
+            certificates_issued: 2,
+            rules_decompiled: 40,
+            ..AuditMetrics::default()
+        };
+        a.record_latency_us(10);
+        let mut b = AuditMetrics {
+            epochs_audited: 1,
+            counterexamples_found: 1,
+            findings: 2,
+            rules_decompiled: 7,
+            ..AuditMetrics::default()
+        };
+        b.record_latency_us(30);
+        let total: AuditMetrics = [a, b].into_iter().sum();
+        assert_eq!(total.epochs_audited, 3);
+        assert_eq!(total.certificates_issued, 2);
+        assert_eq!(total.counterexamples_found, 1);
+        assert_eq!(total.findings, 2);
+        assert_eq!(total.rules_decompiled, 47);
+        assert_eq!(total.mean_latency_us(), Some(20));
+        assert_eq!(total.max_latency_us(), Some(30));
+        let zero: AuditMetrics = std::iter::empty().sum();
+        assert_eq!(zero.epochs_audited, 0);
+        assert_eq!(zero.mean_latency_us(), None);
     }
 }

@@ -1,0 +1,122 @@
+//! **fleet throughput** — the `tagger-fleetd` chaos-soak drill as a
+//! benchmark, emitting `BENCH_fleetd.json`.
+//!
+//! Runs the same seeded multi-fabric soak the daemon's `soak`
+//! subcommand runs (every fabric under its own chaotic southbound,
+//! interleaved ingest, bounded fair drain), requires the fleet to end
+//! fully certified, and records the throughput figures: fabrics, events
+//! ingested, events per second, commits, rollbacks, and the p99 stage
+//! latency across every committed epoch in the fleet.
+//!
+//! ```text
+//! fleet_soak [--fabrics N] [--seed S] [--events N] [--fail-rate R] [--out PATH]
+//! ```
+//!
+//! The counters in the JSON are seed-deterministic; only `elapsed_ms`,
+//! `events_per_sec` and the latency figures vary with the machine.
+//! Exits non-zero if any fabric fails readiness — a benchmark of a
+//! broken fleet is not a benchmark.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+use tagger_fleet::{percentile_us, run_soak, SoakConfig};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parse = |name: &str, default: u64| -> u64 {
+        flag(&args, name)
+            .map(|v| v.parse().unwrap_or(default))
+            .unwrap_or(default)
+    };
+    let dir = std::env::temp_dir().join(format!("tagger-bench-fleet-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cfg = SoakConfig {
+        fabrics: parse("--fabrics", 8) as usize,
+        seed: parse("--seed", 1),
+        events_per_fabric: parse("--events", 48) as usize,
+        fail_rate: flag(&args, "--fail-rate")
+            .map(|v| v.parse().unwrap_or(0.25))
+            .unwrap_or(0.25),
+        dir: dir.clone(),
+    };
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_fleetd.json".to_string());
+
+    let start = Instant::now();
+    let outcome = match run_soak(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("fleet_soak: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed = start.elapsed();
+    std::fs::remove_dir_all(&dir).ok();
+
+    print!("{}", outcome.readiness.render());
+    if !outcome.readiness.all_ready() {
+        eprintln!("fleet_soak: fleet failed readiness; refusing to record the benchmark");
+        return ExitCode::from(1);
+    }
+
+    let snap = &outcome.snapshot;
+    let ingested: u64 = snap.fabrics.iter().map(|f| f.ingested).sum();
+    let latencies = snap.all_latencies_us();
+    let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+    let events_per_sec = ingested as f64 / elapsed.as_secs_f64();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"fleetd_soak\",");
+    let _ = writeln!(json, "  \"fabrics\": {},", cfg.fabrics);
+    let _ = writeln!(json, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(json, "  \"events_ingested\": {ingested},");
+    let _ = writeln!(json, "  \"events_per_sec\": {events_per_sec:.1},");
+    let _ = writeln!(json, "  \"elapsed_ms\": {elapsed_ms:.1},");
+    let _ = writeln!(json, "  \"drain_cycles\": {},", outcome.drain_cycles);
+    let _ = writeln!(
+        json,
+        "  \"commits\": {},",
+        snap.ctrl_rollup.epochs_committed
+    );
+    let _ = writeln!(json, "  \"rollbacks\": {},", snap.ctrl_rollup.rollbacks);
+    let _ = writeln!(
+        json,
+        "  \"flaps_damped\": {},",
+        snap.ctrl_rollup.flaps_damped
+    );
+    let _ = writeln!(
+        json,
+        "  \"faults_injected\": {},",
+        snap.fabrics.iter().map(|f| f.faults_injected).sum::<u64>()
+    );
+    let _ = writeln!(
+        json,
+        "  \"epoch_latency_us\": {{ \"p50\": {}, \"p99\": {}, \"max\": {} }},",
+        percentile_us(&latencies, 50),
+        percentile_us(&latencies, 99),
+        latencies.iter().max().copied().unwrap_or(0)
+    );
+    let _ = writeln!(
+        json,
+        "  \"certified_fabrics\": {}",
+        outcome.readiness.ready_count()
+    );
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("fleet_soak: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "wrote {out_path}: {ingested} events over {} fabrics in {elapsed_ms:.0} ms \
+         ({events_per_sec:.0} events/s)",
+        cfg.fabrics
+    );
+    ExitCode::SUCCESS
+}

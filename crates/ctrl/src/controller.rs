@@ -386,8 +386,15 @@ impl Controller {
         self.metrics.checkpoints += 1;
     }
 
-    /// Counts link transitions absorbed by flap damping.
-    pub(crate) fn bump_flaps_damped(&mut self, n: u64) {
+    /// Counts link transitions absorbed by flap damping. Public so
+    /// external batching layers that run their own [`DampingPolicy`]
+    /// (e.g. a fleet ingest queue) and call
+    /// [`Controller::handle_batch_via`] directly can keep this metric
+    /// truthful: bump by `batch.len() - 1` per damped batch, matching
+    /// what [`Controller::replay_damped_via`] records.
+    ///
+    /// [`DampingPolicy`]: crate::DampingPolicy
+    pub fn bump_flaps_damped(&mut self, n: u64) {
         self.metrics.flaps_damped += n;
     }
 

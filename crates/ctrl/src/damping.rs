@@ -1,0 +1,236 @@
+//! Pluggable event damping: how a stream of control-plane events is
+//! split into recompute batches.
+//!
+//! PR 2 hard-coded one policy — flap damping, where a maximal run of
+//! consecutive link events on the same link collapses into a single
+//! recompute of its net effect. A multi-fabric daemon wants that policy
+//! *per fabric* (never across fabrics — one tenant's flapping
+//! transceiver must not change another tenant's batching), and wants to
+//! swap it: a soak harness may batch aggressively, a latency-sensitive
+//! fabric may want every event staged alone. [`DampingPolicy`] is that
+//! seam; [`coalesce_flaps`](crate::coalesce_flaps) remains as the
+//! default policy's implementation.
+//!
+//! Every policy must be **suffix-closed**: splitting a stream, removing
+//! the first batch, and re-splitting the remainder must yield the
+//! remaining batches unchanged. This is what lets an ingest queue drain
+//! a bounded number of batches per cycle and leave the rest queued
+//! without changing how they will eventually be batched — the property
+//! the interleaving-equivalence tests pin down.
+
+use crate::event::CtrlEvent;
+use std::ops::Range;
+use tagger_topo::LinkId;
+
+/// Splits an ordered event stream into contiguous recompute batches.
+pub trait DampingPolicy {
+    /// Partition `events` into contiguous, in-order, non-empty ranges
+    /// covering the whole slice. Each range becomes one staged batch
+    /// (one recompute of the range's net effect).
+    fn split(&self, events: &[CtrlEvent]) -> Vec<Range<usize>>;
+
+    /// A short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// No damping: every event stages its own epoch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoDamping;
+
+impl DampingPolicy for NoDamping {
+    fn split(&self, events: &[CtrlEvent]) -> Vec<Range<usize>> {
+        (0..events.len()).map(|i| i..i + 1).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// The PR 2 policy: a maximal run of consecutive link events on the
+/// *same* link is one batch; everything else is a singleton.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlapDamping;
+
+fn link_of(e: &CtrlEvent) -> Option<LinkId> {
+    match e {
+        CtrlEvent::LinkDown(l) | CtrlEvent::LinkUp(l) => Some(*l),
+        _ => None,
+    }
+}
+
+impl DampingPolicy for FlapDamping {
+    fn split(&self, events: &[CtrlEvent]) -> Vec<Range<usize>> {
+        let mut batches = Vec::new();
+        let mut start = 0;
+        while start < events.len() {
+            let mut end = start + 1;
+            if let Some(link) = link_of(&events[start]) {
+                while end < events.len() && link_of(&events[end]) == Some(link) {
+                    end += 1;
+                }
+            }
+            batches.push(start..end);
+            start = end;
+        }
+        batches
+    }
+
+    fn name(&self) -> &'static str {
+        "flap"
+    }
+}
+
+/// Flap damping with a ceiling on batch size: a same-link run longer
+/// than `max_batch` is chopped into `max_batch`-sized pieces (each still
+/// one recompute). Bounds the state a single batch can move through one
+/// epoch, at the cost of extra recomputes on very long flap storms.
+#[derive(Clone, Copy, Debug)]
+pub struct CappedFlapDamping {
+    /// Largest number of events a single batch may hold (>= 1).
+    pub max_batch: usize,
+}
+
+impl CappedFlapDamping {
+    /// A capped policy; `max_batch` is clamped to at least 1.
+    pub fn new(max_batch: usize) -> Self {
+        CappedFlapDamping {
+            max_batch: max_batch.max(1),
+        }
+    }
+}
+
+impl DampingPolicy for CappedFlapDamping {
+    fn split(&self, events: &[CtrlEvent]) -> Vec<Range<usize>> {
+        let mut out = Vec::new();
+        for run in FlapDamping.split(events) {
+            let mut s = run.start;
+            while s < run.end {
+                let e = (s + self.max_batch).min(run.end);
+                out.push(s..e);
+                s = e;
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "flap-capped"
+    }
+}
+
+/// Parses the `--damping` flag syntax: `none`, `flap`, or `flap:N`
+/// (capped at N events per batch).
+pub fn parse_damping(spec: &str) -> Result<Box<dyn DampingPolicy>, String> {
+    match spec {
+        "none" => Ok(Box::new(NoDamping)),
+        "flap" => Ok(Box::new(FlapDamping)),
+        other => match other.strip_prefix("flap:") {
+            Some(n) => {
+                let cap: usize = n
+                    .parse()
+                    .map_err(|_| format!("damping cap wants a number, got {n:?}"))?;
+                if cap == 0 {
+                    return Err("damping cap must be at least 1".into());
+                }
+                Ok(Box::new(CappedFlapDamping::new(cap)))
+            }
+            None => Err(format!(
+                "unknown damping policy {other:?} (want none, flap, or flap:N)"
+            )),
+        },
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::event::parse_trace;
+    use tagger_topo::ClosConfig;
+
+    fn events(trace: &str) -> Vec<CtrlEvent> {
+        parse_trace(&ClosConfig::small().build(), trace).unwrap()
+    }
+
+    fn assert_covering(events: &[CtrlEvent], ranges: &[Range<usize>]) {
+        let mut at = 0;
+        for r in ranges {
+            assert_eq!(r.start, at, "ranges must be contiguous and in order");
+            assert!(r.end > r.start, "ranges must be non-empty");
+            at = r.end;
+        }
+        assert_eq!(at, events.len(), "ranges must cover the stream");
+    }
+
+    fn assert_suffix_closed(policy: &dyn DampingPolicy, events: &[CtrlEvent]) {
+        let full = policy.split(events);
+        assert_covering(events, &full);
+        if full.len() < 2 {
+            return;
+        }
+        let cut = full[0].end;
+        let rest = policy.split(&events[cut..]);
+        let shifted: Vec<Range<usize>> = rest.iter().map(|r| r.start + cut..r.end + cut).collect();
+        assert_eq!(
+            &full[1..],
+            shifted.as_slice(),
+            "removing the first batch must not re-batch the remainder"
+        );
+    }
+
+    #[test]
+    fn flap_damping_matches_coalesce_flaps() {
+        let evs = events("flap L1 T1 3\ndown L2 T2\nresync\nup L2 T2");
+        let refs: Vec<&CtrlEvent> = evs.iter().collect();
+        let legacy = crate::coalesce_flaps(&refs);
+        let split = FlapDamping.split(&evs);
+        assert_eq!(legacy.len(), split.len());
+        for (batch, range) in legacy.iter().zip(&split) {
+            assert_eq!(batch.len(), range.len());
+        }
+        // 6 flap events, then three singletons.
+        assert_eq!(split[0], 0..6);
+    }
+
+    #[test]
+    fn no_damping_is_all_singletons() {
+        let evs = events("flap L1 T1 2\nresync");
+        let split = NoDamping.split(&evs);
+        assert_eq!(split.len(), evs.len());
+        assert_covering(&evs, &split);
+    }
+
+    #[test]
+    fn capped_damping_chops_long_runs() {
+        let evs = events("flap L1 T1 4"); // 8 events on one link
+        let split = CappedFlapDamping::new(3).split(&evs);
+        assert_eq!(
+            split,
+            vec![0..3, 3..6, 6..8],
+            "an 8-event run capped at 3 is 3+3+2"
+        );
+    }
+
+    #[test]
+    fn policies_are_suffix_closed() {
+        let evs = events("flap L1 T1 4\ndown L2 T2\nresync\nflap L3 T3 2\nup L2 T2");
+        for policy in [
+            &NoDamping as &dyn DampingPolicy,
+            &FlapDamping,
+            &CappedFlapDamping::new(3),
+            &CappedFlapDamping::new(1),
+        ] {
+            assert_suffix_closed(policy, &evs);
+        }
+    }
+
+    #[test]
+    fn parse_damping_round_trips() {
+        assert_eq!(parse_damping("none").unwrap().name(), "none");
+        assert_eq!(parse_damping("flap").unwrap().name(), "flap");
+        assert_eq!(parse_damping("flap:4").unwrap().name(), "flap-capped");
+        assert!(parse_damping("flap:0").is_err());
+        assert!(parse_damping("window").is_err());
+    }
+}

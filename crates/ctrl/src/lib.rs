@@ -31,6 +31,12 @@
 //!   backoff under an [`InstallPolicy`] and enforce a commit barrier:
 //!   an epoch lands everywhere or is rolled back everywhere — the fleet
 //!   is never left running a mix of epochs.
+//! - [`DampingPolicy`] — pluggable event batching ([`NoDamping`],
+//!   [`FlapDamping`], [`CappedFlapDamping`]): how a stream of events is
+//!   split into recompute batches. Policies are suffix-closed, so a
+//!   bounded ingest queue can drain a few batches per cycle without
+//!   changing how the remainder will batch — what lets `tagger-fleetd`
+//!   damp each fabric independently, never across fabrics.
 //! - [`Journal`] — a write-ahead event journal with snapshot
 //!   checkpoints; [`recover`] rebuilds a crashed controller to
 //!   byte-identical committed tables and [`Controller::reconcile`]
@@ -50,6 +56,7 @@
 
 mod chaos;
 mod controller;
+mod damping;
 mod event;
 mod journal;
 mod metrics;
@@ -62,10 +69,11 @@ pub use controller::{
     coalesce_flaps, CommitReport, Controller, CtrlError, EpochOutcome, InstallPolicy,
     RollbackReason, Snapshot,
 };
+pub use damping::{parse_damping, CappedFlapDamping, DampingPolicy, FlapDamping, NoDamping};
 pub use event::{parse_trace, CtrlEvent, TraceError, TraceErrorKind};
 pub use journal::{recover, DriveReport, Journal, JournalError, Recovery};
 pub use metrics::ControllerMetrics;
-pub use observer::{CommitObserver, NoopObserver};
+pub use observer::{CommitObserver, FnObserver, NoopObserver, Tee};
 pub use southbound::{ReliableSouthbound, Southbound};
 pub use state::{ElpPolicy, NetworkState};
 

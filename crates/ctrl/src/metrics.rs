@@ -66,6 +66,48 @@ pub struct ControllerMetrics {
     pub total_recompute: Duration,
 }
 
+impl std::ops::AddAssign for ControllerMetrics {
+    /// Fleet rollup: counters and cumulative durations add; worst-case
+    /// latency takes the max; `last_recompute` takes the right-hand
+    /// side's sample when it staged anything (the most recently merged
+    /// fabric wins), mirroring `SwitchStats`'s one-place rollup.
+    fn add_assign(&mut self, rhs: ControllerMetrics) {
+        self.events += rhs.events;
+        self.epochs_staged += rhs.epochs_staged;
+        self.epochs_committed += rhs.epochs_committed;
+        self.rollbacks += rhs.rollbacks;
+        self.verify_failures += rhs.verify_failures;
+        self.budget_rejections += rhs.budget_rejections;
+        self.rules_added += rhs.rules_added;
+        self.rules_removed += rhs.rules_removed;
+        self.install_attempts += rhs.install_attempts;
+        self.install_retries += rhs.install_retries;
+        self.install_failures += rhs.install_failures;
+        self.install_aborts += rhs.install_aborts;
+        self.rollback_installs += rhs.rollback_installs;
+        self.install_backoff += rhs.install_backoff;
+        self.flaps_damped += rhs.flaps_damped;
+        self.watchdog_trips += rhs.watchdog_trips;
+        self.watchdog_clears += rhs.watchdog_clears;
+        self.checkpoints += rhs.checkpoints;
+        self.recovery_replays += rhs.recovery_replays;
+        if rhs.epochs_staged > 0 {
+            self.last_recompute = rhs.last_recompute;
+        }
+        self.max_recompute = self.max_recompute.max(rhs.max_recompute);
+        self.total_recompute += rhs.total_recompute;
+    }
+}
+
+impl std::iter::Sum for ControllerMetrics {
+    fn sum<I: Iterator<Item = ControllerMetrics>>(iter: I) -> ControllerMetrics {
+        iter.fold(ControllerMetrics::default(), |mut acc, m| {
+            acc += m;
+            acc
+        })
+    }
+}
+
 impl ControllerMetrics {
     /// Mean stage latency over all staged epochs.
     pub fn mean_recompute(&self) -> Duration {
@@ -165,5 +207,42 @@ mod tests {
             m.mean_recompute(),
             Duration::from_micros(666) + Duration::from_nanos(666)
         )
+    }
+
+    #[test]
+    fn sum_rolls_up_counters_and_latencies() {
+        let mut a = ControllerMetrics {
+            events: 3,
+            epochs_staged: 2,
+            epochs_committed: 2,
+            rules_added: 10,
+            install_backoff: Duration::from_millis(4),
+            ..ControllerMetrics::default()
+        };
+        a.record_recompute(Duration::from_millis(5));
+        let mut b = ControllerMetrics {
+            events: 4,
+            epochs_staged: 1,
+            epochs_committed: 0,
+            rollbacks: 1,
+            rules_added: 1,
+            install_backoff: Duration::from_millis(1),
+            ..ControllerMetrics::default()
+        };
+        b.record_recompute(Duration::from_millis(2));
+        let total: ControllerMetrics = [a.clone(), b.clone()].into_iter().sum();
+        assert_eq!(total.events, 7);
+        assert_eq!(total.epochs_staged, 3);
+        assert_eq!(total.epochs_committed, 2);
+        assert_eq!(total.rollbacks, 1);
+        assert_eq!(total.rules_added, 11);
+        assert_eq!(total.install_backoff, Duration::from_millis(5));
+        assert_eq!(total.max_recompute, Duration::from_millis(5));
+        assert_eq!(total.last_recompute, b.last_recompute);
+        assert_eq!(total.total_recompute, Duration::from_millis(7));
+        // Empty sum is the identity.
+        let zero: ControllerMetrics = std::iter::empty().sum();
+        assert_eq!(zero.events, 0);
+        assert_eq!(zero.total_recompute, Duration::ZERO);
     }
 }

@@ -1,0 +1,82 @@
+//! Fleet-level error taxonomy.
+
+use std::fmt;
+use std::path::PathBuf;
+use tagger_ctrl::{CtrlError, JournalError, TraceError};
+
+/// Why a fleet operation failed.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A fabric name was registered twice.
+    DuplicateFabric(String),
+    /// Two fabrics resolved to the same journal path — concurrent
+    /// fabrics interleaving writes into one journal file would corrupt
+    /// both, so registration refuses outright.
+    DuplicateJournalPath {
+        /// The contested path.
+        path: PathBuf,
+        /// The fabric that already owns it.
+        owner: String,
+        /// The fabric that tried to claim it.
+        claimant: String,
+    },
+    /// An ingest or query referenced a fabric the fleet does not host.
+    UnknownFabric(String),
+    /// A fabric's bounded ingest queue is full; drain before retrying.
+    QueueFull {
+        /// The saturated fabric.
+        fabric: String,
+        /// Its configured queue capacity.
+        cap: usize,
+    },
+    /// An ingest line failed trace parsing against its fabric's
+    /// topology.
+    Trace(TraceError),
+    /// The fabric's controller rejected the event as malformed.
+    Ctrl(CtrlError),
+    /// The fabric's journal could not be written or recovered.
+    Journal(JournalError),
+    /// Filesystem trouble below the fleet directory.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::DuplicateFabric(name) => {
+                write!(f, "fabric {name:?} is already registered")
+            }
+            FleetError::DuplicateJournalPath {
+                path,
+                owner,
+                claimant,
+            } => write!(
+                f,
+                "fabric {claimant:?} wants journal {}, already owned by fabric {owner:?}",
+                path.display()
+            ),
+            FleetError::UnknownFabric(name) => write!(f, "no fabric named {name:?}"),
+            FleetError::QueueFull { fabric, cap } => {
+                write!(f, "fabric {fabric:?} ingest queue is full (cap {cap})")
+            }
+            FleetError::Trace(e) => write!(f, "ingest parse: {e}"),
+            FleetError::Ctrl(e) => write!(f, "controller: {e}"),
+            FleetError::Journal(e) => write!(f, "journal: {e}"),
+            FleetError::Io(e) => write!(f, "fleet io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::Io(e)
+    }
+}
+
+impl From<TraceError> for FleetError {
+    fn from(e: TraceError) -> Self {
+        FleetError::Trace(e)
+    }
+}

@@ -1,0 +1,354 @@
+//! The fabric registry and the fair ingest/drain loop — the fleet's
+//! supervisor.
+
+use crate::error::FleetError;
+use crate::fabric::{Fabric, FabricId, FabricSpec};
+use crate::report::{FabricStatus, FleetReport};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use tagger_ctrl::{parse_trace, CtrlEvent, EpochOutcome, InstallPolicy};
+
+/// Fleet-wide knobs, applied to every fabric at registration.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Directory journals are derived under (created on first
+    /// registration).
+    pub dir: PathBuf,
+    /// Per-fabric ingest queue capacity; a full queue rejects ingest
+    /// rather than dropping or blocking.
+    pub queue_cap: usize,
+    /// Most damped batches one fabric may process per drain cycle — the
+    /// fairness bound that keeps a flapping fabric from starving the
+    /// rest: every cycle visits every fabric, and no fabric's turn
+    /// exceeds `drain_quantum` recomputes.
+    pub drain_quantum: usize,
+    /// Southbound install retry discipline.
+    pub install: InstallPolicy,
+}
+
+impl FleetConfig {
+    /// Defaults rooted at `dir`: queue cap 1024, quantum 4, default
+    /// install policy.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        FleetConfig {
+            dir: dir.into(),
+            queue_cap: 1024,
+            drain_quantum: 4,
+            install: InstallPolicy::default(),
+        }
+    }
+}
+
+/// Derives the on-disk stem for a fabric name: lowercased, with every
+/// character outside `[a-z0-9_-]` replaced by `-`. Distinct names can
+/// collide after sanitization ("fab/0" and "fab.0" both become
+/// "fab-0"); registration catches that as a duplicate-path error.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            let c = c.to_ascii_lowercase();
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// N independent fabrics behind one process: registration (with journal
+/// path isolation), per-fabric bounded ingest, a fair round-robin drain,
+/// and fleet-wide snapshots.
+pub struct Fleet {
+    cfg: FleetConfig,
+    fabrics: Vec<Fabric>,
+    by_name: BTreeMap<String, usize>,
+    /// Canonicalized journal path -> owning fabric name. The isolation
+    /// invariant: no two fabrics may ever share a journal file, or
+    /// concurrent drains would interleave their write-ahead records.
+    journal_owners: BTreeMap<PathBuf, String>,
+}
+
+impl Fleet {
+    /// An empty fleet.
+    pub fn new(cfg: FleetConfig) -> Self {
+        Fleet {
+            cfg,
+            fabrics: Vec::new(),
+            by_name: BTreeMap::new(),
+            journal_owners: BTreeMap::new(),
+        }
+    }
+
+    /// The fleet's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Registered fabrics, in id order.
+    pub fn fabrics(&self) -> &[Fabric] {
+        &self.fabrics
+    }
+
+    /// Number of registered fabrics.
+    pub fn len(&self) -> usize {
+        self.fabrics.len()
+    }
+
+    /// True when no fabric is registered.
+    pub fn is_empty(&self) -> bool {
+        self.fabrics.is_empty()
+    }
+
+    /// Looks a fabric up by name.
+    pub fn fabric(&self, name: &str) -> Result<&Fabric, FleetError> {
+        self.by_name
+            .get(name)
+            .map(|&i| &self.fabrics[i])
+            .ok_or_else(|| FleetError::UnknownFabric(name.to_string()))
+    }
+
+    /// Mutable lookup by name.
+    pub fn fabric_mut(&mut self, name: &str) -> Result<&mut Fabric, FleetError> {
+        match self.by_name.get(name) {
+            Some(&i) => Ok(&mut self.fabrics[i]),
+            None => Err(FleetError::UnknownFabric(name.to_string())),
+        }
+    }
+
+    /// Resolves the journal path a spec will use, without registering.
+    ///
+    /// Explicit paths are honoured; otherwise
+    /// `<dir>/<sanitized-name>.journal`.
+    pub fn journal_path_for(&self, spec: &FabricSpec) -> PathBuf {
+        match &spec.journal_path {
+            Some(p) => p.clone(),
+            None => self
+                .cfg
+                .dir
+                .join(format!("{}.journal", sanitize(&spec.name))),
+        }
+    }
+
+    /// Canonical form for duplicate detection: resolve the parent
+    /// directory (which exists by the time we check) so `a/../b.journal`
+    /// and `b.journal` collide, then re-attach the file name.
+    fn canonical(path: &Path) -> PathBuf {
+        let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+        match (parent.and_then(|p| p.canonicalize().ok()), path.file_name()) {
+            (Some(dir), Some(file)) => dir.join(file),
+            _ => path.to_path_buf(),
+        }
+    }
+
+    /// Brings a fabric under supervision: boots its controller (epoch 0
+    /// committed, audited, installed), creates its journal, and adds it
+    /// to the drain rotation. Rejects duplicate names and — the journal
+    /// isolation invariant — any journal path another fabric already
+    /// owns, even via a different spelling.
+    pub fn register(&mut self, spec: FabricSpec) -> Result<FabricId, FleetError> {
+        if self.by_name.contains_key(&spec.name) {
+            return Err(FleetError::DuplicateFabric(spec.name));
+        }
+        std::fs::create_dir_all(&self.cfg.dir)?;
+        if let Some(parent) = self.journal_path_for(&spec).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let path = self.journal_path_for(&spec);
+        let canonical = Self::canonical(&path);
+        if let Some(owner) = self.journal_owners.get(&canonical) {
+            return Err(FleetError::DuplicateJournalPath {
+                path,
+                owner: owner.clone(),
+                claimant: spec.name,
+            });
+        }
+        let id = FabricId(self.fabrics.len() as u32);
+        let name = spec.name.clone();
+        let fabric = Fabric::boot(id, spec, path, self.cfg.queue_cap, self.cfg.install)?;
+        self.journal_owners.insert(canonical, name.clone());
+        self.by_name.insert(name, id.index());
+        self.fabrics.push(fabric);
+        Ok(id)
+    }
+
+    /// Accepts one event for `fabric`'s bounded queue.
+    pub fn ingest(&mut self, fabric: &str, event: CtrlEvent) -> Result<(), FleetError> {
+        self.fabric_mut(fabric)?.enqueue(event)
+    }
+
+    /// Accepts one `fabric: trace-line` style line, parsed against that
+    /// fabric's own topology (a line can expand to several events, e.g.
+    /// `flap L1 T1 3`).
+    pub fn ingest_line(&mut self, fabric: &str, line: &str) -> Result<usize, FleetError> {
+        let fab = self.fabric_mut(fabric)?;
+        let events = parse_trace(fab.topo(), line)?;
+        let n = events.len();
+        for event in events {
+            fab.enqueue(event)?;
+        }
+        Ok(n)
+    }
+
+    /// One fair drain cycle: every fabric, in id order, processes up to
+    /// [`FleetConfig::drain_quantum`] damped batches from its own queue.
+    /// Returns the total batches processed. A fabric with a million
+    /// queued flaps gets exactly the same turn as one with a single
+    /// event — the starvation bound the ingest front promises.
+    pub fn drain_cycle(&mut self) -> Result<u64, FleetError> {
+        let quantum = self.cfg.drain_quantum.max(1);
+        let mut processed = 0u64;
+        for fabric in &mut self.fabrics {
+            processed += fabric.drain(quantum)?.len() as u64;
+        }
+        Ok(processed)
+    }
+
+    /// Drains until every queue is empty, returning total batches.
+    pub fn drain_all(&mut self) -> Result<u64, FleetError> {
+        let mut total = 0u64;
+        loop {
+            let n = self.drain_cycle()?;
+            total += n;
+            if n == 0 && self.fabrics.iter().all(|f| f.queued() == 0) {
+                return Ok(total);
+            }
+        }
+    }
+
+    /// Drains one named fabric to empty, ignoring the rotation — the
+    /// single-tenant escape hatch (and what the equivalence tests use as
+    /// their solo baseline).
+    pub fn drain_fabric(&mut self, name: &str) -> Result<Vec<EpochOutcome>, FleetError> {
+        let fab = self.fabric_mut(name)?;
+        let mut outcomes = Vec::new();
+        while fab.queued() > 0 {
+            outcomes.extend(fab.drain(usize::MAX)?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Point-in-time fleet snapshot: every fabric's status plus the
+    /// one-place rollups ([`std::iter::Sum`] over `ControllerMetrics` /
+    /// `AuditMetrics`).
+    pub fn snapshot(&self) -> FleetReport {
+        FleetReport::capture(self.fabrics.iter().map(FabricStatus::capture))
+    }
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("fabrics", &self.fabrics.len())
+            .field("dir", &self.cfg.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use tagger_topo::ClosConfig;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tagger-fleet-{}-{name}", std::process::id()))
+    }
+
+    fn spec(name: &str) -> FabricSpec {
+        FabricSpec::new(name, ClosConfig::small().build())
+    }
+
+    #[test]
+    fn register_rejects_duplicate_names_and_journal_paths() {
+        let dir = tmp("dup");
+        let mut fleet = Fleet::new(FleetConfig::new(&dir));
+        fleet.register(spec("fab0")).unwrap();
+        assert!(matches!(
+            fleet.register(spec("fab0")),
+            Err(FleetError::DuplicateFabric(_))
+        ));
+        // Distinct names, same sanitized journal stem: the path
+        // isolation invariant must refuse the second registration.
+        fleet.register(spec("fab.1")).unwrap();
+        match fleet.register(spec("fab/1")) {
+            Err(FleetError::DuplicateJournalPath {
+                owner, claimant, ..
+            }) => {
+                assert_eq!(owner, "fab.1");
+                assert_eq!(claimant, "fab/1");
+            }
+            other => panic!("expected DuplicateJournalPath, got {other:?}"),
+        }
+        // An explicit path that respells an owned path is also caught.
+        let mut sneaky = spec("fab2");
+        sneaky.journal_path = Some(dir.join("x/../fab-1.journal"));
+        std::fs::create_dir_all(dir.join("x")).unwrap();
+        assert!(matches!(
+            fleet.register(sneaky),
+            Err(FleetError::DuplicateJournalPath { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journals_live_under_the_fleet_dir_one_per_fabric() {
+        let dir = tmp("paths");
+        let mut fleet = Fleet::new(FleetConfig::new(&dir));
+        fleet.register(spec("EastCoast-A")).unwrap();
+        fleet.register(spec("westcoast-b")).unwrap();
+        let a = fleet.fabric("EastCoast-A").unwrap();
+        assert_eq!(a.journal_path(), dir.join("eastcoast-a.journal"));
+        assert!(a.journal_path().exists());
+        let b = fleet.fabric("westcoast-b").unwrap();
+        assert_eq!(b.journal_path(), dir.join("westcoast-b.journal"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_routes_to_the_named_fabric_only() {
+        let dir = tmp("route");
+        let mut fleet = Fleet::new(FleetConfig::new(&dir));
+        fleet.register(spec("a")).unwrap();
+        fleet.register(spec("b")).unwrap();
+        assert_eq!(fleet.ingest_line("a", "down L1 T1").unwrap(), 1);
+        assert_eq!(fleet.ingest_line("a", "flap L2 T2 2").unwrap(), 4);
+        assert!(matches!(
+            fleet.ingest_line("nope", "down L1 T1"),
+            Err(FleetError::UnknownFabric(_))
+        ));
+        assert_eq!(fleet.fabric("a").unwrap().queued(), 5);
+        assert_eq!(fleet.fabric("b").unwrap().queued(), 0);
+        fleet.drain_all().unwrap();
+        assert_eq!(fleet.fabric("a").unwrap().queued(), 0);
+        let a = fleet.fabric("a").unwrap();
+        assert!(a.commits() >= 2, "down + damped flap must commit");
+        assert!(a.converged());
+        assert_eq!(a.audit_violations(), 0);
+        let b = fleet.fabric("b").unwrap();
+        assert_eq!(b.commits(), 0, "fabric b saw no events");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn queue_cap_rejects_rather_than_drops() {
+        let dir = tmp("cap");
+        let mut cfg = FleetConfig::new(&dir);
+        cfg.queue_cap = 3;
+        let mut fleet = Fleet::new(cfg);
+        fleet.register(spec("a")).unwrap();
+        for _ in 0..3 {
+            fleet.ingest_line("a", "resync").unwrap();
+        }
+        assert!(matches!(
+            fleet.ingest_line("a", "resync"),
+            Err(FleetError::QueueFull { cap: 3, .. })
+        ));
+        // Draining frees capacity.
+        fleet.drain_cycle().unwrap();
+        fleet.ingest_line("a", "resync").unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

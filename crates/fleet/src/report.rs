@@ -1,0 +1,328 @@
+//! Fleet snapshots: per-fabric status lines plus one-place rollups,
+//! rendered as deterministic text or JSON.
+//!
+//! Two audiences, two renders. [`FleetReport::render`] is the operator
+//! view: it includes wall-clock latency summaries, which vary run to
+//! run. [`FleetReport::to_json`] is the machine view and carries *only*
+//! seed-deterministic fields (counts, epochs, flags) — given the same
+//! specs and seeds it is byte-identical across runs, so it can be
+//! diffed, golden-tested, and asserted on in CI. Timing belongs in
+//! `BENCH_fleetd.json`, not here.
+
+use crate::fabric::Fabric;
+use std::fmt::Write as _;
+use tagger_audit::AuditMetrics;
+use tagger_ctrl::ControllerMetrics;
+
+/// Point-in-time status of one fabric, decoupled from the live
+/// [`Fabric`] so reports can outlive drains.
+#[derive(Clone, Debug)]
+pub struct FabricStatus {
+    /// Fabric id (registration order).
+    pub id: u32,
+    /// Fabric name.
+    pub name: String,
+    /// Committed epoch.
+    pub epoch: u64,
+    /// Rules in the committed snapshot.
+    pub rules: usize,
+    /// Live watchdog quarantines on the fabric's ELP.
+    pub quarantines: usize,
+    /// Events waiting in the ingest queue.
+    pub queued: usize,
+    /// Events accepted over the fabric's lifetime.
+    pub ingested: u64,
+    /// Damped batches processed.
+    pub batches: u64,
+    /// Epochs committed (excluding bootstrap).
+    pub commits: u64,
+    /// Batches rolled back.
+    pub rollbacks: u64,
+    /// Commits the independent audit refused to certify.
+    pub audit_violations: u64,
+    /// Southbound faults the chaos schedule injected.
+    pub faults_injected: u64,
+    /// Southbound tables equal the committed snapshot.
+    pub converged: bool,
+    /// The fabric controller's cumulative metrics.
+    pub ctrl: ControllerMetrics,
+    /// The fabric audit loop's cumulative metrics.
+    pub audit: AuditMetrics,
+    /// Stage latency per committed epoch, µs (wall-clock; excluded from
+    /// the JSON render).
+    pub epoch_latencies_us: Vec<u64>,
+}
+
+impl FabricStatus {
+    /// Captures a fabric's current status.
+    pub fn capture(fabric: &Fabric) -> FabricStatus {
+        FabricStatus {
+            id: fabric.id().0,
+            name: fabric.name().to_string(),
+            epoch: fabric.controller().committed().epoch,
+            rules: fabric.controller().committed().rules.num_rules(),
+            quarantines: fabric.controller().state().quarantines.len(),
+            queued: fabric.queued(),
+            ingested: fabric.ingested(),
+            batches: fabric.batches(),
+            commits: fabric.commits(),
+            rollbacks: fabric.rollbacks(),
+            audit_violations: fabric.audit_violations(),
+            faults_injected: fabric.faults_injected(),
+            converged: fabric.converged(),
+            ctrl: fabric.controller().metrics().clone(),
+            audit: fabric.audit_metrics().clone(),
+            epoch_latencies_us: fabric.epoch_latencies_us().to_vec(),
+        }
+    }
+}
+
+/// A whole-fleet snapshot: every fabric's status, in id order, plus the
+/// `Sum`-based rollups that answer "how is the fleet doing" in one
+/// place.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Per-fabric status, in fabric-id order.
+    pub fabrics: Vec<FabricStatus>,
+    /// Every fabric's controller metrics, summed.
+    pub ctrl_rollup: ControllerMetrics,
+    /// Every fabric's audit metrics, summed.
+    pub audit_rollup: AuditMetrics,
+}
+
+impl FleetReport {
+    /// Builds a report from per-fabric captures, computing the rollups.
+    pub fn capture(fabrics: impl Iterator<Item = FabricStatus>) -> FleetReport {
+        let fabrics: Vec<FabricStatus> = fabrics.collect();
+        let ctrl_rollup = fabrics.iter().map(|f| f.ctrl.clone()).sum();
+        let audit_rollup = fabrics.iter().map(|f| f.audit.clone()).sum();
+        FleetReport {
+            fabrics,
+            ctrl_rollup,
+            audit_rollup,
+        }
+    }
+
+    /// True when every fabric is converged with zero audit violations.
+    pub fn healthy(&self) -> bool {
+        self.fabrics
+            .iter()
+            .all(|f| f.converged && f.audit_violations == 0)
+    }
+
+    /// Every fabric's epoch latencies, concatenated in id order — the
+    /// series fleet percentiles are taken over.
+    pub fn all_latencies_us(&self) -> Vec<u64> {
+        self.fabrics
+            .iter()
+            .flat_map(|f| f.epoch_latencies_us.iter().copied())
+            .collect()
+    }
+
+    /// Operator text: one status line per fabric plus the rollups.
+    /// Includes wall-clock latency summaries, so it is *not* byte-stable
+    /// across runs; use [`FleetReport::to_json`] for that.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "fleet status ({} fabrics)", self.fabrics.len());
+        for f in &self.fabrics {
+            let _ = writeln!(
+                out,
+                "  [{}] {:<16} epoch {:>4}  rules {:>5}  quarantines {:>2}  \
+                 queued {:>4}  commits {:>4}  rollbacks {:>3}  faults {:>4}  \
+                 audit {}  {}",
+                f.id,
+                f.name,
+                f.epoch,
+                f.rules,
+                f.quarantines,
+                f.queued,
+                f.commits,
+                f.rollbacks,
+                f.faults_injected,
+                if f.audit_violations == 0 {
+                    "ok"
+                } else {
+                    "FAIL"
+                },
+                if f.converged { "converged" } else { "DIVERGED" },
+            );
+        }
+        let lat = self.all_latencies_us();
+        if !lat.is_empty() {
+            let _ = writeln!(
+                out,
+                "  epoch latency µs    p50 {} / p99 {} / max {}",
+                percentile_us(&lat, 50),
+                percentile_us(&lat, 99),
+                lat.iter().max().copied().unwrap_or(0),
+            );
+        }
+        out.push_str("\nfleet rollup\n");
+        for line in self.ctrl_rollup.report().lines().skip(1) {
+            let _ = writeln!(out, "{line}");
+        }
+        for line in self.audit_rollup.report().lines().skip(1) {
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+
+    /// Machine JSON, two-space indented with a trailing newline.
+    /// Deterministic: only seed-stable fields, no wall-clock values.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"fabrics\": [");
+        for (i, f) in self.fabrics.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"id\": {},", f.id);
+            let _ = writeln!(out, "      \"name\": {},", json_str(&f.name));
+            let _ = writeln!(out, "      \"epoch\": {},", f.epoch);
+            let _ = writeln!(out, "      \"rules\": {},", f.rules);
+            let _ = writeln!(out, "      \"quarantines\": {},", f.quarantines);
+            let _ = writeln!(out, "      \"queued\": {},", f.queued);
+            let _ = writeln!(out, "      \"ingested\": {},", f.ingested);
+            let _ = writeln!(out, "      \"batches\": {},", f.batches);
+            let _ = writeln!(out, "      \"commits\": {},", f.commits);
+            let _ = writeln!(out, "      \"rollbacks\": {},", f.rollbacks);
+            let _ = writeln!(out, "      \"flaps_damped\": {},", f.ctrl.flaps_damped);
+            let _ = writeln!(out, "      \"faults_injected\": {},", f.faults_injected);
+            let _ = writeln!(out, "      \"audit_violations\": {},", f.audit_violations);
+            let _ = writeln!(
+                out,
+                "      \"certificates_issued\": {},",
+                f.audit.certificates_issued
+            );
+            let _ = writeln!(out, "      \"converged\": {}", f.converged);
+            out.push_str("    }");
+        }
+        out.push_str("\n  ],\n");
+        let _ = writeln!(
+            out,
+            "  \"rollup\": {{\n    \"events\": {},\n    \"epochs_committed\": {},\n    \
+             \"rollbacks\": {},\n    \"flaps_damped\": {},\n    \"epochs_audited\": {},\n    \
+             \"certificates_issued\": {},\n    \"counterexamples_found\": {}\n  }},",
+            self.ctrl_rollup.events,
+            self.ctrl_rollup.epochs_committed,
+            self.ctrl_rollup.rollbacks,
+            self.ctrl_rollup.flaps_damped,
+            self.audit_rollup.epochs_audited,
+            self.audit_rollup.certificates_issued,
+            self.audit_rollup.counterexamples_found,
+        );
+        let _ = writeln!(out, "  \"healthy\": {}", self.healthy());
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Nearest-rank percentile over an unsorted series (`p` in 0..=100).
+/// Returns 0 for an empty series.
+pub fn percentile_us(series: &[u64], p: usize) -> u64 {
+    if series.is_empty() {
+        return 0;
+    }
+    let mut sorted = series.to_vec();
+    sorted.sort_unstable();
+    let rank = (p * sorted.len()).div_ceil(100).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn status(id: u32, name: &str) -> FabricStatus {
+        FabricStatus {
+            id,
+            name: name.to_string(),
+            epoch: 3,
+            rules: 120,
+            quarantines: 1,
+            queued: 0,
+            ingested: 9,
+            batches: 4,
+            commits: 3,
+            rollbacks: 1,
+            audit_violations: 0,
+            faults_injected: 2,
+            converged: true,
+            ctrl: ControllerMetrics {
+                events: 9,
+                epochs_committed: 3,
+                rollbacks: 1,
+                flaps_damped: 5,
+                ..ControllerMetrics::default()
+            },
+            audit: {
+                let mut m = AuditMetrics::default();
+                m.epochs_audited = 4;
+                m.certificates_issued = 4;
+                m
+            },
+            epoch_latencies_us: vec![10, 30, 20],
+        }
+    }
+
+    #[test]
+    fn rollups_sum_across_fabrics() {
+        let report = FleetReport::capture([status(0, "a"), status(1, "b")].into_iter());
+        assert_eq!(report.ctrl_rollup.events, 18);
+        assert_eq!(report.ctrl_rollup.epochs_committed, 6);
+        assert_eq!(report.audit_rollup.certificates_issued, 8);
+        assert!(report.healthy());
+        assert_eq!(report.all_latencies_us().len(), 6);
+    }
+
+    #[test]
+    fn unhealthy_when_any_fabric_diverges_or_fails_audit() {
+        let mut bad = status(1, "b");
+        bad.audit_violations = 1;
+        let report = FleetReport::capture([status(0, "a"), bad].into_iter());
+        assert!(!report.healthy());
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_omits_wall_clock() {
+        let mk = || FleetReport::capture([status(0, "spine \"x\""), status(1, "b")].into_iter());
+        let a = mk().to_json();
+        assert_eq!(a, mk().to_json(), "same inputs must render identically");
+        assert!(a.contains("\"spine \\\"x\\\"\""));
+        assert!(a.contains("\"healthy\": true"));
+        assert!(!a.contains("latency"), "JSON must stay seed-stable:\n{a}");
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile_us(&[], 99), 0);
+        assert_eq!(percentile_us(&[7], 50), 7);
+        let series: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&series, 50), 50);
+        assert_eq!(percentile_us(&series, 99), 99);
+        assert_eq!(percentile_us(&series, 100), 100);
+    }
+}

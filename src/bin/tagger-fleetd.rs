@@ -1,0 +1,245 @@
+//! `tagger-fleetd` — the multi-fabric control-plane daemon.
+//!
+//! Hosts N independent Tagger fabrics in one process, each with its own
+//! controller, write-ahead journal, (optionally chaotic) southbound and
+//! independent audit loop, behind a bounded fair ingest front: events
+//! arrive interleaved across fabrics, are batched per fabric by that
+//! fabric's damping policy (never across fabrics), and drain in
+//! round-robin with a bounded per-fabric quantum so one flapping fabric
+//! cannot starve the rest.
+//!
+//! ```text
+//! tagger-fleetd soak   [--fabrics N] [--seed S] [--events N]
+//!                      [--fail-rate R] [--dir PATH] [--status] [--json]
+//! tagger-fleetd ingest [stream-file] [--fabrics N] [--damping SPEC]
+//!                      [--chaos seed=N,fail_rate=P,...] [--dir PATH]
+//!                      [--quantum N] [--json]
+//! ```
+//!
+//! **soak** runs the chaos-soak drill: `--fabrics` fabrics, each under a
+//! distinct seeded event schedule *and* a distinct seeded southbound
+//! fault schedule, interleaved through the ingest front. Every fabric
+//! must end audit-certified, journal-recoverable, quarantine-consistent
+//! and converged; the readiness report is byte-stable given `--seed`.
+//! Exits non-zero if any fabric is not ready. `--status` also prints the
+//! fleet status rollup; `--json` prints the deterministic JSON snapshot.
+//!
+//! **ingest** replays an interleaved multi-fabric event stream. Each
+//! line is `<fabric>: <trace-line>` in the `tagger-ctrld` trace syntax
+//! (`down L1 T1`, `flap L2 S1 3`, `watchdog L1 2 2`, `resync`, ...);
+//! fabrics are registered on first mention (small Clos, `--damping`
+//! policy, `--chaos` schedule with a per-fabric seed offset). Lines are
+//! enqueued as they arrive and drained fairly every few lines, exactly
+//! like the live daemon. With no stream file, reads stdin. Prints the
+//! fleet status (and `--json` snapshot) at end of stream; exits
+//! non-zero if any fabric diverged or failed audit.
+//!
+//! Journals land under `--dir` (default: a per-process temp directory),
+//! one file per fabric; registering two fabrics whose journals would
+//! collide is refused.
+
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::process::ExitCode;
+
+use tagger::ctrl::ChaosConfig;
+use tagger::fleet::{Damping, FabricSpec, Fleet, FleetConfig, SoakConfig};
+use tagger::topo::ClosConfig;
+
+const USAGE: &str = "usage: tagger-fleetd <soak|ingest> [options]
+  soak   --fabrics N --seed S --events N --fail-rate R --dir PATH [--status] [--json]
+  ingest [stream-file] --fabrics N --damping none|flap|flap:N --chaos SPEC
+         --dir PATH --quantum N [--json]";
+
+fn parse_args(args: &[String]) -> Result<(Option<String>, BTreeMap<String, String>), String> {
+    let mut flags = BTreeMap::new();
+    let mut positional = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--status" || a == "--json" {
+            flags.insert(a[2..].to_string(), String::new());
+            i += 1;
+        } else if let Some(name) = a.strip_prefix("--") {
+            if i + 1 < args.len() {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                return Err(format!("--{name} wants a value"));
+            }
+        } else {
+            positional = Some(a.clone());
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &BTreeMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} wants a {}, got {v:?}", std::any::type_name::<T>())),
+    }
+}
+
+fn default_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("tagger-fleetd-{}", std::process::id()))
+}
+
+fn run_soak_cmd(flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
+    let dir = flags
+        .get("dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(default_dir);
+    let cfg = SoakConfig {
+        fabrics: get(flags, "fabrics", 8)?,
+        seed: get(flags, "seed", 1u64)?,
+        events_per_fabric: get(flags, "events", 48)?,
+        fail_rate: get(flags, "fail-rate", 0.25f64)?,
+        dir: dir.clone(),
+    };
+    if cfg.fabrics == 0 {
+        return Err("--fabrics must be at least 1".into());
+    }
+    println!(
+        "tagger-fleetd: soaking {} fabrics ({} events each, chaos fail_rate {:.2}, seed {})",
+        cfg.fabrics, cfg.events_per_fabric, cfg.fail_rate, cfg.seed
+    );
+    let outcome = tagger::fleet::run_soak(&cfg).map_err(|e| e.to_string())?;
+    print!("{}", outcome.readiness.render());
+    if flags.contains_key("status") {
+        println!();
+        print!("{}", outcome.snapshot.render());
+    }
+    if flags.contains_key("json") {
+        print!("{}", outcome.snapshot.to_json());
+    }
+    if flags.get("dir").is_none() {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    Ok(if outcome.readiness.all_ready() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn run_ingest(
+    stream: Option<String>,
+    flags: &BTreeMap<String, String>,
+) -> Result<ExitCode, String> {
+    let dir = flags
+        .get("dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(default_dir);
+    let damping = match flags.get("damping") {
+        Some(spec) => Damping::parse(spec)?,
+        None => Damping::Flap,
+    };
+    let chaos = flags
+        .get("chaos")
+        .map(|s| ChaosConfig::parse(s))
+        .transpose()?;
+    let mut fleet_cfg = FleetConfig::new(&dir);
+    fleet_cfg.drain_quantum = get(flags, "quantum", 4usize)?.max(1);
+    let mut fleet = Fleet::new(fleet_cfg);
+    let topo = ClosConfig::small().build();
+
+    let text = match &stream {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        }
+        None => {
+            let mut buf = String::new();
+            for line in std::io::stdin().lock().lines() {
+                buf.push_str(&line.map_err(|e| e.to_string())?);
+                buf.push('\n');
+            }
+            buf
+        }
+    };
+
+    let mut lines = 0u64;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (fabric, rest) = line
+            .split_once(':')
+            .ok_or_else(|| format!("line {}: want '<fabric>: <event>'", lineno + 1))?;
+        let fabric = fabric.trim();
+        if fleet.fabric(fabric).is_err() {
+            let mut spec = FabricSpec::new(fabric, topo.clone()).with_damping(damping);
+            if let Some(base) = chaos {
+                // Same rates for every fabric, but a per-fabric seed
+                // offset so their fault schedules are independent.
+                spec = spec.with_chaos(ChaosConfig {
+                    seed: base.seed.wrapping_add(fleet.len() as u64),
+                    ..base
+                });
+            }
+            let id = fleet.register(spec).map_err(|e| e.to_string())?;
+            println!(
+                "registered fabric [{}] {fabric} (journal {})",
+                id.0,
+                fleet
+                    .fabric(fabric)
+                    .map_err(|e| e.to_string())?
+                    .journal_path()
+                    .display()
+            );
+        }
+        fleet
+            .ingest_line(fabric, rest.trim())
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        lines += 1;
+        // Drain as the stream arrives, like the live daemon: a fair
+        // cycle every few lines keeps every fabric making progress.
+        if lines.is_multiple_of(8) {
+            fleet.drain_cycle().map_err(|e| e.to_string())?;
+        }
+    }
+    fleet.drain_all().map_err(|e| e.to_string())?;
+
+    let report = fleet.snapshot();
+    print!("{}", report.render());
+    if flags.contains_key("json") {
+        print!("{}", report.to_json());
+    }
+    Ok(if report.healthy() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "soak" => parse_args(&args[1..]).and_then(|(_, flags)| run_soak_cmd(&flags)),
+        "ingest" => parse_args(&args[1..]).and_then(|(stream, flags)| run_ingest(stream, &flags)),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("tagger-fleetd: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

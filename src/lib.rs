@@ -44,6 +44,7 @@
 pub use tagger_audit as audit;
 pub use tagger_core as core;
 pub use tagger_ctrl as ctrl;
+pub use tagger_fleet as fleet;
 pub use tagger_lint as lint;
 pub use tagger_routing as routing;
 pub use tagger_sim as sim;
@@ -56,6 +57,7 @@ pub mod prelude {
         clos::clos_tagging, greedy_minimize, tag_by_hop_count, Elp, Tag, TaggedGraph, Tagging,
     };
     pub use tagger_ctrl::{Controller, CtrlEvent, ElpPolicy};
+    pub use tagger_fleet::{FabricSpec, Fleet, FleetConfig};
     pub use tagger_routing::{updown_paths, Path};
     pub use tagger_sim::{Experiment, Simulator};
     pub use tagger_topo::{ClosConfig, Layer, NodeId, Topology};
