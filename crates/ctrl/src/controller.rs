@@ -600,10 +600,29 @@ impl Controller {
             staged_state.apply(&self.topo, event)?;
         }
         self.metrics.events += events.len() as u64;
+        // Classify watchdog activity against the quarantine set as it
+        // evolves through the batch: cause-directed vs victim-fallback
+        // quarantines, and trips whose effective hop was already masked.
+        let mut quarantined = self.state.quarantines.clone();
         for event in events {
             match event {
-                CtrlEvent::WatchdogTrip { .. } => self.metrics.watchdog_trips += 1,
-                CtrlEvent::WatchdogClear { .. } => self.metrics.watchdog_clears += 1,
+                CtrlEvent::WatchdogTrip { trigger, .. } => {
+                    self.metrics.watchdog_trips += 1;
+                    let target = event
+                        .effective_quarantine()
+                        .expect("WatchdogTrip has a target");
+                    if !quarantined.insert(target) {
+                        self.metrics.attribution_dedups += 1;
+                    } else if trigger.is_some() {
+                        self.metrics.trigger_quarantines += 1;
+                    } else {
+                        self.metrics.victim_fallbacks += 1;
+                    }
+                }
+                CtrlEvent::WatchdogClear { switch, port, tag } => {
+                    self.metrics.watchdog_clears += 1;
+                    quarantined.remove(&(*switch, *port, tag.0));
+                }
                 _ => {}
             }
         }

@@ -6,6 +6,27 @@ use tagger_core::{Span, Tag};
 use tagger_routing::{Path, PathError};
 use tagger_topo::{resolve_link, LinkId, LinkLookupError, NodeId, PortId, Topology};
 
+/// In-band initial-trigger attribution attached to a watchdog trip: the
+/// hop the data plane blames for *starting* the deadlock episode, which
+/// may differ from the queue that happened to trip first. When present
+/// (and not already quarantined) the controller quarantines this hop
+/// instead of the victim — cause-directed recovery.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct TriggerInfo {
+    /// The switch the attribution names.
+    pub switch: NodeId,
+    /// The egress port of the trigger queue.
+    pub port: PortId,
+    /// The lossless tag (= priority + 1) of the trigger queue.
+    pub tag: Tag,
+}
+
+impl fmt::Debug for TriggerInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{} tag {}", self.switch.0, self.port.0, self.tag.0)
+    }
+}
+
 /// One control-plane event.
 ///
 /// Link events carry resolved [`LinkId`]s (resolution from names happens
@@ -33,6 +54,10 @@ pub enum CtrlEvent {
         port: PortId,
         /// The lossless tag (= priority + 1) that was stuck.
         tag: Tag,
+        /// Initial-trigger attribution carried in-band from the data
+        /// plane, when the switch could attribute the episode. `None`
+        /// degrades byte-for-byte to victim-directed quarantine.
+        trigger: Option<TriggerInfo>,
     },
     /// The quarantine on a (switch, egress port, tag) is lifted — the
     /// watchdog restored the queue, or the operator cleared it manually.
@@ -64,6 +89,21 @@ impl CtrlEvent {
         }
     }
 
+    /// The hop a [`CtrlEvent::WatchdogTrip`] quarantines: the attributed
+    /// trigger when the trip carries one (cause-directed recovery), the
+    /// tripping victim otherwise. `None` for every other event kind.
+    pub fn effective_quarantine(&self) -> Option<(NodeId, PortId, u16)> {
+        match self {
+            CtrlEvent::WatchdogTrip {
+                switch,
+                port,
+                tag,
+                trigger,
+            } => Some(trigger.map_or((*switch, *port, tag.0), |t| (t.switch, t.port, t.tag.0))),
+            _ => None,
+        }
+    }
+
     /// Renders this event back into the trace-line syntax
     /// [`parse_trace`] accepts, using the topology's node names — the
     /// round trip `parse_trace(topo, e.trace_line(topo))` yields `e`
@@ -89,8 +129,24 @@ impl CtrlEvent {
             CtrlEvent::LinkUp(l) => format!("up {}", link_names(l)),
             CtrlEvent::ElpAdd(p) => format!("elp-add {}", path_names(p)),
             CtrlEvent::ElpRemove(p) => format!("elp-remove {}", path_names(p)),
-            CtrlEvent::WatchdogTrip { switch, port, tag } => {
-                format!("watchdog {} {} {}", topo.node(*switch).name, port.0, tag.0)
+            CtrlEvent::WatchdogTrip {
+                switch,
+                port,
+                tag,
+                trigger,
+            } => {
+                let mut line = format!("watchdog {} {} {}", topo.node(*switch).name, port.0, tag.0);
+                if let Some(t) = trigger {
+                    use std::fmt::Write as _;
+                    let _ = write!(
+                        line,
+                        " via {} {} {}",
+                        topo.node(t.switch).name,
+                        t.port.0,
+                        t.tag.0
+                    );
+                }
+                line
             }
             CtrlEvent::WatchdogClear { switch, port, tag } => {
                 format!(
@@ -112,8 +168,17 @@ impl fmt::Debug for CtrlEvent {
             CtrlEvent::LinkUp(l) => write!(f, "LinkUp({})", l.index()),
             CtrlEvent::ElpAdd(p) => write!(f, "ElpAdd({} nodes)", p.nodes().len()),
             CtrlEvent::ElpRemove(p) => write!(f, "ElpRemove({} nodes)", p.nodes().len()),
-            CtrlEvent::WatchdogTrip { switch, port, tag } => {
-                write!(f, "WatchdogTrip({}:{} tag {})", switch.0, port.0, tag.0)
+            CtrlEvent::WatchdogTrip {
+                switch,
+                port,
+                tag,
+                trigger,
+            } => {
+                write!(f, "WatchdogTrip({}:{} tag {}", switch.0, port.0, tag.0)?;
+                if let Some(t) = trigger {
+                    write!(f, " via {t:?}")?;
+                }
+                write!(f, ")")
             }
             CtrlEvent::WatchdogClear { switch, port, tag } => {
                 write!(f, "WatchdogClear({}:{} tag {})", switch.0, port.0, tag.0)
@@ -353,32 +418,61 @@ pub fn parse_trace(topo: &Topology, text: &str) -> Result<Vec<CtrlEvent>, TraceE
                             } else {
                                 "watchdog-clear"
                             },
-                            expected: "a node name, a port index and a tag",
+                            expected: if directive == "watchdog" {
+                                "a node name, a port index and a tag, \
+                                 optionally `via <node> <port> <tag>`"
+                            } else {
+                                "a node name, a port index and a tag"
+                            },
                         },
                     )
                 };
-                let [(_, name), (_, port), (_, tag)] = args[..] else {
-                    return Err(bad_arity(dspan));
+                // One `<node> <port> <tag>` triple starting at argument
+                // `base` — the victim hop at 0, the `via` trigger at 4.
+                let hop = |base: usize| -> Result<(NodeId, PortId, Tag), TraceError> {
+                    let (_, name) = *args.get(base).ok_or_else(|| bad_arity(dspan))?;
+                    let (_, port) = *args.get(base + 1).ok_or_else(|| bad_arity(dspan))?;
+                    let (_, tag) = *args.get(base + 2).ok_or_else(|| bad_arity(dspan))?;
+                    let switch = topo.node_by_name(name).ok_or_else(|| {
+                        err(
+                            arg_span(base),
+                            TraceErrorKind::UnknownNode(name.to_string()),
+                        )
+                    })?;
+                    let port: u16 = port.parse().map_err(|_| bad_arity(arg_span(base + 1)))?;
+                    let tag: u16 = tag.parse().map_err(|_| bad_arity(arg_span(base + 2)))?;
+                    if port as usize >= topo.node(switch).num_ports() {
+                        return Err(err(
+                            arg_span(base + 1),
+                            TraceErrorKind::PortOutOfRange {
+                                node: name.to_string(),
+                                port,
+                            },
+                        ));
+                    }
+                    Ok((switch, PortId(port), Tag(tag)))
                 };
-                let switch = topo.node_by_name(name).ok_or_else(|| {
-                    err(arg_span(0), TraceErrorKind::UnknownNode(name.to_string()))
-                })?;
-                let port: u16 = port.parse().map_err(|_| bad_arity(arg_span(1)))?;
-                let tag: u16 = tag.parse().map_err(|_| bad_arity(arg_span(2)))?;
-                if port as usize >= topo.node(switch).num_ports() {
-                    return Err(err(
-                        arg_span(1),
-                        TraceErrorKind::PortOutOfRange {
-                            node: name.to_string(),
-                            port,
-                        },
-                    ));
-                }
-                let (port, tag) = (PortId(port), Tag(tag));
-                if directive == "watchdog" {
-                    CtrlEvent::WatchdogTrip { switch, port, tag }
-                } else {
+                let (switch, port, tag) = hop(0)?;
+                if directive == "watchdog-clear" {
+                    if args.len() != 3 {
+                        return Err(bad_arity(dspan));
+                    }
                     CtrlEvent::WatchdogClear { switch, port, tag }
+                } else {
+                    let trigger = match args.len() {
+                        3 => None,
+                        7 if args[3].1 == "via" => {
+                            let (switch, port, tag) = hop(4)?;
+                            Some(TriggerInfo { switch, port, tag })
+                        }
+                        _ => return Err(bad_arity(arg_span(3))),
+                    };
+                    CtrlEvent::WatchdogTrip {
+                        switch,
+                        port,
+                        tag,
+                        trigger,
+                    }
                 }
             }
             "resync" => {
@@ -457,7 +551,7 @@ resync
     #[test]
     fn trace_line_round_trips_every_event_kind() {
         let topo = ClosConfig::small().build();
-        let text = "down L1 T1\nup L1 T1\nelp-add H1 T1 L2 T2 H5\nelp-remove H1 T1 L2 T2 H5\nwatchdog L1 2 2\nwatchdog-clear L1 2 2\nresync";
+        let text = "down L1 T1\nup L1 T1\nelp-add H1 T1 L2 T2 H5\nelp-remove H1 T1 L2 T2 H5\nwatchdog L1 2 2\nwatchdog L1 2 2 via S1 1 2\nwatchdog-clear L1 2 2\nresync";
         let events = parse_trace(&topo, text).unwrap();
         for e in &events {
             let line = e.trace_line(&topo);
@@ -476,7 +570,8 @@ resync
             CtrlEvent::WatchdogTrip {
                 switch: l1,
                 port: PortId(0),
-                tag: Tag(2)
+                tag: Tag(2),
+                trigger: None,
             }
         );
         assert_eq!(events[0].label(), "watchdog-trip");
@@ -490,6 +585,39 @@ resync
         let e = parse_trace(&topo, "watchdog L1 zero 2").unwrap_err();
         assert!(matches!(e.kind, TraceErrorKind::BadArity { .. }));
         let e = parse_trace(&topo, "watchdog L1 0").unwrap_err();
+        assert!(matches!(e.kind, TraceErrorKind::BadArity { .. }));
+    }
+
+    #[test]
+    fn watchdog_via_parses_and_validates_the_trigger_hop() {
+        let topo = ClosConfig::small().build();
+        let events = parse_trace(&topo, "watchdog L1 0 2 via S1 1 2").unwrap();
+        assert_eq!(
+            events[0],
+            CtrlEvent::WatchdogTrip {
+                switch: topo.expect_node("L1"),
+                port: PortId(0),
+                tag: Tag(2),
+                trigger: Some(TriggerInfo {
+                    switch: topo.expect_node("S1"),
+                    port: PortId(1),
+                    tag: Tag(2),
+                }),
+            }
+        );
+
+        // The trigger hop is validated as strictly as the victim hop.
+        let e = parse_trace(&topo, "watchdog L1 0 2 via XX 1 2").unwrap_err();
+        assert_eq!(e.kind, TraceErrorKind::UnknownNode("XX".into()));
+        let e = parse_trace(&topo, "watchdog L1 0 2 via S1 99 2").unwrap_err();
+        assert!(matches!(e.kind, TraceErrorKind::PortOutOfRange { .. }));
+        // A junk connective or a truncated suffix is an arity error.
+        let e = parse_trace(&topo, "watchdog L1 0 2 thru S1 1 2").unwrap_err();
+        assert!(matches!(e.kind, TraceErrorKind::BadArity { .. }));
+        let e = parse_trace(&topo, "watchdog L1 0 2 via S1 1").unwrap_err();
+        assert!(matches!(e.kind, TraceErrorKind::BadArity { .. }));
+        // `watchdog-clear` never carries attribution.
+        let e = parse_trace(&topo, "watchdog-clear L1 0 2 via S1 1 2").unwrap_err();
         assert!(matches!(e.kind, TraceErrorKind::BadArity { .. }));
     }
 

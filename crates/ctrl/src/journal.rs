@@ -171,10 +171,14 @@ impl Journal {
             writeln!(self.file, "!state {line}")?;
         }
         for &(switch, port, tag) in &state.quarantines {
+            // Checkpoints record quarantines by their effective hop; the
+            // re-synthesized trip needs no attribution — replaying it
+            // quarantines exactly this hop either way.
             let line = CtrlEvent::WatchdogTrip {
                 switch,
                 port,
                 tag: tagger_core::Tag(tag),
+                trigger: None,
             }
             .trace_line(topo);
             writeln!(self.file, "!state {line}")?;

@@ -70,7 +70,7 @@ pub use controller::{
     RollbackReason, Snapshot,
 };
 pub use damping::{parse_damping, CappedFlapDamping, DampingPolicy, FlapDamping, NoDamping};
-pub use event::{parse_trace, CtrlEvent, TraceError, TraceErrorKind};
+pub use event::{parse_trace, CtrlEvent, TraceError, TraceErrorKind, TriggerInfo};
 pub use journal::{recover, DriveReport, Journal, JournalError, Recovery};
 pub use metrics::ControllerMetrics;
 pub use observer::{CommitObserver, FnObserver, NoopObserver, Tee};

@@ -51,6 +51,15 @@ pub struct ControllerMetrics {
     /// Watchdog trip events accepted: (switch, port, tag) hops
     /// quarantined out of the ELP.
     pub watchdog_trips: u64,
+    /// Trips that carried initial-trigger attribution and quarantined
+    /// the attributed trigger hop (cause-directed recovery).
+    pub trigger_quarantines: u64,
+    /// Trips without attribution that fell back to quarantining the
+    /// tripping victim hop (the pre-attribution behaviour).
+    pub victim_fallbacks: u64,
+    /// Trips whose effective hop was already quarantined — later trips
+    /// of an episode collapsing into the existing quarantine.
+    pub attribution_dedups: u64,
     /// Watchdog clear events accepted: quarantines lifted.
     pub watchdog_clears: u64,
     /// Checkpoints written to the journal.
@@ -88,6 +97,9 @@ impl std::ops::AddAssign for ControllerMetrics {
         self.install_backoff += rhs.install_backoff;
         self.flaps_damped += rhs.flaps_damped;
         self.watchdog_trips += rhs.watchdog_trips;
+        self.trigger_quarantines += rhs.trigger_quarantines;
+        self.victim_fallbacks += rhs.victim_fallbacks;
+        self.attribution_dedups += rhs.attribution_dedups;
         self.watchdog_clears += rhs.watchdog_clears;
         self.checkpoints += rhs.checkpoints;
         self.recovery_replays += rhs.recovery_replays;
@@ -145,6 +157,13 @@ impl ControllerMetrics {
         let _ = writeln!(out, "  install backoff     {:>8?}", self.install_backoff);
         let _ = writeln!(out, "  flaps damped        {:>8}", self.flaps_damped);
         let _ = writeln!(out, "  watchdog trips      {:>8}", self.watchdog_trips);
+        let _ = writeln!(
+            out,
+            "    trigger quarantines {:>6}",
+            self.trigger_quarantines
+        );
+        let _ = writeln!(out, "    victim fallbacks  {:>8}", self.victim_fallbacks);
+        let _ = writeln!(out, "    attribution dedups{:>8}", self.attribution_dedups);
         let _ = writeln!(out, "  watchdog clears     {:>8}", self.watchdog_clears);
         let _ = writeln!(out, "  checkpoints written {:>8}", self.checkpoints);
         let _ = writeln!(out, "  recovery replays    {:>8}", self.recovery_replays);
@@ -194,6 +213,9 @@ mod tests {
             "install backoff",
             "flaps damped",
             "watchdog trips",
+            "trigger quarantines",
+            "victim fallbacks",
+            "attribution dedups",
             "watchdog clears",
             "checkpoints written",
             "recovery replays",

@@ -149,8 +149,17 @@ impl NetworkState {
                 }
             }
             CtrlEvent::ElpRemove(p) => self.extra_paths.retain(|q| q != p),
-            CtrlEvent::WatchdogTrip { switch, port, tag } => {
-                self.quarantines.insert((*switch, *port, tag.0));
+            CtrlEvent::WatchdogTrip { .. } => {
+                // Cause-directed recovery: the quarantined hop is the
+                // attributed trigger when the trip carries one, the
+                // tripping victim otherwise. Re-quarantining a hop (e.g.
+                // a victim trip of an episode whose trigger is already
+                // masked) is a set insert — one quarantine per hop.
+                self.quarantines.insert(
+                    event
+                        .effective_quarantine()
+                        .expect("WatchdogTrip has a target"),
+                );
             }
             CtrlEvent::WatchdogClear { switch, port, tag } => {
                 self.quarantines.remove(&(*switch, *port, tag.0));
@@ -215,6 +224,7 @@ mod tests {
             switch: l1,
             port,
             tag: tagger_core::Tag(2),
+            trigger: None,
         };
         st.apply(&topo, &trip).unwrap();
         assert_eq!(st.quarantines.len(), 1);
@@ -243,6 +253,44 @@ mod tests {
         .unwrap();
         assert!(st.quarantines.is_empty());
         assert_eq!(policy.elp_for(&topo, &st).len(), full.len());
+    }
+
+    #[test]
+    fn attributed_trip_quarantines_the_trigger_not_the_victim() {
+        let topo = ClosConfig::small().build();
+        let mut st = NetworkState::initial();
+        let l1 = topo.expect_node("L1");
+        let s1 = topo.expect_node("S1");
+        let victim_port = topo.port_towards(l1, s1).unwrap();
+        let trigger_port = topo.port_towards(s1, topo.expect_node("L3")).unwrap();
+        let trigger = crate::TriggerInfo {
+            switch: s1,
+            port: trigger_port,
+            tag: tagger_core::Tag(2),
+        };
+        let trip = CtrlEvent::WatchdogTrip {
+            switch: l1,
+            port: victim_port,
+            tag: tagger_core::Tag(2),
+            trigger: Some(trigger),
+        };
+        st.apply(&topo, &trip).unwrap();
+        assert_eq!(
+            st.quarantines.iter().copied().collect::<Vec<_>>(),
+            vec![(s1, trigger_port, 2)],
+            "the trigger hop is masked, not the tripping victim"
+        );
+
+        // A later victim trip of the same episode, still blaming the
+        // same trigger, collapses into the existing quarantine.
+        let later = CtrlEvent::WatchdogTrip {
+            switch: topo.expect_node("L3"),
+            port: PortId(0),
+            tag: tagger_core::Tag(2),
+            trigger: Some(trigger),
+        };
+        st.apply(&topo, &later).unwrap();
+        assert_eq!(st.quarantines.len(), 1, "one quarantine per episode");
     }
 
     #[test]

@@ -248,17 +248,32 @@ pub fn soak_schedule(topo: &Topology, seed: u64, events: usize) -> Vec<CtrlEvent
                 }
             }
             // A PFC watchdog trips on a trunk endpoint (≤ 1 concurrently).
+            // Half the trips carry in-band trigger attribution blaming
+            // the far endpoint's hop; the quarantine then lands on the
+            // attributed cause, and the healing tail must clear *that*
+            // hop — so the tracker records the effective target.
             7 => {
                 if quarantined.is_none() {
                     if let Some(&l) = trunks.choose(&mut rng) {
-                        let ep = topo.link(l).a;
+                        let link = topo.link(l);
                         let tag = rng.random_range(1..=2u16);
-                        quarantined = Some((ep.node, ep.port, tag));
-                        schedule.push(CtrlEvent::WatchdogTrip {
-                            switch: ep.node,
-                            port: ep.port,
+                        let trigger = if rng.random_range(0..2u32) == 0 {
+                            Some(tagger_ctrl::TriggerInfo {
+                                switch: link.b.node,
+                                port: link.b.port,
+                                tag: tagger_core::Tag(tag),
+                            })
+                        } else {
+                            None
+                        };
+                        let trip = CtrlEvent::WatchdogTrip {
+                            switch: link.a.node,
+                            port: link.a.port,
                             tag: tagger_core::Tag(tag),
-                        });
+                            trigger,
+                        };
+                        quarantined = trip.effective_quarantine();
+                        schedule.push(trip);
                     }
                 }
             }
@@ -403,8 +418,11 @@ mod tests {
                 CtrlEvent::LinkUp(l) => {
                     down.remove(&l.index());
                 }
-                CtrlEvent::WatchdogTrip { switch, port, tag } => {
-                    quarantine.insert((switch.0, port.0, tag.0));
+                trip @ CtrlEvent::WatchdogTrip { .. } => {
+                    // Attribution redirects the quarantine; the heal
+                    // balance is over effective targets.
+                    let (switch, port, tag) = trip.effective_quarantine().unwrap();
+                    quarantine.insert((switch.0, port.0, tag));
                 }
                 CtrlEvent::WatchdogClear { switch, port, tag } => {
                     quarantine.remove(&(switch.0, port.0, tag.0));

@@ -77,6 +77,11 @@ pub mod codes {
     pub const TRACE_BAD_PATH: &str = "T0014";
     /// A trace link directive names a non-existent link.
     pub const TRACE_UNKNOWN_LINK: &str = "T0015";
+    /// A trace issues `watchdog-clear` for a queue no prior `watchdog`
+    /// trip in the same trace quarantined (neither as victim nor as
+    /// attributed trigger): the clear is a no-op at replay, which
+    /// usually means a typo or a stale line.
+    pub const WATCHDOG_CLEAR_WITHOUT_TRIP: &str = "T0016";
     /// An earlier TCAM entry fully covers a later one: the later entry
     /// is dead under first-match semantics.
     pub const SHADOWED_ENTRY: &str = "T0101";
@@ -117,6 +122,7 @@ pub mod codes {
             TRACE_PORT_RANGE => "trace port index out of range",
             TRACE_BAD_PATH => "trace ELP is not a valid path",
             TRACE_UNKNOWN_LINK => "trace names a non-existent link",
+            WATCHDOG_CLEAR_WITHOUT_TRIP => "watchdog-clear for a queue with no prior trip",
             SHADOWED_ENTRY => "TCAM entry shadowed by an earlier one",
             CONFLICTING_DUPLICATE => "duplicate match key with conflicting rewrites",
             IDENTICAL_DUPLICATE => "duplicate match key with identical rewrites",
@@ -356,6 +362,7 @@ mod tests {
             codes::TRACE_PORT_RANGE,
             codes::TRACE_BAD_PATH,
             codes::TRACE_UNKNOWN_LINK,
+            codes::WATCHDOG_CLEAR_WITHOUT_TRIP,
             codes::SHADOWED_ENTRY,
             codes::CONFLICTING_DUPLICATE,
             codes::IDENTICAL_DUPLICATE,

@@ -56,7 +56,7 @@ use diag::codes as C;
 use json::Value;
 use tagger_audit::checkpoint;
 use tagger_core::{Elp, RuleSet, Span};
-use tagger_ctrl::{parse_trace, TraceErrorKind};
+use tagger_ctrl::{parse_trace, CtrlEvent, TraceErrorKind};
 use tagger_topo::{nearest_names, ClosConfig, LinkLookupError, Topology};
 
 /// Which expected-lossless-path set to check coverage against.
@@ -191,62 +191,113 @@ pub fn lint_trace_text(file: &str, topo: &Topology, text: &str) -> ArtifactRepor
         kind: ArtifactKind::Trace,
         diagnostics: Vec::new(),
     };
+    // Stateful watchdog pairing: a `watchdog-clear` should lift a
+    // quarantine some earlier `watchdog` trip installed — either on the
+    // tripping victim hop or on its attributed (`via`) trigger hop. A
+    // clear with no matching prior trip is a replay no-op, which usually
+    // means a typo'd hop or a line left behind by an edit.
+    let mut quarantined: std::collections::BTreeSet<(
+        tagger_topo::NodeId,
+        tagger_topo::PortId,
+        u16,
+    )> = std::collections::BTreeSet::new();
     for (idx, line) in text.lines().enumerate() {
-        let Err(e) = parse_trace(topo, line) else {
-            continue;
-        };
-        // The single-line parse reports line 1; restore file coordinates.
-        let span = Span::new(idx + 1, e.span.col, e.span.len);
-        let (code, hint) = match &e.kind {
-            TraceErrorKind::UnknownDirective(_) => (
-                C::UNKNOWN_DIRECTIVE,
-                Some(
-                    "known directives: down, up, flap, elp-add, elp-remove, watchdog, \
-                     watchdog-clear, resync"
-                        .to_string(),
-                ),
-            ),
-            TraceErrorKind::BadArity { .. } => (C::TRACE_ARITY, None),
-            TraceErrorKind::UnknownNode(name) => {
-                let nearest = nearest_names(topo, name);
-                (
-                    C::TRACE_UNKNOWN_NODE,
-                    (!nearest.is_empty()).then(|| format!("did you mean {}?", nearest.join(", "))),
-                )
-            }
-            TraceErrorKind::PortOutOfRange { node, .. } => (
-                C::TRACE_PORT_RANGE,
-                topo.node_by_name(node)
-                    .map(|n| format!("{node} has ports 0..{}", topo.node(n).num_ports())),
-            ),
-            TraceErrorKind::Path(..) => (C::TRACE_BAD_PATH, None),
-            TraceErrorKind::Link(link) => {
-                let hint = match link {
-                    LinkLookupError::UnknownNode { nearest, .. } if !nearest.is_empty() => {
-                        Some(format!("did you mean {}?", nearest.join(", ")))
+        let events = match parse_trace(topo, line) {
+            Ok(events) => events,
+            Err(e) => {
+                // The single-line parse reports line 1; restore file
+                // coordinates.
+                let span = Span::new(idx + 1, e.span.col, e.span.len);
+                let (code, hint) = match &e.kind {
+                    TraceErrorKind::UnknownDirective(_) => (
+                        C::UNKNOWN_DIRECTIVE,
+                        Some(
+                            "known directives: down, up, flap, elp-add, elp-remove, watchdog, \
+                             watchdog-clear, resync"
+                                .to_string(),
+                        ),
+                    ),
+                    TraceErrorKind::BadArity { .. } => (C::TRACE_ARITY, None),
+                    TraceErrorKind::UnknownNode(name) => {
+                        let nearest = nearest_names(topo, name);
+                        (
+                            C::TRACE_UNKNOWN_NODE,
+                            (!nearest.is_empty())
+                                .then(|| format!("did you mean {}?", nearest.join(", "))),
+                        )
                     }
-                    LinkLookupError::NotAdjacent { a, candidates, .. }
-                        if !candidates.is_empty() =>
-                    {
-                        Some(format!("{a} is adjacent to {}", candidates.join(", ")))
+                    TraceErrorKind::PortOutOfRange { node, .. } => (
+                        C::TRACE_PORT_RANGE,
+                        topo.node_by_name(node)
+                            .map(|n| format!("{node} has ports 0..{}", topo.node(n).num_ports())),
+                    ),
+                    TraceErrorKind::Path(..) => (C::TRACE_BAD_PATH, None),
+                    TraceErrorKind::Link(link) => {
+                        let hint = match link {
+                            LinkLookupError::UnknownNode { nearest, .. } if !nearest.is_empty() => {
+                                Some(format!("did you mean {}?", nearest.join(", ")))
+                            }
+                            LinkLookupError::NotAdjacent { a, candidates, .. }
+                                if !candidates.is_empty() =>
+                            {
+                                Some(format!("{a} is adjacent to {}", candidates.join(", ")))
+                            }
+                            _ => None,
+                        };
+                        (C::TRACE_UNKNOWN_LINK, hint)
                     }
-                    _ => None,
                 };
-                (C::TRACE_UNKNOWN_LINK, hint)
+                // Render the kind's message without the "trace line N:"
+                // prefix — the diagnostic carries the span itself.
+                let full = e.to_string();
+                let message = full
+                    .split_once(": ")
+                    .map(|(_, m)| m.to_string())
+                    .unwrap_or(full);
+                let mut d = Diagnostic::new(code, Severity::Error, message).with_span(span);
+                if let Some(hint) = hint {
+                    d = d.with_hint(hint);
+                }
+                report.diagnostics.push(d);
+                continue;
             }
         };
-        // Render the kind's message without the "trace line N:" prefix —
-        // the diagnostic carries the span itself.
-        let full = e.to_string();
-        let message = full
-            .split_once(": ")
-            .map(|(_, m)| m.to_string())
-            .unwrap_or(full);
-        let mut d = Diagnostic::new(code, Severity::Error, message).with_span(span);
-        if let Some(hint) = hint {
-            d = d.with_hint(hint);
+        for ev in &events {
+            match ev {
+                CtrlEvent::WatchdogTrip {
+                    switch, port, tag, ..
+                } => {
+                    quarantined.insert((*switch, *port, tag.0));
+                    if let Some(q) = ev.effective_quarantine() {
+                        quarantined.insert(q);
+                    }
+                }
+                CtrlEvent::WatchdogClear { switch, port, tag }
+                    if !quarantined.remove(&(*switch, *port, tag.0)) =>
+                {
+                    let name = &topo.node(*switch).name;
+                    let col = line.find("watchdog-clear").map_or(1, |c| c + 1);
+                    report.diagnostics.push(
+                        Diagnostic::new(
+                            C::WATCHDOG_CLEAR_WITHOUT_TRIP,
+                            Severity::Warning,
+                            format!(
+                                "watchdog-clear for {name} port {} tag {} has no prior \
+                                     watchdog trip in this trace (replay treats it as a no-op)",
+                                port.0, tag.0
+                            ),
+                        )
+                        .with_span(Span::new(idx + 1, col, "watchdog-clear".len()))
+                        .with_hint(format!(
+                            "add the `watchdog {name} {} {}` trip this clear is meant to \
+                                 lift, or delete the line",
+                            port.0, tag.0
+                        )),
+                    );
+                }
+                _ => {}
+            }
         }
-        report.diagnostics.push(d);
     }
     report.finish()
 }
@@ -469,6 +520,41 @@ mod tests {
             .as_ref()
             .unwrap()
             .contains("ports 0.."));
+    }
+
+    #[test]
+    fn watchdog_clear_without_trip_warns_with_span_and_hint() {
+        let topo = ClosConfig::small().build();
+        // Line 1 clears a never-tripped hop; line 2 trips L1 port 1
+        // tag 2 via the attributed trigger S1 port 0 tag 2; lines 3-4
+        // clear both the victim and the trigger hop (paired, quiet);
+        // line 5 re-clears the victim, which is pending no more.
+        let text = "watchdog-clear L2 0 1\n\
+                    watchdog L1 1 2 via S1 0 2\n\
+                    watchdog-clear L1 1 2\n\
+                    watchdog-clear S1 0 2\n\
+                    watchdog-clear L1 1 2\n";
+        let report = lint_trace_text("t.trace", &topo, text);
+        let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                C::WATCHDOG_CLEAR_WITHOUT_TRIP,
+                C::WATCHDOG_CLEAR_WITHOUT_TRIP
+            ]
+        );
+        let d = &report.diagnostics[0];
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.span.unwrap().line, 1);
+        assert_eq!(d.span.unwrap().col, 1);
+        assert!(d.message.contains("L2 port 0 tag 1"));
+        assert!(d.hint.as_ref().unwrap().contains("watchdog L2 0 1"));
+        assert_eq!(report.diagnostics[1].span.unwrap().line, 5);
+        // Warnings do not fail `check`.
+        assert!(!LintReport {
+            artifacts: vec![report]
+        }
+        .has_errors());
     }
 
     #[test]

@@ -217,6 +217,14 @@ mod tests {
     use tagger_switch::{Packet, PacketId, PfcFrame, SwitchConfig, TransitionMode};
     use tagger_topo::{Layer, Topology};
 
+    /// A stampless priority-0 PAUSE.
+    fn pause0() -> PfcFrame {
+        PfcFrame::Pause {
+            priority: 0,
+            trigger: None,
+        }
+    }
+
     /// Hand-build a two-switch mutual pause and check the detector sees
     /// the 2-cycle.
     #[test]
@@ -261,8 +269,8 @@ mod tests {
         // Both crossed Xoff (2000 > 1500) and want to pause the peer.
         assert!(!swa.take_emitted_pfc().is_empty());
         assert!(!swb.take_emitted_pfc().is_empty());
-        swa.on_pfc(PortId(0), PfcFrame::Pause { priority: 0 });
-        swb.on_pfc(PortId(0), PfcFrame::Pause { priority: 0 });
+        swa.on_pfc(PortId(0), pause0(), 0);
+        swb.on_pfc(PortId(0), pause0(), 0);
 
         let mut switches = BTreeMap::new();
         switches.insert(a, swa);
@@ -322,9 +330,9 @@ mod tests {
                 TransitionMode::EgressByNewTag,
             );
         }
-        swa.on_pfc(PortId(0), PfcFrame::Pause { priority: 0 });
-        swb.on_pfc(PortId(1), PfcFrame::Pause { priority: 0 });
-        swc.on_pfc(PortId(1), PfcFrame::Pause { priority: 0 });
+        swa.on_pfc(PortId(0), pause0(), 0);
+        swb.on_pfc(PortId(1), pause0(), 0);
+        swc.on_pfc(PortId(1), pause0(), 0);
         // An unrelated stuck queue: A's uplink to the host is paused and
         // non-empty, but the wait dead-ends at the host.
         swa.admit(
@@ -334,7 +342,7 @@ mod tests {
             pkt(30),
             TransitionMode::EgressByNewTag,
         );
-        swa.on_pfc(PortId(2), PfcFrame::Pause { priority: 0 });
+        swa.on_pfc(PortId(2), pause0(), 0);
 
         let mut switches = BTreeMap::new();
         switches.insert(a, swa);
@@ -382,7 +390,7 @@ mod tests {
             Packet::new(PacketId(1), 0, h, 1_000),
             TransitionMode::EgressByNewTag,
         );
-        swa.on_pfc(PortId(0), PfcFrame::Pause { priority: 0 });
+        swa.on_pfc(PortId(0), pause0(), 0);
         let mut switches = BTreeMap::new();
         switches.insert(a, swa);
         switches.insert(b, swb);

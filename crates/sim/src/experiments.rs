@@ -304,7 +304,12 @@ pub fn bcube_ring(with_tagger: bool, end_ns: u64) -> Experiment {
         let path = names(&topo, r);
         // Staggered starts trip the locking race, as in Fig 12.
         sim.add_flow(
-            FlowSpec::new(path[0], *path.last().unwrap(), i as u64 * end_ns / 20).pinned(path),
+            FlowSpec::new(
+                path[0],
+                *path.last().expect("non-empty route"),
+                i as u64 * end_ns / 20,
+            )
+            .pinned(path),
         );
         labels.push(format!("{}->{}", r[0], r[r.len() - 1]));
     }
@@ -799,10 +804,20 @@ pub fn watchdog_rescue(
 /// queue (hold-down expiry, re-trip) collapse into the one quarantine
 /// they would produce. Priority `p` carries tag `p + 1`, the inverse of
 /// the tag→queue mapping the data plane uses.
+///
+/// When the run attributed an initial trigger, every trip of that
+/// episode carries it as [`tagger_ctrl::TriggerInfo`] so the controller
+/// quarantines the *cause*; runs without attribution produce exactly the
+/// events they always did (victim-directed fallback).
 pub fn quarantine_events(report: &crate::SimReport) -> Vec<tagger_ctrl::CtrlEvent> {
     let Some(wd) = &report.watchdog else {
         return Vec::new();
     };
+    let trigger = wd.trigger.as_ref().map(|t| tagger_ctrl::TriggerInfo {
+        switch: t.switch,
+        port: t.port,
+        tag: tagger_core::Tag(t.prio as u16 + 1),
+    });
     let mut seen = std::collections::BTreeSet::new();
     let mut events = Vec::new();
     for t in &wd.trips {
@@ -811,6 +826,7 @@ pub fn quarantine_events(report: &crate::SimReport) -> Vec<tagger_ctrl::CtrlEven
                 switch: t.switch,
                 port: t.port,
                 tag: tagger_core::Tag(t.prio as u16 + 1),
+                trigger,
             });
         }
     }
@@ -846,8 +862,205 @@ pub fn incast_false_positive_guard(window_ns: u64, end_ns: u64) -> Experiment {
     Experiment { sim, labels }
 }
 
+/// The adversarial single-priority program (keep tag 1 across every
+/// port pair): its dependency graph contains the Fig. 3 CBD. This is
+/// the canonical "corrupted tables" input for the safety-net and
+/// attribution drills — one lossless priority, no tag increments, so
+/// any circular route can lock.
+pub fn unsafe_identity_rules(topo: &Topology) -> tagger_core::RuleSet {
+    let mut rules = tagger_core::RuleSet::new();
+    for sw in topo.switch_ids() {
+        let ports: Vec<_> = topo.neighbors(sw).map(|(p, _, _)| p).collect();
+        for &i in &ports {
+            for &o in &ports {
+                if i != o {
+                    rules
+                        .add(
+                            sw,
+                            tagger_core::SwitchRule {
+                                tag: tagger_core::Tag(1),
+                                in_port: i,
+                                out_port: o,
+                                new_tag: tagger_core::Tag(1),
+                            },
+                        )
+                        .expect("identity rule");
+                }
+            }
+        }
+    }
+    rules
+}
+
+/// Pinned flows that together keep every hop of the Fig. 3 CBD
+/// (`L1 → S1 → L3 → S2 → L1`) loaded; green starts at `end_ns / 5`.
+pub fn cycle_flows(topo: &Topology, end_ns: u64) -> Vec<(String, FlowSpec)> {
+    let blue = names(
+        topo,
+        &["H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13"],
+    );
+    let green = names(
+        topo,
+        &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"],
+    );
+    vec![
+        (
+            "blue".to_string(),
+            FlowSpec::new(blue[0], *blue.last().expect("non-empty path"), 0).pinned(blue),
+        ),
+        (
+            "green".to_string(),
+            FlowSpec::new(green[0], *green.last().expect("non-empty path"), end_ns / 5)
+                .pinned(green),
+        ),
+    ]
+}
+
+/// `rules` minus every rule leaving `switch` through `port` — the
+/// data-plane meaning of a controller quarantine of that hop. Packets
+/// that would cross the masked hop stop matching in the tag table and
+/// travel the lossy class instead, so the hop can no longer take part
+/// in a PFC cycle (and no longer pauses its upstream).
+pub fn mask_hop(
+    rules: &tagger_core::RuleSet,
+    switch: NodeId,
+    port: tagger_topo::PortId,
+) -> tagger_core::RuleSet {
+    let mut masked = tagger_core::RuleSet::new();
+    for (sw, rule) in rules.iter() {
+        if sw == switch && rule.out_port == port {
+            continue;
+        }
+        masked.set(sw, rule);
+    }
+    masked
+}
+
+/// **Two-cycle incast** — the cause-vs-victim recovery comparison at
+/// the heart of trigger attribution. A persistent 4-to-1 incast into
+/// H12 is pinned through `S1 → L3`, backing that hop up and making it
+/// the ground-truth *initial trigger*. Two distinct CBDs then close
+/// through the congested hop, in waves of limited flows:
+///
+/// * cycle A: `L1 → S1 → L3 → S2 → L1` (the Fig. 3 cycle), and
+/// * cycle B: `S1 → L3 → S2 → L2 → S1`,
+///
+/// sharing the edges `S1 → L3` and `L3 → S2` but nothing else. The
+/// armed watchdog detects and demotes each episode; the queue that
+/// trips *first* (the victim a victim-directed controller would
+/// quarantine) is a single-cycle edge, not the trigger.
+///
+/// At `end_ns / 2` the corrective fix lands: `ReplaceRules` with the
+/// tables minus the rules through `mask` (see [`mask_hop`]), modelling
+/// the controller quarantining that hop. A second wave then probes
+/// whether the deadlock *re-forms*: masking the victim hop kills only
+/// one cycle and the other re-locks (`episodes >= 2`); masking the
+/// attributed trigger starves both cycles and the incast pressure
+/// itself, and the fabric stays clean (`episodes == 1`). `mask: None`
+/// runs the diagnosis pass that yields the victim and trigger hops.
+pub fn incast_two_cycle(mask: Option<(NodeId, tagger_topo::PortId)>, end_ns: u64) -> Experiment {
+    let topo = ClosConfig::small().build();
+    let fib = Fib::shortest_path(&topo, &FailureSet::none());
+    let rules = unsafe_identity_rules(&topo);
+    let cfg = SimConfig {
+        switch: testbed_switch_config(1),
+        pfc_extra_delay_ns: TESTBED_PFC_DELAY_NS,
+        // PAUSE refreshes keep long-lived gates alive and let the
+        // `older()` combinator upgrade a queue's trigger claim to the
+        // oldest one reachable — the in-band attribution mechanism.
+        pause_quanta_ns: Some(20_000),
+        end_time_ns: end_ns,
+        watchdog: Some(tagger_switch::WatchdogConfig::with_window(200_000)),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(topo.clone(), fib, Some(rules.clone()), cfg);
+    let mut labels = Vec::new();
+
+    // The persistent incast converges on H12 in two arms. The L4 arm
+    // (H5, H7) starts first and parks a steady 40 Gb/s on T3's ingress
+    // from L4, congesting S2 on the way (its pauses touch no cycle
+    // edge). The L3 arm then ramps: H1 alone makes T3's ingress 2:1
+    // oversubscribed, so T3 pauses `L3 -> T3` — which self-stamps the
+    // *origin* claim of everything that follows. Once H2 joins, L3
+    // itself is 2:1 oversubscribed and pauses `S1 -> L3`; its claim,
+    // first stamped in the race with T3's pause, converges via PAUSE
+    // refreshes onto `L3 -> T3`'s strictly older claim. The hop that
+    // seeds every later cycle therefore carries a stamp inherited from
+    // the congestion tree *outside* the cycle — exactly what the
+    // attribution must surface.
+    for (src, start, path) in [
+        ("H5", 0, ["H5", "T2", "L1", "S2", "L4", "T3", "H12"]),
+        ("H7", 0, ["H7", "T2", "L2", "S2", "L4", "T3", "H12"]),
+        ("H1", 250_000, ["H1", "T1", "L1", "S1", "L3", "T3", "H12"]),
+        ("H2", 350_000, ["H2", "T1", "L2", "S2", "L3", "T3", "H12"]),
+    ] {
+        let p = names(&topo, &path);
+        sim.add_flow(FlowSpec::new(p[0], *p.last().expect("non-empty path"), start).pinned(p));
+        labels.push(format!("incast({src}->H12)"));
+    }
+
+    // Limited cycle-covering flows, sent in two waves: wave 1 locks the
+    // cycles before the fix, wave 2 probes re-formation after it.
+    const WAVE_BYTES: u64 = 600_000;
+    let wave_paths: [(&str, &[&str]); 5] = [
+        // Cycle A (blue + green, the Fig. 10 pair on fresh hosts).
+        (
+            "blue",
+            &["H3", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13"],
+        ),
+        (
+            "green",
+            &["H10", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H4"],
+        ),
+        // Cycle B: w1 loads L3 -> S2 -> L2, r and r2 bounce through it.
+        ("w1", &["H9", "T3", "L3", "S2", "L2", "T2", "H8"]),
+        (
+            "r",
+            &["H13", "T4", "L4", "S2", "L2", "S1", "L3", "T3", "H9"],
+        ),
+        (
+            "r2",
+            &["H6", "T2", "L2", "S1", "L3", "S2", "L4", "T4", "H15"],
+        ),
+    ];
+    for wave_start in [end_ns / 6, 3 * end_ns / 5] {
+        for (label, path) in &wave_paths {
+            let p = names(&topo, path);
+            sim.add_flow(
+                FlowSpec::new(p[0], *p.last().expect("non-empty path"), wave_start)
+                    .pinned(p)
+                    .with_limit(WAVE_BYTES),
+            );
+            labels.push(format!("{label}@{wave_start}"));
+        }
+    }
+
+    // The corrective commit: quarantine `mask` (or re-install the same
+    // tables, for the diagnosis pass) halfway through the horizon.
+    let fixed = match mask {
+        Some((sw, port)) => mask_hop(&rules, sw, port),
+        None => rules,
+    };
+    sim.at(end_ns / 2, Action::ReplaceRules(fixed));
+
+    Experiment { sim, labels }
+}
+
+/// **Routing-loop deadlock with the watchdog armed** — the Fig. 11
+/// scenario (a T1 ↔ L1 forwarding loop filling both directions of the
+/// link) run without Tagger but with the per-queue watchdog, so the
+/// two-switch CBD is detected, attributed and demoted instead of
+/// freezing F2 forever.
+pub fn routing_loop_watchdog(window_ns: u64, end_ns: u64) -> Experiment {
+    let mut exp = fig11_routing_loop(false, end_ns);
+    exp.sim
+        .arm_watchdog(tagger_switch::WatchdogConfig::with_window(window_ns));
+    exp
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     const END: u64 = 4_000_000; // 4 ms
@@ -861,63 +1074,13 @@ mod tests {
         assert_eq!(report.lossless_drops, 0); // PFC never drops, it freezes
     }
 
-    /// The adversarial single-priority program (keep tag 1 across every
-    /// port pair): its dependency graph contains the Fig. 3 CBD.
-    fn unsafe_identity_rules(topo: &Topology) -> tagger_core::RuleSet {
-        let mut rules = tagger_core::RuleSet::new();
-        for sw in topo.switch_ids() {
-            let ports: Vec<_> = topo.neighbors(sw).map(|(p, _, _)| p).collect();
-            for &i in &ports {
-                for &o in &ports {
-                    if i != o {
-                        rules
-                            .add(
-                                sw,
-                                tagger_core::SwitchRule {
-                                    tag: tagger_core::Tag(1),
-                                    in_port: i,
-                                    out_port: o,
-                                    new_tag: tagger_core::Tag(1),
-                                },
-                            )
-                            .unwrap();
-                    }
-                }
-            }
-        }
-        rules
-    }
-
-    /// Pinned flows that together keep every hop of the Fig. 3 CBD
-    /// (`L1 → S1 → L3 → S2 → L1`) loaded; green starts at `END / 5`.
-    fn cycle_flows(topo: &Topology) -> Vec<(String, FlowSpec)> {
-        let blue = names(
-            topo,
-            &["H1", "T1", "L1", "S1", "L3", "S2", "L4", "T4", "H13"],
-        );
-        let green = names(
-            topo,
-            &["H9", "T3", "L3", "S2", "L1", "S1", "L2", "T1", "H1"],
-        );
-        vec![
-            (
-                "blue".to_string(),
-                FlowSpec::new(blue[0], *blue.last().unwrap(), 0).pinned(blue),
-            ),
-            (
-                "green".to_string(),
-                FlowSpec::new(green[0], *green.last().unwrap(), END / 5).pinned(green),
-            ),
-        ]
-    }
-
     #[test]
     fn counterexample_replay_deadlocks_on_unsafe_tables() {
         // Replaying flows that cover the cycle of the adversarial tables
         // must actually deadlock.
         let topo = ClosConfig::small().build();
         let rules = unsafe_identity_rules(&topo);
-        let flows = cycle_flows(&topo);
+        let flows = cycle_flows(&topo, END);
         let (report, _) = counterexample_replay(&topo, &rules, flows.clone(), END).run();
         assert!(report.deadlock.is_some(), "unsafe tables must deadlock");
 
@@ -931,7 +1094,7 @@ mod tests {
     fn watchdog_rescue_recovers_from_unsafe_tables() {
         let topo = ClosConfig::small().build();
         let rules = unsafe_identity_rules(&topo);
-        let mut flows = cycle_flows(&topo);
+        let mut flows = cycle_flows(&topo, END);
         // An off-cycle lossless victim: H3→H4 stays under T2 and never
         // touches the CBD; recovery must not cost it a single packet.
         flows.push((
@@ -1290,5 +1453,131 @@ mod tests {
             penalty.abs() < 0.02,
             "tagger penalty {penalty:.3} exceeds 2% (with={a:.3e}, without={b:.3e})"
         );
+    }
+
+    #[test]
+    fn attribution_matches_ground_truth_on_bounce_deadlock() {
+        let topo = ClosConfig::small().build();
+        let rules = unsafe_identity_rules(&topo);
+        let flows = cycle_flows(&topo, END);
+        let wd = tagger_switch::WatchdogConfig::with_window(200_000);
+        let (report, _) = watchdog_rescue(&topo, &rules, flows, Some(wd), END).run();
+        let w = report.watchdog.expect("watchdog report");
+        assert!(w.stats.trips >= 1);
+        let trig = w
+            .trigger
+            .clone()
+            .expect("confirmed cycle must be attributed");
+        assert!(
+            trig.matches_ground_truth,
+            "attribution disagrees with the pause-log ground truth: {trig:?}"
+        );
+        assert!(trig.scc.contains(&trig.queue()));
+        assert_eq!(w.episodes, 1);
+        let ttd = w.time_to_detect().expect("detect after trigger pause");
+        assert!(ttd > 0, "detection cannot precede the trigger pause");
+    }
+
+    #[test]
+    fn attribution_matches_ground_truth_on_routing_loop() {
+        let (report, _) = routing_loop_watchdog(200_000, END).run();
+        let w = report.watchdog.expect("watchdog report");
+        assert!(w.stats.trips >= 1, "loop CBD must trip: {:?}", w.stats);
+        let trig = w.trigger.expect("confirmed loop must be attributed");
+        assert!(
+            trig.matches_ground_truth,
+            "attribution disagrees with the pause-log ground truth: {trig:?}"
+        );
+        assert!(trig.scc.contains(&trig.queue()));
+        // The loop fills T1 <-> L1 in both directions; the trigger must
+        // name one of the loop's own queues.
+        let topo = ClosConfig::small().build();
+        let t1 = topo.expect_node("T1");
+        let l1 = topo.expect_node("L1");
+        assert!(
+            trig.switch == t1 || trig.switch == l1,
+            "trigger {trig:?} outside the forwarding loop"
+        );
+    }
+
+    /// The tentpole regression: cause-directed recovery (quarantine the
+    /// attributed trigger hop) prevents the deadlock from re-forming
+    /// where victim-directed recovery (quarantine the first-tripped
+    /// queue) does not — on the two-cycle incast scenario where the
+    /// trigger and the victim are different hops.
+    #[test]
+    fn cause_directed_recovery_prevents_cycle_reformation() {
+        const E: u64 = 12_000_000;
+        let topo = ClosConfig::small().build();
+        let s1 = topo.expect_node("S1");
+        let l3 = topo.expect_node("L3");
+        let s1_to_l3 = topo.port_towards(s1, l3).unwrap();
+
+        // Diagnosis pass (no fix): the watchdog detects, attributes the
+        // incast-congested hop, and the second wave re-locks.
+        let (diag, _) = incast_two_cycle(None, E).run();
+        let wd = diag.watchdog.clone().expect("watchdog armed");
+        let trig = wd.trigger.clone().expect("episode must be attributed");
+        assert!(
+            trig.matches_ground_truth,
+            "attribution disagrees with the pause-log ground truth: {trig:?}"
+        );
+        assert_eq!(
+            trig.queue(),
+            (s1, s1_to_l3, 0),
+            "the incast-congested hop S1->L3 is the ground-truth trigger"
+        );
+        assert!(
+            trig.hops >= 1,
+            "the trigger pause is inherited from the incast tree outside the cycle: {trig:?}"
+        );
+        let ttd = wd.time_to_detect().expect("detect after trigger pause");
+        assert!(ttd > 0);
+        let victim = *wd.trips.first().expect("episode must trip");
+        assert_ne!(
+            (victim.switch, victim.port),
+            (trig.switch, trig.port),
+            "the first-tripped victim must differ from the trigger for the comparison"
+        );
+        assert!(
+            wd.episodes >= 2,
+            "without a fix the second wave must re-lock, got {} episode(s)",
+            wd.episodes
+        );
+
+        // Victim-directed: masking the first-tripped hop kills only the
+        // cycle it sits on; the other re-forms on the second wave.
+        let (vic, _) = incast_two_cycle(Some((victim.switch, victim.port)), E).run();
+        let wv = vic.watchdog.expect("watchdog armed");
+        assert!(
+            wv.episodes >= 2,
+            "victim-directed recovery must let the deadlock re-form, got {} episode(s)",
+            wv.episodes
+        );
+
+        // Cause-directed: masking the attributed trigger hop starves
+        // both cycles and the incast pressure itself.
+        let mut cause = incast_two_cycle(Some((trig.switch, trig.port)), E);
+        let report = cause.sim.run();
+        let wc = report.watchdog.expect("watchdog armed");
+        assert_eq!(
+            wc.episodes, 1,
+            "cause-directed recovery must prevent re-formation"
+        );
+
+        // No stale attribution in lossy traffic: every packet parked in
+        // a lossy queue at the end carries no trigger stamp.
+        let nodes: Vec<NodeId> = cause.sim.topo().node_ids().collect();
+        for n in nodes {
+            let sw = cause.sim.switch_state(n).expect("switch state");
+            for qp in sw.queued_packets() {
+                if qp.egress_queue >= 1 {
+                    assert!(
+                        qp.packet.trigger.is_none(),
+                        "lossy packet at {n:?} holds a stale trigger stamp"
+                    );
+                }
+            }
+        }
     }
 }

@@ -177,6 +177,7 @@ impl FlowReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use tagger_topo::ClosConfig;
 

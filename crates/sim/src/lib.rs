@@ -41,6 +41,7 @@
 //! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 mod dcqcn;
 mod deadlock;
@@ -58,5 +59,5 @@ pub use deadlock::DeadlockReport;
 pub use event::SimTime;
 pub use experiments::Experiment;
 pub use flow::{FlowReport, FlowSpec, Route};
-pub use report::{SimReport, WatchdogReport, WatchdogTripRecord};
+pub use report::{SimReport, TriggerAttribution, WatchdogReport, WatchdogTripRecord};
 pub use sim::{Action, SimConfig, Simulator};

@@ -41,7 +41,7 @@ impl HostNic {
     /// Applies a PFC frame received on `port`.
     pub fn on_pfc(&mut self, port: PortId, frame: PfcFrame) {
         let (priority, value) = match frame {
-            PfcFrame::Pause { priority } => (priority, true),
+            PfcFrame::Pause { priority, .. } => (priority, true),
             PfcFrame::Resume { priority } => (priority, false),
         };
         if let Some(i) = self.index(port, priority) {
@@ -65,7 +65,13 @@ mod tests {
     fn pause_resume_round_trip() {
         let mut nic = HostNic::new(1, 2);
         assert!(!nic.is_paused(PortId(0), 0));
-        nic.on_pfc(PortId(0), PfcFrame::Pause { priority: 0 });
+        nic.on_pfc(
+            PortId(0),
+            PfcFrame::Pause {
+                priority: 0,
+                trigger: None,
+            },
+        );
         assert!(nic.is_paused(PortId(0), 0));
         assert!(!nic.is_paused(PortId(0), 1));
         nic.on_pfc(PortId(0), PfcFrame::Resume { priority: 0 });
@@ -75,7 +81,13 @@ mod tests {
     #[test]
     fn ports_are_independent() {
         let mut nic = HostNic::new(2, 2);
-        nic.on_pfc(PortId(1), PfcFrame::Pause { priority: 1 });
+        nic.on_pfc(
+            PortId(1),
+            PfcFrame::Pause {
+                priority: 1,
+                trigger: None,
+            },
+        );
         assert!(nic.is_paused(PortId(1), 1));
         assert!(!nic.is_paused(PortId(0), 1));
     }
@@ -83,7 +95,13 @@ mod tests {
     #[test]
     fn out_of_range_priority_ignored() {
         let mut nic = HostNic::new(1, 2);
-        nic.on_pfc(PortId(0), PfcFrame::Pause { priority: 7 });
+        nic.on_pfc(
+            PortId(0),
+            PfcFrame::Pause {
+                priority: 7,
+                trigger: None,
+            },
+        );
         assert!(!nic.is_paused(PortId(0), 7));
     }
 }

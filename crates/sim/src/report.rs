@@ -17,6 +17,59 @@ pub struct WatchdogTripRecord {
     pub port: PortId,
     /// Lossless priority (= queue index) that tripped.
     pub prio: u8,
+    /// True if the queue's own trigger attribution named itself as the
+    /// episode origin at trip time ("I started this"); false when the
+    /// pause was inherited from downstream — the victim trips that
+    /// cause-directed recovery redirects.
+    pub origin: bool,
+}
+
+/// DCFIT-style initial-trigger attribution for a deadlock episode: the
+/// cycle member through which the pause storm entered, identified as the
+/// SCC queue holding the *oldest* in-band pause claim (fewest relay hops
+/// on ties) and cross-checked against the simulator's independent
+/// first-pause log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TriggerAttribution {
+    /// Switch owning the trigger queue.
+    pub switch: NodeId,
+    /// Egress port of the trigger queue.
+    pub port: PortId,
+    /// Lossless priority of the trigger queue.
+    pub prio: u8,
+    /// Epoch of the pause claim the trigger queue held: when the
+    /// *origin* of its claim entered PAUSE — the onset of the pause
+    /// condition that seeded the episode (claims survive origin flaps
+    /// via the `older()` refresh combinator).
+    pub pause_epoch: SimTime,
+    /// Hop count of the stamp the trigger queue held: 0 means the queue
+    /// originated its own pause; >0 means it inherited pause from a
+    /// queue *outside* the cycle (e.g. the incast tree below it) before
+    /// the cycle closed through it.
+    pub hops: u8,
+    /// When the attribution was computed (the first watchdog tick with
+    /// a confirmed SCC) — always at or before the first trip.
+    pub attributed_at: SimTime,
+    /// Cross-check against the simulator's independently tracked pause
+    /// log: the claim's origin really entered pause at the claimed
+    /// epoch, and no SCC member's surviving pause bout predates the
+    /// claim (nothing the claim fails to explain seeded the cycle).
+    pub matches_ground_truth: bool,
+    /// The confirmed SCC membership at attribution time.
+    pub scc: Vec<(NodeId, PortId, u8)>,
+}
+
+impl TriggerAttribution {
+    /// The attributed queue as a `(switch, port, prio)` triple.
+    pub fn queue(&self) -> (NodeId, PortId, u8) {
+        (self.switch, self.port, self.prio)
+    }
+
+    /// Attribution latency: from the trigger's pause entry to the tick
+    /// that produced this attribution.
+    pub fn time_to_attribute(&self) -> SimTime {
+        self.attributed_at.saturating_sub(self.pause_epoch)
+    }
 }
 
 /// What the PFC watchdog did over a run (present only when armed).
@@ -31,6 +84,22 @@ pub struct WatchdogReport {
     /// First watchdog poll after a trip at which the wait-for graph held
     /// no confirmed cycle — the bounded-recovery timestamp.
     pub cleared_at: Option<SimTime>,
+    /// Initial-trigger attribution of the first deadlock episode, if
+    /// one was confirmed.
+    pub trigger: Option<TriggerAttribution>,
+    /// Distinct deadlock episodes: confirmed-SCC empty→non-empty
+    /// transitions across watchdog ticks. 2+ means a cycle re-formed
+    /// after recovery.
+    pub episodes: u64,
+}
+
+impl WatchdogReport {
+    /// Detection latency: from the attributed trigger's pause entry to
+    /// the first trip. `None` without both an attribution and a trip.
+    pub fn time_to_detect(&self) -> Option<SimTime> {
+        let t = self.trigger.as_ref()?;
+        Some(self.first_trip_at?.saturating_sub(t.pause_epoch))
+    }
 }
 
 /// Everything a simulation run produced.

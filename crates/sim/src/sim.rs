@@ -4,7 +4,7 @@ use crate::deadlock::{deadlocked_queues, detect_deadlock, DeadlockReport};
 use crate::event::{Ev, EventQueue, SimTime};
 use crate::flow::{FlowReport, FlowSpec, FlowState, Route};
 use crate::nic::HostNic;
-use crate::report::{SimReport, WatchdogReport, WatchdogTripRecord};
+use crate::report::{SimReport, TriggerAttribution, WatchdogReport, WatchdogTripRecord};
 use std::collections::{BTreeMap, BTreeSet};
 use tagger_core::{RuleSet, TagDecision};
 use tagger_routing::{EcmpMode, Fib};
@@ -164,6 +164,18 @@ pub struct Simulator {
     wd_trips: Vec<WatchdogTripRecord>,
     wd_first_trip_at: Option<SimTime>,
     wd_cleared_at: Option<SimTime>,
+    /// Ground-truth pause log, independent of the in-band stamps it
+    /// cross-checks: every pause-bout start per lossless egress queue,
+    /// in time order. Resume does not erase history (a bout's start must
+    /// remain checkable after xoff/xon flaps); watchdog trips and link
+    /// failures reset the affected queue's history.
+    pause_log: BTreeMap<(NodeId, PortId, u8), Vec<SimTime>>,
+    /// Initial-trigger attribution of the first confirmed episode.
+    wd_trigger: Option<TriggerAttribution>,
+    /// Confirmed-SCC empty→non-empty transitions seen at watchdog ticks.
+    wd_episodes: u64,
+    /// Whether the last watchdog tick saw a non-empty confirmed SCC.
+    scc_active: bool,
 }
 
 impl Simulator {
@@ -217,6 +229,10 @@ impl Simulator {
             wd_trips: Vec::new(),
             wd_first_trip_at: None,
             wd_cleared_at: None,
+            pause_log: BTreeMap::new(),
+            wd_trigger: None,
+            wd_episodes: 0,
+            scc_active: false,
         }
     }
 
@@ -257,6 +273,19 @@ impl Simulator {
     /// Schedules a scripted action.
     pub fn at(&mut self, time: SimTime, action: Action) {
         self.actions.push((time, action));
+    }
+
+    /// Arms the per-queue PFC watchdog on an already-built simulator
+    /// (equivalent to setting [`SimConfig::watchdog`]; must be called
+    /// before [`Simulator::run`], which schedules the poll ticks).
+    pub fn arm_watchdog(&mut self, cfg: WatchdogConfig) {
+        self.cfg.watchdog = Some(cfg);
+    }
+
+    /// Read-only view of one node's data plane, for post-run inspection
+    /// (queue occupancy, held trigger stamps, PFC gating).
+    pub fn switch_state(&self, node: NodeId) -> Option<&SwitchState> {
+        self.switches.get(&node)
     }
 
     /// The topology (for scenario builders).
@@ -598,7 +627,8 @@ impl Simulator {
         let peer = self.topo.peer_of(gp).expect("wired");
         self.queue
             .push(self.now + delay, Ev::Pfc { port: peer, frame });
-        if let (Some(quanta), PfcFrame::Pause { priority }) = (self.cfg.pause_quanta_ns, frame) {
+        if let (Some(quanta), PfcFrame::Pause { priority, .. }) = (self.cfg.pause_quanta_ns, frame)
+        {
             self.queue.push(
                 self.now + quanta / 2,
                 Ev::PfcRefresh {
@@ -624,13 +654,18 @@ impl Simulator {
     fn on_pfc_refresh(&mut self, port: GlobalPort, prio: u8) {
         // Every node (forwarding hosts included) pauses from its data
         // plane's ingress accounting.
-        let outstanding = self
-            .switches
-            .get(&port.node)
-            .expect("dataplane")
-            .pause_outstanding(port.port, prio);
-        if outstanding {
-            self.send_pfc(port, PfcFrame::Pause { priority: prio });
+        let sw = self.switches.get(&port.node).expect("dataplane");
+        if sw.pause_outstanding(port.port, prio) {
+            // Refreshes carry current attribution: if we have since been
+            // gated downstream ourselves, the stamp rides along.
+            let trigger = sw.inherited_trigger(prio);
+            self.send_pfc(
+                port,
+                PfcFrame::Pause {
+                    priority: prio,
+                    trigger,
+                },
+            );
         }
     }
 
@@ -639,7 +674,7 @@ impl Simulator {
     fn on_pfc(&mut self, port: GlobalPort, frame: PfcFrame) {
         if let Some(quanta) = self.cfg.pause_quanta_ns {
             match frame {
-                PfcFrame::Pause { priority } => {
+                PfcFrame::Pause { priority, .. } => {
                     let deadline = self.now + quanta;
                     self.pause_deadline.insert((port, priority), deadline);
                     self.queue.push(
@@ -661,11 +696,36 @@ impl Simulator {
 
     /// Applies a PFC state change to the receiving node: the data plane
     /// gate always, and (on hosts) the NIC's injection gate too.
+    ///
+    /// Also maintains the simulator's own pause-entry log — ground truth
+    /// for cross-checking the in-band trigger stamps, tracked entirely
+    /// outside the switch implementation.
     fn apply_pfc(&mut self, port: GlobalPort, frame: PfcFrame) {
+        let num_lossless = self.cfg.switch.num_lossless;
+        match frame {
+            PfcFrame::Pause { priority, .. } if priority < num_lossless => {
+                let was = self
+                    .switches
+                    .get(&port.node)
+                    .expect("dataplane")
+                    .is_tx_paused(port.port, priority);
+                if !was {
+                    self.pause_log
+                        .entry((port.node, port.port, priority))
+                        .or_default()
+                        .push(self.now);
+                }
+            }
+            // Resume does NOT erase bout history: attribution must be
+            // able to corroborate a claim whose origin bout has since
+            // resolved. Histories are forgotten on watchdog trips
+            // (recovery resets a queue) and on link failure.
+            _ => {}
+        }
         self.switches
             .get_mut(&port.node)
             .expect("dataplane")
-            .on_pfc(port.port, frame);
+            .on_pfc(port.port, frame, self.now);
         if let Some(nic) = self.nics.get_mut(&port.node) {
             nic.on_pfc(port.port, frame);
         }
@@ -749,6 +809,21 @@ impl Simulator {
         } else {
             deadlocked_queues(&self.topo, &self.switches)
         };
+        // Episode accounting and initial-trigger attribution, computed
+        // before any verdict mutates switch state this tick: a confirmed
+        // SCC appearing after none marks a new deadlock episode, and the
+        // first episode's attribution is frozen for the report.
+        if !confirmed.is_empty() {
+            if !self.scc_active {
+                self.scc_active = true;
+                self.wd_episodes += 1;
+                if self.wd_trigger.is_none() {
+                    self.wd_trigger = self.attribute_trigger(&confirmed);
+                }
+            }
+        } else {
+            self.scc_active = false;
+        }
         // Poll every symptomatic queue plus every existing state machine
         // (those in Watching need to see recovery; those in HoldDown need
         // their restore).
@@ -764,11 +839,24 @@ impl Simulator {
                 WatchdogVerdict::Trip => {
                     self.wd_stats.trips += 1;
                     self.wd_first_trip_at.get_or_insert(self.now);
+                    // Origin evidence must be read before the flush/demote
+                    // below clears the queue's attribution state.
+                    let origin = self
+                        .switches
+                        .get(&node)
+                        .expect("switch")
+                        .is_trigger_origin(port, prio);
+                    if origin {
+                        self.wd_stats.origin_trips += 1;
+                    } else {
+                        self.wd_stats.inherited_trips += 1;
+                    }
                     self.wd_trips.push(WatchdogTripRecord {
                         at: self.now,
                         switch: node,
                         port,
                         prio,
+                        origin,
                     });
                     let sw = self.switches.get_mut(&node).expect("switch");
                     match wcfg.policy {
@@ -783,6 +871,10 @@ impl Simulator {
                             self.wd_stats.demoted_packets += sw.demote_queue(port, prio) as u64;
                         }
                     }
+                    // The trip ends this queue's pause episode; the
+                    // ground-truth log must forget it so a later re-pause
+                    // gets a fresh entry timestamp.
+                    self.pause_log.remove(&q);
                     // Dropping/demoting released ingress accounting or
                     // cleared the gate: deliver any RESUMEs and wake the
                     // port so the lossy (or emptied) queue drains.
@@ -805,6 +897,101 @@ impl Simulator {
         {
             self.wd_cleared_at = Some(self.now);
         }
+    }
+
+    /// DCFIT-style initial-trigger attribution over a confirmed SCC,
+    /// driven by the in-band stamps. PAUSE refreshes carry the `older()`
+    /// combinator, so every member's claim converges on the oldest
+    /// reachable pause event — the storm's origin — even while
+    /// individual queues bounce across the xoff/xon hysteresis band.
+    /// The attributed trigger hop is then:
+    ///
+    /// 1. the claim's origin queue itself, when the cycle contains it
+    ///    (the cycle seeded from its own congestion, e.g. a bounce or
+    ///    routing-loop deadlock); otherwise
+    /// 2. the SCC member paused *directly by the origin's switch* — the
+    ///    edge through which an outside pause storm (e.g. an incast
+    ///    tree) entered the cycle; otherwise
+    /// 3. the member holding the claim at the fewest relay hops.
+    ///
+    /// Hop counts alone cannot pick the entry edge: once a cycle locks,
+    /// claims circulate through it and members that flap re-inherit at
+    /// whatever relay distance the circulating copy has accumulated.
+    /// The claim's *identity* (origin queue + epoch) is what converges.
+    /// The result is cross-checked against the simulator's independent
+    /// `pause_log` (first-ever pause entry per queue).
+    fn attribute_trigger(
+        &self,
+        confirmed: &BTreeSet<(NodeId, PortId, u8)>,
+    ) -> Option<TriggerAttribution> {
+        // The SCC's oldest claim, by (epoch, origin queue id).
+        let held = |q: &(NodeId, PortId, u8)| {
+            self.switches
+                .get(&q.0)
+                .and_then(|sw| sw.trigger_of(q.1, q.2))
+        };
+        let (pause_epoch, origin) = confirmed
+            .iter()
+            .filter_map(|q| held(q).map(|s| (s.pause_epoch, (s.switch, s.port, s.prio))))
+            .min()?;
+        let carries = |q: &(NodeId, PortId, u8)| {
+            held(q)
+                .filter(|s| s.pause_epoch == pause_epoch && s.names(origin.0, origin.1, origin.2))
+        };
+        // Shortest observed relay distance from the origin to the cycle.
+        let hops = confirmed
+            .iter()
+            .filter_map(|q| carries(q).map(|s| s.hops))
+            .min()
+            .unwrap_or(0);
+        let (node, port, prio) = if confirmed.contains(&origin) {
+            origin
+        } else {
+            confirmed
+                .iter()
+                .copied()
+                .filter(|&(n, p, _)| {
+                    self.topo
+                        .peer_of(GlobalPort::new(n, p))
+                        .is_some_and(|peer| peer.node == origin.0)
+                })
+                .min()
+                .or_else(|| {
+                    confirmed
+                        .iter()
+                        .filter_map(|&q| carries(&q).map(|s| (s.hops, q)))
+                        .min()
+                        .map(|(_, q)| q)
+                })?
+        };
+        // Ground-truth corroboration against the simulator's own bout
+        // log: (a) the claim's origin really entered pause at exactly
+        // the claimed epoch — the stamp is not fabricated or stale past
+        // a recovery — and (b) no SCC member's *surviving* bout (its
+        // latest pause entry; members are gated, so the latest bout is
+        // the current one) predates the claim, i.e. nothing the claim
+        // fails to explain seeded the cycle earlier.
+        let origin_real = self
+            .pause_log
+            .get(&origin)
+            .is_some_and(|bouts| bouts.binary_search(&pause_epoch).is_ok());
+        let no_older_survivor = confirmed.iter().all(|q| {
+            self.pause_log
+                .get(q)
+                .and_then(|bouts| bouts.last())
+                .is_none_or(|&t| t >= pause_epoch)
+        });
+        let matches_ground_truth = origin_real && no_older_survivor;
+        Some(TriggerAttribution {
+            switch: node,
+            port,
+            prio,
+            pause_epoch,
+            hops,
+            attributed_at: self.now,
+            matches_ground_truth,
+            scc: confirmed.iter().copied().collect(),
+        })
     }
 
     /// Detect-and-break recovery: flush the first gated queue of the
@@ -864,6 +1051,9 @@ impl Simulator {
                     for q in 0..queues {
                         self.link_down_drops += sw.flush_queue(gp.port, q).len() as u64;
                     }
+                    for q in 0..self.cfg.switch.num_lossless {
+                        self.pause_log.remove(&(gp.node, gp.port, q));
+                    }
                     self.flush_switch_pfc(gp.node);
                 }
             }
@@ -907,6 +1097,8 @@ impl Simulator {
                 trips: self.wd_trips.clone(),
                 first_trip_at: self.wd_first_trip_at,
                 cleared_at: self.wd_cleared_at,
+                trigger: self.wd_trigger.clone(),
+                episodes: self.wd_episodes,
             }
         });
         SimReport {

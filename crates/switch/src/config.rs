@@ -73,6 +73,8 @@ impl SwitchConfig {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -22,6 +22,7 @@
 //! frames, and collects the PFC frames it wants to emit.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 mod config;
 mod packet;
@@ -29,6 +30,6 @@ mod switch;
 mod watchdog;
 
 pub use config::SwitchConfig;
-pub use packet::{Packet, PacketId};
+pub use packet::{Packet, PacketId, TriggerStamp};
 pub use switch::{AdmitOutcome, PfcFrame, QueuedPacket, SwitchState, SwitchStats, TransitionMode};
 pub use watchdog::{QueueWatchdog, WatchdogConfig, WatchdogPolicy, WatchdogStats, WatchdogVerdict};

@@ -1,11 +1,65 @@
 //! The packet model shared by the switch and the simulator.
 
 use tagger_core::Tag;
-use tagger_topo::NodeId;
+use tagger_topo::{NodeId, PortId};
 
 /// Globally unique packet identifier (assigned by the simulator).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PacketId(pub u64);
+
+/// DCFIT-style in-band trigger metadata: names the queue believed to
+/// have *started* the pause-propagation episode the stamped packet is
+/// caught in.
+///
+/// A lossless egress queue that enters the tx-paused state records a
+/// trigger: if the PAUSE frame carried no stamp the queue is the
+/// congestion origin and stamps itself (`hops == 0`); if the frame
+/// carried a stamp from downstream the queue inherits it with the hop
+/// count bumped. Packets enqueued behind a gated queue carry the
+/// queue's stamp in-band, the modelled analogue of DCFIT riding trigger
+/// metadata in packet headers. Stamps are cleared the moment a packet
+/// flows through an ungated queue or is demoted to the lossy class —
+/// attribution never outlives the episode that minted it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TriggerStamp {
+    /// Switch owning the first-paused queue.
+    pub switch: NodeId,
+    /// Egress port of that queue.
+    pub port: PortId,
+    /// Lossless priority of that queue.
+    pub prio: u8,
+    /// Driving-clock time (ns in the simulator) at which that queue
+    /// entered PAUSE — the global ordering attribution minimises over.
+    pub pause_epoch: u64,
+    /// Pause-propagation hops between the origin queue and the holder
+    /// of this stamp; 0 means "I started this".
+    pub hops: u8,
+}
+
+impl TriggerStamp {
+    /// The stamp as seen one propagation hop further upstream.
+    pub fn bump(self) -> TriggerStamp {
+        TriggerStamp {
+            hops: self.hops.saturating_add(1),
+            ..self
+        }
+    }
+
+    /// True if the stamp names the queue `(switch, port, prio)`.
+    pub fn names(&self, switch: NodeId, port: PortId, prio: u8) -> bool {
+        self.switch == switch && self.port == port && self.prio == prio
+    }
+
+    /// Of two candidate stamps, the one with the earlier pause epoch —
+    /// the "oldest claim wins" rule that makes attribution converge on
+    /// the initial trigger as stamps race around a cycle.
+    pub fn older(a: Option<TriggerStamp>, b: Option<TriggerStamp>) -> Option<TriggerStamp> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(if x.pause_epoch <= y.pause_epoch { x } else { y }),
+            (x, y) => x.or(y),
+        }
+    }
+}
 
 /// A packet in flight.
 ///
@@ -33,6 +87,10 @@ pub struct Packet {
     /// congestion control at the receiver (paper §6 discusses DCQCN as a
     /// complement that reduces PFC generation).
     pub ecn: bool,
+    /// In-band trigger attribution: set while the packet sits behind a
+    /// PAUSE-gated lossless queue, cleared on any ungated (or lossy)
+    /// hop. Lossy packets never carry a stamp.
+    pub trigger: Option<TriggerStamp>,
 }
 
 impl Packet {
@@ -50,6 +108,7 @@ impl Packet {
             tag: Some(Tag::INITIAL),
             ttl: Self::DEFAULT_TTL,
             ecn: false,
+            trigger: None,
         }
     }
 
@@ -76,5 +135,40 @@ mod tests {
         let mut p = Packet::new(PacketId(1), 7, NodeId(3), 1024);
         p.tag = None;
         assert!(p.is_lossy());
+    }
+
+    #[test]
+    fn fresh_packets_carry_no_trigger_stamp() {
+        let p = Packet::new(PacketId(1), 7, NodeId(3), 1024);
+        assert_eq!(p.trigger, None);
+    }
+
+    #[test]
+    fn older_stamp_wins() {
+        let mk = |epoch| TriggerStamp {
+            switch: NodeId(1),
+            port: PortId(2),
+            prio: 0,
+            pause_epoch: epoch,
+            hops: 0,
+        };
+        assert_eq!(TriggerStamp::older(Some(mk(5)), Some(mk(9))), Some(mk(5)));
+        assert_eq!(TriggerStamp::older(None, Some(mk(9))), Some(mk(9)));
+        assert_eq!(TriggerStamp::older(Some(mk(5)), None), Some(mk(5)));
+        assert_eq!(TriggerStamp::older(None, None), None);
+    }
+
+    #[test]
+    fn bump_saturates_and_names_matches() {
+        let t = TriggerStamp {
+            switch: NodeId(1),
+            port: PortId(2),
+            prio: 1,
+            pause_epoch: 7,
+            hops: u8::MAX,
+        };
+        assert_eq!(t.bump().hops, u8::MAX);
+        assert!(t.names(NodeId(1), PortId(2), 1));
+        assert!(!t.names(NodeId(1), PortId(2), 0));
     }
 }

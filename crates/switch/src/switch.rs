@@ -1,6 +1,6 @@
 //! The switch state machine: queues, PFC accounting, Tagger pipeline.
 
-use crate::{Packet, SwitchConfig};
+use crate::{Packet, SwitchConfig, TriggerStamp};
 use std::collections::VecDeque;
 use tagger_core::Tag;
 use tagger_topo::{NodeId, PortId};
@@ -12,6 +12,11 @@ pub enum PfcFrame {
     Pause {
         /// Priority class to pause (queue index).
         priority: u8,
+        /// DCFIT trigger metadata riding the frame: `None` when the
+        /// emitter paused out of its own ingress congestion (it *is*
+        /// the origin), `Some` when the emitter is itself blocked on a
+        /// downstream PAUSE and forwards the oldest stamp it holds.
+        trigger: Option<TriggerStamp>,
     },
     /// Resume sending the given priority.
     Resume {
@@ -84,6 +89,9 @@ pub struct SwitchStats {
     /// Arrivals redirected to the lossy class because their lossless
     /// queue was watchdog-demoted.
     pub demoted_redirects: u64,
+    /// Packets enqueued carrying an in-band trigger stamp (behind a
+    /// PAUSE-gated queue).
+    pub trigger_stamps: u64,
 }
 
 impl std::ops::AddAssign for SwitchStats {
@@ -94,6 +102,7 @@ impl std::ops::AddAssign for SwitchStats {
         self.pauses_sent += rhs.pauses_sent;
         self.resumes_sent += rhs.resumes_sent;
         self.demoted_redirects += rhs.demoted_redirects;
+        self.trigger_stamps += rhs.trigger_stamps;
     }
 }
 
@@ -127,6 +136,13 @@ pub struct SwitchState {
     /// True if the lossless queue `(port, prio)` is watchdog-demoted to
     /// the lossy class, `[port * num_lossless + prio]`.
     demoted: Vec<bool>,
+    /// Trigger attribution held for each tx-paused egress queue,
+    /// `[port * num_lossless + prio]`; `None` while the queue is not
+    /// paused.
+    tx_trigger: Vec<Option<TriggerStamp>>,
+    /// When each egress queue last entered the tx-paused state (driving
+    /// clock units), `[port * num_lossless + prio]`.
+    pause_entered: Vec<Option<u64>>,
     /// Per-port round-robin pointer over queues.
     rr: Vec<usize>,
     /// PFC frames generated since the last drain.
@@ -155,6 +171,8 @@ impl SwitchState {
             queue_bytes: vec![0; nports * qpp],
             total_bytes: 0,
             demoted: vec![false; nports * nl],
+            tx_trigger: vec![None; nports * nl],
+            pause_entered: vec![None; nports * nl],
             rr: vec![0; nports],
             emitted: Vec::new(),
             stats: SwitchStats::default(),
@@ -246,8 +264,18 @@ impl SwitchState {
             if self.ingress_occ[idx] > self.cfg.xoff_bytes && !self.pause_sent[idx] {
                 self.pause_sent[idx] = true;
                 self.stats.pauses_sent += 1;
-                self.emitted
-                    .push((in_port, PfcFrame::Pause { priority: p }));
+                // If we are ourselves blocked on a downstream PAUSE at
+                // this priority, the congestion is inherited and the
+                // frame forwards the oldest stamp we hold; otherwise
+                // the PAUSE is an origin claim (`trigger: None`).
+                let trigger = self.inherited_trigger(p);
+                self.emitted.push((
+                    in_port,
+                    PfcFrame::Pause {
+                        priority: p,
+                        trigger,
+                    },
+                ));
             }
         }
 
@@ -258,6 +286,20 @@ impl SwitchState {
             if !is_lossy_queue && self.queue_bytes[qi] > thr {
                 packet.ecn = true;
             }
+        }
+        // In-band trigger attribution: a packet enqueued behind a
+        // PAUSE-gated lossless queue picks up (or keeps the older of)
+        // that queue's trigger stamp; any ungated or lossy hop clears
+        // it, so a stamp never outlives the pause episode it describes.
+        let gate = (!is_lossy_queue)
+            .then(|| self.iq(out_port, egress_queue))
+            .filter(|&idx| self.tx_paused[idx]);
+        packet.trigger = match gate {
+            Some(idx) => TriggerStamp::older(packet.trigger, self.tx_trigger[idx]),
+            None => None,
+        };
+        if packet.trigger.is_some() {
+            self.stats.trigger_stamps += 1;
         }
         self.queue_bytes[qi] += size;
         self.total_bytes += size;
@@ -321,23 +363,72 @@ impl SwitchState {
         None
     }
 
-    /// Handles a PFC frame received from the neighbor on `port`: gates or
-    /// ungates the matching egress queue.
-    pub fn on_pfc(&mut self, port: PortId, frame: PfcFrame) {
+    /// Handles a PFC frame received from the neighbor on `port` at time
+    /// `now` (driving-clock units): gates or ungates the matching egress
+    /// queue and maintains the queue's trigger attribution. A PAUSE that
+    /// arrives with no stamp marks this queue as the episode origin — it
+    /// stamps itself at hop count 0 ("I started this") — while a
+    /// stamped PAUSE means the pause was inherited from downstream and
+    /// the stamp is adopted with its hop count bumped.
+    pub fn on_pfc(&mut self, port: PortId, frame: PfcFrame, now: u64) {
         match frame {
-            PfcFrame::Pause { priority } => {
+            PfcFrame::Pause { priority, trigger } => {
                 if (priority as usize) < self.cfg.num_lossless as usize {
                     let idx = self.iq(port, priority);
-                    self.tx_paused[idx] = true;
+                    let incoming = match trigger {
+                        Some(t) => t.bump(),
+                        None => TriggerStamp {
+                            switch: self.node,
+                            port,
+                            prio: priority,
+                            pause_epoch: now,
+                            hops: 0,
+                        },
+                    };
+                    if self.tx_paused[idx] {
+                        // Refresh while already paused: keep the oldest
+                        // claim so attribution converges on the initial
+                        // trigger even as stamps race around a cycle.
+                        self.tx_trigger[idx] =
+                            TriggerStamp::older(self.tx_trigger[idx], Some(incoming));
+                    } else {
+                        self.tx_paused[idx] = true;
+                        self.pause_entered[idx] = Some(now);
+                        self.tx_trigger[idx] = Some(incoming);
+                    }
                 }
             }
             PfcFrame::Resume { priority } => {
                 if (priority as usize) < self.cfg.num_lossless as usize {
                     let idx = self.iq(port, priority);
                     self.tx_paused[idx] = false;
+                    self.tx_trigger[idx] = None;
+                    self.pause_entered[idx] = None;
                 }
             }
         }
+    }
+
+    /// The oldest trigger stamp among this switch's tx-paused, non-empty
+    /// lossless egress queues at `prio` — what an emitted PAUSE carries
+    /// when our congestion is inherited (we are blocked downstream)
+    /// rather than locally originated. `None` means any PAUSE we emit
+    /// is an origin claim. Public so the simulator's quanta-refresh path
+    /// re-asserts PAUSEs with current attribution.
+    pub fn inherited_trigger(&self, prio: u8) -> Option<TriggerStamp> {
+        let mut best = None;
+        for port in 0..self.nports {
+            let idx = port * self.cfg.num_lossless as usize + prio as usize;
+            if !self.tx_paused[idx] {
+                continue;
+            }
+            let qi = port * self.cfg.queues_per_port() + prio as usize;
+            if self.queues[qi].is_empty() {
+                continue;
+            }
+            best = TriggerStamp::older(best, self.tx_trigger[idx]);
+        }
+        best
     }
 
     /// Drains the PFC frames generated since the last call. The simulator
@@ -355,6 +446,26 @@ impl SwitchState {
     /// True if our egress `(port, prio)` is gated by a downstream PAUSE.
     pub fn is_tx_paused(&self, port: PortId, prio: u8) -> bool {
         self.tx_paused[self.iq(port, prio)]
+    }
+
+    /// The trigger attribution held for the tx-paused egress queue
+    /// `(port, prio)` — `None` while the queue is not paused.
+    pub fn trigger_of(&self, port: PortId, prio: u8) -> Option<TriggerStamp> {
+        self.tx_trigger[self.iq(port, prio)]
+    }
+
+    /// When `(port, prio)` entered its current tx-paused state, in
+    /// driving-clock units; `None` while ungated.
+    pub fn pause_entered_at(&self, port: PortId, prio: u8) -> Option<u64> {
+        self.pause_entered[self.iq(port, prio)]
+    }
+
+    /// True if `(port, prio)`'s attribution names itself as the episode
+    /// origin — the watchdog's "I started this" vs. "I inherited pause
+    /// from downstream" distinction.
+    pub fn is_trigger_origin(&self, port: PortId, prio: u8) -> bool {
+        self.tx_trigger[self.iq(port, prio)]
+            .is_some_and(|t| t.hops == 0 && t.names(self.node, port, prio))
     }
 
     /// Byte occupancy of one egress queue.
@@ -410,6 +521,8 @@ impl SwitchState {
         if (queue as usize) < self.cfg.num_lossless as usize {
             let idx = self.iq(port, queue);
             self.tx_paused[idx] = false;
+            self.tx_trigger[idx] = None;
+            self.pause_entered[idx] = None;
         }
         dropped
     }
@@ -435,11 +548,16 @@ impl SwitchState {
             self.queue_bytes[from] -= size;
             self.queue_bytes[to] += size;
             qp.packet.tag = None;
+            // The stamp goes with the tag: lossy traffic never carries
+            // attribution for a pause episode it is no longer part of.
+            qp.packet.trigger = None;
             qp.egress_queue = self.cfg.num_lossless;
             self.queues[to].push_back(qp);
         }
         let idx = self.iq(port, prio);
         self.tx_paused[idx] = false;
+        self.tx_trigger[idx] = None;
+        self.pause_entered[idx] = None;
         self.demoted[idx] = true;
         moved
     }
@@ -464,6 +582,8 @@ impl SwitchState {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::PacketId;
 
@@ -487,6 +607,15 @@ mod tests {
             tag: tag.map(Tag),
             ttl: 64,
             ecn: false,
+            trigger: None,
+        }
+    }
+
+    /// A received PAUSE with no trigger stamp (an origin claim).
+    fn pause(priority: u8) -> PfcFrame {
+        PfcFrame::Pause {
+            priority,
+            trigger: None,
         }
     }
 
@@ -548,7 +677,7 @@ mod tests {
             TransitionMode::EgressByNewTag,
         );
         let pfc = s.take_emitted_pfc();
-        assert_eq!(pfc, vec![(PortId(0), PfcFrame::Pause { priority: 0 })]);
+        assert_eq!(pfc, vec![(PortId(0), pause(0))]);
         assert!(s.pause_outstanding(PortId(0), 0));
         // More arrivals do not re-emit.
         s.admit(
@@ -602,14 +731,14 @@ mod tests {
             pkt(2, Some(2)),
             TransitionMode::EgressByNewTag,
         );
-        s.on_pfc(PortId(1), PfcFrame::Pause { priority: 0 });
+        s.on_pfc(PortId(1), pause(0), 0);
         assert!(s.is_tx_paused(PortId(1), 0));
         // Queue 1 still flows.
         let qp = s.dequeue(PortId(1)).unwrap();
         assert_eq!(qp.packet.id, PacketId(2));
         // Queue 0 is gated.
         assert!(s.dequeue(PortId(1)).is_none());
-        s.on_pfc(PortId(1), PfcFrame::Resume { priority: 0 });
+        s.on_pfc(PortId(1), PfcFrame::Resume { priority: 0 }, 0);
         assert_eq!(s.dequeue(PortId(1)).unwrap().packet.id, PacketId(1));
     }
 
@@ -651,7 +780,7 @@ mod tests {
             TransitionMode::EgressByNewTag,
         );
         // PFC for the "lossy priority" (index 2) is ignored.
-        s.on_pfc(PortId(1), PfcFrame::Pause { priority: 2 });
+        s.on_pfc(PortId(1), pause(2), 0);
         assert!(s.dequeue(PortId(1)).is_some());
     }
 
@@ -750,7 +879,7 @@ mod tests {
         }
         assert!(s.pause_outstanding(PortId(0), 0)); // crossed xoff
         s.take_emitted_pfc();
-        s.on_pfc(PortId(1), PfcFrame::Pause { priority: 0 });
+        s.on_pfc(PortId(1), pause(0), 0);
         let dropped = s.flush_queue(PortId(1), 0);
         assert_eq!(dropped.len(), 4);
         assert_eq!(s.buffered_bytes(), 0);
@@ -838,7 +967,7 @@ mod tests {
             );
         }
         s.take_emitted_pfc();
-        s.on_pfc(PortId(1), PfcFrame::Pause { priority: 0 });
+        s.on_pfc(PortId(1), pause(0), 0);
         assert!(!s.can_transmit(PortId(1)));
 
         let moved = s.demote_queue(PortId(1), 0);
@@ -909,10 +1038,12 @@ mod tests {
             pauses_sent: 4,
             resumes_sent: 5,
             demoted_redirects: 6,
+            trigger_stamps: 7,
         };
         let total: SwitchStats = [a, a].into_iter().sum();
         assert_eq!(total.forwarded, 2);
         assert_eq!(total.demoted_redirects, 12);
+        assert_eq!(total.trigger_stamps, 14);
     }
 
     #[test]
@@ -927,7 +1058,200 @@ mod tests {
             TransitionMode::EgressByNewTag,
         );
         assert!(s.can_transmit(PortId(1)));
-        s.on_pfc(PortId(1), PfcFrame::Pause { priority: 0 });
+        s.on_pfc(PortId(1), pause(0), 0);
         assert!(!s.can_transmit(PortId(1)));
+    }
+
+    fn stamp(switch: u32, epoch: u64, hops: u8) -> TriggerStamp {
+        TriggerStamp {
+            switch: NodeId(switch),
+            port: PortId(3),
+            prio: 0,
+            pause_epoch: epoch,
+            hops,
+        }
+    }
+
+    #[test]
+    fn unstamped_pause_marks_queue_as_origin() {
+        let mut s = sw();
+        s.on_pfc(PortId(1), pause(0), 100);
+        let t = s.trigger_of(PortId(1), 0).unwrap();
+        assert!(t.names(NodeId(0), PortId(1), 0));
+        assert_eq!(t.pause_epoch, 100);
+        assert_eq!(t.hops, 0);
+        assert_eq!(s.pause_entered_at(PortId(1), 0), Some(100));
+        assert!(s.is_trigger_origin(PortId(1), 0));
+    }
+
+    #[test]
+    fn stamped_pause_inherits_with_hop_bump() {
+        let mut s = sw();
+        s.on_pfc(
+            PortId(1),
+            PfcFrame::Pause {
+                priority: 0,
+                trigger: Some(stamp(7, 50, 1)),
+            },
+            60,
+        );
+        let t = s.trigger_of(PortId(1), 0).unwrap();
+        assert!(t.names(NodeId(7), PortId(3), 0));
+        assert_eq!(t.hops, 2, "inherited stamp bumps the hop count");
+        assert_eq!(s.pause_entered_at(PortId(1), 0), Some(60));
+        assert!(!s.is_trigger_origin(PortId(1), 0));
+    }
+
+    #[test]
+    fn pause_refresh_keeps_oldest_claim() {
+        let mut s = sw();
+        s.on_pfc(PortId(1), pause(0), 100); // origin claim at epoch 100
+        s.on_pfc(
+            PortId(1),
+            PfcFrame::Pause {
+                priority: 0,
+                trigger: Some(stamp(7, 40, 0)),
+            },
+            110,
+        );
+        let t = s.trigger_of(PortId(1), 0).unwrap();
+        assert_eq!(t.pause_epoch, 40, "older downstream claim replaces ours");
+        // But the pause-entry time is unchanged by the refresh.
+        assert_eq!(s.pause_entered_at(PortId(1), 0), Some(100));
+    }
+
+    #[test]
+    fn packets_behind_a_gated_queue_carry_the_stamp() {
+        let mut s = sw();
+        s.on_pfc(PortId(1), pause(0), 100);
+        s.admit(
+            PortId(0),
+            PortId(1),
+            Some(Tag(1)),
+            pkt(1, Some(1)),
+            TransitionMode::EgressByNewTag,
+        );
+        let qp = s
+            .queued_packets()
+            .find(|qp| qp.packet.id == PacketId(1))
+            .unwrap();
+        assert_eq!(qp.packet.trigger, s.trigger_of(PortId(1), 0));
+        assert_eq!(s.stats.trigger_stamps, 1);
+    }
+
+    #[test]
+    fn ungated_hop_clears_a_carried_stamp() {
+        let mut s = sw();
+        let mut p = pkt(1, Some(1));
+        p.trigger = Some(stamp(7, 50, 1));
+        s.admit(
+            PortId(0),
+            PortId(1),
+            Some(Tag(1)),
+            p,
+            TransitionMode::EgressByNewTag,
+        );
+        assert_eq!(s.dequeue(PortId(1)).unwrap().packet.trigger, None);
+        assert_eq!(s.stats.trigger_stamps, 0);
+    }
+
+    #[test]
+    fn emitted_pause_forwards_the_inherited_stamp() {
+        let mut s = sw();
+        // Our egress (1, prio 0) is gated by a stamped downstream PAUSE.
+        s.on_pfc(
+            PortId(1),
+            PfcFrame::Pause {
+                priority: 0,
+                trigger: Some(stamp(7, 50, 0)),
+            },
+            60,
+        );
+        // Ingress pressure on (0, prio 0) crosses Xoff at the 4th admit;
+        // by then the gated queue holds packets, so the PAUSE we emit
+        // forwards the inherited stamp instead of claiming origin.
+        for i in 0..4 {
+            s.admit(
+                PortId(0),
+                PortId(1),
+                Some(Tag(1)),
+                pkt(i, Some(1)),
+                TransitionMode::EgressByNewTag,
+            );
+        }
+        let pfc = s.take_emitted_pfc();
+        assert_eq!(
+            pfc,
+            vec![(
+                PortId(0),
+                PfcFrame::Pause {
+                    priority: 0,
+                    trigger: Some(stamp(7, 50, 1)),
+                }
+            )]
+        );
+    }
+
+    #[test]
+    fn pause_with_empty_gated_queue_claims_origin() {
+        let mut s = sw();
+        // Gated but empty at prio 0: our congestion cannot be inherited
+        // through it, so the emitted PAUSE is an origin claim.
+        s.on_pfc(
+            PortId(1),
+            PfcFrame::Pause {
+                priority: 0,
+                trigger: Some(stamp(7, 50, 0)),
+            },
+            60,
+        );
+        for i in 0..4 {
+            s.admit(
+                PortId(0),
+                PortId(2),
+                Some(Tag(1)),
+                pkt(i, Some(1)),
+                TransitionMode::EgressByNewTag,
+            );
+        }
+        let pfc = s.take_emitted_pfc();
+        assert_eq!(pfc, vec![(PortId(0), pause(0))]);
+    }
+
+    #[test]
+    fn demote_strips_stamps_and_attribution() {
+        let mut s = sw();
+        s.on_pfc(PortId(1), pause(0), 100);
+        for i in 0..3 {
+            s.admit(
+                PortId(0),
+                PortId(1),
+                Some(Tag(1)),
+                pkt(i, Some(1)),
+                TransitionMode::EgressByNewTag,
+            );
+        }
+        assert!(s.queued_packets().all(|qp| qp.packet.trigger.is_some()));
+        s.demote_queue(PortId(1), 0);
+        assert!(
+            s.queued_packets().all(|qp| qp.packet.trigger.is_none()),
+            "demoted-to-lossy packets must not carry stale attribution"
+        );
+        assert_eq!(s.trigger_of(PortId(1), 0), None);
+        assert_eq!(s.pause_entered_at(PortId(1), 0), None);
+    }
+
+    #[test]
+    fn resume_and_flush_clear_attribution() {
+        let mut s = sw();
+        s.on_pfc(PortId(1), pause(0), 100);
+        s.on_pfc(PortId(1), PfcFrame::Resume { priority: 0 }, 150);
+        assert_eq!(s.trigger_of(PortId(1), 0), None);
+        assert_eq!(s.pause_entered_at(PortId(1), 0), None);
+
+        s.on_pfc(PortId(2), pause(1), 200);
+        s.flush_queue(PortId(2), 1);
+        assert_eq!(s.trigger_of(PortId(2), 1), None);
+        assert_eq!(s.pause_entered_at(PortId(2), 1), None);
     }
 }

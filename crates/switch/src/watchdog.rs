@@ -117,6 +117,13 @@ pub struct WatchdogStats {
     pub demoted_packets: u64,
     /// Arrivals redirected to the lossy class while a queue sat demoted.
     pub redirected_packets: u64,
+    /// Trips whose queue held an origin attribution — "I started this"
+    /// (the tripping queue's own trigger stamp names itself).
+    pub origin_trips: u64,
+    /// Trips whose queue inherited its pause from downstream (the
+    /// stamp names another queue) — the victim trips cause-directed
+    /// recovery redirects.
+    pub inherited_trips: u64,
 }
 
 impl AddAssign for WatchdogStats {
@@ -127,6 +134,8 @@ impl AddAssign for WatchdogStats {
         self.drained_packets += rhs.drained_packets;
         self.demoted_packets += rhs.demoted_packets;
         self.redirected_packets += rhs.redirected_packets;
+        self.origin_trips += rhs.origin_trips;
+        self.inherited_trips += rhs.inherited_trips;
     }
 }
 
@@ -134,10 +143,12 @@ impl WatchdogStats {
     /// One-line rendering for reports.
     pub fn describe(&self) -> String {
         format!(
-            "trips {} (suppressed {}), restores {}, drained {} pkt, \
-             demoted {} pkt, redirected {} pkt",
+            "trips {} (suppressed {}, origin {}, inherited {}), restores {}, \
+             drained {} pkt, demoted {} pkt, redirected {} pkt",
             self.trips,
             self.suppressions,
+            self.origin_trips,
+            self.inherited_trips,
             self.restores,
             self.drained_packets,
             self.demoted_packets,
@@ -352,6 +363,8 @@ mod tests {
             drained_packets: 10,
             demoted_packets: 0,
             redirected_packets: 3,
+            origin_trips: 1,
+            inherited_trips: 0,
         };
         a += WatchdogStats {
             trips: 2,

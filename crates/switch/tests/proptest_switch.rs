@@ -76,6 +76,7 @@ proptest! {
                         tag,
                         ttl: 64,
                         ecn: false,
+                        trigger: None,
                     };
                     let out = sw.admit(
                         PortId(in_port),
@@ -94,20 +95,27 @@ proptest! {
                     }
                 }
                 Op::Pause { port, prio } =>
-                    sw.on_pfc(PortId(port), PfcFrame::Pause { priority: prio }),
+                    sw.on_pfc(PortId(port), PfcFrame::Pause { priority: prio, trigger: None }, 0),
                 Op::Resume { port, prio } =>
-                    sw.on_pfc(PortId(port), PfcFrame::Resume { priority: prio }),
+                    sw.on_pfc(PortId(port), PfcFrame::Resume { priority: prio }, 0),
             }
             prop_assert_eq!(
                 sw.buffered_bytes(),
                 admitted_bytes - dequeued_bytes,
                 "conservation violated"
             );
+            // Lossy packets never carry trigger attribution.
+            prop_assert!(
+                sw.queued_packets()
+                    .filter(|qp| qp.packet.is_lossy())
+                    .all(|qp| qp.packet.trigger.is_none()),
+                "stale trigger stamp on a lossy packet"
+            );
         }
         // Drain completely: clear all gates, then dequeue everything.
         for port in 0..4u16 {
             for prio in 0..2u8 {
-                sw.on_pfc(PortId(port), PfcFrame::Resume { priority: prio });
+                sw.on_pfc(PortId(port), PfcFrame::Resume { priority: prio }, 0);
             }
         }
         for port in 0..4u16 {
@@ -132,7 +140,7 @@ proptest! {
         let mut check = |sw: &mut SwitchState| {
             for (port, frame) in sw.take_emitted_pfc() {
                 let (prio, is_pause) = match frame {
-                    PfcFrame::Pause { priority } => (priority, true),
+                    PfcFrame::Pause { priority, .. } => (priority, true),
                     PfcFrame::Resume { priority } => (priority, false),
                 };
                 let prev = last.insert((port, prio), is_pause);
@@ -152,6 +160,7 @@ proptest! {
                     let pkt = Packet {
                         id: PacketId(id), flow: 0, dst: NodeId(9),
                         size_bytes: 1_000, tag, ttl: 64, ecn: false,
+                        trigger: None,
                     };
                     sw.admit(
                         PortId(in_port), PortId(out_port), tag, pkt,
@@ -160,9 +169,9 @@ proptest! {
                 }
                 Op::Dequeue { port } => { sw.dequeue(PortId(port)); }
                 Op::Pause { port, prio } =>
-                    sw.on_pfc(PortId(port), PfcFrame::Pause { priority: prio }),
+                    sw.on_pfc(PortId(port), PfcFrame::Pause { priority: prio, trigger: None }, 0),
                 Op::Resume { port, prio } =>
-                    sw.on_pfc(PortId(port), PfcFrame::Resume { priority: prio }),
+                    sw.on_pfc(PortId(port), PfcFrame::Resume { priority: prio }, 0),
             }
             check(&mut sw);
         }
@@ -177,15 +186,16 @@ proptest! {
             let pkt = Packet {
                 id: PacketId(i as u64), flow: 0, dst: NodeId(9),
                 size_bytes: 1_000, tag: Some(Tag(tag)), ttl: 64, ecn: false,
+                trigger: None,
             };
             sw.admit(
                 PortId(0), PortId(1), Some(Tag(tag)), pkt,
                 tagger_switch::TransitionMode::EgressByNewTag,
             );
         }
-        sw.on_pfc(PortId(1), PfcFrame::Pause { priority: prio });
+        sw.on_pfc(PortId(1), PfcFrame::Pause { priority: prio, trigger: None }, 0);
         prop_assert!(sw.dequeue(PortId(1)).is_none());
-        sw.on_pfc(PortId(1), PfcFrame::Resume { priority: prio });
+        sw.on_pfc(PortId(1), PfcFrame::Resume { priority: prio }, 0);
         let mut count = 0;
         while sw.dequeue(PortId(1)).is_some() {
             count += 1;

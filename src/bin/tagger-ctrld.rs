@@ -329,6 +329,43 @@ fn watchdog_drill(
         cleared / 1_000
     );
 
+    // Cause-directed attribution: the confirmed cycle must come with an
+    // in-band initial-trigger claim that survives the ground-truth
+    // cross-check and names one of its own members. A misattribution
+    // here fails the drill (non-zero exit) — quarantining the wrong hop
+    // is worse than quarantining the victim.
+    let trig = wd
+        .trigger
+        .clone()
+        .ok_or("confirmed deadlock produced no initial-trigger attribution")?;
+    if !trig.matches_ground_truth {
+        return Err(format!(
+            "attribution failed its ground-truth cross-check: {trig:?}"
+        ));
+    }
+    if !trig.scc.contains(&trig.queue()) {
+        return Err(format!(
+            "attributed trigger {:?} is not a member of its confirmed SCC {:?}",
+            trig.queue(),
+            trig.scc
+        ));
+    }
+    println!(
+        "    trigger: {} port {} prio {} ({}, pause epoch {} us); \
+         time-to-attribute {} us, time-to-detect {} us",
+        topo.node(trig.switch).name,
+        trig.port.0,
+        trig.prio,
+        if trig.hops == 0 {
+            "self-originated".to_string()
+        } else {
+            format!("inherited, {} hop(s) from origin", trig.hops)
+        },
+        trig.pause_epoch / 1_000,
+        trig.time_to_attribute() / 1_000,
+        wd.time_to_detect().unwrap_or(0) / 1_000,
+    );
+
     // Closed loop: trips -> quarantine events -> journaled controller
     // that crashes mid-replay and must recover every quarantine.
     let events = quarantine_events(&report);
@@ -393,12 +430,26 @@ fn watchdog_drill(
         .collect();
     ctrl.replay_damped_via(remaining.iter(), &mut sb, &install)
         .map_err(|e| format!("post-recovery replay: {e}"))?;
-    if ctrl.state().quarantines.len() != events.len() {
+    // Trip events sharing one attributed trigger dedupe into a single
+    // quarantine of the trigger hop, so count distinct effective
+    // targets, not raw events.
+    let effective: std::collections::BTreeSet<_> = events
+        .iter()
+        .filter_map(|e| e.effective_quarantine())
+        .collect();
+    if ctrl.state().quarantines.len() != effective.len() {
         return Err(format!(
             "expected {} active quarantine(s) after the full replay, have {}",
-            events.len(),
+            effective.len(),
             ctrl.state().quarantines.len()
         ));
+    }
+    if events.len() > effective.len() {
+        println!(
+            "    attribution dedupe: {} trip event(s) collapsed onto {} quarantine target(s)",
+            events.len(),
+            effective.len()
+        );
     }
 
     // Re-audit: the corrective tables must certify deadlock-free.
