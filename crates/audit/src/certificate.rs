@@ -162,6 +162,7 @@ impl AuditCertificate {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use tagger_core::clos::clos_tagging;
     use tagger_topo::{ClosConfig, FailureSet};

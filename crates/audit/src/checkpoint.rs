@@ -210,6 +210,7 @@ impl std::error::Error for CheckpointError {}
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use tagger_core::clos::clos_tagging;
 

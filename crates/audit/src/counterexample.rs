@@ -231,6 +231,7 @@ fn exit_path(topo: &Topology, from: NodeId, used: &BTreeSet<NodeId>) -> Option<V
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use tagger_core::clos::clos_tagging;
     use tagger_core::Tag;

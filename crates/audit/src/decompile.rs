@@ -91,6 +91,7 @@ fn rule(key: Key, new_tag: tagger_core::Tag) -> SwitchRule {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use tagger_core::clos::clos_tagging;
     use tagger_core::tcam::{Compression, PortSet, Tcam, TcamEntry};

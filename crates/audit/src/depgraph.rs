@@ -282,6 +282,7 @@ fn canonical_rotation(cycle: Vec<DepNode>) -> Vec<DepNode> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use tagger_core::clos::clos_tagging;
     use tagger_topo::ClosConfig;

@@ -28,6 +28,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod certificate;
 pub mod checkpoint;
@@ -266,6 +267,7 @@ impl Auditor {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use tagger_core::clos::clos_tagging;
     use tagger_core::Tag;

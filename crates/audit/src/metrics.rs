@@ -95,6 +95,7 @@ impl AuditMetrics {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

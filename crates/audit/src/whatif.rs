@@ -131,6 +131,7 @@ pub fn sweep_single_links(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use tagger_core::clos::clos_tagging;
     use tagger_topo::ClosConfig;

@@ -1,0 +1,166 @@
+//! **scenario sweep throughput** — the hierarchical-timing-wheel vs
+//! binary-heap event-queue bench, emitting `BENCH_scenarios.json`.
+//!
+//! Runs the shipped incast sweep (`examples/scenarios/incast_sweep.scn`,
+//! a 128-to-1 incast across Clos fabrics from 32 to 1024 hosts — a
+//! near-million-event grid) `--repeat` times per backend (default 3,
+//! fastest repeat counted) via the same `tagger-scenario` expansion the
+//! CLI uses, requires every assert to
+//! pass on both backends and the per-point metrics to agree exactly (the
+//! wheel is a drop-in replacement, not an approximation), and records
+//! events/second for each backend plus the wheel:heap speedup.
+//!
+//! ```text
+//! scenario_bench [--scn PATH] [--repeat N] [--out PATH]
+//! ```
+//!
+//! Event counts in the JSON are seed-deterministic; only the timing
+//! figures vary with the machine. Exits non-zero if either backend
+//! fails the scenario's asserts or their metrics diverge.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+use tagger_scenario::{run_scenario, RunOptions, ScenarioResult};
+use tagger_sim::QueueKind;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+struct BackendRun {
+    label: &'static str,
+    events: u64,
+    elapsed_s: f64,
+    result: ScenarioResult,
+}
+
+fn run_backend(
+    text: &str,
+    file: &str,
+    queue: QueueKind,
+    label: &'static str,
+    repeat: usize,
+) -> Result<BackendRun, String> {
+    let opts = RunOptions {
+        seed: None,
+        queue: Some(queue),
+        base_dir: Path::new(file)
+            .parent()
+            .unwrap_or(Path::new("."))
+            .to_path_buf(),
+    };
+    // Fastest-of-N: the minimum over repeats is the noise-robust
+    // estimate of the backend's true cost (slower repeats only ever
+    // add scheduler/frequency noise, never subtract work).
+    let mut elapsed_s = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..repeat {
+        let start = Instant::now();
+        result = Some(run_scenario(text, file, &opts).map_err(|e| format!("{file}:{e}"))?);
+        elapsed_s = elapsed_s.min(start.elapsed().as_secs_f64());
+    }
+    let result = result.ok_or_else(|| "--repeat must be at least 1".to_string())?;
+    if !result.pass() {
+        return Err(format!("{label} backend failed the scenario's asserts"));
+    }
+    let events = result
+        .points
+        .iter()
+        .map(|p| p.metrics.events_processed)
+        .sum();
+    Ok(BackendRun {
+        label,
+        events,
+        elapsed_s,
+        result,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scn = flag(&args, "--scn").unwrap_or_else(|| "examples/scenarios/incast_sweep.scn".into());
+    let repeat: usize = flag(&args, "--repeat")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_scenarios.json".to_string());
+
+    let text = match std::fs::read_to_string(&scn) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("scenario_bench: cannot read {scn}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let backends = [
+        (QueueKind::TimingWheel, "wheel"),
+        (QueueKind::BinaryHeap, "heap"),
+    ];
+    let mut runs = Vec::new();
+    for (queue, label) in backends {
+        match run_backend(&text, &scn, queue, label, repeat) {
+            Ok(run) => {
+                println!(
+                    "{label:>5}: {} events over {} points in {:.2} s ({:.0} events/s)",
+                    run.events,
+                    run.result.points.len(),
+                    run.elapsed_s,
+                    run.events as f64 / run.elapsed_s,
+                );
+                runs.push(run);
+            }
+            Err(e) => {
+                eprintln!("scenario_bench: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let (wheel, heap) = (&runs[0], &runs[1]);
+
+    // The wheel must be a drop-in replacement: identical point metrics,
+    // not merely identical verdicts.
+    for (w, h) in wheel.result.points.iter().zip(&heap.result.points) {
+        if w.metrics != h.metrics {
+            eprintln!(
+                "scenario_bench: wheel and heap metrics diverge at point {:?}",
+                w.vars
+            );
+            return ExitCode::from(1);
+        }
+    }
+
+    let rate = |r: &BackendRun| r.events as f64 / r.elapsed_s;
+    let speedup = rate(wheel) / rate(heap);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"scenario_incast_sweep\",");
+    let _ = writeln!(json, "  \"scenario\": \"{}\",", wheel.result.name);
+    let _ = writeln!(json, "  \"seed\": {},", wheel.result.seed);
+    let _ = writeln!(json, "  \"points\": {},", wheel.result.points.len());
+    let _ = writeln!(json, "  \"events\": {},", wheel.events);
+    for r in &runs {
+        let _ = writeln!(
+            json,
+            "  \"{}\": {{ \"elapsed_ms\": {:.1}, \"events_per_sec\": {:.0} }},",
+            r.label,
+            r.elapsed_s * 1e3,
+            rate(r),
+        );
+    }
+    let _ = writeln!(json, "  \"wheel_speedup\": {speedup:.2}");
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("scenario_bench: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {out_path}: wheel speedup {speedup:.2}x over heap");
+    if speedup < 1.0 {
+        eprintln!("scenario_bench: WARNING: wheel slower than heap on this machine");
+    }
+    ExitCode::SUCCESS
+}

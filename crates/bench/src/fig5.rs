@@ -57,6 +57,7 @@ pub fn elp(topo: &Topology) -> Elp {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use tagger_core::{greedy_minimize, tag_by_hop_count, Tagging};
 

@@ -20,6 +20,7 @@
 //! | Fig. 8 priority transition ablation | `fig8_transition` |
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod fig5;
 pub mod table5;

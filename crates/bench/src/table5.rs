@@ -89,7 +89,7 @@ pub fn random_paths(topo: &Topology, count: usize, seed: u64) -> Vec<Path> {
         let mut nodes = vec![start];
         let len = rng.random_range(2..6usize);
         'walk: for _ in 0..len {
-            let here = *nodes.last().unwrap();
+            let here = *nodes.last().expect("walk starts non-empty");
             let candidates: Vec<_> = topo
                 .neighbors(here)
                 .map(|(_, _, n)| n)
@@ -152,6 +152,7 @@ pub fn clos_bounce_row(topo: &Topology, k: usize, cap_per_pair: usize) -> (usize
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

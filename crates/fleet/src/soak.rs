@@ -26,11 +26,11 @@ use crate::error::FleetError;
 use crate::fabric::{Damping, FabricSpec};
 use crate::registry::{Fleet, FleetConfig};
 use crate::report::FleetReport;
-use rand::{rngs::StdRng, seq::SliceRandom, RngExt, SeedableRng};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use tagger_ctrl::{ChaosConfig, CtrlEvent};
-use tagger_topo::{ClosConfig, LinkId, NodeKind, Topology};
+use tagger_topo::{ClosConfig, Topology};
 
 /// Soak drill parameters.
 #[derive(Clone, Debug)]
@@ -196,115 +196,15 @@ fn fabric_seed(master: u64, i: u64) -> u64 {
 /// `events_per_fabric` events of mixed kinds, then a healing tail that
 /// restores every downed link, clears every quarantine, and resyncs.
 ///
-/// Invariants the generator maintains so "ready" stays decidable:
-/// at most 2 links down at once (the ELP stays connected enough to
-/// certify), at most 1 quarantine at once, and the tail heals both sets
-/// exactly.
+/// This is the scenario library's `baseline` mix
+/// ([`tagger_scenario::schedule`]) — the generator lives there so
+/// `.scn`-driven drills and the fleet daemon draw from the same seeded
+/// streams. Invariants (at most 2 links down, at most 1 quarantine,
+/// exact healing tail) are the library's contract.
 pub fn soak_schedule(topo: &Topology, seed: u64, events: usize) -> Vec<CtrlEvent> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    // Trunk links (switch-to-switch) are the interesting failures; a
-    // host link failure just removes that host's paths.
-    let trunks: Vec<LinkId> = topo
-        .link_ids()
-        .filter(|&l| {
-            let link = topo.link(l);
-            topo.node(link.a.node).kind == NodeKind::Switch
-                && topo.node(link.b.node).kind == NodeKind::Switch
-        })
-        .collect();
-    let mut schedule = Vec::with_capacity(events + 8);
-    let mut down: Vec<LinkId> = Vec::new();
-    let mut quarantined: Option<(tagger_topo::NodeId, tagger_topo::PortId, u16)> = None;
-    while schedule.len() < events {
-        match rng.random_range(0..10u32) {
-            // Flap burst: one trunk bounces down/up a few times — the
-            // damping policy's bread and butter.
-            0..=3 => {
-                if let Some(&l) = trunks.choose(&mut rng) {
-                    if !down.contains(&l) {
-                        for _ in 0..rng.random_range(1..4usize) {
-                            schedule.push(CtrlEvent::LinkDown(l));
-                            schedule.push(CtrlEvent::LinkUp(l));
-                        }
-                    }
-                }
-            }
-            // A trunk stays down for a while (≤ 2 concurrently).
-            4..=5 => {
-                if down.len() < 2 {
-                    if let Some(&l) = trunks.choose(&mut rng) {
-                        if !down.contains(&l) {
-                            schedule.push(CtrlEvent::LinkDown(l));
-                            down.push(l);
-                        }
-                    }
-                }
-            }
-            // A downed trunk recovers.
-            6 => {
-                if !down.is_empty() {
-                    let i = rng.random_range(0..down.len());
-                    schedule.push(CtrlEvent::LinkUp(down.swap_remove(i)));
-                }
-            }
-            // A PFC watchdog trips on a trunk endpoint (≤ 1 concurrently).
-            // Half the trips carry in-band trigger attribution blaming
-            // the far endpoint's hop; the quarantine then lands on the
-            // attributed cause, and the healing tail must clear *that*
-            // hop — so the tracker records the effective target.
-            7 => {
-                if quarantined.is_none() {
-                    if let Some(&l) = trunks.choose(&mut rng) {
-                        let link = topo.link(l);
-                        let tag = rng.random_range(1..=2u16);
-                        let trigger = if rng.random_range(0..2u32) == 0 {
-                            Some(tagger_ctrl::TriggerInfo {
-                                switch: link.b.node,
-                                port: link.b.port,
-                                tag: tagger_core::Tag(tag),
-                            })
-                        } else {
-                            None
-                        };
-                        let trip = CtrlEvent::WatchdogTrip {
-                            switch: link.a.node,
-                            port: link.a.port,
-                            tag: tagger_core::Tag(tag),
-                            trigger,
-                        };
-                        quarantined = trip.effective_quarantine();
-                        schedule.push(trip);
-                    }
-                }
-            }
-            // The quarantine lifts.
-            8 => {
-                if let Some((switch, port, tag)) = quarantined.take() {
-                    schedule.push(CtrlEvent::WatchdogClear {
-                        switch,
-                        port,
-                        tag: tagger_core::Tag(tag),
-                    });
-                }
-            }
-            // Operator-forced resync.
-            _ => schedule.push(CtrlEvent::Resync),
-        }
-    }
-    // Healing tail: restore everything, then resync so the final state
-    // is recomputed from a clean network.
-    for l in down {
-        schedule.push(CtrlEvent::LinkUp(l));
-    }
-    if let Some((switch, port, tag)) = quarantined {
-        schedule.push(CtrlEvent::WatchdogClear {
-            switch,
-            port,
-            tag: tagger_core::Tag(tag),
-        });
-    }
-    schedule.push(CtrlEvent::Resync);
-    schedule
+    let baseline = tagger_scenario::schedule::by_name("baseline")
+        .expect("scenario schedule library always ships a baseline mix");
+    tagger_scenario::schedule::events(baseline, topo, seed, events)
 }
 
 /// Runs the drill: registers `cfg.fabrics` fabrics (each with a derived
@@ -322,6 +222,10 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakOutcome, FleetError> {
     // exercise all of them, and per-fabric damping must not leak across
     // fabrics.
     let dampings = [Damping::Flap, Damping::FlapCapped(4), Damping::None];
+    // Event mixes cycle through the scenario library, so one drill
+    // exercises every shipped storm profile (baseline, flap-storm,
+    // partition-prone, watchdog-churn) across the fleet.
+    let mixes = tagger_scenario::schedule::library();
     let mut schedules: Vec<(String, Vec<CtrlEvent>)> = Vec::with_capacity(cfg.fabrics);
     for i in 0..cfg.fabrics {
         let seed = fabric_seed(cfg.seed, i as u64);
@@ -330,7 +234,11 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakOutcome, FleetError> {
             .with_chaos(ChaosConfig::new(seed, cfg.fail_rate))
             .with_damping(dampings[i % dampings.len()]);
         fleet.register(spec)?;
-        schedules.push((name, soak_schedule(&topo, seed, cfg.events_per_fabric)));
+        let mix = &mixes[i % mixes.len()];
+        schedules.push((
+            name,
+            tagger_scenario::schedule::events(mix, &topo, seed, cfg.events_per_fabric),
+        ));
     }
 
     // Interleave: each round feeds every fabric a small seeded slice of

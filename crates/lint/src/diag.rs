@@ -49,6 +49,7 @@ impl fmt::Display for Severity {
 /// | T03xx | reachability |
 /// | T04xx | lossless-path coverage |
 /// | T05xx | redundancy / resource use |
+/// | T06xx | scenario DSL (`.scn` files) |
 /// | T09xx | cross-checks against other tools |
 pub mod codes {
     /// The file could not be read at all.
@@ -101,6 +102,20 @@ pub mod codes {
     pub const TAG_LEAK_TO_LOSSY: &str = "T0401";
     /// The table admits a smaller TCAM encoding.
     pub const MERGEABLE_ENTRIES: &str = "T0501";
+    /// A `.scn` line starts with an unknown directive.
+    pub const SCN_UNKNOWN_DIRECTIVE: &str = "T0601";
+    /// A `.scn` directive's arguments are missing or malformed.
+    pub const SCN_BAD_ARGUMENT: &str = "T0602";
+    /// A singleton `.scn` directive (`scenario`, `topo`, `end`, …)
+    /// appears twice.
+    pub const SCN_DUPLICATE_DIRECTIVE: &str = "T0603";
+    /// The scenario has no `assert` block — nothing would be graded.
+    pub const SCN_MISSING_ASSERT: &str = "T0604";
+    /// An assert can never hold under this configuration (e.g.
+    /// `watchdog-trips >= 1` with no watchdog armed).
+    pub const SCN_UNSATISFIABLE_ASSERT: &str = "T0605";
+    /// A `.scn` line names a node its topology does not have.
+    pub const SCN_UNKNOWN_NODE: &str = "T0606";
     /// The independent auditor certified these tables.
     pub const AUDIT_CERTIFIED: &str = "T0901";
     /// The independent auditor found violations.
@@ -130,6 +145,12 @@ pub mod codes {
             UNREACHABLE_RULE => "rule unreachable from any host injection",
             TAG_LEAK_TO_LOSSY => "expected lossless path demoted to lossy",
             MERGEABLE_ENTRIES => "table admits a smaller TCAM encoding",
+            SCN_UNKNOWN_DIRECTIVE => "unknown scenario directive",
+            SCN_BAD_ARGUMENT => "malformed scenario directive arguments",
+            SCN_DUPLICATE_DIRECTIVE => "singleton scenario directive repeats",
+            SCN_MISSING_ASSERT => "scenario has no assert block",
+            SCN_UNSATISFIABLE_ASSERT => "assert can never hold under this configuration",
+            SCN_UNKNOWN_NODE => "unknown node name in scenario",
             AUDIT_CERTIFIED => "independent audit certificate issued",
             AUDIT_FINDINGS => "independent audit found violations",
             _ => return None,
@@ -210,6 +231,8 @@ pub enum ArtifactKind {
     Trace,
     /// An in-memory rule table (no file behind it).
     Rules,
+    /// A declarative `.scn` scenario (`tagger-scenario` DSL).
+    Scenario,
 }
 
 impl ArtifactKind {
@@ -219,6 +242,7 @@ impl ArtifactKind {
             ArtifactKind::Checkpoint => "checkpoint",
             ArtifactKind::Trace => "trace",
             ArtifactKind::Rules => "rules",
+            ArtifactKind::Scenario => "scenario",
         }
     }
 }
@@ -370,6 +394,12 @@ mod tests {
             codes::UNREACHABLE_RULE,
             codes::TAG_LEAK_TO_LOSSY,
             codes::MERGEABLE_ENTRIES,
+            codes::SCN_UNKNOWN_DIRECTIVE,
+            codes::SCN_BAD_ARGUMENT,
+            codes::SCN_DUPLICATE_DIRECTIVE,
+            codes::SCN_MISSING_ASSERT,
+            codes::SCN_UNSATISFIABLE_ASSERT,
+            codes::SCN_UNKNOWN_NODE,
             codes::AUDIT_CERTIFIED,
             codes::AUDIT_FINDINGS,
         ] {

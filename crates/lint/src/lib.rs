@@ -27,6 +27,11 @@
 //!   ([`diag::codes::MERGEABLE_ENTRIES`]).
 //! - **Cross-checks** — the independent auditor's verdict, cross-linked
 //!   by certificate id ([`diag::codes::AUDIT_CERTIFIED`]).
+//! - **Scenario DSL** — `.scn` files are validated with the
+//!   `tagger-scenario` parser itself (unknown directives, malformed
+//!   arguments, missing/unsatisfiable asserts, unknown node names; the
+//!   `T06xx` codes), so the linter and the runner can never disagree
+//!   about the grammar.
 //!
 //! Lint is deliberately *not* the audit: it runs local, per-edge and
 //! per-entry checks plus one linear closure, never cycle detection —
@@ -302,6 +307,42 @@ pub fn lint_trace_text(file: &str, topo: &Topology, text: &str) -> ArtifactRepor
     report.finish()
 }
 
+/// Lints one `.scn` scenario file's text.
+///
+/// Reuses the `tagger-scenario` parser itself (one grammar, two
+/// frontends): [`tagger_scenario::parse_all`] reports *every* defective
+/// line plus the semantic validations (missing assert block,
+/// unsatisfiable asserts, unknown node names with did-you-mean hints),
+/// and lint maps its issue categories onto the stable `T06xx` codes.
+pub fn lint_scenario_text(file: &str, text: &str) -> ArtifactReport {
+    use tagger_scenario::IssueCode;
+    let (_, issues) = tagger_scenario::parse_all(text);
+    let diagnostics = issues
+        .into_iter()
+        .map(|i| {
+            let code = match i.code {
+                IssueCode::UnknownDirective => C::SCN_UNKNOWN_DIRECTIVE,
+                IssueCode::BadArgument => C::SCN_BAD_ARGUMENT,
+                IssueCode::DuplicateDirective => C::SCN_DUPLICATE_DIRECTIVE,
+                IssueCode::MissingAssert => C::SCN_MISSING_ASSERT,
+                IssueCode::UnsatisfiableAssert => C::SCN_UNSATISFIABLE_ASSERT,
+                IssueCode::UnknownNode => C::SCN_UNKNOWN_NODE,
+            };
+            let mut d = Diagnostic::new(code, Severity::Error, i.message).with_span(i.span);
+            if let Some(hint) = i.hint {
+                d = d.with_hint(hint);
+            }
+            d
+        })
+        .collect();
+    ArtifactReport {
+        file: file.to_string(),
+        kind: ArtifactKind::Scenario,
+        diagnostics,
+    }
+    .finish()
+}
+
 /// Lints an in-memory rule set (no file behind it) — the library entry
 /// point controllers can call before staging an epoch.
 pub fn lint_rules(
@@ -327,6 +368,13 @@ pub fn lint_rules(
 /// Guesses what kind of artifact `text` is, preferring content over the
 /// `name` extension: checkpoints self-identify via their header.
 pub fn sniff_kind(name: &str, text: &str) -> ArtifactKind {
+    let looks_like_scenario = text
+        .lines()
+        .take(10)
+        .any(|l| l.trim_start().starts_with("scenario "));
+    if looks_like_scenario || name.ends_with(".scn") {
+        return ArtifactKind::Scenario;
+    }
     let looks_like_checkpoint = text
         .lines()
         .take(10)
@@ -362,6 +410,7 @@ pub fn lint_files(paths: &[String], opts: &LintOptions) -> LintReport {
         };
         report.artifacts.push(match sniff_kind(path, &text) {
             ArtifactKind::Checkpoint => lint_checkpoint_text(path, &text, opts),
+            ArtifactKind::Scenario => lint_scenario_text(path, &text),
             _ => lint_trace_text(path, &opts.trace_topo, &text),
         });
     }
@@ -568,6 +617,64 @@ mod tests {
         );
         assert_eq!(sniff_kind("x.ckpt", ""), ArtifactKind::Checkpoint);
         assert_eq!(sniff_kind("x.trace", "down L1 T1\n"), ArtifactKind::Trace);
+        assert_eq!(
+            sniff_kind("x.trace", "scenario misnamed\ntopo clos small\n"),
+            ArtifactKind::Scenario
+        );
+        assert_eq!(sniff_kind("x.scn", ""), ArtifactKind::Scenario);
+    }
+
+    #[test]
+    fn scenario_lint_maps_issue_codes_with_spans_and_hints() {
+        // Line 2: unknown directive; line 3: bad tagger argument;
+        // line 5: duplicate `end`; line 6: unknown node (did-you-mean);
+        // and the file never asserts anything.
+        let text = "scenario bad\n\
+                    topoo clos small\n\
+                    tagger bounce 1\n\
+                    end 4ms\n\
+                    end 8ms\n\
+                    flow H1 H99\n";
+        let report = lint_scenario_text("bad.scn", text);
+        assert_eq!(report.kind, ArtifactKind::Scenario);
+        let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&C::SCN_UNKNOWN_DIRECTIVE));
+        assert!(codes.contains(&C::SCN_BAD_ARGUMENT));
+        assert!(codes.contains(&C::SCN_DUPLICATE_DIRECTIVE));
+        assert!(codes.contains(&C::SCN_MISSING_ASSERT));
+        assert!(codes.contains(&C::SCN_UNKNOWN_NODE));
+        // Every spanned finding carries file coordinates, and the
+        // unknown-directive one lands on line 2 column 1.
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == C::SCN_UNKNOWN_DIRECTIVE)
+            .unwrap();
+        assert_eq!(d.span.unwrap().line, 2);
+        assert_eq!(d.span.unwrap().col, 1);
+        assert!(d.hint.as_ref().unwrap().contains("topo"));
+        assert!(LintReport {
+            artifacts: vec![report]
+        }
+        .has_errors());
+    }
+
+    #[test]
+    fn scenario_lint_passes_a_clean_file_and_flags_unsatisfiable_asserts() {
+        let clean = "scenario ok\ntopo clos small\ntagger off\nend 4ms\n\
+                     flow H1 H13\nassert no-deadlock\n";
+        assert!(lint_scenario_text("ok.scn", clean).diagnostics.is_empty());
+        let unsat = "scenario bad\ntopo clos small\ntagger off\nend 4ms\n\
+                     flow H1 H13\nassert watchdog-trips >= 1\n";
+        let report = lint_scenario_text("bad.scn", unsat);
+        assert_eq!(
+            report
+                .diagnostics
+                .iter()
+                .map(|d| d.code)
+                .collect::<Vec<_>>(),
+            vec![C::SCN_UNSATISFIABLE_ASSERT]
+        );
     }
 
     #[test]

@@ -120,6 +120,7 @@ pub fn bcube_paths(cfg: &BCubeConfig, topo: &Topology, multipath: bool) -> Vec<P
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use tagger_topo::bcube;
 

@@ -80,7 +80,7 @@ fn dfs(
     if out.len() >= cap {
         return;
     }
-    let here = *stack.last().unwrap();
+    let here = *stack.last().expect("DFS stack starts with the source");
     for (_, _, next) in failures.live_neighbors(topo, here) {
         if out.len() >= cap {
             return;
@@ -163,6 +163,7 @@ pub fn all_paths_with_bounces(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use tagger_topo::ClosConfig;
 

@@ -231,6 +231,7 @@ impl Fib {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use tagger_topo::ClosConfig;
 

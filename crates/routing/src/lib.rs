@@ -21,6 +21,7 @@
 //! the tagging algorithms depends on *how* the paths were computed.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 mod bcube;
 mod bounce;

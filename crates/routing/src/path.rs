@@ -85,7 +85,7 @@ impl Path {
 
     /// Last node.
     pub fn dst(&self) -> NodeId {
-        *self.nodes.last().unwrap()
+        *self.nodes.last().expect("a path has at least one node")
     }
 
     /// Number of hops (links traversed) = nodes − 1.
@@ -179,6 +179,7 @@ impl fmt::Debug for Path {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use tagger_topo::ClosConfig;
 

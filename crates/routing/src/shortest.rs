@@ -145,6 +145,7 @@ pub fn shortest_paths_all_pairs(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use tagger_topo::{ClosConfig, JellyfishConfig};
 

@@ -67,6 +67,7 @@ pub fn updown_paths_between_switches(topo: &Topology, failures: &FailureSet) -> 
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use tagger_topo::ClosConfig;
 

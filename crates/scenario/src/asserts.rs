@@ -1,0 +1,243 @@
+//! Evaluation of a scenario's `assert` block against a finished
+//! [`SimReport`] — each assert becomes a pass/fail outcome with the
+//! actual value spelled out, so a failing sweep point explains itself.
+
+use crate::model::{AssertSpec, Scenario};
+use std::collections::BTreeMap;
+use tagger_core::Span;
+use tagger_sim::SimReport;
+
+/// One evaluated assert.
+#[derive(Clone, Debug)]
+pub struct AssertOutcome {
+    /// The assert as written (`no-deadlock`, `watchdog-trips == 2`, ...).
+    pub label: String,
+    /// Where in the `.scn` file it was written.
+    pub span: Span,
+    /// Whether the run satisfied it.
+    pub pass: bool,
+    /// The observed value, spelled out (`deadlock detected at 812000 ns`).
+    pub detail: String,
+}
+
+/// The longest mid-flow stall across all flows, in nanoseconds: for each
+/// flow, the longest run of zero-rate samples strictly between its first
+/// and last nonzero samples (leading ramp-up and post-completion tails
+/// do not count as pauses), times the sample interval.
+pub fn max_pause_ns(report: &SimReport) -> u64 {
+    let mut worst = 0u64;
+    for f in &report.flows {
+        let nonzero: Vec<usize> = f
+            .rate_series
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        let (Some(&first), Some(&last)) = (nonzero.first(), nonzero.last()) else {
+            continue;
+        };
+        let mut run = 0u64;
+        for i in first..=last {
+            if f.rate_series[i] > 0.0 {
+                run = 0;
+            } else {
+                run += 1;
+                worst = worst.max(run);
+            }
+        }
+    }
+    worst * report.sample_interval_ns
+}
+
+fn outcome(spec: &AssertSpec, span: Span, pass: bool, detail: String) -> AssertOutcome {
+    AssertOutcome {
+        label: spec.label(),
+        span,
+        pass,
+        detail,
+    }
+}
+
+/// Evaluates every assert in `s` against `report`. Sweep variables are
+/// resolved from `point`; an unbound variable (impossible after
+/// validation) evaluates as a failure rather than a panic.
+pub fn evaluate(
+    s: &Scenario,
+    point: &BTreeMap<String, u64>,
+    report: &SimReport,
+) -> Vec<AssertOutcome> {
+    let end_ns = s.end_ns;
+    s.asserts
+        .iter()
+        .map(|(spec, span)| match spec {
+            AssertSpec::NoDeadlock => {
+                let (pass, detail) = match &report.deadlock {
+                    None => (true, "no deadlock".to_string()),
+                    Some(d) => (
+                        false,
+                        format!(
+                            "deadlock detected at {} ns (cycle of {} queues)",
+                            d.detected_at,
+                            d.cycle.len()
+                        ),
+                    ),
+                };
+                outcome(spec, *span, pass, detail)
+            }
+            AssertSpec::DeadlockBy(t) => {
+                let Some(deadline) = t.resolve(end_ns, point) else {
+                    return outcome(spec, *span, false, "unbound sweep variable".into());
+                };
+                let (pass, detail) = match &report.deadlock {
+                    Some(d) if d.detected_at <= deadline => (
+                        true,
+                        format!(
+                            "deadlock detected at {} ns <= {} ns",
+                            d.detected_at, deadline
+                        ),
+                    ),
+                    Some(d) => (
+                        false,
+                        format!(
+                            "deadlock detected late, at {} ns > {} ns",
+                            d.detected_at, deadline
+                        ),
+                    ),
+                    None => (false, "no deadlock detected".to_string()),
+                };
+                outcome(spec, *span, pass, detail)
+            }
+            AssertSpec::WatchdogTrips(cmp, n) => {
+                let actual = report.watchdog.as_ref().map_or(0, |w| w.stats.trips);
+                let Some(expect) = n.resolve(point) else {
+                    return outcome(spec, *span, false, "unbound sweep variable".into());
+                };
+                outcome(
+                    spec,
+                    *span,
+                    cmp.test(actual, expect),
+                    format!("{actual} trips (want {} {expect})", cmp.label()),
+                )
+            }
+            AssertSpec::Episodes(cmp, n) => {
+                let actual = report.watchdog.as_ref().map_or(0, |w| w.episodes);
+                let Some(expect) = n.resolve(point) else {
+                    return outcome(spec, *span, false, "unbound sweep variable".into());
+                };
+                outcome(
+                    spec,
+                    *span,
+                    cmp.test(actual, expect),
+                    format!("{actual} episodes (want {} {expect})", cmp.label()),
+                )
+            }
+            AssertSpec::Recoveries(cmp, n) => {
+                let actual = report.recoveries;
+                let Some(expect) = n.resolve(point) else {
+                    return outcome(spec, *span, false, "unbound sweep variable".into());
+                };
+                outcome(
+                    spec,
+                    *span,
+                    cmp.test(actual, expect),
+                    format!("{actual} recoveries (want {} {expect})", cmp.label()),
+                )
+            }
+            AssertSpec::LosslessDrops(cmp, n) => {
+                let actual = report.lossless_drops;
+                let Some(expect) = n.resolve(point) else {
+                    return outcome(spec, *span, false, "unbound sweep variable".into());
+                };
+                outcome(
+                    spec,
+                    *span,
+                    cmp.test(actual, expect),
+                    format!("{actual} lossless drops (want {} {expect})", cmp.label()),
+                )
+            }
+            AssertSpec::MaxPause(t) => {
+                let Some(limit) = t.resolve(end_ns, point) else {
+                    return outcome(spec, *span, false, "unbound sweep variable".into());
+                };
+                let actual = max_pause_ns(report);
+                outcome(
+                    spec,
+                    *span,
+                    actual <= limit,
+                    format!("longest stall {actual} ns (limit {limit} ns)"),
+                )
+            }
+            AssertSpec::AttributionMatches => {
+                let (pass, detail) = match report.watchdog.as_ref().and_then(|w| w.trigger.as_ref())
+                {
+                    Some(t) if t.matches_ground_truth => {
+                        (true, format!("attributed in {} hops, matches", t.hops))
+                    }
+                    Some(_) => (false, "attribution disagrees with ground truth".to_string()),
+                    None => (false, "no trigger attribution recorded".to_string()),
+                };
+                outcome(spec, *span, pass, detail)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn empty_report() -> SimReport {
+        SimReport {
+            flows: Vec::new(),
+            deadlock: None,
+            pauses_sent: 0,
+            lossy_drops: 0,
+            lossless_drops: 0,
+            no_route_drops: 0,
+            recoveries: 0,
+            recovery_drops: 0,
+            link_down_drops: 0,
+            watchdog: None,
+            queue_series: Vec::new(),
+            end_time_ns: 4_000_000,
+            sample_interval_ns: 100_000,
+            events_processed: 0,
+        }
+    }
+
+    #[test]
+    fn no_deadlock_passes_on_clean_report() {
+        let s = parse("scenario x\nassert no-deadlock\nassert lossless-drops == 0\n").unwrap();
+        let outs = evaluate(&s, &BTreeMap::new(), &empty_report());
+        assert!(outs.iter().all(|o| o.pass), "{outs:?}");
+    }
+
+    #[test]
+    fn deadlock_by_fails_without_deadlock() {
+        let s = parse("scenario x\nend 4ms\nassert deadlock-by 50%\n").unwrap();
+        let outs = evaluate(&s, &BTreeMap::new(), &empty_report());
+        assert!(!outs[0].pass);
+        assert_eq!(outs[0].detail, "no deadlock detected");
+    }
+
+    #[test]
+    fn max_pause_ignores_ramp_and_tail() {
+        let mut r = empty_report();
+        r.flows.push(tagger_sim::FlowReport {
+            flow: 0,
+            src: tagger_topo::NodeId(0),
+            dst: tagger_topo::NodeId(1),
+            delivered_bytes: 1,
+            delivered_packets: 1,
+            ttl_drops: 0,
+            wd_drops: 0,
+            // 2 leading zeros (ramp), a 3-sample mid stall, 4 trailing
+            // zeros (done): only the mid stall counts.
+            rate_series: vec![0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+        });
+        assert_eq!(max_pause_ns(&r), 3 * 100_000);
+    }
+}

@@ -1,0 +1,303 @@
+//! Suite results: per-scenario, per-sweep-point pass/fail with the
+//! metrics that justify the verdict. The JSON rendering is hand-rolled
+//! and byte-stable — same scenarios, same seed, same bytes — so CI can
+//! diff two runs directly (the determinism gate).
+
+use crate::asserts::AssertOutcome;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Seed-stable counters extracted from one finished run. Integers only:
+/// no floats, no wall-clock values, so the JSON is diffable.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PointMetrics {
+    /// Simulator events processed (the throughput denominator).
+    pub events_processed: u64,
+    /// Total bytes delivered across flows.
+    pub delivered_bytes: u64,
+    /// PFC PAUSE frames sent.
+    pub pauses_sent: u64,
+    /// Lossless-class drops (must stay 0 outside recovery/watchdog-drop).
+    pub lossless_drops: u64,
+    /// Lossy-class drops.
+    pub lossy_drops: u64,
+    /// Watchdog trips (0 when unarmed).
+    pub watchdog_trips: u64,
+    /// Deadlock episodes observed by the watchdog.
+    pub episodes: u64,
+    /// Detect-and-break recoveries.
+    pub recoveries: u64,
+    /// Longest mid-flow stall, in nanoseconds.
+    pub max_pause_ns: u64,
+    /// Deadlock confirmation time, when one was confirmed.
+    pub deadlock_at_ns: Option<u64>,
+}
+
+impl PointMetrics {
+    /// Extracts the stable counters from a report.
+    pub fn from_report(report: &tagger_sim::SimReport) -> PointMetrics {
+        PointMetrics {
+            events_processed: report.events_processed,
+            delivered_bytes: report.total_delivered_bytes(),
+            pauses_sent: report.pauses_sent,
+            lossless_drops: report.lossless_drops,
+            lossy_drops: report.lossy_drops,
+            watchdog_trips: report.watchdog.as_ref().map_or(0, |w| w.stats.trips),
+            episodes: report.watchdog.as_ref().map_or(0, |w| w.episodes),
+            recoveries: report.recoveries,
+            max_pause_ns: crate::asserts::max_pause_ns(report),
+            deadlock_at_ns: report.deadlock.as_ref().map(|d| d.detected_at),
+        }
+    }
+}
+
+/// One sweep point's verdict.
+#[derive(Clone, Debug)]
+pub struct PointResult {
+    /// The sweep variable bindings (empty for an unswept scenario).
+    pub vars: BTreeMap<String, u64>,
+    /// Every assert, evaluated.
+    pub asserts: Vec<AssertOutcome>,
+    /// The run's counters.
+    pub metrics: PointMetrics,
+}
+
+impl PointResult {
+    /// All asserts passed.
+    pub fn pass(&self) -> bool {
+        self.asserts.iter().all(|a| a.pass)
+    }
+}
+
+/// One scenario's verdict across its sweep grid.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// The `scenario` name from the file.
+    pub name: String,
+    /// The `.scn` path as given to the runner.
+    pub file: String,
+    /// The seed the runs used (after any `--seed` override).
+    pub seed: u64,
+    /// Event-queue backend label (`timing-wheel` / `binary-heap`).
+    pub queue: String,
+    /// One result per sweep point, grid order.
+    pub points: Vec<PointResult>,
+    /// Set when expansion failed (the points list is then empty).
+    pub error: Option<String>,
+}
+
+impl ScenarioResult {
+    /// Every point passed and expansion succeeded.
+    pub fn pass(&self) -> bool {
+        self.error.is_none() && self.points.iter().all(PointResult::pass)
+    }
+}
+
+/// A whole runner invocation.
+#[derive(Clone, Debug, Default)]
+pub struct SuiteReport {
+    /// One entry per scenario file, in run order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl SuiteReport {
+    /// The suite verdict.
+    pub fn pass(&self) -> bool {
+        self.scenarios.iter().all(ScenarioResult::pass)
+    }
+
+    /// Human summary, one line per scenario plus failing-assert detail.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.scenarios {
+            let verdict = if s.pass() { "PASS" } else { "FAIL" };
+            let _ = writeln!(
+                out,
+                "{verdict} {} ({}, seed {}, {}, {} point{})",
+                s.name,
+                s.file,
+                s.seed,
+                s.queue,
+                s.points.len(),
+                if s.points.len() == 1 { "" } else { "s" },
+            );
+            if let Some(e) = &s.error {
+                let _ = writeln!(out, "  error: {e}");
+            }
+            for p in &s.points {
+                for a in p.asserts.iter().filter(|a| !a.pass) {
+                    let vars = render_vars(&p.vars);
+                    let _ = writeln!(
+                        out,
+                        "  FAIL {}:{} assert {}{vars}: {}",
+                        s.file, a.span.line, a.label, a.detail
+                    );
+                }
+            }
+        }
+        let (pass, total) = (
+            self.scenarios.iter().filter(|s| s.pass()).count(),
+            self.scenarios.len(),
+        );
+        let _ = writeln!(out, "{pass}/{total} scenarios passed");
+        out
+    }
+
+    /// Machine JSON, two-space indented, trailing newline, byte-stable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"scenarios\": [");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": {},", json_str(&s.name));
+            let _ = writeln!(out, "      \"file\": {},", json_str(&s.file));
+            let _ = writeln!(out, "      \"seed\": {},", s.seed);
+            let _ = writeln!(out, "      \"queue\": {},", json_str(&s.queue));
+            let _ = writeln!(out, "      \"pass\": {},", s.pass());
+            if let Some(e) = &s.error {
+                let _ = writeln!(out, "      \"error\": {},", json_str(e));
+            }
+            out.push_str("      \"points\": [");
+            for (j, p) in s.points.iter().enumerate() {
+                out.push_str(if j == 0 { "\n" } else { ",\n" });
+                out.push_str("        {\n");
+                out.push_str("          \"vars\": {");
+                for (k, (var, val)) in p.vars.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{}: {val}", json_str(var));
+                }
+                out.push_str("},\n");
+                let _ = writeln!(out, "          \"pass\": {},", p.pass());
+                out.push_str("          \"asserts\": [");
+                for (k, a) in p.asserts.iter().enumerate() {
+                    out.push_str(if k == 0 { "\n" } else { ",\n" });
+                    let _ = write!(
+                        out,
+                        "            {{\"label\": {}, \"line\": {}, \"pass\": {}, \"detail\": {}}}",
+                        json_str(&a.label),
+                        a.span.line,
+                        a.pass,
+                        json_str(&a.detail)
+                    );
+                }
+                out.push_str("\n          ],\n");
+                let m = &p.metrics;
+                out.push_str("          \"metrics\": {\n");
+                let _ = writeln!(
+                    out,
+                    "            \"events_processed\": {},",
+                    m.events_processed
+                );
+                let _ = writeln!(
+                    out,
+                    "            \"delivered_bytes\": {},",
+                    m.delivered_bytes
+                );
+                let _ = writeln!(out, "            \"pauses_sent\": {},", m.pauses_sent);
+                let _ = writeln!(out, "            \"lossless_drops\": {},", m.lossless_drops);
+                let _ = writeln!(out, "            \"lossy_drops\": {},", m.lossy_drops);
+                let _ = writeln!(out, "            \"watchdog_trips\": {},", m.watchdog_trips);
+                let _ = writeln!(out, "            \"episodes\": {},", m.episodes);
+                let _ = writeln!(out, "            \"recoveries\": {},", m.recoveries);
+                let _ = writeln!(out, "            \"max_pause_ns\": {},", m.max_pause_ns);
+                match m.deadlock_at_ns {
+                    Some(t) => {
+                        let _ = writeln!(out, "            \"deadlock_at_ns\": {t}");
+                    }
+                    None => out.push_str("            \"deadlock_at_ns\": null\n"),
+                }
+                out.push_str("          }\n        }");
+            }
+            out.push_str("\n      ]\n    }");
+        }
+        out.push_str("\n  ],\n");
+        let _ = writeln!(out, "  \"pass\": {}", self.pass());
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn render_vars(vars: &BTreeMap<String, u64>) -> String {
+    if vars.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = vars.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!(" [{}]", body.join(" "))
+}
+
+/// Minimal JSON string escaping (control chars, quote, backslash).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use tagger_core::Span;
+
+    fn sample() -> SuiteReport {
+        SuiteReport {
+            scenarios: vec![ScenarioResult {
+                name: "fig10".into(),
+                file: "examples/scenarios/fig10.scn".into(),
+                seed: 1,
+                queue: "timing-wheel".into(),
+                points: vec![PointResult {
+                    vars: BTreeMap::from([("hosts".to_string(), 32u64)]),
+                    asserts: vec![AssertOutcome {
+                        label: "no-deadlock".into(),
+                        span: Span::new(9, 1, 6),
+                        pass: true,
+                        detail: "no deadlock".into(),
+                    }],
+                    metrics: PointMetrics {
+                        events_processed: 1000,
+                        ..PointMetrics::default()
+                    },
+                }],
+                error: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        assert_eq!(sample().to_json(), sample().to_json());
+        assert!(sample().to_json().ends_with("\"pass\": true\n}\n"));
+    }
+
+    #[test]
+    fn failing_assert_fails_the_suite() {
+        let mut r = sample();
+        r.scenarios[0].points[0].asserts[0].pass = false;
+        assert!(!r.pass());
+        assert!(r.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn expansion_error_fails_the_scenario() {
+        let mut r = sample();
+        r.scenarios[0].error = Some("unknown node `H99`".into());
+        assert!(!r.pass());
+        assert!(r.to_json().contains("\"error\": \"unknown node `H99`\""));
+    }
+}

@@ -1,0 +1,70 @@
+//! The shipped scenario library's contract, as an integration test:
+//! every `.scn` under `examples/scenarios/` passes at its pinned seed,
+//! the negative control fails, and running the whole library twice
+//! yields byte-identical JSON — the property CI's diffing relies on.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::{Path, PathBuf};
+use tagger_scenario::{run_scenario, RunOptions, SuiteReport};
+
+fn scenario_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/scenarios")
+}
+
+fn scn_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|f| f.extension().is_some_and(|x| x == "scn"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn run_suite(files: &[PathBuf]) -> SuiteReport {
+    let mut suite = SuiteReport::default();
+    for file in files {
+        let text = std::fs::read_to_string(file).unwrap();
+        let opts = RunOptions {
+            base_dir: file.parent().unwrap().to_path_buf(),
+            ..RunOptions::default()
+        };
+        let result = run_scenario(&text, &file.display().to_string(), &opts)
+            .unwrap_or_else(|issue| panic!("{}: {issue}", file.display()));
+        suite.scenarios.push(result);
+    }
+    suite
+}
+
+#[test]
+fn shipped_library_passes_and_reruns_byte_identically() {
+    let files = scn_files(&scenario_dir());
+    assert!(
+        files.len() >= 20,
+        "scenario library shrank to {} files",
+        files.len()
+    );
+    let first = run_suite(&files);
+    for s in &first.scenarios {
+        assert!(s.pass(), "{} failed:\n{}", s.file, first.render());
+    }
+    // Byte-stable: a second full run renders the identical report.
+    let second = run_suite(&files);
+    assert_eq!(
+        first.to_json(),
+        second.to_json(),
+        "library is not run-to-run deterministic"
+    );
+}
+
+#[test]
+fn negative_control_fails() {
+    let files = scn_files(&scenario_dir().join("negative"));
+    assert!(!files.is_empty(), "negative control scenario is missing");
+    let suite = run_suite(&files);
+    assert!(
+        !suite.pass(),
+        "the must-fail negative scenario passed — the grader is broken"
+    );
+}

@@ -1,7 +1,6 @@
 //! Simulation time and the deterministic event queue.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::queue::{BinaryHeapQueue, TimingWheel};
 use tagger_switch::{Packet, PfcFrame};
 use tagger_topo::GlobalPort;
 
@@ -75,54 +74,80 @@ pub(crate) enum Ev {
     },
 }
 
-/// Min-heap event queue ordered by `(time, sequence)` — the sequence
-/// number makes simultaneous events fire in insertion order, keeping runs
-/// fully deterministic.
-#[derive(Debug, Default)]
-pub(crate) struct EventQueue {
-    heap: BinaryHeap<Reverse<(SimTime, u64, EvBox)>>,
-    seq: u64,
+/// Which backend the event queue runs on. Both are deterministic and
+/// produce identical event orderings (pinned by a property test); the
+/// wheel is the fast default, the heap the reference baseline kept for
+/// before/after benchmarking.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Hierarchical timing wheel (O(1) amortised push/pop) — default.
+    #[default]
+    TimingWheel,
+    /// `BinaryHeap` reference implementation (O(log n) push/pop).
+    BinaryHeap,
 }
 
-/// Wrapper giving `Ev` total order by sequence only (never compared).
-#[derive(Clone, Debug)]
-pub(crate) struct EvBox(pub Ev);
+impl QueueKind {
+    /// Stable label used in benches and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueueKind::TimingWheel => "timing-wheel",
+            QueueKind::BinaryHeap => "binary-heap",
+        }
+    }
+}
 
-impl PartialEq for EvBox {
-    fn eq(&self, _: &Self) -> bool {
-        true
-    }
+/// Event queue ordered by `(time, sequence)` — the sequence number makes
+/// simultaneous events fire in insertion order, keeping runs fully
+/// deterministic whichever backend is selected.
+#[derive(Debug)]
+pub(crate) enum EventQueue {
+    Wheel(TimingWheel<Ev>),
+    Heap(BinaryHeapQueue<Ev>),
 }
-impl Eq for EvBox {}
-impl PartialOrd for EvBox {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EvBox {
-    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new(QueueKind::default())
     }
 }
 
 impl EventQueue {
+    pub fn new(kind: QueueKind) -> EventQueue {
+        match kind {
+            QueueKind::TimingWheel => EventQueue::Wheel(TimingWheel::default()),
+            QueueKind::BinaryHeap => EventQueue::Heap(BinaryHeapQueue::default()),
+        }
+    }
+
     pub fn push(&mut self, at: SimTime, ev: Ev) {
-        self.seq += 1;
-        self.heap.push(Reverse((at, self.seq, EvBox(ev))));
+        match self {
+            EventQueue::Wheel(q) => q.push(at, ev),
+            EventQueue::Heap(q) => q.push(at, ev),
+        }
     }
 
     pub fn pop(&mut self) -> Option<(SimTime, Ev)> {
-        self.heap.pop().map(|Reverse((t, _, e))| (t, e.0))
+        match self {
+            EventQueue::Wheel(q) => q.pop(),
+            EventQueue::Heap(q) => q.pop(),
+        }
     }
 
     #[allow(dead_code)]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        match self {
+            EventQueue::Wheel(q) => q.is_empty(),
+            EventQueue::Heap(q) => q.is_empty(),
+        }
     }
 
     #[allow(dead_code)]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match self {
+            EventQueue::Wheel(q) => q.len(),
+            EventQueue::Heap(q) => q.len(),
+        }
     }
 }
 
@@ -139,25 +164,29 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::default();
-        q.push(30, kick(3));
-        q.push(10, kick(1));
-        q.push(20, kick(2));
-        let order: Vec<SimTime> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
-        assert_eq!(order, vec![10, 20, 30]);
+        for kind in [QueueKind::TimingWheel, QueueKind::BinaryHeap] {
+            let mut q = EventQueue::new(kind);
+            q.push(30, kick(3));
+            q.push(10, kick(1));
+            q.push(20, kick(2));
+            let order: Vec<SimTime> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+            assert_eq!(order, vec![10, 20, 30], "{}", kind.label());
+        }
     }
 
     #[test]
     fn simultaneous_events_fifo() {
-        let mut q = EventQueue::default();
-        q.push(5, kick(1));
-        q.push(5, kick(2));
-        q.push(5, kick(3));
-        let mut ids = Vec::new();
-        while let Some((_, Ev::Kick { port })) = q.pop() {
-            ids.push(port.node.0);
+        for kind in [QueueKind::TimingWheel, QueueKind::BinaryHeap] {
+            let mut q = EventQueue::new(kind);
+            q.push(5, kick(1));
+            q.push(5, kick(2));
+            q.push(5, kick(3));
+            let mut ids = Vec::new();
+            while let Some((_, Ev::Kick { port })) = q.pop() {
+                ids.push(port.node.0);
+            }
+            assert_eq!(ids, vec![1, 2, 3], "{}", kind.label());
         }
-        assert_eq!(ids, vec![1, 2, 3]);
     }
 
     #[test]

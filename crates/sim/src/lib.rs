@@ -51,12 +51,14 @@ mod nic;
 mod report;
 mod sim;
 
+pub mod queue;
+
 pub mod experiments;
 pub mod probe;
 
 pub use dcqcn::DcqcnConfig;
 pub use deadlock::DeadlockReport;
-pub use event::SimTime;
+pub use event::{QueueKind, SimTime};
 pub use experiments::Experiment;
 pub use flow::{FlowReport, FlowSpec, Route};
 pub use report::{SimReport, TriggerAttribution, WatchdogReport, WatchdogTripRecord};

@@ -134,6 +134,9 @@ pub struct SimReport {
     pub end_time_ns: SimTime,
     /// Sample interval used for the rate series.
     pub sample_interval_ns: SimTime,
+    /// Events the run loop dispatched — the denominator for events/sec
+    /// benchmarking (`BENCH_scenarios.json`).
+    pub events_processed: u64,
 }
 
 impl SimReport {
@@ -226,6 +229,7 @@ mod tests {
             queue_series: Vec::new(),
             end_time_ns: 1_000_000,
             sample_interval_ns: 250_000,
+            events_processed: 0,
         };
         assert_eq!(r.total_delivered_bytes(), 3_000_000);
         assert!((r.aggregate_goodput_bps() - 24e9).abs() < 1e6);
@@ -248,6 +252,7 @@ mod tests {
             queue_series: Vec::new(),
             end_time_ns: 200_000,
             sample_interval_ns: 100_000,
+            events_processed: 0,
         };
         let tsv = r.rates_tsv(&["green"]);
         let lines: Vec<&str> = tsv.lines().collect();

@@ -59,6 +59,9 @@ pub struct SimConfig {
     /// drop or demoted to the lossy class for a hold-down period.
     /// `None` = no watchdog (the default; deadlocks then persist).
     pub watchdog: Option<WatchdogConfig>,
+    /// Event-queue backend (the timing wheel by default; the binary
+    /// heap is kept as the benchmark baseline).
+    pub queue: crate::QueueKind,
 }
 
 impl Default for SimConfig {
@@ -76,6 +79,7 @@ impl Default for SimConfig {
             pause_quanta_ns: None,
             recovery: false,
             watchdog: None,
+            queue: crate::QueueKind::default(),
         }
     }
 }
@@ -176,6 +180,8 @@ pub struct Simulator {
     wd_episodes: u64,
     /// Whether the last watchdog tick saw a non-empty confirmed SCC.
     scc_active: bool,
+    /// Events dispatched by `run` (the denominator of events/sec).
+    events_processed: u64,
 }
 
 impl Simulator {
@@ -184,6 +190,7 @@ impl Simulator {
     /// packet's tag is never rewritten).
     pub fn new(topo: Topology, fib: Fib, rules: Option<RuleSet>, cfg: SimConfig) -> Simulator {
         cfg.switch.validate().expect("invalid switch config");
+        let qkind = cfg.queue;
         // Every node gets a data plane: switches obviously, but hosts
         // too — in server-centric fabrics (BCube) servers forward, and a
         // forwarding server needs queues and PFC accounting exactly like
@@ -210,7 +217,7 @@ impl Simulator {
             nics,
             tx_busy: BTreeSet::new(),
             host_tx_alt: BTreeSet::new(),
-            queue: EventQueue::default(),
+            queue: EventQueue::new(qkind),
             now: 0,
             actions: Vec::new(),
             packet_seq: 0,
@@ -233,6 +240,7 @@ impl Simulator {
             wd_trigger: None,
             wd_episodes: 0,
             scc_active: false,
+            events_processed: 0,
         }
     }
 
@@ -346,6 +354,7 @@ impl Simulator {
                 break;
             }
             self.now = t;
+            self.events_processed += 1;
             match ev {
                 Ev::Kick { port } => self.try_transmit(port),
                 Ev::TxEnd { port } => {
@@ -1115,6 +1124,7 @@ impl Simulator {
             queue_series: self.queue_series.clone(),
             end_time_ns: self.cfg.end_time_ns,
             sample_interval_ns: self.cfg.sample_interval_ns,
+            events_processed: self.events_processed,
         }
     }
 }

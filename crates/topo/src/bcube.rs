@@ -105,6 +105,7 @@ pub fn bcube(n: usize, k: usize) -> Topology {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -165,6 +165,7 @@ pub fn clos2(tors: usize, spines: usize, hosts_per_tor: usize) -> Topology {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -73,6 +73,7 @@ impl Topology {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use crate::ClosConfig;
 
     #[test]

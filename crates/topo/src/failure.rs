@@ -242,6 +242,7 @@ pub fn resolve_link(topo: &Topology, a: &str, b: &str) -> Result<LinkId, LinkLoo
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::ClosConfig;
 

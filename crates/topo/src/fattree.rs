@@ -71,6 +71,7 @@ pub fn fat_tree(k: usize) -> Topology {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::NodeKind;
 

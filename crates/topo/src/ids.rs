@@ -118,6 +118,7 @@ impl fmt::Display for GlobalPort {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -159,6 +159,7 @@ impl JellyfishConfig {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -21,6 +21,7 @@
 //! underlying graph, so "before failure" and "after failure" views coexist.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 mod bcube;
 mod clos;

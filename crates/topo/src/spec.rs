@@ -180,6 +180,7 @@ impl Topology {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::ClosConfig;
 

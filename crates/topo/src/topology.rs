@@ -396,6 +396,7 @@ impl Topology {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn triangle() -> (Topology, NodeId, NodeId, NodeId) {

@@ -7,12 +7,12 @@
 //! tagger-lint explain <code>
 //! ```
 //!
-//! `check` lints checkpoint (`.ckpt`) and trace (`.trace`) files — the
-//! kind is sniffed from content, so misnamed files still work — and
-//! exits non-zero iff at least one error-severity diagnostic was
-//! emitted. Checkpoints carry their own topology; traces are resolved
-//! against a Clos built from the `--pods`-family flags (defaults match
-//! `tagger-ctrld`). `--elp` additionally checks that every expected
+//! `check` lints checkpoint (`.ckpt`), trace (`.trace`) and scenario
+//! (`.scn`) files — the kind is sniffed from content, so misnamed files
+//! still work — and exits non-zero iff at least one error-severity
+//! diagnostic was emitted. Checkpoints carry their own topology;
+//! scenarios declare theirs; traces are resolved against a Clos built
+//! from the `--pods`-family flags (defaults match `tagger-ctrld`). `--elp` additionally checks that every expected
 //! lossless path stays lossless under a checkpoint's tables; `--no-audit`
 //! skips the independent-auditor cross-check. `--format json` emits the
 //! byte-stable structured report for CI and editors.

@@ -47,6 +47,7 @@ pub use tagger_ctrl as ctrl;
 pub use tagger_fleet as fleet;
 pub use tagger_lint as lint;
 pub use tagger_routing as routing;
+pub use tagger_scenario as scenario;
 pub use tagger_sim as sim;
 pub use tagger_switch as switch;
 pub use tagger_topo as topo;
