@@ -23,7 +23,14 @@ use std::ops::Range;
 use tagger_topo::LinkId;
 
 /// Splits an ordered event stream into contiguous recompute batches.
-pub trait DampingPolicy {
+///
+/// `Send` is a supertrait so a boxed policy can live inside a fabric
+/// that is itself shared across threads — the networked ingest front
+/// (`tagger-fleetd serve`) drains fabrics from a drain thread while
+/// connection reader threads enqueue, and the whole fleet sits behind
+/// one mutex. Policies are stateless splitters, so the bound costs
+/// implementors nothing.
+pub trait DampingPolicy: Send {
     /// Partition `events` into contiguous, in-order, non-empty ranges
     /// covering the whole slice. Each range becomes one staged batch
     /// (one recompute of the range's net effect).

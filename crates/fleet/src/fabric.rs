@@ -187,6 +187,7 @@ pub struct Fabric {
     queue_cap: usize,
     // Counters. `outcomes` drives the checkpoint cadence.
     ingested: u64,
+    queue_rejections: u64,
     batches: u64,
     commits: u64,
     rollbacks: u64,
@@ -235,6 +236,7 @@ impl Fabric {
             queue: VecDeque::new(),
             queue_cap,
             ingested: 0,
+            queue_rejections: 0,
             batches: 0,
             commits: 0,
             rollbacks: 0,
@@ -300,6 +302,22 @@ impl Fabric {
         self.queue.len()
     }
 
+    /// The queue's configured capacity.
+    pub fn queue_cap(&self) -> usize {
+        self.queue_cap
+    }
+
+    /// Queue slots still free.
+    pub fn queue_free(&self) -> usize {
+        self.queue_cap.saturating_sub(self.queue.len())
+    }
+
+    /// Ingest attempts refused with [`FleetError::QueueFull`] — each one
+    /// a backpressure push the caller had to absorb and retry.
+    pub fn queue_rejections(&self) -> u64 {
+        self.queue_rejections
+    }
+
     /// Batches staged so far.
     pub fn batches(&self) -> u64 {
         self.batches
@@ -332,6 +350,7 @@ impl Fabric {
     /// caller decides whether to drain or shed.
     pub fn enqueue(&mut self, event: CtrlEvent) -> Result<(), FleetError> {
         if self.queue.len() >= self.queue_cap {
+            self.queue_rejections += 1;
             return Err(FleetError::QueueFull {
                 fabric: self.spec.name.clone(),
                 cap: self.queue_cap,
@@ -342,19 +361,64 @@ impl Fabric {
         Ok(())
     }
 
+    /// Records a whole-line capacity rejection (the all-or-nothing check
+    /// in [`Fleet::ingest_line`](crate::Fleet::ingest_line)): one
+    /// backpressure push regardless of how many events the line would
+    /// have expanded to.
+    pub(crate) fn reject_line(&mut self, _events: usize) -> FleetError {
+        self.queue_rejections += 1;
+        FleetError::QueueFull {
+            fabric: self.spec.name.clone(),
+            cap: self.queue_cap,
+        }
+    }
+
     /// Drains up to `max_batches` damped batches from the queue through
     /// the journaled two-phase rollout, returning the outcomes. Damping
     /// is computed over this fabric's queue alone — never across
     /// fabrics — and because policies are suffix-closed, whatever stays
     /// queued will batch identically on the next cycle.
     pub fn drain(&mut self, max_batches: usize) -> Result<Vec<EpochOutcome>, FleetError> {
+        self.drain_inner(max_batches, false)
+    }
+
+    /// Like [`Fabric::drain`], but holds back the stream's trailing
+    /// batch. Damping splits are *prefix-stable* in every batch except
+    /// the last: a batch with at least one event after it is closed (a
+    /// maximal run followed by a different event stays maximal no
+    /// matter what arrives later), while the final batch may still grow
+    /// if the next event extends its run. A drain running concurrently
+    /// with ingest — the network front's drain thread — must therefore
+    /// not commit the trailing batch, or its boundaries (and the
+    /// write-ahead journal) would depend on where drain ticks happened
+    /// to land relative to arrivals instead of on the stream alone.
+    ///
+    /// A full queue flushes everything regardless: the client is being
+    /// backpressured and holding the tail would livelock it. The held
+    /// batch is drained by the unconditional [`Fabric::drain`] paths
+    /// (shutdown, `drain_all`) once the stream is complete.
+    pub fn drain_settled(&mut self, max_batches: usize) -> Result<Vec<EpochOutcome>, FleetError> {
+        let hold = self.queue.len() < self.queue_cap;
+        self.drain_inner(max_batches, hold)
+    }
+
+    fn drain_inner(
+        &mut self,
+        max_batches: usize,
+        hold_last: bool,
+    ) -> Result<Vec<EpochOutcome>, FleetError> {
         let mut outcomes = Vec::new();
         if max_batches == 0 || self.queue.is_empty() {
             return Ok(outcomes);
         }
         let events = self.queue.make_contiguous();
         let ranges = self.damping.split(events);
-        let take = ranges.len().min(max_batches);
+        let settled = if hold_last {
+            ranges.len().saturating_sub(1)
+        } else {
+            ranges.len()
+        };
+        let take = settled.min(max_batches);
         let mut consumed = 0;
         let mut batches: Vec<Vec<CtrlEvent>> = Vec::with_capacity(take);
         for range in &ranges[..take] {

@@ -27,6 +27,12 @@
 //!   seeded fault schedule, graded on audit certification, journal
 //!   recoverability, quarantine consistency, and southbound convergence,
 //!   emitting a byte-stable [`ReadinessReport`].
+//! - [`net`] — the framed TCP ingest front (DESIGN §15): a
+//!   resynchronizing wire codec, a threaded server with per-client
+//!   sequence dedupe and `Backpressure` instead of drops, a bounded
+//!   retry client, and a seeded chaos transport proxy — events arrive
+//!   exactly once, and networked journals are byte-identical to a solo
+//!   replay.
 //!
 //! [`DampingPolicy`]: tagger_ctrl::DampingPolicy
 
@@ -36,6 +42,7 @@
 
 mod error;
 mod fabric;
+pub mod net;
 mod registry;
 mod report;
 mod soak;

@@ -1,0 +1,597 @@
+//! The framed wire protocol `tagger-fleetd serve` speaks.
+//!
+//! Every message travels as one length-prefixed frame:
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic 0x54 0x47 ("TG") — the resync anchor
+//!      2     1  kind (message discriminant)
+//!      3     8  seq, big-endian — per-client event sequence number;
+//!               replies echo the seq they answer
+//!     11     4  payload length, big-endian (≤ MAX_PAYLOAD)
+//!     15     4  FNV-1a checksum over kind + seq + len + payload
+//!     19     n  payload
+//! ```
+//!
+//! The decoder is a resynchronizing scanner, not a strict parser: a
+//! torn frame (a peer died mid-write, a proxy truncated a frame) leaves
+//! garbage in the stream, and the reader recovers by scanning forward
+//! to the next magic and re-validating from there. Three things make
+//! that safe: the magic bounds the scan, the length field is capped by
+//! [`MAX_PAYLOAD`] (an absurd length means we are looking at garbage,
+//! not a frame), and the checksum rejects the case where payload bytes
+//! happen to contain the magic. A frame that fails any check costs the
+//! stream exactly the bytes up to the next plausible anchor — never the
+//! connection.
+//!
+//! Frames never carry wall-clock or host-specific data, so an event
+//! stream encodes byte-identically on every machine — what lets the
+//! chaos proxy re-encode frames it duplicates and lets CI compare
+//! delivery reports across runs.
+
+use std::fmt;
+
+/// The two-byte frame anchor.
+pub const MAGIC: [u8; 2] = [0x54, 0x47];
+
+/// Header bytes before the payload: magic(2) + kind(1) + seq(8) +
+/// len(4) + checksum(4).
+pub const HEADER_LEN: usize = 19;
+
+/// Hard cap on payload size. A `<fabric>: <trace-line>` event is tens
+/// of bytes; 64 KiB leaves room for pathological path lists while
+/// keeping a garbage length field instantly recognizable.
+pub const MAX_PAYLOAD: usize = 64 * 1024;
+
+/// Message discriminants. Requests (client → server) sit below 16,
+/// replies (server → client) at or above.
+pub mod kind {
+    /// Session open: payload is the 8-byte client id.
+    pub const HELLO: u8 = 1;
+    /// One ingest event: payload is the `<fabric>: <trace-line>` text.
+    pub const EVENT: u8 = 2;
+    /// Graceful end of stream.
+    pub const BYE: u8 = 3;
+    /// Session accepted: payload is the next seq the server expects
+    /// from this client (everything below it is already applied).
+    pub const WELCOME: u8 = 16;
+    /// Event accepted: payload is the fabric's committed epoch at
+    /// acceptance time.
+    pub const OK: u8 = 17;
+    /// Event not accepted, try later: payload is the fabric's queue
+    /// depth (u32) and the suggested retry delay in ms (u32).
+    pub const BACKPRESSURE: u8 = 18;
+    /// Event permanently refused: payload is the offending span
+    /// (line/col/len as u32s) plus a reason string.
+    pub const REJECT: u8 = 19;
+    /// Sequence gap: the server expected a lower seq (payload, u64);
+    /// the client must rewind and resend from there.
+    pub const REWIND: u8 = 20;
+}
+
+/// A decoded frame: discriminant, sequence number, raw payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawFrame {
+    /// Message discriminant (see [`kind`]).
+    pub kind: u8,
+    /// Sequence number from the header.
+    pub seq: u64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// FNV-1a over the non-magic header fields and payload.
+fn checksum(kind: u8, seq: u64, payload: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    let mut eat = |b: u8| {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    };
+    eat(kind);
+    for b in seq.to_be_bytes() {
+        eat(b);
+    }
+    for b in (payload.len() as u32).to_be_bytes() {
+        eat(b);
+    }
+    for &b in payload {
+        eat(b);
+    }
+    h
+}
+
+/// Encodes one frame. Panics never: oversized payloads are a programming
+/// error on the sending side and are truncated to [`MAX_PAYLOAD`] —
+/// the receiver's checksum would reject a silently corrupted frame, so
+/// the truncation is loud in practice (the frame arrives intact, just
+/// bounded).
+pub fn encode(kind: u8, seq: u64, payload: &[u8]) -> Vec<u8> {
+    let payload = &payload[..payload.len().min(MAX_PAYLOAD)];
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(kind);
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&checksum(kind, seq, payload).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// A resynchronizing frame decoder over a byte stream.
+///
+/// Feed it reads with [`Decoder::extend`], pull complete frames with
+/// [`Decoder::next_frame`]. Garbage between frames — torn frames,
+/// truncated writes, duplicated partial bytes — is skipped, counted,
+/// and never fatal.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    /// Raw bytes discarded while hunting for a frame anchor.
+    pub skipped_bytes: u64,
+    /// Times the scanner had to abandon a plausible anchor and rescan
+    /// (bad length, bad checksum, or leading garbage) — each one is a
+    /// survived torn frame.
+    pub resyncs: u64,
+    /// Anchors rejected specifically for an oversized length field.
+    pub oversized: u64,
+}
+
+impl Decoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Decoder::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed (a partial frame in flight).
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Drops `n` leading bytes as garbage, counting them.
+    fn skip(&mut self, n: usize) {
+        self.buf.drain(..n);
+        self.skipped_bytes += n as u64;
+    }
+
+    /// Scans to the first magic anchor, discarding garbage before it.
+    /// Returns false when no anchor is buffered (all but a possible
+    /// trailing half-magic byte is discarded).
+    fn seek_anchor(&mut self) -> bool {
+        if let Some(pos) = self.buf.windows(2).position(|w| w == MAGIC) {
+            if pos > 0 {
+                self.skip(pos);
+                self.resyncs += 1;
+            }
+            return true;
+        }
+        // No anchor: keep a trailing first-magic-byte, drop the rest.
+        let keep = usize::from(self.buf.last() == Some(&MAGIC[0]));
+        let drop = self.buf.len() - keep;
+        if drop > 0 {
+            self.skip(drop);
+        }
+        false
+    }
+
+    /// Pulls the next complete, checksum-valid frame, resynchronizing
+    /// past any garbage. `None` means the buffer holds no complete
+    /// frame yet (wait for more bytes).
+    pub fn next_frame(&mut self) -> Option<RawFrame> {
+        loop {
+            if !self.seek_anchor() {
+                return None;
+            }
+            if self.buf.len() < HEADER_LEN {
+                return None;
+            }
+            let fkind = self.buf[2];
+            let seq = u64::from_be_bytes(self.buf[3..11].try_into().unwrap_or([0; 8]));
+            let len = u32::from_be_bytes(self.buf[11..15].try_into().unwrap_or([0; 4])) as usize;
+            let sum = u32::from_be_bytes(self.buf[15..19].try_into().unwrap_or([0; 4]));
+            if len > MAX_PAYLOAD {
+                // A length this large is not a frame — we anchored on
+                // payload bytes or a tear. Skip the false anchor.
+                self.oversized += 1;
+                self.resyncs += 1;
+                self.skip(2);
+                continue;
+            }
+            if self.buf.len() < HEADER_LEN + len {
+                // Possibly a torn frame; wait for more bytes. If the
+                // stream closes here the tear dies with the connection.
+                return None;
+            }
+            let payload = &self.buf[HEADER_LEN..HEADER_LEN + len];
+            if checksum(fkind, seq, payload) != sum {
+                // Anchor was inside garbage (e.g. a truncated frame's
+                // remains followed by a real frame). Abandon it.
+                self.resyncs += 1;
+                self.skip(2);
+                continue;
+            }
+            let frame = RawFrame {
+                kind: fkind,
+                seq,
+                payload: payload.to_vec(),
+            };
+            self.buf.drain(..HEADER_LEN + len);
+            return Some(frame);
+        }
+    }
+}
+
+/// Typed view of a frame's payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Msg {
+    /// Session open carrying the client id.
+    Hello {
+        /// The client's stable identity (dedup key across reconnects).
+        client: u64,
+    },
+    /// One `<fabric>: <trace-line>` ingest event.
+    Event {
+        /// The event text.
+        line: String,
+    },
+    /// Graceful end of stream.
+    Bye,
+    /// Session accepted; resume sending from `next_seq`.
+    Welcome {
+        /// First sequence number not yet applied for this client.
+        next_seq: u64,
+    },
+    /// Event applied (or already applied — duplicates ack identically).
+    Ok {
+        /// The fabric's committed epoch when the event was accepted.
+        epoch: u64,
+    },
+    /// Event not accepted now; retry after the suggested delay.
+    Backpressure {
+        /// The saturated fabric's current queue depth.
+        queue_depth: u32,
+        /// Suggested client-side delay before resending, ms.
+        retry_after_ms: u32,
+    },
+    /// Event permanently refused (parse error, bad fabric, …).
+    Reject {
+        /// 1-based line of the offending token (0 = whole input).
+        line: u32,
+        /// 1-based column of the offending token.
+        col: u32,
+        /// Byte length of the offending token.
+        len: u32,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The server expected a lower seq; resend from `expected`.
+    Rewind {
+        /// The seq to resume from.
+        expected: u64,
+    },
+}
+
+/// Why a structurally valid frame could not be interpreted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Unknown discriminant (likely a protocol version mismatch).
+    UnknownKind(u8),
+    /// Payload too short for the discriminant's fixed fields.
+    ShortPayload {
+        /// The frame's discriminant.
+        kind: u8,
+        /// Bytes present.
+        have: usize,
+        /// Bytes required.
+        want: usize,
+    },
+    /// A text field was not UTF-8.
+    BadUtf8 {
+        /// The frame's discriminant.
+        kind: u8,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::ShortPayload { kind, have, want } => {
+                write!(f, "frame kind {kind}: payload {have} bytes, want {want}")
+            }
+            WireError::BadUtf8 { kind } => write!(f, "frame kind {kind}: payload is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn be_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_be_bytes(a)
+}
+
+fn be_u32(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[..4]);
+    u32::from_be_bytes(a)
+}
+
+impl Msg {
+    /// The discriminant this message encodes as.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Msg::Hello { .. } => kind::HELLO,
+            Msg::Event { .. } => kind::EVENT,
+            Msg::Bye => kind::BYE,
+            Msg::Welcome { .. } => kind::WELCOME,
+            Msg::Ok { .. } => kind::OK,
+            Msg::Backpressure { .. } => kind::BACKPRESSURE,
+            Msg::Reject { .. } => kind::REJECT,
+            Msg::Rewind { .. } => kind::REWIND,
+        }
+    }
+
+    /// Encodes this message as one wire frame carrying `seq`.
+    pub fn encode(&self, seq: u64) -> Vec<u8> {
+        let payload: Vec<u8> = match self {
+            Msg::Hello { client } => client.to_be_bytes().to_vec(),
+            Msg::Event { line } => line.as_bytes().to_vec(),
+            Msg::Bye => Vec::new(),
+            Msg::Welcome { next_seq } => next_seq.to_be_bytes().to_vec(),
+            Msg::Ok { epoch } => epoch.to_be_bytes().to_vec(),
+            Msg::Backpressure {
+                queue_depth,
+                retry_after_ms,
+            } => {
+                let mut p = queue_depth.to_be_bytes().to_vec();
+                p.extend_from_slice(&retry_after_ms.to_be_bytes());
+                p
+            }
+            Msg::Reject {
+                line,
+                col,
+                len,
+                reason,
+            } => {
+                let mut p = line.to_be_bytes().to_vec();
+                p.extend_from_slice(&col.to_be_bytes());
+                p.extend_from_slice(&len.to_be_bytes());
+                p.extend_from_slice(reason.as_bytes());
+                p
+            }
+            Msg::Rewind { expected } => expected.to_be_bytes().to_vec(),
+        };
+        encode(self.kind(), seq, &payload)
+    }
+
+    /// Decodes a frame's payload into its typed message.
+    pub fn decode(frame: &RawFrame) -> Result<Msg, WireError> {
+        let p = &frame.payload;
+        let need = |want: usize| -> Result<(), WireError> {
+            if p.len() < want {
+                Err(WireError::ShortPayload {
+                    kind: frame.kind,
+                    have: p.len(),
+                    want,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let text = |bytes: &[u8]| -> Result<String, WireError> {
+            String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8 { kind: frame.kind })
+        };
+        match frame.kind {
+            kind::HELLO => {
+                need(8)?;
+                Ok(Msg::Hello { client: be_u64(p) })
+            }
+            kind::EVENT => Ok(Msg::Event { line: text(p)? }),
+            kind::BYE => Ok(Msg::Bye),
+            kind::WELCOME => {
+                need(8)?;
+                Ok(Msg::Welcome {
+                    next_seq: be_u64(p),
+                })
+            }
+            kind::OK => {
+                need(8)?;
+                Ok(Msg::Ok { epoch: be_u64(p) })
+            }
+            kind::BACKPRESSURE => {
+                need(8)?;
+                Ok(Msg::Backpressure {
+                    queue_depth: be_u32(p),
+                    retry_after_ms: be_u32(&p[4..]),
+                })
+            }
+            kind::REJECT => {
+                need(12)?;
+                Ok(Msg::Reject {
+                    line: be_u32(p),
+                    col: be_u32(&p[4..]),
+                    len: be_u32(&p[8..]),
+                    reason: text(&p[12..])?,
+                })
+            }
+            kind::REWIND => {
+                need(8)?;
+                Ok(Msg::Rewind {
+                    expected: be_u64(p),
+                })
+            }
+            other => Err(WireError::UnknownKind(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn event(seq: u64, line: &str) -> Vec<u8> {
+        Msg::Event {
+            line: line.to_string(),
+        }
+        .encode(seq)
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_decoder() {
+        let mut dec = Decoder::new();
+        dec.extend(&event(0, "fab-0: down L1 T1"));
+        dec.extend(&event(1, "fab-1: resync"));
+        let f0 = dec.next_frame().unwrap();
+        assert_eq!(f0.seq, 0);
+        assert_eq!(
+            Msg::decode(&f0).unwrap(),
+            Msg::Event {
+                line: "fab-0: down L1 T1".into()
+            }
+        );
+        let f1 = dec.next_frame().unwrap();
+        assert_eq!(f1.seq, 1);
+        assert!(dec.next_frame().is_none());
+        assert_eq!(dec.resyncs, 0);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn partial_reads_reassemble() {
+        let bytes = event(7, "f: down L1 T1");
+        let mut dec = Decoder::new();
+        for chunk in bytes.chunks(3) {
+            assert!(dec.next_frame().is_none(), "frame must wait for all bytes");
+            dec.extend(chunk);
+        }
+        assert_eq!(dec.next_frame().unwrap().seq, 7);
+    }
+
+    #[test]
+    fn torn_frame_resyncs_to_the_next_frame() {
+        let torn = event(3, "f: down L1 T1 with a reasonably long payload");
+        let whole = event(4, "f: up L1 T1");
+        let resend = event(5, "f: resync");
+        let mut dec = Decoder::new();
+        // Half the torn frame, then complete frames right behind it.
+        // The tear's length field claims bytes that never arrive, so
+        // the decoder first waits (the bytes could still be in flight)
+        // — that is what the client's resend-on-timeout heals: once
+        // enough bytes exist to checksum the claimed span, the tear is
+        // disproven and the scanner resyncs.
+        dec.extend(&torn[..torn.len() / 2]);
+        dec.extend(&whole);
+        dec.extend(&resend);
+        let got = dec.next_frame().unwrap();
+        assert_eq!(got.seq, 4, "the frame after the tear must survive");
+        assert_eq!(dec.next_frame().unwrap().seq, 5);
+        assert!(dec.resyncs > 0, "the tear must be counted as a resync");
+        assert!(dec.next_frame().is_none());
+    }
+
+    #[test]
+    fn leading_garbage_is_skipped() {
+        let mut dec = Decoder::new();
+        dec.extend(b"not a frame at all, just bytes");
+        dec.extend(&event(1, "f: resync"));
+        assert_eq!(dec.next_frame().unwrap().seq, 1);
+        assert!(dec.skipped_bytes > 0);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_and_resynced() {
+        // Hand-build a frame whose length field claims > MAX_PAYLOAD.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&MAGIC);
+        bad.push(kind::EVENT);
+        bad.extend_from_slice(&0u64.to_be_bytes());
+        bad.extend_from_slice(&((MAX_PAYLOAD as u32) + 1).to_be_bytes());
+        bad.extend_from_slice(&0u32.to_be_bytes());
+        let mut dec = Decoder::new();
+        dec.extend(&bad);
+        dec.extend(&event(9, "f: resync"));
+        let got = dec.next_frame().unwrap();
+        assert_eq!(got.seq, 9);
+        assert_eq!(dec.oversized, 1);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum_and_resyncs() {
+        let mut bytes = event(5, "f: down L1 T1");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let mut dec = Decoder::new();
+        dec.extend(&bytes);
+        dec.extend(&event(6, "f: up L1 T1"));
+        let got = dec.next_frame().unwrap();
+        assert_eq!(got.seq, 6, "corrupted frame dropped, next one survives");
+        assert!(dec.resyncs > 0);
+    }
+
+    #[test]
+    fn magic_bytes_inside_payloads_do_not_confuse_the_scanner() {
+        // Payload contains the magic sequence repeatedly.
+        let tricky = "TG TG TGTG fabric: down TG TG";
+        let mut dec = Decoder::new();
+        let torn = event(0, tricky);
+        dec.extend(&torn[..torn.len() - 4]); // tear it
+        dec.extend(&event(1, tricky));
+        let got = dec.next_frame().unwrap();
+        assert_eq!(got.seq, 1);
+        assert_eq!(
+            Msg::decode(&got).unwrap(),
+            Msg::Event {
+                line: tricky.into()
+            }
+        );
+    }
+
+    #[test]
+    fn every_message_kind_round_trips() {
+        let msgs = vec![
+            Msg::Hello { client: 42 },
+            Msg::Event {
+                line: "a: down L1 T1".into(),
+            },
+            Msg::Bye,
+            Msg::Welcome { next_seq: 17 },
+            Msg::Ok { epoch: 9 },
+            Msg::Backpressure {
+                queue_depth: 1024,
+                retry_after_ms: 5,
+            },
+            Msg::Reject {
+                line: 1,
+                col: 8,
+                len: 2,
+                reason: "unknown node \"L9\"".into(),
+            },
+            Msg::Rewind { expected: 3 },
+        ];
+        for (i, msg) in msgs.into_iter().enumerate() {
+            let mut dec = Decoder::new();
+            dec.extend(&msg.encode(i as u64));
+            let frame = dec.next_frame().unwrap();
+            assert_eq!(frame.seq, i as u64);
+            assert_eq!(Msg::decode(&frame).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_a_typed_error() {
+        let frame = RawFrame {
+            kind: 99,
+            seq: 0,
+            payload: vec![],
+        };
+        assert_eq!(Msg::decode(&frame), Err(WireError::UnknownKind(99)));
+        assert!(WireError::UnknownKind(99).to_string().contains("99"));
+    }
+}

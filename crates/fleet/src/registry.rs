@@ -182,10 +182,18 @@ impl Fleet {
     /// Accepts one `fabric: trace-line` style line, parsed against that
     /// fabric's own topology (a line can expand to several events, e.g.
     /// `flap L1 T1 3`).
+    ///
+    /// All-or-nothing on capacity: the whole line is admitted only when
+    /// the queue has room for *every* event it expands to, so a
+    /// [`FleetError::QueueFull`] rejection is always safely retryable —
+    /// no prefix of the line is left behind to double-apply on retry.
     pub fn ingest_line(&mut self, fabric: &str, line: &str) -> Result<usize, FleetError> {
         let fab = self.fabric_mut(fabric)?;
         let events = parse_trace(fab.topo(), line)?;
         let n = events.len();
+        if n > fab.queue_free() {
+            return Err(fab.reject_line(n));
+        }
         for event in events {
             fab.enqueue(event)?;
         }
@@ -202,6 +210,21 @@ impl Fleet {
         let mut processed = 0u64;
         for fabric in &mut self.fabrics {
             processed += fabric.drain(quantum)?.len() as u64;
+        }
+        Ok(processed)
+    }
+
+    /// Like [`Fleet::drain_cycle`], but every fabric holds back its
+    /// trailing — possibly still-growing — batch unless its queue is
+    /// full. This is the cycle the network ingest front runs
+    /// concurrently with ingest: batch boundaries (and so the journals)
+    /// depend only on the event stream, never on where drain ticks land
+    /// relative to arrivals. See [`Fabric::drain_settled`].
+    pub fn drain_cycle_settled(&mut self) -> Result<u64, FleetError> {
+        let quantum = self.cfg.drain_quantum.max(1);
+        let mut processed = 0u64;
+        for fabric in &mut self.fabrics {
+            processed += fabric.drain_settled(quantum)?.len() as u64;
         }
         Ok(processed)
     }

@@ -32,6 +32,9 @@ pub struct FabricStatus {
     pub queued: usize,
     /// Events accepted over the fabric's lifetime.
     pub ingested: u64,
+    /// Ingest attempts refused with `QueueFull` (backpressure pushes the
+    /// caller absorbed and retried).
+    pub queue_rejections: u64,
     /// Damped batches processed.
     pub batches: u64,
     /// Epochs committed (excluding bootstrap).
@@ -64,6 +67,7 @@ impl FabricStatus {
             quarantines: fabric.controller().state().quarantines.len(),
             queued: fabric.queued(),
             ingested: fabric.ingested(),
+            queue_rejections: fabric.queue_rejections(),
             batches: fabric.batches(),
             commits: fabric.commits(),
             rollbacks: fabric.rollbacks(),
@@ -129,14 +133,15 @@ impl FleetReport {
             let _ = writeln!(
                 out,
                 "  [{}] {:<16} epoch {:>4}  rules {:>5}  quarantines {:>2}  \
-                 queued {:>4}  commits {:>4}  rollbacks {:>3}  faults {:>4}  \
-                 audit {}  {}",
+                 queued {:>4}  pushback {:>3}  commits {:>4}  rollbacks {:>3}  \
+                 faults {:>4}  audit {}  {}",
                 f.id,
                 f.name,
                 f.epoch,
                 f.rules,
                 f.quarantines,
                 f.queued,
+                f.queue_rejections,
                 f.commits,
                 f.rollbacks,
                 f.faults_injected,
@@ -182,6 +187,7 @@ impl FleetReport {
             let _ = writeln!(out, "      \"quarantines\": {},", f.quarantines);
             let _ = writeln!(out, "      \"queued\": {},", f.queued);
             let _ = writeln!(out, "      \"ingested\": {},", f.ingested);
+            let _ = writeln!(out, "      \"queue_rejections\": {},", f.queue_rejections);
             let _ = writeln!(out, "      \"batches\": {},", f.batches);
             let _ = writeln!(out, "      \"commits\": {},", f.commits);
             let _ = writeln!(out, "      \"rollbacks\": {},", f.rollbacks);
@@ -263,6 +269,7 @@ mod tests {
             quarantines: 1,
             queued: 0,
             ingested: 9,
+            queue_rejections: 2,
             batches: 4,
             commits: 3,
             rollbacks: 1,

@@ -1,0 +1,178 @@
+//! Property and adversarial tests for the DESIGN §15 frame codec
+//! (ISSUE 9 satellite): encode→decode identity over arbitrary payloads,
+//! kinds and sequence numbers; torn frames and oversized length claims
+//! cost bytes (counted resyncs), never the frames around them.
+
+use proptest::prelude::*;
+use tagger_fleet::net::wire::{self, kind, Decoder, Msg, MAX_PAYLOAD};
+
+/// Decodes `bytes` in one gulp and returns every recovered frame.
+fn decode_all(dec: &mut Decoder, bytes: &[u8]) -> Vec<wire::RawFrame> {
+    dec.extend(bytes);
+    let mut out = Vec::new();
+    while let Some(f) = dec.next_frame() {
+        out.push(f);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Raw-frame identity: any (kind, seq, payload) triple survives
+    /// encode→decode byte-exactly, fed either whole or one byte at a
+    /// time (the decoder may never depend on read boundaries).
+    #[test]
+    fn raw_frame_round_trips(
+        kind_pick in 0usize..8,
+        seq in any::<u64>(),
+        payload in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        let kinds = [
+            kind::HELLO, kind::EVENT, kind::BYE, kind::WELCOME,
+            kind::OK, kind::BACKPRESSURE, kind::REJECT, kind::REWIND,
+        ];
+        let k = kinds[kind_pick % kinds.len()];
+        let bytes = wire::encode(k, seq, &payload);
+
+        let mut whole = Decoder::new();
+        let frames = decode_all(&mut whole, &bytes);
+        prop_assert_eq!(frames.len(), 1);
+        prop_assert_eq!(frames[0].kind, k);
+        prop_assert_eq!(frames[0].seq, seq);
+        prop_assert_eq!(&frames[0].payload, &payload);
+        prop_assert_eq!(whole.resyncs, 0);
+        prop_assert_eq!(whole.skipped_bytes, 0);
+
+        let mut dribble = Decoder::new();
+        let mut frames = Vec::new();
+        for b in &bytes {
+            frames.extend(decode_all(&mut dribble, std::slice::from_ref(b)));
+        }
+        prop_assert_eq!(frames.len(), 1);
+        prop_assert_eq!(frames[0].seq, seq);
+        prop_assert_eq!(&frames[0].payload, &payload);
+        prop_assert_eq!(dribble.resyncs, 0);
+    }
+
+    /// Message identity: every reply and request variant survives the
+    /// typed encode→decode path with its fields intact.
+    #[test]
+    fn messages_round_trip(
+        seq in any::<u64>(),
+        a in any::<u64>(),
+        b in any::<u32>(),
+        text in proptest::collection::vec(32u8..127, 0..64),
+    ) {
+        let text = String::from_utf8(text).expect("printable ascii");
+        let msgs = [
+            Msg::Hello { client: a },
+            Msg::Event { line: text.clone() },
+            Msg::Bye,
+            Msg::Welcome { next_seq: a },
+            Msg::Ok { epoch: a },
+            Msg::Backpressure { queue_depth: b, retry_after_ms: b ^ 1 },
+            Msg::Reject { line: b, col: b.wrapping_add(1), len: b >> 1, reason: text },
+            Msg::Rewind { expected: a },
+        ];
+        for msg in msgs {
+            let mut dec = Decoder::new();
+            let frames = decode_all(&mut dec, &msg.encode(seq));
+            prop_assert_eq!(frames.len(), 1);
+            prop_assert_eq!(frames[0].seq, seq);
+            prop_assert_eq!(Msg::decode(&frames[0]).expect("decodes"), msg);
+        }
+    }
+
+    /// Garbage between two valid frames never costs either frame: the
+    /// decoder resynchronizes on the next magic and counts the damage.
+    #[test]
+    fn garbage_between_frames_is_skipped_not_fatal(
+        junk in proptest::collection::vec(0u8..=255, 1..64),
+        seq in any::<u64>(),
+    ) {
+        let first = Msg::Ok { epoch: 7 }.encode(seq);
+        let second = Msg::Rewind { expected: 3 }.encode(seq.wrapping_add(1));
+        let mut bytes = first;
+        bytes.extend_from_slice(&junk);
+        bytes.extend_from_slice(&second);
+
+        let mut dec = Decoder::new();
+        let frames = decode_all(&mut dec, &bytes);
+        // The junk may happen to start with a plausible header that
+        // swallows the second frame's bytes; the decoder still may not
+        // invent frames or lose the first one.
+        prop_assert!(!frames.is_empty());
+        prop_assert_eq!(frames[0].seq, seq);
+        prop_assert_eq!(frames[0].kind, kind::OK);
+        for f in &frames {
+            prop_assert!(Msg::decode(f).is_ok() || f.payload.len() <= MAX_PAYLOAD);
+        }
+    }
+}
+
+/// A frame whose header claims more payload than [`MAX_PAYLOAD`] is
+/// rejected outright — the decoder must not buffer unbounded bytes on a
+/// hostile length claim — and the stream recovers on the next frame.
+#[test]
+fn oversized_length_claim_is_rejected_and_survived() {
+    let mut bytes = wire::encode(kind::EVENT, 1, b"before");
+    // Hand-build a header claiming a 16 MiB payload. encode() clamps,
+    // so forge the length field directly.
+    let mut evil = wire::encode(kind::EVENT, 2, b"x");
+    let huge: u32 = 16 * 1024 * 1024;
+    evil[11..15].copy_from_slice(&huge.to_be_bytes());
+    bytes.extend_from_slice(&evil);
+    let after = wire::encode(kind::EVENT, 3, b"after");
+    bytes.extend_from_slice(&after);
+
+    let mut dec = Decoder::new();
+    let mut frames = Vec::new();
+    dec.extend(&bytes);
+    while let Some(f) = dec.next_frame() {
+        frames.push(f);
+    }
+    assert!(dec.oversized >= 1, "the hostile claim must be counted");
+    assert!(dec.resyncs >= 1, "skipping it is a resync");
+    let seqs: Vec<u64> = frames.iter().map(|f| f.seq).collect();
+    assert!(seqs.contains(&1), "frame before the attack must survive");
+    assert!(seqs.contains(&3), "frame after the attack must survive");
+    assert!(
+        !frames.iter().any(|f| f.payload.len() > MAX_PAYLOAD),
+        "no oversized frame may ever be surfaced"
+    );
+}
+
+/// A frame torn mid-payload (the truncation the chaos proxy injects) is
+/// abandoned once later bytes disprove its length claim; the following
+/// resend gets through and the damage is metered in `skipped_bytes`.
+#[test]
+fn torn_frame_is_skipped_once_disproven() {
+    let torn = Msg::Event {
+        line: "f: down L1 T1".into(),
+    }
+    .encode(9);
+    let keep = torn.len() / 2;
+    let mut bytes = torn[..keep].to_vec();
+    // The client's reply timeout fires and it resends — twice, to give
+    // the scanner unambiguous magic to lock onto.
+    let resend = Msg::Event {
+        line: "f: down L1 T1".into(),
+    }
+    .encode(9);
+    bytes.extend_from_slice(&resend);
+    bytes.extend_from_slice(&resend);
+
+    let mut dec = Decoder::new();
+    dec.extend(&bytes);
+    let mut recovered = Vec::new();
+    while let Some(f) = dec.next_frame() {
+        recovered.push(f);
+    }
+    assert!(
+        recovered.iter().any(|f| f.seq == 9),
+        "the resend must survive the tear"
+    );
+    assert!(dec.resyncs >= 1, "abandoning the torn frame is a resync");
+    assert!(dec.skipped_bytes >= 1, "the tear's bytes must be metered");
+}

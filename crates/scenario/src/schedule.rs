@@ -107,6 +107,20 @@ pub fn library() -> &'static [ScheduleSpec] {
                 resync: 1,
             },
         },
+        ScheduleSpec {
+            name: "lossy-transport",
+            description: "degraded ingest links (degraded_ingest.scn): dense flap \
+                          bursts with frequent forced resyncs, the event shape a \
+                          flaky transport feeds the fleet front",
+            weights: MixWeights {
+                flap: 6,
+                fail: 2,
+                recover: 2,
+                trip: 1,
+                clear: 1,
+                resync: 3,
+            },
+        },
     ]
 }
 

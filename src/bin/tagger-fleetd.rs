@@ -13,7 +13,10 @@
 //!                      [--fail-rate R] [--dir PATH] [--status] [--json]
 //! tagger-fleetd ingest [stream-file] [--fabrics N] [--damping SPEC]
 //!                      [--chaos seed=N,fail_rate=P,...] [--dir PATH]
-//!                      [--quantum N] [--json]
+//!                      [--quantum N] [--queue-cap N] [--json]
+//! tagger-fleetd serve  [--addr HOST:PORT] [--damping SPEC]
+//!                      [--chaos seed=N,fail_rate=P,...] [--dir PATH]
+//!                      [--quantum N] [--queue-cap N] [--budget N] [--json]
 //! ```
 //!
 //! **soak** runs the chaos-soak drill: `--fabrics` fabrics, each under a
@@ -30,9 +33,20 @@
 //! fabrics are registered on first mention (small Clos, `--damping`
 //! policy, `--chaos` schedule with a per-fabric seed offset). Lines are
 //! enqueued as they arrive and drained fairly every few lines, exactly
-//! like the live daemon. With no stream file, reads stdin. Prints the
-//! fleet status (and `--json` snapshot) at end of stream; exits
-//! non-zero if any fabric diverged or failed audit.
+//! like the live daemon. A full queue is backpressure, not an error:
+//! the replay drains a fair cycle and retries the line, and the
+//! `pushback` column of the final report counts every
+//! rejected-then-retried event. With no stream file, reads stdin.
+//! Prints the fleet status (and `--json` snapshot) at end of stream;
+//! exits non-zero if any fabric diverged or failed audit.
+//!
+//! **serve** is the same replay over a real socket (DESIGN §15): a
+//! framed TCP front with per-client sequence dedupe, `Backpressure`
+//! replies instead of drops, and a graceful drain-then-close shutdown.
+//! Clients are `tagger-ingest` (or anything speaking the §15 frame
+//! format). The daemon runs until stdin reaches EOF — `ctrl-D`, or the
+//! harness closing the pipe — then drains every queue and journal and
+//! prints the final fleet report.
 //!
 //! Journals land under `--dir` (default: a per-process temp directory),
 //! one file per fabric; registering two fabrics whose journals would
@@ -43,13 +57,16 @@ use std::io::BufRead;
 use std::process::ExitCode;
 
 use tagger::ctrl::ChaosConfig;
-use tagger::fleet::{Damping, FabricSpec, Fleet, FleetConfig, SoakConfig};
+use tagger::fleet::net::{ServeConfig, Server};
+use tagger::fleet::{Damping, FabricSpec, Fleet, FleetConfig, FleetError, SoakConfig};
 use tagger::topo::ClosConfig;
 
-const USAGE: &str = "usage: tagger-fleetd <soak|ingest> [options]
+const USAGE: &str = "usage: tagger-fleetd <soak|ingest|serve> [options]
   soak   --fabrics N --seed S --events N --fail-rate R --dir PATH [--status] [--json]
   ingest [stream-file] --fabrics N --damping none|flap|flap:N --chaos SPEC
-         --dir PATH --quantum N [--json]";
+         --dir PATH --quantum N --queue-cap N [--json]
+  serve  --addr HOST:PORT --damping none|flap|flap:N --chaos SPEC
+         --dir PATH --quantum N --queue-cap N --budget N [--json]";
 
 fn parse_args(args: &[String]) -> Result<(Option<String>, BTreeMap<String, String>), String> {
     let mut flags = BTreeMap::new();
@@ -148,6 +165,7 @@ fn run_ingest(
         .transpose()?;
     let mut fleet_cfg = FleetConfig::new(&dir);
     fleet_cfg.drain_quantum = get(flags, "quantum", 4usize)?.max(1);
+    fleet_cfg.queue_cap = get(flags, "queue-cap", fleet_cfg.queue_cap)?.max(1);
     let mut fleet = Fleet::new(fleet_cfg);
     let topo = ClosConfig::small().build();
 
@@ -166,6 +184,7 @@ fn run_ingest(
     };
 
     let mut lines = 0u64;
+    let mut stalls = 0u64;
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -196,9 +215,31 @@ fn run_ingest(
                     .display()
             );
         }
-        fleet
-            .ingest_line(fabric, rest.trim())
-            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        // A full queue is backpressure, not a stream error: drain a
+        // fair cycle to make room and retry the same line. `ingest_line`
+        // is all-or-nothing, so a rejected line never half-lands and is
+        // always safe to retry; the fabric counts each rejection in the
+        // report's `pushback` column.
+        loop {
+            match fleet.ingest_line(fabric, rest.trim()) {
+                Ok(_) => break,
+                Err(FleetError::QueueFull { cap, .. }) => {
+                    let queued = fleet.fabric(fabric).map_err(|e| e.to_string())?.queued();
+                    if queued == 0 {
+                        // The queue is empty and the line still does not
+                        // fit: no amount of draining will ever admit it.
+                        return Err(format!(
+                            "line {}: the line expands past the {cap}-slot \
+                             queue; raise --queue-cap",
+                            lineno + 1,
+                        ));
+                    }
+                    stalls += 1;
+                    fleet.drain_cycle().map_err(|e| e.to_string())?;
+                }
+                Err(e) => return Err(format!("line {}: {e}", lineno + 1)),
+            }
+        }
         lines += 1;
         // Drain as the stream arrives, like the live daemon: a fair
         // cycle every few lines keeps every fabric making progress.
@@ -207,6 +248,9 @@ fn run_ingest(
         }
     }
     fleet.drain_all().map_err(|e| e.to_string())?;
+    if stalls > 0 {
+        println!("ingest: {stalls} events waited out a full queue (drained and retried)");
+    }
 
     let report = fleet.snapshot();
     print!("{}", report.render());
@@ -214,6 +258,60 @@ fn run_ingest(
         print!("{}", report.to_json());
     }
     Ok(if report.healthy() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn run_serve(flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
+    let dir = flags
+        .get("dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(default_dir);
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7077".to_string());
+    let mut cfg = ServeConfig::new(&dir, ClosConfig::small().build());
+    if let Some(spec) = flags.get("damping") {
+        cfg.damping = Damping::parse(spec)?;
+    }
+    cfg.chaos = flags
+        .get("chaos")
+        .map(|s| ChaosConfig::parse(s))
+        .transpose()?;
+    cfg.queue_cap = get(flags, "queue-cap", cfg.queue_cap)?.max(1);
+    cfg.drain_quantum = get(flags, "quantum", cfg.drain_quantum)?.max(1);
+    cfg.conn_budget = get(flags, "budget", cfg.conn_budget)?.max(1);
+
+    let server = Server::start(&addr, cfg).map_err(|e| e.to_string())?;
+    println!(
+        "tagger-fleetd: serving on {} (journals under {})",
+        server.addr(),
+        dir.display()
+    );
+    println!("tagger-fleetd: close stdin (ctrl-D) to drain and exit");
+
+    // Run until the operator (or the harness driving us) closes stdin;
+    // that is the graceful-stop signal, mirroring the stream commands.
+    let mut sink = String::new();
+    let stdin = std::io::stdin();
+    loop {
+        sink.clear();
+        match stdin.lock().read_line(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(e) => return Err(format!("stdin: {e}")),
+        }
+    }
+
+    let outcome = server.shutdown().map_err(|e| e.to_string())?;
+    print!("{}", outcome.report.render());
+    if flags.contains_key("json") {
+        print!("{}", outcome.report.to_json());
+    }
+    Ok(if outcome.report.healthy() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
@@ -229,6 +327,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "soak" => parse_args(&args[1..]).and_then(|(_, flags)| run_soak_cmd(&flags)),
         "ingest" => parse_args(&args[1..]).and_then(|(stream, flags)| run_ingest(stream, &flags)),
+        "serve" => parse_args(&args[1..]).and_then(|(_, flags)| run_serve(&flags)),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
