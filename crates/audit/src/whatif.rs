@@ -13,7 +13,7 @@
 
 use crate::depgraph::DepGraph;
 use crate::Finding;
-use tagger_core::{RuleSet, Tag, TagDecision};
+use tagger_core::{oracle, Elp, RuleSet, Tag, TagDecision};
 use tagger_routing::all_paths_with_bounces;
 use tagger_topo::{FailureSet, NodeKind, Topology};
 
@@ -33,6 +33,14 @@ pub struct WhatIfScenario {
     pub reroute_paths: usize,
     /// Reroute paths that get demoted to the lossy class somewhere.
     pub lossy_demotions: usize,
+    /// Existence-oracle verdict on the reroute path set at the
+    /// installed tables' tag budget, consulted *before* the demotion
+    /// walk: `true` means some tagging could keep every reroute path
+    /// lossless (demotions are a re-planning gap), `false` means no
+    /// tagging at this budget can — the demotions are fundamental.
+    pub oracle_feasible: bool,
+    /// The oracle's one-line verdict summary.
+    pub oracle_summary: String,
 }
 
 impl WhatIfScenario {
@@ -44,11 +52,12 @@ impl WhatIfScenario {
     /// One-line summary for the CLI.
     pub fn summarize(&self) -> String {
         format!(
-            "{}: {} ({} reroute paths, {} demoted to lossy)",
+            "{}: {} ({} reroute paths, {} demoted to lossy; oracle: {})",
             self.description,
             if self.is_safe() { "safe" } else { "UNSAFE" },
             self.reroute_paths,
-            self.lossy_demotions
+            self.lossy_demotions,
+            self.oracle_summary
         )
     }
 }
@@ -75,6 +84,14 @@ pub fn whatif(
     }
 
     let paths = all_paths_with_bounces(topo, failures, max_bounces, CAP_PER_PAIR);
+
+    // Existence check first: could ANY tables at this tag budget keep
+    // the reroute set lossless? The walk below then tells how the
+    // *installed* tables actually treat it.
+    let budget = rules.max_tag().map_or(1, |t| t.0 as usize).max(1);
+    let verdict = oracle::decide(topo, &Elp::from_paths(paths.clone()), Some(budget));
+    let (oracle_feasible, oracle_summary) = (verdict.is_feasible(), verdict.summary());
+
     let mut lossy_demotions = 0usize;
     for path in &paths {
         let nodes = path.nodes();
@@ -104,6 +121,8 @@ pub fn whatif(
         findings,
         reroute_paths: paths.len(),
         lossy_demotions,
+        oracle_feasible,
+        oracle_summary,
     }
 }
 
@@ -159,5 +178,26 @@ mod tests {
         let s = whatif(&topo, tagging.rules(), &failures, "fail L1-S1", 1);
         assert!(s.is_safe());
         assert!(s.lossy_demotions > 0, "{}", s.summarize());
+        // The 0-bounce tables have one lossless tag; the 1-bounce
+        // reroute set provably does not fit in it, and the summary
+        // carries the verdict.
+        assert!(!s.oracle_feasible, "{}", s.summarize());
+        assert!(
+            s.summarize().contains("oracle: infeasible"),
+            "{}",
+            s.summarize()
+        );
+    }
+
+    #[test]
+    fn oracle_confirms_demotions_are_avoidable_at_matching_budget() {
+        let topo = ClosConfig::small().build();
+        // 1-bounce tables (two lossless tags) asked about 1-bounce
+        // reroutes: the oracle must agree a tagging exists.
+        let tagging = clos_tagging(&topo, 1).unwrap();
+        let mut failures = FailureSet::none();
+        failures.fail_between(&topo, "L1", "S1");
+        let s = whatif(&topo, tagging.rules(), &failures, "fail L1-S1", 1);
+        assert!(s.oracle_feasible, "{}", s.summarize());
     }
 }

@@ -38,6 +38,7 @@ pub mod dscp;
 mod elp;
 mod graph;
 pub mod multiclass;
+pub mod oracle;
 mod rules;
 pub mod span;
 pub mod tcam;
@@ -46,6 +47,7 @@ pub use algorithm1::{tag_by_hop_count, tag_by_hop_count_iter};
 pub use algorithm2::{apply_assignment, greedy_assignment, greedy_minimize, minimize_elp};
 pub use elp::Elp;
 pub use graph::{Tag, TaggedEdge, TaggedGraph, TaggedNode, VerifyError};
+pub use oracle::{decide, Feasible, Infeasible, Verdict, WitnessOrder, HARDWARE_TAG_CEILING};
 pub use rules::{
     InstallError, RuleDelta, RuleError, RuleSet, SpannedRule, SwitchRule, TableTextError,
     TableTextParse, TagDecision, Tagging,

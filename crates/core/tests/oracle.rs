@@ -1,0 +1,191 @@
+//! Property tests tying the existence oracle to the Algorithm 1+2
+//! construction it gatekeeps: whatever the construction achieves, the
+//! oracle must certify (feasible within the construction's tag count,
+//! with a witness that rechecks), and whenever the oracle proves
+//! infeasibility exhaustively, the construction must indeed have needed
+//! more tags. Kernel minimality is checked on seeded infeasible rings.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use tagger_core::{decide, minimize_elp, Elp, Verdict};
+use tagger_routing::Path;
+use tagger_topo::{ClosConfig, JellyfishConfig, Layer, Topology};
+
+/// Tags the construction uses on `elp` (contiguous from 1, so the max
+/// is the count), or `None` if the pipeline's certificate fails.
+fn construction_tags(topo: &Topology, elp: &Elp) -> Option<usize> {
+    let g = minimize_elp(topo, elp);
+    g.verify().ok()?;
+    Some(g.max_tag().map_or(0, |t| t.0 as usize))
+}
+
+/// Oracle ⟺ construction on one fabric/ELP pair: the shared body of
+/// the Clos and Jellyfish properties below.
+fn check_equivalence(topo: &Topology, elp: &Elp) -> Result<(), TestCaseError> {
+    let Some(m) = construction_tags(topo, elp) else {
+        // The pipeline failing to certify proves nothing either way.
+        return Ok(());
+    };
+    // Construction succeeds within m ⟹ oracle must agree m is enough.
+    match decide(topo, elp, Some(m.max(1))) {
+        Verdict::Feasible(f) => {
+            prop_assert!(f.lower_bound_tags <= f.tags_used);
+            prop_assert!(
+                f.tags_used <= m.max(1),
+                "witness uses {} tags, construction managed {m}",
+                f.tags_used
+            );
+            prop_assert_eq!(f.witness.num_tags(), f.tags_used);
+            if let Err(e) = f.witness.recheck(topo, elp) {
+                return Err(TestCaseError::Fail(format!("witness recheck: {e}")));
+            }
+            // The floor is real: the oracle must also certify at its
+            // own claimed minimum.
+            match decide(topo, elp, Some(f.lower_bound_tags.max(1))) {
+                Verdict::Feasible(g) => {
+                    if let Err(e) = g.witness.recheck(topo, elp) {
+                        return Err(TestCaseError::Fail(format!("floor recheck: {e}")));
+                    }
+                }
+                Verdict::Infeasible(i) => {
+                    // A conservative verdict at the floor is allowed
+                    // only when the oracle could not settle it exactly.
+                    prop_assert!(
+                        !i.exhaustive,
+                        "floor {} claimed feasible but exhaustively refuted",
+                        f.lower_bound_tags
+                    );
+                }
+            }
+        }
+        Verdict::Infeasible(i) => {
+            return Err(TestCaseError::Fail(format!(
+                "construction fits in {m} tag(s) but oracle says: {}",
+                Verdict::Infeasible(i).summary()
+            )));
+        }
+    }
+    // Exhaustive infeasibility below m ⟹ the construction really
+    // cannot have fit (it used exactly m > b).
+    if m >= 2 {
+        let b = m - 1;
+        if let Verdict::Infeasible(i) = decide(topo, elp, Some(b)) {
+            if i.exhaustive {
+                prop_assert!(
+                    m > b,
+                    "oracle exhaustively refutes {b} tag(s) yet construction used {m}"
+                );
+                prop_assert!(!i.kernel.is_empty());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A flat n-switch ring with one two-hop path per ring edge —
+/// infeasible at one tag, and every path is load-bearing.
+fn ring(n: usize) -> (Topology, Elp) {
+    let mut t = Topology::new();
+    let switches: Vec<_> = (1..=n)
+        .map(|i| t.add_switch(format!("R{i}"), Layer::Flat))
+        .collect();
+    let hosts: Vec<_> = (1..=n).map(|i| t.add_host(format!("H{i}"))).collect();
+    for i in 0..n {
+        t.connect(switches[i], switches[(i + 1) % n]);
+        t.connect(hosts[i], switches[i]);
+    }
+    let paths = (0..n)
+        .map(|i| {
+            Path::new(
+                &t,
+                vec![
+                    hosts[i],
+                    switches[i],
+                    switches[(i + 1) % n],
+                    switches[(i + 2) % n],
+                    hosts[(i + 2) % n],
+                ],
+            )
+            .expect("ring path")
+        })
+        .collect();
+    (t, Elp::from_paths(paths))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Clos fabrics of random dimensions with bounce ELPs: the oracle
+    /// and the layered/greedy constructions must tell the same story.
+    #[test]
+    fn oracle_agrees_with_construction_on_clos(
+        dims in (1usize..3, 1usize..3, 1usize..3, 1usize..4),
+        k in 0usize..2,
+    ) {
+        let (pods, leaves, tors, spines) = dims;
+        let topo = ClosConfig {
+            pods,
+            leaves_per_pod: leaves,
+            tors_per_pod: tors,
+            spines,
+            hosts_per_tor: 2,
+        }
+        .build();
+        let elp = Elp::updown_with_bounces_capped(&topo, k, 4);
+        check_equivalence(&topo, &elp)?;
+    }
+
+    /// Random regular graphs (Jellyfish) with shortest-path ELPs — the
+    /// unlayered case, where only the generic pipeline applies.
+    #[test]
+    fn oracle_agrees_with_construction_on_jellyfish(
+        switches in 6usize..12,
+        ports in 4usize..8,
+        seed in 0u64..1000,
+    ) {
+        let topo = JellyfishConfig::half_servers(switches, ports, seed).build();
+        let elp = Elp::shortest(&topo, 1, false);
+        check_equivalence(&topo, &elp)?;
+    }
+
+    /// Rings are infeasible at one tag with an exhaustive verdict, the
+    /// kernel is minimal (dropping any one path flips the verdict) and
+    /// two tags always suffice.
+    #[test]
+    fn ring_kernels_are_minimal(n in 4usize..10) {
+        let (topo, elp) = ring(n);
+        let inf = match decide(&topo, &elp, Some(1)) {
+            Verdict::Infeasible(i) => i,
+            v => return Err(TestCaseError::Fail(format!(
+                "ring({n}) at 1 tag: {}", v.summary()
+            ))),
+        };
+        prop_assert!(inf.exhaustive);
+        prop_assert_eq!(inf.lower_bound_tags, 2);
+        prop_assert!(!inf.cycle.is_empty());
+        for drop in 0..inf.kernel.len() {
+            let sub: Vec<Path> = inf
+                .kernel
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != drop)
+                .map(|(_, &pi)| elp.paths()[pi].clone())
+                .collect();
+            prop_assert!(
+                decide(&topo, &Elp::from_paths(sub), Some(1)).is_feasible(),
+                "kernel not minimal: still infeasible without path {drop}"
+            );
+        }
+        match decide(&topo, &elp, Some(2)) {
+            Verdict::Feasible(f) => {
+                prop_assert_eq!(f.tags_used, 2);
+                if let Err(e) = f.witness.recheck(&topo, &elp) {
+                    return Err(TestCaseError::Fail(format!("recheck: {e}")));
+                }
+            }
+            v => return Err(TestCaseError::Fail(format!(
+                "ring({n}) at 2 tags: {}", v.summary()
+            ))),
+        }
+    }
+}

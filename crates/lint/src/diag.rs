@@ -50,6 +50,7 @@ impl fmt::Display for Severity {
 /// | T04xx | lossless-path coverage |
 /// | T05xx | redundancy / resource use |
 /// | T06xx | scenario DSL (`.scn` files) |
+/// | T07xx | existence-oracle feasibility analyses |
 /// | T09xx | cross-checks against other tools |
 pub mod codes {
     /// The file could not be read at all.
@@ -83,6 +84,8 @@ pub mod codes {
     /// attributed trigger): the clear is a no-op at replay, which
     /// usually means a typo or a stale line.
     pub const WATCHDOG_CLEAR_WITHOUT_TRIP: &str = "T0016";
+    /// A `.topo` topology-spec line failed to parse.
+    pub const TOPO_SPEC_ERROR: &str = "T0017";
     /// An earlier TCAM entry fully covers a later one: the later entry
     /// is dead under first-match semantics.
     pub const SHADOWED_ENTRY: &str = "T0101";
@@ -116,6 +119,16 @@ pub mod codes {
     pub const SCN_UNSATISFIABLE_ASSERT: &str = "T0605";
     /// A `.scn` line names a node its topology does not have.
     pub const SCN_UNKNOWN_NODE: &str = "T0606";
+    /// The existence oracle proved the artifact's ELP set infeasible:
+    /// no deadlock-free tagging fits in the declared priority budget.
+    /// The diagnostic quotes the minimal infeasible kernel.
+    pub const ORACLE_INFEASIBLE: &str = "T0701";
+    /// The ELP set is feasible, but not within the tags the artifact
+    /// actually uses — the table provably cannot cover it losslessly.
+    pub const ORACLE_BUDGET_BELOW_FLOOR: &str = "T0702";
+    /// The oracle and the Algorithm 1+2 construction disagree — an
+    /// internal error in one of them; both results are quoted.
+    pub const ORACLE_CONSTRUCTION_MISMATCH: &str = "T0703";
     /// The independent auditor certified these tables.
     pub const AUDIT_CERTIFIED: &str = "T0901";
     /// The independent auditor found violations.
@@ -138,6 +151,7 @@ pub mod codes {
             TRACE_BAD_PATH => "trace ELP is not a valid path",
             TRACE_UNKNOWN_LINK => "trace names a non-existent link",
             WATCHDOG_CLEAR_WITHOUT_TRIP => "watchdog-clear for a queue with no prior trip",
+            TOPO_SPEC_ERROR => "topology spec line failed to parse",
             SHADOWED_ENTRY => "TCAM entry shadowed by an earlier one",
             CONFLICTING_DUPLICATE => "duplicate match key with conflicting rewrites",
             IDENTICAL_DUPLICATE => "duplicate match key with identical rewrites",
@@ -151,6 +165,9 @@ pub mod codes {
             SCN_MISSING_ASSERT => "scenario has no assert block",
             SCN_UNSATISFIABLE_ASSERT => "assert can never hold under this configuration",
             SCN_UNKNOWN_NODE => "unknown node name in scenario",
+            ORACLE_INFEASIBLE => "no deadlock-free tagging exists within the priority budget",
+            ORACLE_BUDGET_BELOW_FLOOR => "tags in use fall below the proven feasibility floor",
+            ORACLE_CONSTRUCTION_MISMATCH => "existence oracle and tagging construction disagree",
             AUDIT_CERTIFIED => "independent audit certificate issued",
             AUDIT_FINDINGS => "independent audit found violations",
             _ => return None,
@@ -233,6 +250,8 @@ pub enum ArtifactKind {
     Rules,
     /// A declarative `.scn` scenario (`tagger-scenario` DSL).
     Scenario,
+    /// A plain-text `.topo` topology spec (`tagger-plan custom` input).
+    Topology,
 }
 
 impl ArtifactKind {
@@ -243,6 +262,7 @@ impl ArtifactKind {
             ArtifactKind::Trace => "trace",
             ArtifactKind::Rules => "rules",
             ArtifactKind::Scenario => "scenario",
+            ArtifactKind::Topology => "topology",
         }
     }
 }
@@ -387,6 +407,7 @@ mod tests {
             codes::TRACE_BAD_PATH,
             codes::TRACE_UNKNOWN_LINK,
             codes::WATCHDOG_CLEAR_WITHOUT_TRIP,
+            codes::TOPO_SPEC_ERROR,
             codes::SHADOWED_ENTRY,
             codes::CONFLICTING_DUPLICATE,
             codes::IDENTICAL_DUPLICATE,
@@ -400,6 +421,9 @@ mod tests {
             codes::SCN_MISSING_ASSERT,
             codes::SCN_UNSATISFIABLE_ASSERT,
             codes::SCN_UNKNOWN_NODE,
+            codes::ORACLE_INFEASIBLE,
+            codes::ORACLE_BUDGET_BELOW_FLOOR,
+            codes::ORACLE_CONSTRUCTION_MISMATCH,
             codes::AUDIT_CERTIFIED,
             codes::AUDIT_FINDINGS,
         ] {

@@ -32,6 +32,17 @@
 //!   arguments, missing/unsatisfiable asserts, unknown node names; the
 //!   `T06xx` codes), so the linter and the runner can never disagree
 //!   about the grammar.
+//! - **Feasibility oracle** — the `tagger-core` existence oracle decides
+//!   whether *any* deadlock-free tagging of the artifact's ELP fits in
+//!   the lossless-priority budget: provable infeasibility with a quoted
+//!   minimal kernel ([`diag::codes::ORACLE_INFEASIBLE`]), tables whose
+//!   tag count falls below the proven feasibility floor
+//!   ([`diag::codes::ORACLE_BUDGET_BELOW_FLOOR`]), and an
+//!   oracle-vs-construction cross-check
+//!   ([`diag::codes::ORACLE_CONSTRUCTION_MISMATCH`]). Plain-text
+//!   `.topo` topology specs are first-class lint inputs
+//!   ([`diag::codes::TOPO_SPEC_ERROR`] parse diagnostics with
+//!   did-you-mean hints).
 //!
 //! Lint is deliberately *not* the audit: it runs local, per-edge and
 //! per-entry checks plus one linear closure, never cycle detection —
@@ -60,9 +71,9 @@ use analyses::{lint_elp_coverage, lint_ruleset, lint_table_text, redundancy_note
 use diag::codes as C;
 use json::Value;
 use tagger_audit::checkpoint;
-use tagger_core::{Elp, RuleSet, Span};
+use tagger_core::{minimize_elp, oracle, Elp, RuleSet, Span};
 use tagger_ctrl::{parse_trace, CtrlEvent, TraceErrorKind};
-use tagger_topo::{nearest_names, ClosConfig, LinkLookupError, Topology};
+use tagger_topo::{nearest_names, ClosConfig, GlobalPort, LinkLookupError, Topology};
 
 /// Which expected-lossless-path set to check coverage against.
 ///
@@ -98,6 +109,11 @@ pub struct LintOptions {
     /// their own). Defaults to the same small Clos `tagger-ctrld`
     /// defaults to.
     pub trace_topo: Topology,
+    /// Lossless-priority budget the feasibility oracle decides against
+    /// (`None` = the eight 802.1Qbb classes,
+    /// [`tagger_core::oracle::HARDWARE_TAG_CEILING`]). A `.topo` file's
+    /// own `priorities` declaration takes precedence.
+    pub tag_budget: Option<usize>,
 }
 
 impl Default for LintOptions {
@@ -106,6 +122,7 @@ impl Default for LintOptions {
             elp: None,
             audit_cross_check: true,
             trace_topo: ClosConfig::small().build(),
+            tag_budget: None,
         }
     }
 }
@@ -143,9 +160,50 @@ pub fn lint_checkpoint_text(file: &str, text: &str, opts: &LintOptions) -> Artif
         .diagnostics
         .extend(lint_ruleset(&topo, &table.rules, &table.spans));
     if let Some(spec) = opts.elp {
+        let elp = spec.build(&topo);
         report
             .diagnostics
-            .extend(lint_elp_coverage(&topo, &table.rules, &spec.build(&topo)));
+            .extend(lint_elp_coverage(&topo, &table.rules, &elp));
+        // Existence-oracle consult: spans point at the `topo` header
+        // line, since that is what determines the ELP family.
+        let budget = opts.tag_budget.unwrap_or(oracle::HARDWARE_TAG_CEILING);
+        let topo_span = text
+            .lines()
+            .position(|l| l.trim_start().starts_with("topo "))
+            .map(|i| Span::line_start(i + 1));
+        match oracle::decide(&topo, &elp, Some(budget)) {
+            oracle::Verdict::Infeasible(inf) => {
+                let mut d = infeasible_diagnostic(&topo, &elp, &inf);
+                if let Some(s) = topo_span {
+                    d = d.with_span(s);
+                }
+                report.diagnostics.push(d);
+            }
+            oracle::Verdict::Feasible(f) => {
+                let used = table.rules.max_tag().map_or(0, |t| t.0 as usize);
+                if used < f.lower_bound_tags {
+                    let mut d = Diagnostic::new(
+                        C::ORACLE_BUDGET_BELOW_FLOOR,
+                        Severity::Warning,
+                        format!(
+                            "table uses {used} lossless tag(s) but the oracle proves this \
+                             ELP needs at least {}: no table this small can cover it",
+                            f.lower_bound_tags
+                        ),
+                    )
+                    .with_hint(format!(
+                        "re-plan with a bounce budget of at least {} tags \
+                         (e.g. `tagger-plan clos --bounces {}`)",
+                        f.lower_bound_tags,
+                        f.lower_bound_tags.saturating_sub(1)
+                    ));
+                    if let Some(s) = topo_span {
+                        d = d.with_span(s);
+                    }
+                    report.diagnostics.push(d);
+                }
+            }
+        }
     }
     report
         .diagnostics
@@ -185,17 +243,197 @@ fn audit_cross_check(topo: &Topology, epoch: u64, rules: &RuleSet) -> Diagnostic
     }
 }
 
+/// `S1<-L1`: an ingress port named by its node and upstream peer — the
+/// human rendering of a buffer-dependency cycle vertex.
+fn dep_port_name(topo: &Topology, port: GlobalPort) -> String {
+    match topo.peer_of(port) {
+        Some(peer) => format!(
+            "{}<-{}",
+            topo.node(port.node).name,
+            topo.node(peer.node).name
+        ),
+        None => topo.node(port.node).name.clone(),
+    }
+}
+
+/// The shared `T0701` builder: quotes the minimal kernel paths and the
+/// dependency cycle from the oracle's counterexample.
+fn infeasible_diagnostic(topo: &Topology, elp: &Elp, inf: &oracle::Infeasible) -> Diagnostic {
+    let kernel: Vec<String> = inf
+        .kernel
+        .iter()
+        .map(|&i| elp.paths()[i].display(topo).to_string())
+        .collect();
+    let cycle: Vec<String> = inf.cycle.iter().map(|&p| dep_port_name(topo, p)).collect();
+    let mut message = format!(
+        "no deadlock-free tagging of this {}-path ELP fits in {} lossless tag(s); \
+         minimal infeasible kernel ({} path(s)): {}",
+        elp.len(),
+        inf.budget,
+        inf.kernel.len(),
+        kernel.join("; ")
+    );
+    if !cycle.is_empty() {
+        message.push_str(&format!("; dependency cycle: {}", cycle.join(" -> ")));
+    }
+    if !inf.exhaustive {
+        message.push_str(" (search capped; verdict conservative)");
+    }
+    Diagnostic::new(C::ORACLE_INFEASIBLE, Severity::Error, message).with_hint(format!(
+        "at least {} lossless tag(s) are required: raise the priority budget or drop \
+         one of the kernel paths from the ELP",
+        inf.lower_bound_tags
+    ))
+}
+
+/// The `T0703` cross-check that keeps the oracle and the Algorithm 1+2
+/// construction honest: a *proven* infeasibility contradicted by a
+/// verified construction inside the budget, or a construction that
+/// beats the oracle's proven floor, is an internal error in one of the
+/// two — never a user mistake.
+fn oracle_construction_cross_check(
+    verdict: &oracle::Verdict,
+    constructed_tags: usize,
+    budget: usize,
+) -> Option<Diagnostic> {
+    let message = match verdict {
+        oracle::Verdict::Infeasible(inf) if inf.exhaustive && constructed_tags <= budget => {
+            format!(
+                "internal: oracle proved no tagging fits in {budget} tag(s), yet Algorithm \
+                 1+2 built a verified tagging with {constructed_tags}"
+            )
+        }
+        oracle::Verdict::Feasible(f) if constructed_tags < f.lower_bound_tags => format!(
+            "internal: Algorithm 1+2 built a verified tagging with {constructed_tags} \
+             tag(s), below the oracle's proven floor of {}",
+            f.lower_bound_tags
+        ),
+        _ => return None,
+    };
+    Some(
+        Diagnostic::new(C::ORACLE_CONSTRUCTION_MISMATCH, Severity::Error, message)
+            .with_hint("file a bug: one of the two analyses is wrong"),
+    )
+}
+
+/// Source line of the `link` declaration behind a dependency-cycle
+/// port, for spanning `T0701` into a `.topo` file.
+fn link_line_of(topo: &Topology, spec: &tagger_topo::SpecFile, port: GlobalPort) -> Option<usize> {
+    topo.link_ids()
+        .enumerate()
+        .find(|&(_, l)| topo.link(l).a == port || topo.link(l).b == port)
+        .and_then(|(i, _)| spec.link_lines.get(i).copied())
+}
+
+/// Lints one plain-text `.topo` topology spec.
+///
+/// Parse errors surface as [`diag::codes::TOPO_SPEC_ERROR`] with exact
+/// token spans and did-you-mean hints. A well-formed spec is then fed
+/// to the existence oracle: layered fabrics use the `opts.elp` family
+/// (default strict up-down), unlayered ones the host-pair shortest
+/// paths; the budget is `opts.tag_budget` when set (the `--budget`
+/// flag is an operator's what-if override), else the spec's own
+/// `priorities` declaration, else the hardware ceiling.
+/// Infeasibility is [`diag::codes::ORACLE_INFEASIBLE`] with the kernel
+/// quoted and the span pointing at a link on the dependency cycle; the
+/// verdict is also cross-checked against the Algorithm 1+2
+/// construction ([`diag::codes::ORACLE_CONSTRUCTION_MISMATCH`]).
+pub fn lint_topology_text(file: &str, text: &str, opts: &LintOptions) -> ArtifactReport {
+    let mut report = ArtifactReport {
+        file: file.to_string(),
+        kind: ArtifactKind::Topology,
+        diagnostics: Vec::new(),
+    };
+    let spec = match Topology::parse_spec(text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            let span = if e.line == 0 {
+                Span::whole_file()
+            } else if e.len == 0 {
+                Span::line_start(e.line)
+            } else {
+                Span::new(e.line, e.col, e.len)
+            };
+            let mut d =
+                Diagnostic::new(C::TOPO_SPEC_ERROR, Severity::Error, e.message).with_span(span);
+            if let Some(hint) = e.hint {
+                d = d.with_hint(hint);
+            }
+            report.diagnostics.push(d);
+            return report.finish();
+        }
+    };
+    let topo = &spec.topo;
+    if topo.num_links() == 0 {
+        return report.finish();
+    }
+    let layered = topo.node_ids().all(|n| topo.node(n).layer.rank().is_some());
+    let elp = if layered {
+        opts.elp.unwrap_or(ElpSpec::UpDown).build(topo)
+    } else {
+        Elp::shortest(topo, 1, true)
+    };
+    if elp.is_empty() {
+        return report.finish();
+    }
+    let budget = opts
+        .tag_budget
+        .or(spec.priorities.map(|p| p as usize))
+        .unwrap_or(oracle::HARDWARE_TAG_CEILING);
+    let verdict = oracle::decide(topo, &elp, Some(budget));
+    if let oracle::Verdict::Infeasible(inf) = &verdict {
+        let mut d = infeasible_diagnostic(topo, &elp, inf);
+        let span = inf
+            .cycle
+            .first()
+            .and_then(|&p| link_line_of(topo, &spec, p))
+            .map(Span::line_start)
+            .or_else(|| (spec.priorities_line > 0).then(|| Span::line_start(spec.priorities_line)));
+        if let Some(s) = span {
+            d = d.with_span(s);
+        }
+        report.diagnostics.push(d);
+    }
+    // Keep the oracle honest against the construction it gatekeeps.
+    let constructed = minimize_elp(topo, &elp);
+    if constructed.verify().is_ok() {
+        let tags = constructed.num_lossless_tags(topo);
+        report
+            .diagnostics
+            .extend(oracle_construction_cross_check(&verdict, tags, budget));
+    }
+    report.finish()
+}
+
 /// Lints one `tagger-ctrld` trace file's text against a topology.
 ///
 /// Unlike [`tagger_ctrl::parse_trace`] — which stops at the first error
 /// so a *replay* never proceeds past garbage — lint feeds each line
 /// separately and reports every defective line in one pass.
 pub fn lint_trace_text(file: &str, topo: &Topology, text: &str) -> ArtifactReport {
+    lint_trace_text_budget(file, topo, text, None)
+}
+
+/// [`lint_trace_text`] with an explicit lossless-priority budget for
+/// the feasibility oracle (`None` = the hardware ceiling): the trace's
+/// accumulated `elp-add` set is checked for existence of *any*
+/// deadlock-free tagging, and a provably infeasible set is reported as
+/// [`diag::codes::ORACLE_INFEASIBLE`] spanned to the first kernel
+/// path's `elp-add` line.
+pub fn lint_trace_text_budget(
+    file: &str,
+    topo: &Topology,
+    text: &str,
+    tag_budget: Option<usize>,
+) -> ArtifactReport {
     let mut report = ArtifactReport {
         file: file.to_string(),
         kind: ArtifactKind::Trace,
         diagnostics: Vec::new(),
     };
+    // The ELP the trace has built up (elp-add minus elp-remove), each
+    // path with the line that introduced it.
+    let mut elp_paths: Vec<(tagger_routing::Path, usize)> = Vec::new();
     // Stateful watchdog pairing: a `watchdog-clear` should lift a
     // quarantine some earlier `watchdog` trip installed — either on the
     // tripping victim hop or on its attributed (`via`) trigger hop. A
@@ -269,6 +507,12 @@ pub fn lint_trace_text(file: &str, topo: &Topology, text: &str) -> ArtifactRepor
         };
         for ev in &events {
             match ev {
+                CtrlEvent::ElpAdd(p) => elp_paths.push((p.clone(), idx + 1)),
+                CtrlEvent::ElpRemove(p) => {
+                    if let Some(pos) = elp_paths.iter().position(|(q, _)| q == p) {
+                        elp_paths.remove(pos);
+                    }
+                }
                 CtrlEvent::WatchdogTrip {
                     switch, port, tag, ..
                 } => {
@@ -302,6 +546,18 @@ pub fn lint_trace_text(file: &str, topo: &Topology, text: &str) -> ArtifactRepor
                 }
                 _ => {}
             }
+        }
+    }
+    if !elp_paths.is_empty() {
+        let budget = tag_budget.unwrap_or(oracle::HARDWARE_TAG_CEILING);
+        let lines: Vec<usize> = elp_paths.iter().map(|(_, l)| *l).collect();
+        let elp = Elp::from_paths(elp_paths.into_iter().map(|(p, _)| p).collect());
+        if let oracle::Verdict::Infeasible(inf) = oracle::decide(topo, &elp, Some(budget)) {
+            let mut d = infeasible_diagnostic(topo, &elp, &inf);
+            if let Some(&first) = inf.kernel.first() {
+                d = d.with_span(Span::line_start(lines[first]));
+            }
+            report.diagnostics.push(d);
         }
     }
     report.finish()
@@ -375,6 +631,15 @@ pub fn sniff_kind(name: &str, text: &str) -> ArtifactKind {
     if looks_like_scenario || name.ends_with(".scn") {
         return ArtifactKind::Scenario;
     }
+    // Topology specs open with `node` declarations (comments allowed);
+    // checkpoint headers never do.
+    let looks_like_topology = text.lines().take(10).any(|l| {
+        let t = l.trim_start();
+        t.starts_with("node ") || t.starts_with("priorities ")
+    });
+    if looks_like_topology || name.ends_with(".topo") {
+        return ArtifactKind::Topology;
+    }
     let looks_like_checkpoint = text
         .lines()
         .take(10)
@@ -411,7 +676,8 @@ pub fn lint_files(paths: &[String], opts: &LintOptions) -> LintReport {
         report.artifacts.push(match sniff_kind(path, &text) {
             ArtifactKind::Checkpoint => lint_checkpoint_text(path, &text, opts),
             ArtifactKind::Scenario => lint_scenario_text(path, &text),
-            _ => lint_trace_text(path, &opts.trace_topo, &text),
+            ArtifactKind::Topology => lint_topology_text(path, &text, opts),
+            _ => lint_trace_text_budget(path, &opts.trace_topo, &text, opts.tag_budget),
         });
     }
     report
@@ -622,6 +888,206 @@ mod tests {
             ArtifactKind::Scenario
         );
         assert_eq!(sniff_kind("x.scn", ""), ArtifactKind::Scenario);
+        assert_eq!(
+            sniff_kind("x.trace", "# ring\nnode R1 switch flat\n"),
+            ArtifactKind::Topology
+        );
+        assert_eq!(sniff_kind("x.topo", ""), ArtifactKind::Topology);
+    }
+
+    /// An N-switch ring spec: flat switches force the unlayered
+    /// shortest-path ELP, whose clockwise 2-arc paths interlock.
+    fn ring_spec(n: usize, priorities: Option<u16>) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("# ring fabric\n");
+        for i in 1..=n {
+            let _ = writeln!(s, "node R{i} switch flat");
+        }
+        for i in 1..=n {
+            let _ = writeln!(s, "node H{i} host");
+        }
+        if let Some(p) = priorities {
+            let _ = writeln!(s, "priorities {p}");
+        }
+        for i in 1..=n {
+            let j = i % n + 1;
+            let _ = writeln!(s, "link R{i} R{j}");
+        }
+        for i in 1..=n {
+            let _ = writeln!(s, "link H{i} R{i}");
+        }
+        s
+    }
+
+    #[test]
+    fn topology_parse_errors_carry_spans_and_hints() {
+        let report = lint_topology_text(
+            "bad.topo",
+            "node Spine1 switch spine\nnode Tor1 switch tor\nlink Tor1 Spina1\n",
+            &LintOptions::default(),
+        );
+        assert_eq!(report.kind, ArtifactKind::Topology);
+        assert_eq!(report.diagnostics.len(), 1);
+        let d = &report.diagnostics[0];
+        assert_eq!(d.code, C::TOPO_SPEC_ERROR);
+        assert_eq!(d.severity, Severity::Error);
+        let span = d.span.unwrap();
+        assert_eq!((span.line, span.col, span.len), (3, 11, 6));
+        assert!(d.hint.as_ref().unwrap().contains("Spine1"), "{:?}", d.hint);
+    }
+
+    #[test]
+    fn infeasible_topology_emits_t0701_with_quoted_kernel() {
+        let report =
+            lint_topology_text("ring.topo", &ring_spec(5, Some(1)), &LintOptions::default());
+        let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![C::ORACLE_INFEASIBLE], "got {codes:?}");
+        let d = &report.diagnostics[0];
+        assert_eq!(d.severity, Severity::Error);
+        assert!(
+            d.message.contains("minimal infeasible kernel"),
+            "{}",
+            d.message
+        );
+        assert!(
+            d.message.contains(" -> "),
+            "kernel paths quoted: {}",
+            d.message
+        );
+        assert!(d.message.contains("dependency cycle"), "{}", d.message);
+        // The span points at a `link` line of the cycle.
+        let line = d.span.unwrap().line;
+        let text = ring_spec(5, Some(1));
+        assert!(
+            text.lines().nth(line - 1).unwrap().starts_with("link "),
+            "span line {line} is not a link line"
+        );
+        assert!(
+            d.hint.as_ref().unwrap().contains("at least 2"),
+            "{:?}",
+            d.hint
+        );
+    }
+
+    #[test]
+    fn feasible_topology_lints_clean() {
+        let report =
+            lint_topology_text("ring.topo", &ring_spec(5, Some(2)), &LintOptions::default());
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        // And with no declaration the hardware ceiling applies.
+        let report = lint_topology_text("ring.topo", &ring_spec(5, None), &LintOptions::default());
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn checkpoint_oracle_fires_at_tight_budget() {
+        let config = ClosConfig::small();
+        let topo = config.build();
+        let tagging = clos_tagging(&topo, 1).unwrap();
+        let text = render(&config, tagging.rules(), &topo);
+        let opts = LintOptions {
+            elp: Some(ElpSpec::Bounces(1)),
+            tag_budget: Some(1),
+            ..LintOptions::default()
+        };
+        let report = lint_checkpoint_text("t.ckpt", &text, &opts);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == C::ORACLE_INFEASIBLE)
+            .expect("bounce ELP cannot fit one tag");
+        // Spanned to the `topo` header line.
+        assert_eq!(d.span.unwrap().line, 2);
+    }
+
+    #[test]
+    fn checkpoint_tags_below_floor_warn() {
+        let config = ClosConfig::small();
+        let topo = config.build();
+        // A 0-bounce table linted against the 1-bounce ELP: feasible at
+        // the hardware ceiling, but the table's single tag family is
+        // provably too small.
+        let tagging = clos_tagging(&topo, 0).unwrap();
+        let text = render(&config, tagging.rules(), &topo);
+        let opts = LintOptions {
+            elp: Some(ElpSpec::Bounces(1)),
+            ..LintOptions::default()
+        };
+        let report = lint_checkpoint_text("t.ckpt", &text, &opts);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == C::ORACLE_BUDGET_BELOW_FLOOR)
+            .expect("one tag is below the proven floor of two");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("at least 2"), "{}", d.message);
+        assert!(
+            d.hint.as_ref().unwrap().contains("--bounces"),
+            "{:?}",
+            d.hint
+        );
+    }
+
+    #[test]
+    fn trace_elp_oracle_flags_infeasible_set() {
+        let ring = Topology::from_spec_text(&ring_spec(5, None)).unwrap();
+        let mut text = String::new();
+        for i in 1..=5usize {
+            let a = i;
+            let b = i % 5 + 1;
+            let c = b % 5 + 1;
+            text.push_str(&format!("elp-add H{a} R{a} R{b} R{c} H{c}\n"));
+        }
+        // Feasible at the default eight-tag ceiling.
+        let quiet = lint_trace_text_budget("t.trace", &ring, &text, None);
+        assert!(quiet.diagnostics.is_empty(), "{:?}", quiet.diagnostics);
+        // Infeasible when the deployment has a single lossless class.
+        let report = lint_trace_text_budget("t.trace", &ring, &text, Some(1));
+        assert_eq!(report.diagnostics.len(), 1);
+        let d = &report.diagnostics[0];
+        assert_eq!(d.code, C::ORACLE_INFEASIBLE);
+        assert!(d.span.unwrap().line >= 1 && d.span.unwrap().line <= 5);
+        // Removing one kernel path makes the rest feasible again.
+        let kernel_line = d.span.unwrap().line;
+        let removed: String = text
+            .lines()
+            .enumerate()
+            .filter(|&(i, _)| i + 1 != kernel_line)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let healed = lint_trace_text_budget("t.trace", &ring, &removed, Some(1));
+        assert!(healed.diagnostics.is_empty(), "{:?}", healed.diagnostics);
+    }
+
+    #[test]
+    fn cross_check_flags_contradictions_in_both_directions() {
+        use tagger_core::oracle::{Feasible, Infeasible, Verdict, WitnessOrder};
+        let feasible = |lower| {
+            Verdict::Feasible(Feasible {
+                lower_bound_tags: lower,
+                tags_used: lower,
+                witness: WitnessOrder {
+                    layers: Vec::new(),
+                    assignment: Vec::new(),
+                },
+            })
+        };
+        let infeasible = Verdict::Infeasible(Infeasible {
+            budget: 8,
+            lower_bound_tags: 9,
+            kernel: vec![0],
+            cycle: Vec::new(),
+            exhaustive: true,
+        });
+        // Proven infeasible, yet the construction fit the budget.
+        let d = oracle_construction_cross_check(&infeasible, 2, 8).expect("contradiction");
+        assert_eq!(d.code, C::ORACLE_CONSTRUCTION_MISMATCH);
+        // Construction beat the proven floor.
+        let d = oracle_construction_cross_check(&feasible(3), 2, 8).expect("contradiction");
+        assert_eq!(d.code, C::ORACLE_CONSTRUCTION_MISMATCH);
+        // Agreement is quiet.
+        assert!(oracle_construction_cross_check(&feasible(2), 2, 8).is_none());
+        assert!(oracle_construction_cross_check(&feasible(2), 3, 8).is_none());
     }
 
     #[test]

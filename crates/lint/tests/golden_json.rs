@@ -11,7 +11,8 @@
 //! ```
 
 use tagger_lint::{
-    codes, json::Value, lint_checkpoint_text, render_json, LintOptions, LintReport, Severity,
+    codes, json::Value, lint_checkpoint_text, lint_topology_text, render_json, LintOptions,
+    LintReport, Severity,
 };
 
 fn root(rel: &str) -> String {
@@ -55,6 +56,68 @@ fn corrupted_checkpoint_report_matches_golden_json() {
     assert_eq!(
         parsed.get("summary").and_then(|s| s.get("errors")),
         Some(&Value::Num(report.count(Severity::Error) as i64))
+    );
+}
+
+#[test]
+fn infeasible_topology_report_matches_golden_json() {
+    // Regenerate after an intentional change with:
+    //   cargo run --bin tagger-lint -- check examples/infeasible.topo \
+    //       --format json > results/lint_infeasible.json
+    let text = std::fs::read_to_string(root("examples/infeasible.topo")).expect("fixture");
+    let lint_once = || LintReport {
+        artifacts: vec![lint_topology_text(
+            "examples/infeasible.topo",
+            &text,
+            &LintOptions::default(),
+        )],
+    };
+    let report = lint_once();
+
+    // The stable contract: the `priorities 1` ring is an error, the
+    // single diagnostic is the oracle's T0701 with the minimal kernel
+    // quoted and the span resting on a link of the dependency cycle.
+    assert!(report.has_errors());
+    let [d] = &report.artifacts[0].diagnostics[..] else {
+        panic!("expected exactly one diagnostic: {report:?}");
+    };
+    assert_eq!(d.code, codes::ORACLE_INFEASIBLE);
+    assert!(
+        d.message.contains("minimal infeasible kernel (5 path(s))"),
+        "{}",
+        d.message
+    );
+    assert!(d.message.contains("dependency cycle"), "{}", d.message);
+    let line = d.span.expect("T0701 carries a span").line;
+    assert!(
+        text.lines()
+            .nth(line - 1)
+            .expect("span in file")
+            .starts_with("link "),
+        "span line {line} is not a link line"
+    );
+
+    // Then the bytes — including run-twice determinism, since the
+    // kernel shrink and cycle extraction must not depend on iteration
+    // order luck.
+    let rendered = render_json(&report);
+    assert_eq!(
+        rendered,
+        render_json(&lint_once()),
+        "lint output not deterministic"
+    );
+    let golden = std::fs::read_to_string(root("results/lint_infeasible.json")).expect("golden");
+    assert_eq!(
+        rendered, golden,
+        "lint JSON drifted from results/lint_infeasible.json — regenerate it if intentional"
+    );
+
+    // And the rendering is real JSON that round-trips byte-stably.
+    let parsed = Value::parse(&rendered).expect("valid json");
+    assert_eq!(parsed.render(), rendered);
+    assert_eq!(
+        parsed.get("summary").and_then(|s| s.get("errors")),
+        Some(&Value::Num(1))
     );
 }
 

@@ -2,10 +2,11 @@
 //! [`SimReport`] — each assert becomes a pass/fail outcome with the
 //! actual value spelled out, so a failing sweep point explains itself.
 
-use crate::model::{AssertSpec, Scenario};
+use crate::model::{AssertSpec, Num, Scenario, TaggerMode, TopoSpec};
 use std::collections::BTreeMap;
-use tagger_core::Span;
+use tagger_core::{oracle, Elp, Span};
 use tagger_sim::SimReport;
+use tagger_topo::{ClosConfig, Topology};
 
 /// One evaluated assert.
 #[derive(Clone, Debug)]
@@ -48,6 +49,87 @@ pub fn max_pause_ns(report: &SimReport) -> u64 {
         }
     }
     worst * report.sample_interval_ns
+}
+
+/// Consults the deadlock-freedom existence oracle for the scenario's
+/// ELP at the tag budget its `tagger` mode provides — the static half
+/// of `assert feasible` / `assert infeasible` (no simulation involved).
+///
+/// The ELP is the set of via-pinned flow paths when the scenario pins
+/// any, otherwise the bounce family the tagger mode compiles rules for
+/// (up-down with `k` bounces for `tagger bounces k`, the 1-bounce
+/// policy for controller modes, plain up-down when tagging is off).
+/// Checkpoint-sourced fabrics carry no ELP declaration, so feasibility
+/// asserts reject them.
+pub fn feasibility_verdict(
+    s: &Scenario,
+    point: &BTreeMap<String, u64>,
+) -> Result<oracle::Verdict, String> {
+    let resolve = |n: &Num, what: &str| {
+        n.resolve(point)
+            .ok_or_else(|| format!("unbound sweep variable in {what}"))
+    };
+    let mut bcube_cfg = None;
+    let topo: Topology = match &s.topo {
+        TopoSpec::ClosSmall => ClosConfig::small().build(),
+        TopoSpec::ClosMedium => ClosConfig::medium().build(),
+        TopoSpec::ClosHosts(n) => {
+            crate::expand::clos_for_hosts(resolve(n, "topo clos hosts")?).build()
+        }
+        TopoSpec::BCube { n, k } => {
+            let (n, k) = (resolve(n, "bcube n")?, resolve(k, "bcube k")?);
+            if n < 2 || k < 1 {
+                return Err("bcube needs n >= 2 and k >= 1".into());
+            }
+            bcube_cfg = Some(tagger_topo::BCubeConfig {
+                n: n as usize,
+                k: k as usize,
+            });
+            tagger_topo::bcube(n as usize, k as usize)
+        }
+        TopoSpec::Checkpoint(_) => {
+            return Err(
+                "feasibility asserts are not supported on checkpoint topologies — \
+                 they declare installed tables, not an expected-lossless-path set"
+                    .into(),
+            )
+        }
+    };
+    let budget = match &s.tagger {
+        TaggerMode::Off | TaggerMode::UnsafeIdentity => 1,
+        TaggerMode::Bounces(k) => resolve(k, "tagger bounces")? as usize + 1,
+        // Controller modes run the 1-bounce ELP policy: two tags.
+        TaggerMode::Controller | TaggerMode::Chaos { .. } => 2,
+        TaggerMode::FromCheckpoint => {
+            return Err(
+                "feasibility asserts are not supported on checkpoint topologies — \
+                 they declare installed tables, not an expected-lossless-path set"
+                    .into(),
+            )
+        }
+    };
+    let mut pinned = Vec::new();
+    for f in s.flows.iter().filter(|f| !f.via.is_empty()) {
+        let nodes: Result<Vec<_>, String> = f
+            .via
+            .iter()
+            .map(|name| {
+                topo.node_by_name(name)
+                    .ok_or_else(|| format!("unknown node `{name}` in flow via"))
+            })
+            .collect();
+        let path = tagger_routing::Path::new(&topo, nodes?)
+            .map_err(|e| format!("flow {}->{}: invalid via path: {e:?}", f.src, f.dst))?;
+        pinned.push(path);
+    }
+    let elp = if !pinned.is_empty() {
+        Elp::from_paths(pinned)
+    } else if let Some(cfg) = &bcube_cfg {
+        Elp::from_paths(tagger_routing::bcube_paths(cfg, &topo, true))
+    } else {
+        Elp::updown_with_bounces(&topo, budget.saturating_sub(1))
+    };
+    Ok(oracle::decide(&topo, &elp, Some(budget)))
 }
 
 fn outcome(spec: &AssertSpec, span: Span, pass: bool, detail: String) -> AssertOutcome {
@@ -168,6 +250,14 @@ pub fn evaluate(
                     format!("longest stall {actual} ns (limit {limit} ns)"),
                 )
             }
+            AssertSpec::Feasible | AssertSpec::Infeasible => {
+                let want_feasible = matches!(spec, AssertSpec::Feasible);
+                let (pass, detail) = match feasibility_verdict(s, point) {
+                    Ok(v) => (v.is_feasible() == want_feasible, v.summary()),
+                    Err(e) => (false, e),
+                };
+                outcome(spec, *span, pass, detail)
+            }
             AssertSpec::AttributionMatches => {
                 let (pass, detail) = match report.watchdog.as_ref().and_then(|w| w.trigger.as_ref())
                 {
@@ -221,6 +311,50 @@ mod tests {
         let outs = evaluate(&s, &BTreeMap::new(), &empty_report());
         assert!(!outs[0].pass);
         assert_eq!(outs[0].detail, "no deadlock detected");
+    }
+
+    #[test]
+    fn feasibility_asserts_consult_the_oracle() {
+        // The Fig. 10 counter-rotating pair at one lossless priority
+        // (`tagger off`): provably infeasible.
+        let text = "\
+scenario x
+topo clos small
+tagger off
+flow H1 H13 via H1 T1 L1 S1 L3 S2 L4 T4 H13
+flow H9 H1 via H9 T3 L3 S2 L1 S1 L2 T1 H1
+assert infeasible
+";
+        let s = parse(text).unwrap();
+        let outs = evaluate(&s, &BTreeMap::new(), &empty_report());
+        assert!(outs[0].pass, "{outs:?}");
+        assert!(outs[0].detail.contains("infeasible"), "{}", outs[0].detail);
+
+        // The same pair with a bounce of budget: feasible — and the
+        // misasserted direction fails with the oracle's summary.
+        let feasible = text
+            .replace("tagger off", "tagger bounces 1")
+            .replace("assert infeasible", "assert feasible");
+        let s = parse(&feasible).unwrap();
+        let outs = evaluate(&s, &BTreeMap::new(), &empty_report());
+        assert!(outs[0].pass, "{outs:?}");
+        let misasserted = text.replace("tagger off", "tagger bounces 1");
+        let s = parse(&misasserted).unwrap();
+        let outs = evaluate(&s, &BTreeMap::new(), &empty_report());
+        assert!(!outs[0].pass, "{outs:?}");
+        assert!(outs[0].detail.contains("feasible"), "{}", outs[0].detail);
+    }
+
+    #[test]
+    fn feasibility_asserts_reject_checkpoint_topologies() {
+        let s = parse("scenario x\ncheckpoint fleet.ckpt\nassert feasible\n").unwrap();
+        let outs = evaluate(&s, &BTreeMap::new(), &empty_report());
+        assert!(!outs[0].pass);
+        assert!(
+            outs[0].detail.contains("not supported"),
+            "{}",
+            outs[0].detail
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod parse;
 pub mod report;
 pub mod schedule;
 
-pub use asserts::{evaluate, max_pause_ns, AssertOutcome};
+pub use asserts::{evaluate, feasibility_verdict, max_pause_ns, AssertOutcome};
 pub use expand::{clos_for_hosts, instantiate, points, ExpandError, RunOptions};
 pub use model::{
     AssertSpec, Cmp, EventSpec, FlowDecl, Num, Scenario, Sweep, TaggerMode, TimeSpec, TopoSpec,

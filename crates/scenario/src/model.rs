@@ -304,6 +304,13 @@ pub enum AssertSpec {
     /// The watchdog's initial-trigger attribution matches the
     /// simulator's independent ground truth.
     AttributionMatches,
+    /// The existence oracle proves a deadlock-free tagging of the
+    /// scenario's ELP fits in the tag budget its `tagger` mode provides
+    /// (static — no simulation consulted).
+    Feasible,
+    /// The existence oracle proves no deadlock-free tagging fits in the
+    /// mode's tag budget (static — no simulation consulted).
+    Infeasible,
 }
 
 impl std::fmt::Display for Num {
@@ -336,6 +343,8 @@ impl AssertSpec {
             AssertSpec::LosslessDrops(c, n) => format!("lossless-drops {} {n}", c.label()),
             AssertSpec::MaxPause(t) => format!("max-pause {t}"),
             AssertSpec::AttributionMatches => "attribution matches-ground-truth".to_string(),
+            AssertSpec::Feasible => "feasible".to_string(),
+            AssertSpec::Infeasible => "infeasible".to_string(),
         }
     }
 }

@@ -814,13 +814,16 @@ pub fn parse_all(text: &str) -> (Scenario, Vec<ScnIssue>) {
                         }
                         None => {}
                     },
+                    Some("feasible") => s.asserts.push((AssertSpec::Feasible, span)),
+                    Some("infeasible") => s.asserts.push((AssertSpec::Infeasible, span)),
                     Some(w) => {
                         ctx.bad_hint(
                             1,
                             format!("unknown assert `{w}`"),
                             "asserts: no-deadlock, deadlock-by T, watchdog-trips OP N, \
                              episodes OP N, recoveries OP N, lossless-drops OP N, \
-                             max-pause D, attribution matches-ground-truth",
+                             max-pause D, attribution matches-ground-truth, \
+                             feasible, infeasible",
                         );
                     }
                     None => {}
@@ -1017,6 +1020,16 @@ fn validate(s: &Scenario) -> Vec<ScnIssue> {
                     .hint("add a `watchdog window <dur>` directive"),
                 );
             }
+            AssertSpec::Infeasible if has(&|x| matches!(x, AssertSpec::Feasible)) => {
+                issues.push(
+                    ScnIssue::new(
+                        IssueCode::UnsatisfiableAssert,
+                        *span,
+                        "`infeasible` contradicts `assert feasible` in the same scenario",
+                    )
+                    .hint("keep exactly one of the two"),
+                );
+            }
             AssertSpec::Recoveries(cmp, Num::Lit(n)) if !s.recovery && !cmp.test(0, *n) => {
                 issues.push(
                     ScnIssue::new(
@@ -1200,6 +1213,24 @@ assert lossless-drops == 0
         );
         // deadlock-by beyond horizon points at the assert line.
         assert_eq!(issues[0].span.line, 3);
+    }
+
+    #[test]
+    fn feasibility_asserts_parse_and_conflict() {
+        let s = parse("scenario x\nassert feasible\n").unwrap();
+        assert_eq!(s.asserts[0].0, AssertSpec::Feasible);
+        let s = parse("scenario x\nassert infeasible\n").unwrap();
+        assert_eq!(s.asserts[0].0, AssertSpec::Infeasible);
+        let (_, issues) = parse_all("scenario x\nassert feasible\nassert infeasible\n");
+        assert!(
+            issues
+                .iter()
+                .any(|i| i.code == IssueCode::UnsatisfiableAssert
+                    && i.message.contains("contradicts"))
+        );
+        // The unknown-assert hint advertises the new kinds.
+        let (_, issues) = parse_all("scenario x\nassert bogus\n");
+        assert!(issues[0].hint.as_ref().unwrap().contains("infeasible"));
     }
 
     #[test]

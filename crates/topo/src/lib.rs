@@ -39,5 +39,5 @@ pub use failure::{nearest_names, resolve_link, FailureSet, LinkLookupError};
 pub use fattree::fat_tree;
 pub use ids::{GlobalPort, LinkId, NodeId, PortId};
 pub use jellyfish::JellyfishConfig;
-pub use spec::SpecError;
+pub use spec::{SpecError, SpecFile};
 pub use topology::{Layer, Link, Node, NodeKind, Topology};

@@ -8,35 +8,124 @@
 //! node <name> host
 //! node <name> switch <tor|leaf|spine|flat|level:N>
 //! link <name> <name> [capacity_bps] [latency_ns]
+//! priorities <N>          # declared lossless-priority budget (optional)
 //! ```
 //!
 //! Ports are allocated in link order, exactly like the programmatic
 //! builders, so a spec round-trips to an identical topology.
+//!
+//! Errors carry full source coordinates (line, column, token length)
+//! plus a fix-it hint where one is known — unknown node names get
+//! nearest-name did-you-mean suggestions — so downstream tools
+//! (`tagger-plan custom`, `tagger-lint`) can render compiler-style
+//! diagnostics pointing at the offending token.
 
-use crate::{Layer, NodeKind, Topology};
+use crate::{nearest_names, Layer, NodeKind, Topology};
 use std::fmt;
 
-/// Parse errors, with 1-based line numbers.
+/// Parse errors, with 1-based line/column coordinates.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SpecError {
-    /// Line the error occurred on (1-based).
+    /// Line the error occurred on (1-based; 0 = whole file).
     pub line: usize,
+    /// Column of the offending token (1-based; 1 when unknown).
+    pub col: usize,
+    /// Length of the offending token in characters (0 when unknown).
+    pub len: usize,
     /// What went wrong.
     pub message: String,
+    /// A fix-it suggestion, when one is known (did-you-mean for node
+    /// names, the accepted grammar for bad directives).
+    pub hint: Option<String>,
 }
 
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.col > 1 {
+            write!(f, "line {}:{}: {}", self.line, self.col, self.message)?;
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)?;
+        }
+        if let Some(hint) = &self.hint {
+            write!(f, " ({hint})")?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for SpecError {}
 
+/// The 1-based character column of the `idx`-th whitespace-separated
+/// token of `raw`, with its character length — mirrors the tokenizer
+/// the parser splits with, so coordinates always land on the token.
+fn token_span(raw: &str, idx: usize) -> (usize, usize) {
+    let mut in_word = false;
+    let mut word = 0usize;
+    let mut start = 1usize;
+    let mut len = 0usize;
+    for (i, c) in raw.chars().enumerate() {
+        if c.is_whitespace() {
+            if in_word {
+                if word == idx + 1 {
+                    return (start, len);
+                }
+                in_word = false;
+            }
+        } else {
+            if !in_word {
+                in_word = true;
+                word += 1;
+                start = i + 1;
+                len = 0;
+            }
+            len += 1;
+        }
+    }
+    if in_word && word == idx + 1 {
+        return (start, len);
+    }
+    (1, 0)
+}
+
 fn err(line: usize, message: impl Into<String>) -> SpecError {
     SpecError {
         line,
+        col: 1,
+        len: 0,
         message: message.into(),
+        hint: None,
+    }
+}
+
+fn err_at(raw: &str, line: usize, field: usize, message: impl Into<String>) -> SpecError {
+    let (col, len) = token_span(raw, field);
+    SpecError {
+        line,
+        col,
+        len,
+        message: message.into(),
+        hint: None,
+    }
+}
+
+fn with_hint(mut e: SpecError, hint: impl Into<String>) -> SpecError {
+    e.hint = Some(hint.into());
+    e
+}
+
+fn unknown_node_err(
+    topo: &Topology,
+    raw: &str,
+    line: usize,
+    field: usize,
+    name: &str,
+) -> SpecError {
+    let e = err_at(raw, line, field, format!("unknown node {name:?}"));
+    let nearest = nearest_names(topo, name);
+    if nearest.is_empty() {
+        with_hint(e, "declare the node with a `node` line before linking it")
+    } else {
+        with_hint(e, format!("did you mean {}?", nearest.join(", ")))
     }
 }
 
@@ -51,7 +140,7 @@ fn layer_to_text(layer: Layer) -> String {
     }
 }
 
-fn layer_from_text(s: &str, line: usize) -> Result<Layer, SpecError> {
+fn layer_from_text(s: &str, raw: &str, line: usize) -> Result<Layer, SpecError> {
     match s {
         "tor" => Ok(Layer::Tor),
         "leaf" => Ok(Layer::Leaf),
@@ -61,23 +150,49 @@ fn layer_from_text(s: &str, line: usize) -> Result<Layer, SpecError> {
             if let Some(n) = other.strip_prefix("level:") {
                 n.parse::<u8>()
                     .map(Layer::Level)
-                    .map_err(|_| err(line, format!("bad level in {other:?}")))
+                    .map_err(|_| err_at(raw, line, 3, format!("bad level in {other:?}")))
             } else {
-                Err(err(
-                    line,
-                    format!("unknown layer {other:?} (tor|leaf|spine|flat|level:N)"),
+                Err(with_hint(
+                    err_at(raw, line, 3, format!("unknown layer {other:?}")),
+                    "layers: tor, leaf, spine, flat, level:N",
                 ))
             }
         }
     }
 }
 
+/// A parsed spec file: the topology plus the declarations that describe
+/// the deployment rather than the wiring.
+#[derive(Clone, Debug)]
+pub struct SpecFile {
+    /// The fabric.
+    pub topo: Topology,
+    /// Declared lossless-priority budget (`priorities N`), if any — the
+    /// hardware ceiling the feasibility oracle decides against.
+    pub priorities: Option<u16>,
+    /// Line of the `priorities` declaration (0 when undeclared).
+    pub priorities_line: usize,
+    /// Source line of each `link` declaration, in link-id order — lets
+    /// diagnostics about a dependency cycle span the links that close it.
+    pub link_lines: Vec<usize>,
+}
+
 impl Topology {
     /// Parses the plain-text topology format (`node ... host`,
     /// `node ... switch <layer>`, `link <a> <b> [capacity] [latency]`;
-    /// `#` comments).
+    /// `#` comments), discarding deployment declarations. See
+    /// [`Topology::parse_spec`] for the full result.
     pub fn from_spec_text(text: &str) -> Result<Topology, SpecError> {
+        Ok(Topology::parse_spec(text)?.topo)
+    }
+
+    /// Parses the plain-text topology format, keeping deployment
+    /// declarations (`priorities N`) and per-link source lines.
+    pub fn parse_spec(text: &str) -> Result<SpecFile, SpecError> {
         let mut topo = Topology::new();
+        let mut priorities: Option<u16> = None;
+        let mut priorities_line = 0usize;
+        let mut link_lines = Vec::new();
         for (i, raw) in text.lines().enumerate() {
             let line = i + 1;
             // Strip trailing comments, then whitespace.
@@ -90,65 +205,101 @@ impl Topology {
                 "node" => match fields.as_slice() {
                     ["node", name, "host"] => {
                         if topo.node_by_name(name).is_some() {
-                            return Err(err(line, format!("duplicate node {name:?}")));
+                            return Err(err_at(raw, line, 1, format!("duplicate node {name:?}")));
                         }
                         topo.add_host(*name);
                     }
                     ["node", name, "switch", layer] => {
                         if topo.node_by_name(name).is_some() {
-                            return Err(err(line, format!("duplicate node {name:?}")));
+                            return Err(err_at(raw, line, 1, format!("duplicate node {name:?}")));
                         }
-                        topo.add_switch(*name, layer_from_text(layer, line)?);
+                        topo.add_switch(*name, layer_from_text(layer, raw, line)?);
                     }
                     _ => {
-                        return Err(err(
-                            line,
-                            "expected `node <name> host` or `node <name> switch <layer>`",
+                        return Err(with_hint(
+                            err_at(raw, line, 0, "malformed node declaration"),
+                            "write `node <name> host` or `node <name> switch <layer>`",
                         ))
                     }
                 },
                 "link" => {
                     if fields.len() < 3 || fields.len() > 5 {
-                        return Err(err(
-                            line,
-                            "expected `link <a> <b> [capacity_bps] [latency_ns]`",
+                        return Err(with_hint(
+                            err_at(raw, line, 0, "malformed link declaration"),
+                            "write `link <a> <b> [capacity_bps] [latency_ns]`",
                         ));
                     }
                     let a = topo
                         .node_by_name(fields[1])
-                        .ok_or_else(|| err(line, format!("unknown node {:?}", fields[1])))?;
+                        .ok_or_else(|| unknown_node_err(&topo, raw, line, 1, fields[1]))?;
                     let b = topo
                         .node_by_name(fields[2])
-                        .ok_or_else(|| err(line, format!("unknown node {:?}", fields[2])))?;
+                        .ok_or_else(|| unknown_node_err(&topo, raw, line, 2, fields[2]))?;
                     if a == b {
-                        return Err(err(line, "self-links are not allowed"));
+                        return Err(err_at(raw, line, 2, "self-links are not allowed"));
                     }
                     let capacity = match fields.get(3) {
                         Some(c) => c
                             .parse()
-                            .map_err(|_| err(line, format!("bad capacity {c:?}")))?,
+                            .map_err(|_| err_at(raw, line, 3, format!("bad capacity {c:?}")))?,
                         None => crate::topology::DEFAULT_CAPACITY_BPS,
                     };
                     let latency = match fields.get(4) {
                         Some(l) => l
                             .parse()
-                            .map_err(|_| err(line, format!("bad latency {l:?}")))?,
+                            .map_err(|_| err_at(raw, line, 4, format!("bad latency {l:?}")))?,
                         None => crate::topology::DEFAULT_LATENCY_NS,
                     };
                     topo.connect_with(a, b, capacity, latency);
+                    link_lines.push(line);
                 }
-                other => return Err(err(line, format!("unknown directive {other:?}"))),
+                "priorities" => {
+                    if priorities.is_some() {
+                        return Err(with_hint(
+                            err_at(raw, line, 0, "duplicate `priorities` declaration"),
+                            format!("first declared on line {priorities_line}"),
+                        ));
+                    }
+                    let n = match fields.get(1) {
+                        Some(v) => v.parse::<u16>().ok().filter(|&n| (1..=64).contains(&n)),
+                        None => None,
+                    };
+                    match n {
+                        Some(n) => {
+                            priorities = Some(n);
+                            priorities_line = line;
+                        }
+                        None => {
+                            return Err(with_hint(
+                                err_at(raw, line, 1, "bad priority budget"),
+                                "write `priorities <N>` with N in 1..=64",
+                            ))
+                        }
+                    }
+                }
+                other => {
+                    return Err(with_hint(
+                        err_at(raw, line, 0, format!("unknown directive {other:?}")),
+                        "directives: node, link, priorities",
+                    ))
+                }
             }
         }
         topo.check_consistency()
             .map_err(|m| err(0, format!("inconsistent topology: {m}")))?;
-        Ok(topo)
+        Ok(SpecFile {
+            topo,
+            priorities,
+            priorities_line,
+            link_lines,
+        })
     }
 
     /// Renders the topology in the text format, suitable for
     /// [`Topology::from_spec_text`]. Nodes come first (insertion order),
     /// then links (id order), so the round trip reproduces identical
-    /// node ids and port numbering.
+    /// node ids and port numbering. Deployment declarations
+    /// (`priorities`) are not part of the wiring and are not emitted.
     pub fn to_spec_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -257,6 +408,8 @@ mod tests {
             ("frobnicate", "unknown directive"),
             ("node A host\nlink A A", "self-links"),
             ("node A host\nnode B host\nlink A B pig", "bad capacity"),
+            ("priorities 0", "bad priority budget"),
+            ("priorities 2\npriorities 3", "duplicate `priorities`"),
         ] {
             let e = Topology::from_spec_text(text).unwrap_err();
             assert!(
@@ -264,5 +417,45 @@ mod tests {
                 "{text:?}: expected {needle:?} in {e}"
             );
         }
+    }
+
+    #[test]
+    fn errors_carry_token_coordinates() {
+        // The bad layer is the 4th token on line 2; columns are 1-based.
+        let e = Topology::from_spec_text("node A host\nnode B switch nowhere\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.col, 15);
+        assert_eq!(e.len, "nowhere".len());
+        // Unknown link endpoint: the 2nd token.
+        let e = Topology::from_spec_text("node A host\nlink A Bx\n").unwrap_err();
+        assert_eq!((e.line, e.col, e.len), (2, 8, 2));
+        // Bad capacity: the 4th token.
+        let e = Topology::from_spec_text("node A host\nnode B host\nlink A B pig\n").unwrap_err();
+        assert_eq!((e.line, e.col, e.len), (3, 10, 3));
+    }
+
+    #[test]
+    fn unknown_node_gets_did_you_mean_hint() {
+        let e = Topology::from_spec_text(
+            "node Spine1 switch spine\nnode Tor1 switch tor\nlink Tor1 Spina1\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("unknown node"), "{e}");
+        let hint = e.hint.unwrap();
+        assert!(hint.contains("Spine1"), "hint was {hint:?}");
+    }
+
+    #[test]
+    fn priorities_declaration_is_parsed_with_its_line() {
+        let spec = Topology::parse_spec(
+            "# ring\nnode A host\nnode B switch flat\npriorities 2\nlink A B\n",
+        )
+        .unwrap();
+        assert_eq!(spec.priorities, Some(2));
+        assert_eq!(spec.priorities_line, 4);
+        assert_eq!(spec.link_lines, vec![5]);
+        // from_spec_text ignores the declaration but still accepts it.
+        let topo = Topology::from_spec_text("node A host\nnode B switch flat\nlink A B\n").unwrap();
+        assert_eq!(topo.num_links(), 1);
     }
 }

@@ -2,20 +2,24 @@
 //!
 //! ```text
 //! tagger-lint check <file...> [--format human|json] [--elp updown|bounces=K]
-//!                   [--no-audit] [--pods N] [--leaves N] [--tors N]
-//!                   [--spines N] [--hosts N]
+//!                   [--budget N] [--no-audit] [--pods N] [--leaves N]
+//!                   [--tors N] [--spines N] [--hosts N]
 //! tagger-lint explain <code>
 //! ```
 //!
-//! `check` lints checkpoint (`.ckpt`), trace (`.trace`) and scenario
-//! (`.scn`) files — the kind is sniffed from content, so misnamed files
-//! still work — and exits non-zero iff at least one error-severity
-//! diagnostic was emitted. Checkpoints carry their own topology;
-//! scenarios declare theirs; traces are resolved against a Clos built
+//! `check` lints checkpoint (`.ckpt`), trace (`.trace`), scenario
+//! (`.scn`) and topology-spec (`.topo`) files — the kind is sniffed
+//! from content, so misnamed files still work — and exits non-zero iff
+//! at least one error-severity diagnostic was emitted. Checkpoints and
+//! topology specs carry their own topology; scenarios declare theirs;
+//! traces are resolved against a Clos built
 //! from the `--pods`-family flags (defaults match `tagger-ctrld`). `--elp` additionally checks that every expected
 //! lossless path stays lossless under a checkpoint's tables; `--no-audit`
-//! skips the independent-auditor cross-check. `--format json` emits the
-//! byte-stable structured report for CI and editors.
+//! skips the independent-auditor cross-check. `--budget N` overrides the
+//! lossless-tag budget the feasibility oracle (T0701/T0702) checks
+//! against — default is the spec's `priorities` directive, else the
+//! 8-class hardware ceiling. `--format json` emits the byte-stable
+//! structured report for CI and editors.
 //!
 //! `explain` prints the one-line description of a diagnostic code.
 
@@ -109,10 +113,18 @@ fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
         hosts_per_tor: get(&flags, "hosts", 4)?,
     }
     .build();
+    let tag_budget = match flags.get("budget") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("--budget wants a number, got {v:?}"))?,
+        ),
+    };
     let opts = LintOptions {
         elp,
         audit_cross_check: !flags.contains_key("no-audit"),
         trace_topo,
+        tag_budget,
     };
     let report = lint_files(&files, &opts);
     match flags.get("format").map(String::as_str) {

@@ -13,16 +13,26 @@
 //! ```
 //!
 //! `custom` reads the plain-text format of
-//! [`tagger::topo::Topology::from_spec_text`]; if every switch carries a
-//! layer, the optimal layered construction is used, otherwise the
-//! generic Algorithm 1+2 pipeline over a shortest-path ELP.
+//! [`tagger::topo::Topology::from_spec_text`] (including the optional
+//! `priorities N` budget directive); if every switch carries a layer,
+//! the optimal layered construction is used, otherwise the generic
+//! Algorithm 1+2 pipeline over a shortest-path ELP.
+//!
+//! Every plan consults the existence oracle ([`tagger::core::decide`])
+//! before constructing tables, so the tool can tell two failures apart:
+//!
+//! - **exit 2** — the oracle proves *no* deadlock-free tagging of the
+//!   ELP fits in the tag budget: no amount of re-planning helps; change
+//!   the ELP or raise the budget.
+//! - **exit 1** — a tagging provably exists but the construction
+//!   heuristic did not find one: raise `--bounces`/`--paths-per-pair`.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use tagger::core::clos::clos_tagging;
 use tagger::core::tcam::{Compression, TcamProgram};
-use tagger::core::{dscp::DscpCodec, Elp, Tagging};
+use tagger::core::{decide, dscp::DscpCodec, Elp, Tagging, Verdict};
 use tagger::topo::{fat_tree, ClosConfig, JellyfishConfig, Topology};
 
 fn parse_flags(args: &[String]) -> (BTreeMap<String, String>, bool) {
@@ -58,7 +68,7 @@ fn get(flags: &BTreeMap<String, String>, key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-fn report(topo: &Topology, tagging: &Tagging, dump_rules: bool) {
+fn report(topo: &Topology, tagging: &Tagging, oracle_line: &str, dump_rules: bool) {
     tagging
         .graph()
         .verify()
@@ -72,6 +82,7 @@ fn report(topo: &Topology, tagging: &Tagging, dump_rules: bool) {
         topo.num_links()
     );
     println!("lossless queues : {priorities} (+1 lossy)");
+    println!("oracle          : {oracle_line}");
     println!(
         "rules           : {} exact-match total, max {} per switch",
         tagging.rules().num_rules(),
@@ -115,10 +126,71 @@ fn report(topo: &Topology, tagging: &Tagging, dump_rules: bool) {
     }
 }
 
+/// Oracle-gated planning: decide existence first, then construct.
+///
+/// Exit codes: 0 planned and certified; 1 a tagging exists but the
+/// construction failed to find one (widen the search); 2 the oracle
+/// proves no tagging fits the budget (re-planning cannot help).
+fn plan(
+    topo: &Topology,
+    elp: &Elp,
+    budget: Option<usize>,
+    construct: impl FnOnce() -> Result<Tagging, String>,
+    dump_rules: bool,
+) -> ExitCode {
+    let verdict = decide(topo, elp, budget);
+    match &verdict {
+        Verdict::Infeasible(inf) => {
+            eprintln!("plan rejected: {}", verdict.summary());
+            eprintln!(
+                "the minimal infeasible kernel has {} path(s):",
+                inf.kernel.len()
+            );
+            for &i in inf.kernel.iter().take(12) {
+                if let Some(p) = elp.paths().get(i) {
+                    eprintln!("  {}", p.display(topo));
+                }
+            }
+            if inf.kernel.len() > 12 {
+                eprintln!("  ... and {} more", inf.kernel.len() - 12);
+            }
+            eprintln!(
+                "this is not a search-budget problem — no deadlock-free tagging \
+                 of this ELP exists within {} tag(s); drop a kernel path or raise \
+                 the priority budget",
+                inf.budget
+            );
+            ExitCode::from(2)
+        }
+        Verdict::Feasible(f) => match construct() {
+            Ok(tagging) => {
+                let line = format!(
+                    "feasible, proven minimum >= {} lossless tag(s)",
+                    f.lower_bound_tags
+                );
+                report(topo, &tagging, &line, dump_rules);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("construction failed: {e}");
+                eprintln!(
+                    "but the oracle proves a deadlock-free tagging exists within \
+                     {} tag(s) — the heuristic needs a wider search: raise \
+                     --bounces or --paths-per-pair",
+                    f.tags_used
+                );
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: tagger-plan <clos|fattree|jellyfish> [flags]; see --help in source");
+        eprintln!(
+            "usage: tagger-plan <clos|fattree|jellyfish|custom> [flags]; see --help in source"
+        );
         return ExitCode::FAILURE;
     };
     let (flags, dump_rules) = parse_flags(&args[1..]);
@@ -134,8 +206,14 @@ fn main() -> ExitCode {
             let topo = cfg.build();
             let k = get(&flags, "bounces", 1);
             println!("plan: clos {cfg:?}, {k}-bounce lossless service\n");
-            let tagging = clos_tagging(&topo, k).expect("layered fabric");
-            report(&topo, &tagging, dump_rules);
+            let elp = Elp::updown_with_bounces(&topo, k);
+            plan(
+                &topo,
+                &elp,
+                Some(k + 1),
+                || clos_tagging(&topo, k).map_err(|e| format!("clos tagging: {e:?}")),
+                dump_rules,
+            )
         }
         "fattree" => {
             let topo = fat_tree(get(&flags, "k", 4));
@@ -144,8 +222,14 @@ fn main() -> ExitCode {
                 "plan: fat-tree k={}, {k}-bounce lossless service\n",
                 get(&flags, "k", 4)
             );
-            let tagging = clos_tagging(&topo, k).expect("layered fabric");
-            report(&topo, &tagging, dump_rules);
+            let elp = Elp::updown_with_bounces(&topo, k);
+            plan(
+                &topo,
+                &elp,
+                Some(k + 1),
+                || clos_tagging(&topo, k).map_err(|e| format!("clos tagging: {e:?}")),
+                dump_rules,
+            )
         }
         "jellyfish" => {
             let cfg = JellyfishConfig::half_servers(
@@ -159,8 +243,13 @@ fn main() -> ExitCode {
                 cfg.switches, cfg.ports_per_switch, cfg.seed
             );
             let elp = Elp::shortest(&topo, get(&flags, "paths-per-pair", 1), false);
-            let tagging = Tagging::from_elp(&topo, &elp).expect("pipeline");
-            report(&topo, &tagging, dump_rules);
+            plan(
+                &topo,
+                &elp,
+                None,
+                || Tagging::from_elp(&topo, &elp).map_err(|e| format!("pipeline: {e:?}")),
+                dump_rules,
+            )
         }
         "custom" => {
             let Some(path) = flags.get("file") else {
@@ -174,32 +263,46 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let topo = match Topology::from_spec_text(&text) {
-                Ok(t) => t,
+            let spec = match Topology::parse_spec(&text) {
+                Ok(s) => s,
                 Err(e) => {
                     eprintln!("{path}: {e}");
                     return ExitCode::FAILURE;
                 }
             };
+            let topo = spec.topo;
+            // A `priorities N` directive in the spec caps the budget the
+            // oracle checks against; otherwise the hardware ceiling.
+            let budget = spec.priorities.map(|p| p as usize);
             let layered = topo
                 .switch_ids()
                 .all(|s| topo.node(s).layer.rank().is_some());
             if layered {
                 let k = get(&flags, "bounces", 1);
                 println!("plan: custom layered fabric from {path}, {k}-bounce service\n");
-                let tagging = clos_tagging(&topo, k).expect("layered fabric");
-                report(&topo, &tagging, dump_rules);
+                let elp = Elp::updown_with_bounces(&topo, k);
+                plan(
+                    &topo,
+                    &elp,
+                    budget.or(Some(k + 1)),
+                    || clos_tagging(&topo, k).map_err(|e| format!("clos tagging: {e:?}")),
+                    dump_rules,
+                )
             } else {
                 println!("plan: custom fabric from {path}, host-to-host shortest-path ELP\n");
                 let elp = Elp::shortest(&topo, get(&flags, "paths-per-pair", 1), true);
-                let tagging = Tagging::from_elp(&topo, &elp).expect("pipeline");
-                report(&topo, &tagging, dump_rules);
+                plan(
+                    &topo,
+                    &elp,
+                    budget,
+                    || Tagging::from_elp(&topo, &elp).map_err(|e| format!("pipeline: {e:?}")),
+                    dump_rules,
+                )
             }
         }
         other => {
             eprintln!("unknown fabric {other:?}; expected clos, fattree, jellyfish or custom");
-            return ExitCode::FAILURE;
+            ExitCode::FAILURE
         }
     }
-    ExitCode::SUCCESS
 }
